@@ -1,0 +1,126 @@
+// Reproduces Table 3 of the paper: graph loading time and disk usage.
+// Db2 Graph queries relational data in place (only a seconds-scale graph
+// open), while GDB-X and the Janus-like store must export the data out of
+// the database, load it into their proprietary formats, and open.
+//
+// Paper shape: Db2 Graph open is ~10^3-10^4x faster than baseline
+// export+load; baseline disk usage is several times the relational size.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "linkbench/partitioned.h"
+
+namespace {
+
+using db2graph::bench::HumanBytes;
+using db2graph::bench::Timer;
+
+
+struct LoadReport {
+  double db2graph_open_s = 0;
+  size_t db2graph_disk = 0;
+  double export_s = 0;
+  double native_load_s = 0;
+  double native_open_s = 0;
+  size_t native_disk = 0;
+  double janus_load_s = 0;
+  double janus_open_s = 0;
+  size_t janus_disk = 0;
+};
+
+LoadReport RunScale(const db2graph::linkbench::Config& config,
+                    const char* label) {
+  
+  using db2graph::baselines::JanusLikeDb;
+  using db2graph::baselines::LoadExport;
+  using db2graph::baselines::NativeGraphDb;
+  using db2graph::core::Db2Graph;
+
+  LoadReport report;
+  std::fprintf(stderr, "[table3] generating %s...\n", label);
+  db2graph::linkbench::Dataset dataset =
+      db2graph::linkbench::GeneratePartitioned(config);
+  db2graph::sql::Database db;
+  if (!db2graph::linkbench::LoadIntoPartitionedDatabase(&db, dataset).ok()) {
+    std::abort();
+  }
+  report.db2graph_disk = db.ApproxDiskBytes();
+
+  {
+    Timer timer;
+    auto graph =
+        Db2Graph::Open(&db, db2graph::linkbench::MakePartitionedOverlay());
+    if (!graph.ok()) std::abort();
+    report.db2graph_open_s = timer.Seconds();
+  }
+  {
+    Timer timer;
+    auto exported = db2graph::baselines::ExportPartitionedLinkBenchTables(&db);
+    if (!exported.ok()) std::abort();
+    report.export_s = timer.Seconds();
+
+    NativeGraphDb::Options options;
+    options.cache_capacity = db2graph::bench::kGraphCacheCapacity;
+    NativeGraphDb native(options);
+    Timer load_timer;
+    if (!LoadExport(*exported, &native).ok()) std::abort();
+    report.native_load_s = load_timer.Seconds();
+    Timer open_timer;
+    if (!native.Open().ok()) std::abort();
+    report.native_open_s = open_timer.Seconds();
+    report.native_disk = native.DiskBytes();
+
+    JanusLikeDb janus;
+    Timer janus_timer;
+    if (!LoadExport(*exported, &janus).ok()) std::abort();
+    report.janus_load_s = janus_timer.Seconds();
+    Timer janus_open;
+    if (!janus.Open().ok()) std::abort();
+    report.janus_open_s = janus_open.Seconds();
+    report.janus_disk = janus.DiskBytes();
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 3: Loading graph data into each system "
+      "(Db2 Graph needs no load at all)\n\n");
+  std::printf("%-9s | %9s %9s | %8s | %9s %9s %9s | %9s %9s %9s\n", "", "Db2G",
+              "Db2G", "Export", "GDB-X", "GDB-X", "GDB-X", "Janus", "Janus",
+              "Janus");
+  std::printf("%-9s | %9s %9s | %8s | %9s %9s %9s | %9s %9s %9s\n", "Dataset",
+              "Disk", "Open(ms)", "DB(s)", "Disk", "Load(s)", "Open(s)",
+              "Disk", "Load(s)", "Open(s)");
+  struct ScaleDef {
+    const char* name;
+    db2graph::linkbench::Config config;
+  } scales[] = {{"LB-small", db2graph::linkbench::Config::Small()},
+                {"LB-large", db2graph::linkbench::Config::Large()}};
+  for (const ScaleDef& scale : scales) {
+    LoadReport r = RunScale(scale.config, scale.name);
+    std::printf(
+        "%-9s | %9s %9.2f | %8.2f | %9s %9.2f %9.2f | %9s %9.2f %9.2f\n",
+        scale.name, HumanBytes(r.db2graph_disk).c_str(),
+        r.db2graph_open_s * 1e3,
+        r.export_s, HumanBytes(r.native_disk).c_str(), r.native_load_s,
+        r.native_open_s, HumanBytes(r.janus_disk).c_str(), r.janus_load_s,
+        r.janus_open_s);
+    double ratio_native =
+        static_cast<double>(r.native_disk) / r.db2graph_disk;
+    double ratio_janus = static_cast<double>(r.janus_disk) / r.db2graph_disk;
+    std::printf(
+        "          disk blow-up vs relational: GDB-X %.1fx, Janus %.1fx; "
+        "total time-to-first-query: Db2G %.3fs, GDB-X %.1fs, Janus %.1fs\n",
+        ratio_native, ratio_janus, r.db2graph_open_s,
+        r.export_s + r.native_load_s + r.native_open_s,
+        r.export_s + r.janus_load_s + r.janus_open_s);
+  }
+  std::printf(
+      "\nPaper shape: Db2 Graph opens in seconds with zero data movement;\n"
+      "baselines pay export << load, plus a multi-x disk blow-up.\n");
+  return 0;
+}

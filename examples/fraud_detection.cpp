@@ -1,0 +1,150 @@
+// Mule-fraud detection (paper Section 7, finance): bank transaction data
+// is updated continuously by operational systems and simultaneously used
+// by SQL analytics. The fraud team needs graph queries over the *latest*
+// transactions: how does a known fraudster's money reach a beneficiary
+// through a chain of mule accounts?
+//
+// With Db2 Graph the transaction table is queried as a graph in place —
+// a new transfer is visible to the very next traversal, with no reload.
+//
+// Build & run:  ./build/examples/fraud_detection
+
+#include <cstdio>
+#include <random>
+
+#include "core/db2graph.h"
+
+using db2graph::Value;
+using db2graph::core::Db2Graph;
+using db2graph::gremlin::Traverser;
+
+namespace {
+
+constexpr char kOverlay[] = R"json({
+  "v_tables": [
+    {"table_name": "Account", "id": "accountID",
+     "fix_label": true, "label": "'account'",
+     "properties": ["accountID", "holder", "riskFlag"]}
+  ],
+  "e_tables": [
+    {"table_name": "Transfer", "src_v_table": "Account",
+     "src_v": "fromAccount", "dst_v_table": "Account",
+     "dst_v": "toAccount",
+     "prefixed_edge_id": true, "id": "'xfer'::transferID",
+     "fix_label": true, "label": "'transfer'",
+     "properties": ["amount", "day"]}
+  ]
+})json";
+
+}  // namespace
+
+int main() {
+  db2graph::sql::Database db;
+  auto st = db.ExecuteScript(R"sql(
+    CREATE TABLE Account (
+      accountID BIGINT PRIMARY KEY,
+      holder VARCHAR(40),
+      riskFlag VARCHAR(10)
+    );
+    CREATE TABLE Transfer (
+      transferID BIGINT PRIMARY KEY,
+      fromAccount BIGINT,
+      toAccount BIGINT,
+      amount DOUBLE,
+      day BIGINT,
+      FOREIGN KEY (fromAccount) REFERENCES Account (accountID),
+      FOREIGN KEY (toAccount) REFERENCES Account (accountID)
+    );
+    CREATE INDEX idx_tf_from ON Transfer (fromAccount);
+    CREATE INDEX idx_tf_to ON Transfer (toAccount);
+  )sql");
+  if (!st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 200 accounts; account 1 is a flagged fraudster, 199 a known
+  // beneficiary. Money moves 1 -> mules -> 199 through 3 hops, buried in
+  // background transfer noise.
+  auto* accounts = db.GetTable("Account");
+  auto* transfers = db.GetTable("Transfer");
+  for (int64_t a = 1; a <= 200; ++a) {
+    const char* flag = a == 1 ? "fraud" : (a == 199 ? "benef" : "none");
+    (void)accounts->Insert(
+        {Value(a), Value("holder" + std::to_string(a)), Value(flag)});
+  }
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int64_t> any(1, 200);
+  std::uniform_real_distribution<double> amount(10, 500);
+  int64_t tid = 1;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t from = any(rng);
+    int64_t to = any(rng);
+    if (from == to) continue;
+    (void)transfers->Insert({Value(tid++), Value(from), Value(to),
+                             Value(amount(rng)), Value(int64_t{i % 30})});
+  }
+  // The laundering chain: 1 -> 42 -> 87 -> 199 (large amounts).
+  for (auto [from, to] : {std::pair<int64_t, int64_t>{1, 42},
+                          {42, 87},
+                          {87, 199}}) {
+    (void)transfers->Insert({Value(tid++), Value(from), Value(to),
+                             Value(9500.0), Value(int64_t{29})});
+  }
+
+  auto graph = Db2Graph::Open(&db, std::string(kOverlay));
+  if (!graph.ok()) {
+    std::printf("%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Which accounts does the fraudster's money reach within 3 hops of
+  // large transfers?
+  const char* trace =
+      "g.V(1).repeat(outE('transfer').has('amount', gt(5000))"
+      ".inV().dedup().store('reached')).times(3).cap('reached')";
+  std::printf("gremlin> %s\n", trace);
+  auto out = (*graph)->Execute(trace);
+  if (!out.ok()) {
+    std::printf("%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  reachable via large transfers: %s\n\n",
+              (*out)[0].ToString().c_str());
+
+  // Does the trail hit a known beneficiary? Show the exact route
+  // (vertices and transfer edges) with path().
+  const char* hits_beneficiary =
+      "g.V(1).repeat(outE('transfer').has('amount', gt(5000))"
+      ".inV().dedup()).times(3).has('riskFlag', 'benef')"
+      ".simplePath().path()";
+  out = (*graph)->Execute(hits_beneficiary);
+  if (!out.ok()) return 1;
+  for (const Traverser& t : *out) {
+    std::printf("  ALERT: laundering route %s\n", t.ToString().c_str());
+  }
+
+  // Freshness: the operational system inserts a brand-new mule hop; the
+  // next traversal sees it without any reload.
+  std::printf(
+      "\nsql> INSERT INTO Transfer VALUES (..., 1 -> 55, 9900.0)\n"
+      "sql> INSERT INTO Transfer VALUES (..., 55 -> 199, 9900.0)\n");
+  (void)db.Execute("INSERT INTO Transfer VALUES (90001, 1, 55, 9900.0, 30)");
+  (void)db.Execute(
+      "INSERT INTO Transfer VALUES (90002, 55, 199, 9900.0, 30)");
+  const char* two_hop =
+      "g.V(1).outE('transfer').has('amount', gt(5000)).inV()"
+      ".outE('transfer').has('amount', gt(5000)).inV()"
+      ".has('riskFlag', 'benef').dedup().values('holder')";
+  out = (*graph)->Execute(two_hop);
+  if (!out.ok()) return 1;
+  std::printf("gremlin> %s\n", two_hop);
+  for (const Traverser& t : *out) {
+    std::printf("  ALERT (fresh data): 2-hop route to %s via new mule\n",
+                t.ToString().c_str());
+  }
+  std::printf(
+      "\nA standalone graph database would still be showing yesterday's\n"
+      "export; Db2 Graph traverses the live transaction table.\n");
+  return 0;
+}

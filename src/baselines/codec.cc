@@ -1,0 +1,145 @@
+#include "baselines/codec.h"
+
+#include <cstring>
+
+namespace db2graph::baselines {
+
+void PutVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutString(const std::string& s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+namespace {
+enum class Tag : uint8_t { kNull = 0, kBool = 1, kInt = 2, kDouble = 3,
+                           kString = 4 };
+}  // namespace
+
+void PutValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back(static_cast<char>(Tag::kNull));
+      return;
+    case ValueType::kBool:
+      out->push_back(static_cast<char>(Tag::kBool));
+      out->push_back(v.as_bool() ? 1 : 0);
+      return;
+    case ValueType::kInt: {
+      out->push_back(static_cast<char>(Tag::kInt));
+      // ZigZag for negatives.
+      uint64_t z = (static_cast<uint64_t>(v.as_int()) << 1) ^
+                   static_cast<uint64_t>(v.as_int() >> 63);
+      PutVarint(z, out);
+      return;
+    }
+    case ValueType::kDouble: {
+      out->push_back(static_cast<char>(Tag::kDouble));
+      double d = v.as_double();
+      char buf[sizeof(double)];
+      std::memcpy(buf, &d, sizeof(double));
+      out->append(buf, sizeof(double));
+      return;
+    }
+    case ValueType::kString:
+      out->push_back(static_cast<char>(Tag::kString));
+      PutString(v.as_string(), out);
+      return;
+  }
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+    if (shift > 63) break;
+  }
+  return Status::Internal("codec: truncated varint");
+}
+
+Status Decoder::GetString(std::string* out) {
+  uint64_t len = 0;
+  DB2G_RETURN_NOT_OK(GetVarint(&len));
+  if (pos_ + len > data_.size()) {
+    return Status::Internal("codec: truncated string");
+  }
+  out->assign(data_, pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetValue(Value* out) {
+  if (pos_ >= data_.size()) return Status::Internal("codec: truncated value");
+  Tag tag = static_cast<Tag>(data_[pos_++]);
+  switch (tag) {
+    case Tag::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case Tag::kBool:
+      if (pos_ >= data_.size()) return Status::Internal("codec: truncated");
+      *out = Value(data_[pos_++] != 0);
+      return Status::OK();
+    case Tag::kInt: {
+      uint64_t z = 0;
+      DB2G_RETURN_NOT_OK(GetVarint(&z));
+      *out = Value(static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1)));
+      return Status::OK();
+    }
+    case Tag::kDouble: {
+      if (pos_ + sizeof(double) > data_.size()) {
+        return Status::Internal("codec: truncated double");
+      }
+      double d;
+      std::memcpy(&d, data_.data() + pos_, sizeof(double));
+      pos_ += sizeof(double);
+      *out = Value(d);
+      return Status::OK();
+    }
+    case Tag::kString: {
+      std::string s;
+      DB2G_RETURN_NOT_OK(GetString(&s));
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("codec: bad tag");
+}
+
+void PutProperties(const std::vector<std::pair<std::string, Value>>& props,
+                   std::string* out) {
+  PutVarint(props.size(), out);
+  for (const auto& [k, v] : props) {
+    PutString(k, out);
+    PutValue(v, out);
+  }
+}
+
+Status GetProperties(Decoder* dec,
+                     std::vector<std::pair<std::string, Value>>* out) {
+  uint64_t n = 0;
+  DB2G_RETURN_NOT_OK(dec->GetVarint(&n));
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string key;
+    Value value;
+    DB2G_RETURN_NOT_OK(dec->GetString(&key));
+    DB2G_RETURN_NOT_OK(dec->GetValue(&value));
+    out->emplace_back(std::move(key), std::move(value));
+  }
+  return Status::OK();
+}
+
+}  // namespace db2graph::baselines

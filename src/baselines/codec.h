@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Compact binary record encoding shared by the baseline graph stores.
+// This is the "somewhat encrypted" storage format the paper criticizes:
+// once values are serialized this way, the underlying store's own query
+// tools cannot make sense of them — exactly the retrofittability problem
+// Db2 Graph avoids.
+
+#ifndef DB2GRAPH_BASELINES_CODEC_H_
+#define DB2GRAPH_BASELINES_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace db2graph::baselines {
+
+/// Appends an unsigned LEB128 varint.
+void PutVarint(uint64_t v, std::string* out);
+/// Appends a length-prefixed string.
+void PutString(const std::string& s, std::string* out);
+/// Appends a tagged Value.
+void PutValue(const Value& v, std::string* out);
+
+/// Cursor over an encoded buffer.
+class Decoder {
+ public:
+  explicit Decoder(const std::string& data) : data_(data) {}
+
+  Status GetVarint(uint64_t* out);
+  Status GetString(std::string* out);
+  Status GetValue(Value* out);
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+/// Encodes a property list.
+void PutProperties(const std::vector<std::pair<std::string, Value>>& props,
+                   std::string* out);
+Status GetProperties(Decoder* dec,
+                     std::vector<std::pair<std::string, Value>>* out);
+
+}  // namespace db2graph::baselines
+
+#endif  // DB2GRAPH_BASELINES_CODEC_H_

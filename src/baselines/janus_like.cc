@@ -1,0 +1,361 @@
+#include "baselines/janus_like.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "baselines/codec.h"
+
+namespace db2graph::baselines {
+
+namespace {
+
+void ChargeMissPenalty(double micros) {
+  if (micros <= 0) return;
+  auto end = std::chrono::steady_clock::now() +
+             std::chrono::nanoseconds(static_cast<int64_t>(micros * 1000));
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+}  // namespace
+
+using gremlin::Edge;
+using gremlin::EdgePtr;
+using gremlin::LookupSpec;
+using gremlin::MatchesSpec;
+using gremlin::Vertex;
+using gremlin::VertexPtr;
+
+std::string JanusLikeDb::VertexKey(const Value& id) {
+  return "v:" + id.ToString();
+}
+std::string JanusLikeDb::AdjacencyKey(const Value& id) {
+  return "a:" + id.ToString();
+}
+std::string JanusLikeDb::EdgeLocatorKey(const Value& id) {
+  return "e:" + id.ToString();
+}
+std::string JanusLikeDb::LabelIndexKey(const std::string& label,
+                                       const Value& id) {
+  return "li:" + label + ":" + id.ToString();
+}
+
+Status JanusLikeDb::AddVertex(
+    const Value& id, const std::string& label,
+    std::vector<std::pair<std::string, Value>> properties) {
+  if (finalized_) {
+    return Status::Unsupported("Janus-like: reload required for new data");
+  }
+  StagedVertex& v = staging_[id];
+  v.label = label;
+  v.properties = std::move(properties);
+  // Write-ahead log entry (the transactional store journals every insert).
+  std::string wal;
+  PutValue(id, &wal);
+  PutString(label, &wal);
+  store_->Put("wal:" + std::to_string(wal_seq_++), std::move(wal));
+  return Status::OK();
+}
+
+Status JanusLikeDb::AddEdge(
+    const Value& id, const std::string& label, const Value& src,
+    const Value& dst, std::vector<std::pair<std::string, Value>> properties) {
+  if (finalized_) {
+    return Status::Unsupported("Janus-like: reload required for new data");
+  }
+  auto src_it = staging_.find(src);
+  auto dst_it = staging_.find(dst);
+  if (src_it == staging_.end() || dst_it == staging_.end()) {
+    return Status::NotFound("Janus-like: edge endpoint vertex not loaded");
+  }
+  std::string wal;
+  PutValue(id, &wal);
+  PutString(label, &wal);
+  PutValue(src, &wal);
+  PutValue(dst, &wal);
+  PutProperties(properties, &wal);
+  store_->Put("wal:" + std::to_string(wal_seq_++), std::move(wal));
+
+  // The adjacency entry (with the full edge property set) is stored on
+  // BOTH endpoints, duplicating every edge.
+  src_it->second.adjacency.push_back({true, id, label, dst, properties});
+  dst_it->second.adjacency.push_back(
+      {false, id, label, src, std::move(properties)});
+  // Edge locator: JanusGraph edge ids embed the source vertex; looking an
+  // edge up by id routes through the source's adjacency column.
+  std::string locator;
+  PutValue(src, &locator);
+  store_->Put(EdgeLocatorKey(id), std::move(locator));
+  return Status::OK();
+}
+
+Status JanusLikeDb::Finalize() {
+  if (finalized_) return Status::OK();
+  for (const auto& [id, staged] : staging_) {
+    std::string vblob;
+    PutString(staged.label, &vblob);
+    PutProperties(staged.properties, &vblob);
+    store_->Put(VertexKey(id), std::move(vblob));
+    store_->Put(LabelIndexKey(staged.label, id), "");
+
+    std::string ablob;
+    PutVarint(staged.adjacency.size(), &ablob);
+    for (const AdjRecord& rec : staged.adjacency) {
+      ablob.push_back(rec.outgoing ? 1 : 0);
+      PutValue(rec.edge_id, &ablob);
+      PutString(rec.label, &ablob);
+      PutValue(rec.other_id, &ablob);
+      PutProperties(rec.properties, &ablob);
+    }
+    // Column-per-edge cell metadata (timestamps, TTL markers) the
+    // wide-column schema carries for every adjacency entry.
+    extra_disk_bytes_ += 56 * staged.adjacency.size();
+    store_->Put(AdjacencyKey(id), std::move(ablob));
+  }
+  // WAL can be dropped once the columns are durable.
+  for (const std::string& key : store_->ScanKeys("wal:")) {
+    store_->Delete(key);
+  }
+  staging_.clear();
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status JanusLikeDb::Open() {
+  DB2G_RETURN_NOT_OK(Finalize());
+  // Warm the decoded-object cache, mirroring the 15-17 s open times the
+  // paper reports for JanusGraph.
+  for (const auto& [key, blob] : store_->Scan("v:")) {
+    (void)blob;
+    if (lru_.size() >= options_.cache_capacity) return Status::OK();
+    std::string id_text = key.substr(2);
+    char* end = nullptr;
+    long long n = std::strtoll(id_text.c_str(), &end, 10);
+    Value id = (end != nullptr && *end == '\0' && !id_text.empty())
+                   ? Value(static_cast<int64_t>(n))
+                   : Value(id_text);
+    (void)FetchVertex(id);
+    if (lru_.size() >= options_.cache_capacity) return Status::OK();
+    (void)FetchAdjacency(id);
+  }
+  return Status::OK();
+}
+
+std::optional<std::string> JanusLikeDb::CachedGet(
+    const std::string& key) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.blob;
+    }
+  }
+  ChargeMissPenalty(options_.miss_penalty_us);
+  std::optional<std::string> blob = store_->Get(key);
+  if (!blob) return std::nullopt;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (cache_.count(key) == 0) {
+    while (lru_.size() >= options_.cache_capacity && !lru_.empty()) {
+      cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    CacheSlot slot;
+    slot.blob = *blob;
+    slot.lru_it = lru_.begin();
+    cache_.emplace(key, std::move(slot));
+  }
+  return blob;
+}
+
+Result<VertexPtr> JanusLikeDb::FetchVertex(const Value& id) const {
+  std::optional<std::string> blob = CachedGet(VertexKey(id));
+  if (!blob) return VertexPtr(nullptr);
+  Decoder dec(*blob);
+  auto v = std::make_shared<Vertex>();
+  v->id = id;
+  DB2G_RETURN_NOT_OK(dec.GetString(&v->label));
+  DB2G_RETURN_NOT_OK(GetProperties(&dec, &v->properties));
+  return VertexPtr(std::move(v));
+}
+
+Result<JanusLikeDb::AdjListPtr> JanusLikeDb::FetchAdjacency(
+    const Value& id) const {
+  auto list = std::make_shared<std::vector<AdjRecord>>();
+  std::vector<AdjRecord>& out = *list;
+  std::optional<std::string> blob = CachedGet(AdjacencyKey(id));
+  if (!blob) return AdjListPtr(std::move(list));
+  // The whole column is decoded on every access, whatever fraction the
+  // query needs.
+  Decoder dec(*blob);
+  uint64_t n = 0;
+  DB2G_RETURN_NOT_OK(dec.GetVarint(&n));
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    AdjRecord rec;
+    uint64_t dir = 0;
+    if (dec.AtEnd()) return Status::Internal("janus: truncated adjacency");
+    std::string dir_byte;
+    // direction byte
+    rec.outgoing = false;
+    {
+      // Decoder has no raw-byte getter; use GetVarint (single byte 0/1).
+      DB2G_RETURN_NOT_OK(dec.GetVarint(&dir));
+      rec.outgoing = dir != 0;
+    }
+    DB2G_RETURN_NOT_OK(dec.GetValue(&rec.edge_id));
+    DB2G_RETURN_NOT_OK(dec.GetString(&rec.label));
+    DB2G_RETURN_NOT_OK(dec.GetValue(&rec.other_id));
+    DB2G_RETURN_NOT_OK(GetProperties(&dec, &rec.properties));
+    out.push_back(std::move(rec));
+  }
+  return AdjListPtr(std::move(list));
+}
+
+EdgePtr JanusLikeDb::MaterializeEdge(const Value& anchor_id,
+                                     const AdjRecord& rec) const {
+  auto e = std::make_shared<Edge>();
+  e->id = rec.edge_id;
+  e->label = rec.label;
+  e->properties = rec.properties;
+  if (rec.outgoing) {
+    e->src_id = anchor_id;
+    e->dst_id = rec.other_id;
+  } else {
+    e->src_id = rec.other_id;
+    e->dst_id = anchor_id;
+  }
+  return e;
+}
+
+Status JanusLikeDb::Vertices(const LookupSpec& spec,
+                             std::vector<VertexPtr>* out) {
+  if (!spec.ids.empty()) {
+    for (const Value& id : spec.ids) {
+      Result<VertexPtr> v = FetchVertex(id);
+      if (!v.ok()) return v.status();
+      if (*v != nullptr && MatchesSpec(**v, spec)) out->push_back(*v);
+    }
+    return Status::OK();
+  }
+  if (!spec.labels.empty()) {
+    for (const std::string& label : spec.labels) {
+      for (const std::string& key : store_->ScanKeys("li:" + label + ":")) {
+        std::string id_text = key.substr(4 + label.size());
+        // Ids in the index are rendered; recover ints when they parse.
+        Value id;
+        char* end = nullptr;
+        long long n = std::strtoll(id_text.c_str(), &end, 10);
+        id = (end != nullptr && *end == '\0' && !id_text.empty())
+                 ? Value(static_cast<int64_t>(n))
+                 : Value(id_text);
+        Result<VertexPtr> v = FetchVertex(id);
+        if (!v.ok()) return v.status();
+        if (*v != nullptr && MatchesSpec(**v, spec)) out->push_back(*v);
+      }
+    }
+    return Status::OK();
+  }
+  for (const auto& [key, blob] : store_->Scan("v:")) {
+    std::string id_text = key.substr(2);
+    char* end = nullptr;
+    long long n = std::strtoll(id_text.c_str(), &end, 10);
+    Value id = (end != nullptr && *end == '\0' && !id_text.empty())
+                   ? Value(static_cast<int64_t>(n))
+                   : Value(id_text);
+    Decoder dec(blob);
+    auto v = std::make_shared<Vertex>();
+    v->id = id;
+    DB2G_RETURN_NOT_OK(dec.GetString(&v->label));
+    DB2G_RETURN_NOT_OK(GetProperties(&dec, &v->properties));
+    if (MatchesSpec(*v, spec)) out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status JanusLikeDb::Edges(const LookupSpec& spec, std::vector<EdgePtr>* out) {
+  auto emit_from = [&](const std::vector<Value>& anchors,
+                       bool want_outgoing) -> Status {
+    for (const Value& vid : anchors) {
+      Result<AdjListPtr> adj = FetchAdjacency(vid);
+      if (!adj.ok()) return adj.status();
+      for (const AdjRecord& rec : **adj) {
+        if (rec.outgoing != want_outgoing) continue;
+        if (!spec.labels.empty() &&
+            std::find(spec.labels.begin(), spec.labels.end(), rec.label) ==
+                spec.labels.end()) {
+          continue;
+        }
+        EdgePtr e = MaterializeEdge(vid, rec);
+        if (MatchesSpec(*e, spec)) out->push_back(std::move(e));
+      }
+    }
+    return Status::OK();
+  };
+
+  if (!spec.src_ids.empty()) {
+    DB2G_RETURN_NOT_OK(emit_from(spec.src_ids, /*want_outgoing=*/true));
+    if (!spec.dst_ids.empty()) {
+      out->erase(std::remove_if(out->begin(), out->end(),
+                                [&](const EdgePtr& e) {
+                                  return std::find(spec.dst_ids.begin(),
+                                                   spec.dst_ids.end(),
+                                                   e->dst_id) ==
+                                         spec.dst_ids.end();
+                                }),
+                 out->end());
+    }
+    return Status::OK();
+  }
+  if (!spec.dst_ids.empty()) {
+    return emit_from(spec.dst_ids, /*want_outgoing=*/false);
+  }
+  if (!spec.ids.empty()) {
+    for (const Value& id : spec.ids) {
+      std::optional<std::string> locator = store_->Get(EdgeLocatorKey(id));
+      if (!locator) continue;
+      Decoder dec(*locator);
+      Value src;
+      DB2G_RETURN_NOT_OK(dec.GetValue(&src));
+      Result<AdjListPtr> adj = FetchAdjacency(src);
+      if (!adj.ok()) return adj.status();
+      for (const AdjRecord& rec : **adj) {
+        if (!rec.outgoing || !(rec.edge_id == id)) continue;
+        EdgePtr e = MaterializeEdge(src, rec);
+        if (MatchesSpec(*e, spec)) out->push_back(std::move(e));
+        break;
+      }
+    }
+    return Status::OK();
+  }
+  // Full edge scan: walk every adjacency column, outgoing side only.
+  for (const auto& [key, blob] : store_->Scan("a:")) {
+    std::string id_text = key.substr(2);
+    char* end = nullptr;
+    long long n = std::strtoll(id_text.c_str(), &end, 10);
+    Value vid = (end != nullptr && *end == '\0' && !id_text.empty())
+                    ? Value(static_cast<int64_t>(n))
+                    : Value(id_text);
+    Decoder dec(blob);
+    uint64_t count = 0;
+    DB2G_RETURN_NOT_OK(dec.GetVarint(&count));
+    for (uint64_t i = 0; i < count; ++i) {
+      AdjRecord rec;
+      uint64_t dir = 0;
+      DB2G_RETURN_NOT_OK(dec.GetVarint(&dir));
+      rec.outgoing = dir != 0;
+      DB2G_RETURN_NOT_OK(dec.GetValue(&rec.edge_id));
+      DB2G_RETURN_NOT_OK(dec.GetString(&rec.label));
+      DB2G_RETURN_NOT_OK(dec.GetValue(&rec.other_id));
+      DB2G_RETURN_NOT_OK(GetProperties(&dec, &rec.properties));
+      if (!rec.outgoing) continue;
+      EdgePtr e = MaterializeEdge(vid, rec);
+      if (MatchesSpec(*e, spec)) out->push_back(std::move(e));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace db2graph::baselines

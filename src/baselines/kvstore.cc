@@ -1,0 +1,72 @@
+#include "baselines/kvstore.h"
+
+namespace db2graph::baselines {
+
+void KvStore::Put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second.size();
+    bytes_ += value.size();
+    it->second = std::move(value);
+    return;
+  }
+  bytes_ += key.size() + value.size();
+  map_.emplace(key, std::move(value));
+}
+
+std::optional<std::string> KvStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  bytes_ -= key.size() + it->second.size();
+  map_.erase(it);
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::Scan(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = map_.lower_bound(prefix);
+       it != map_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> KvStore::ScanKeys(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.scans.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::string> out;
+  for (auto it = map_.lower_bound(prefix);
+       it != map_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+size_t KvStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+size_t KvStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Include per-record B-tree page overhead, as an embedded store pays.
+  return bytes_ + map_.size() * 64;
+}
+
+}  // namespace db2graph::baselines

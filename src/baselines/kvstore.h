@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// A BerkeleyDB-style ordered key-value store: the storage back end of the
+// JanusGraph-like baseline (the paper evaluated JanusGraph on BerkeleyDB).
+// Single global latch, ordered iteration, binary values.
+
+#ifndef DB2GRAPH_BASELINES_KVSTORE_H_
+#define DB2GRAPH_BASELINES_KVSTORE_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace db2graph::baselines {
+
+/// Ordered KV store with a coarse global latch (as BerkeleyDB's page
+/// latching behaves under a single-writer embedded deployment).
+class KvStore {
+ public:
+  void Put(const std::string& key, std::string value);
+  std::optional<std::string> Get(const std::string& key) const;
+  bool Delete(const std::string& key);
+
+  /// All (key, value) pairs whose key starts with `prefix`, in key order.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      const std::string& prefix) const;
+  /// Keys only, for cheaper scans.
+  std::vector<std::string> ScanKeys(const std::string& prefix) const;
+
+  size_t size() const;
+  /// Total bytes of keys + values (the store's "disk usage").
+  size_t ApproxBytes() const;
+
+  struct Stats {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> scans{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> map_;
+  size_t bytes_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace db2graph::baselines
+
+#endif  // DB2GRAPH_BASELINES_KVSTORE_H_

@@ -1,0 +1,353 @@
+#include "baselines/native_graph.h"
+
+#include <algorithm>
+
+#include <chrono>
+
+#include "baselines/codec.h"
+
+namespace db2graph::baselines {
+
+namespace {
+
+// Busy-waits for the configured synchronous-read latency. Spinning (rather
+// than sleeping) keeps sub-10us penalties accurate and models a saturated
+// storage queue under concurrency.
+void ChargeMissPenalty(double micros) {
+  if (micros <= 0) return;
+  auto end = std::chrono::steady_clock::now() +
+             std::chrono::nanoseconds(static_cast<int64_t>(micros * 1000));
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+}  // namespace
+
+using gremlin::Edge;
+using gremlin::EdgePtr;
+using gremlin::LookupSpec;
+using gremlin::MatchesSpec;
+using gremlin::Vertex;
+using gremlin::VertexPtr;
+
+Status NativeGraphDb::AddVertex(
+    const Value& id, const std::string& label,
+    std::vector<std::pair<std::string, Value>> properties) {
+  if (finalized_) {
+    return Status::Unsupported(
+        "GDB-X: online inserts after open are not supported; reload the "
+        "graph");
+  }
+  StagedVertex& v = staging_vertices_[id];
+  v.label = label;
+  v.properties = std::move(properties);
+  return Status::OK();
+}
+
+Status NativeGraphDb::AddEdge(
+    const Value& id, const std::string& label, const Value& src,
+    const Value& dst, std::vector<std::pair<std::string, Value>> properties) {
+  if (finalized_) {
+    return Status::Unsupported("GDB-X: online inserts are not supported");
+  }
+  auto src_it = staging_vertices_.find(src);
+  auto dst_it = staging_vertices_.find(dst);
+  if (src_it == staging_vertices_.end() ||
+      dst_it == staging_vertices_.end()) {
+    return Status::NotFound("GDB-X: edge endpoint vertex not loaded yet");
+  }
+  auto edge = std::make_unique<Edge>();
+  edge->id = id;
+  edge->label = label;
+  edge->src_id = src;
+  edge->dst_id = dst;
+  edge->properties = std::move(properties);
+  src_it->second.out_edges.push_back({id, dst, label});
+  dst_it->second.in_edges.push_back({id, src, label});
+  staging_edges_[id] = std::move(edge);
+  return Status::OK();
+}
+
+std::string NativeGraphDb::EncodeVertex(const Value& id,
+                                        const StagedVertex& v) const {
+  std::string blob;
+  PutValue(id, &blob);
+  PutString(v.label, &blob);
+  PutProperties(v.properties, &blob);
+  auto put_adj = [&](const std::vector<AdjEntry>& adj) {
+    PutVarint(adj.size(), &blob);
+    for (const AdjEntry& e : adj) {
+      PutValue(e.edge_id, &blob);
+      PutValue(e.other_id, &blob);
+      PutString(e.label, &blob);
+    }
+  };
+  put_adj(v.out_edges);
+  put_adj(v.in_edges);
+  return blob;
+}
+
+Result<NativeGraphDb::CachedVertexPtr> NativeGraphDb::DecodeVertex(
+    const Value& id, const std::string& blob) const {
+  Decoder dec(blob);
+  auto cached = std::make_shared<CachedVertex>();
+  auto vertex = std::make_shared<Vertex>();
+  Value stored_id;
+  DB2G_RETURN_NOT_OK(dec.GetValue(&stored_id));
+  vertex->id = id;
+  DB2G_RETURN_NOT_OK(dec.GetString(&vertex->label));
+  DB2G_RETURN_NOT_OK(GetProperties(&dec, &vertex->properties));
+  auto get_adj = [&](std::vector<AdjEntry>* adj) -> Status {
+    uint64_t n = 0;
+    DB2G_RETURN_NOT_OK(dec.GetVarint(&n));
+    adj->reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      AdjEntry entry;
+      DB2G_RETURN_NOT_OK(dec.GetValue(&entry.edge_id));
+      DB2G_RETURN_NOT_OK(dec.GetValue(&entry.other_id));
+      DB2G_RETURN_NOT_OK(dec.GetString(&entry.label));
+      adj->push_back(std::move(entry));
+    }
+    return Status::OK();
+  };
+  DB2G_RETURN_NOT_OK(get_adj(&cached->out_edges));
+  DB2G_RETURN_NOT_OK(get_adj(&cached->in_edges));
+  cached->vertex = std::move(vertex);
+  return CachedVertexPtr(std::move(cached));
+}
+
+std::string NativeGraphDb::EncodeEdge(const Edge& e) {
+  std::string blob;
+  PutValue(e.id, &blob);
+  PutString(e.label, &blob);
+  PutValue(e.src_id, &blob);
+  PutValue(e.dst_id, &blob);
+  PutProperties(e.properties, &blob);
+  return blob;
+}
+
+Result<EdgePtr> NativeGraphDb::DecodeEdge(const Value& id,
+                                          const std::string& blob) const {
+  Decoder dec(blob);
+  auto edge = std::make_shared<Edge>();
+  Value stored_id;
+  DB2G_RETURN_NOT_OK(dec.GetValue(&stored_id));
+  edge->id = id;
+  DB2G_RETURN_NOT_OK(dec.GetString(&edge->label));
+  DB2G_RETURN_NOT_OK(dec.GetValue(&edge->src_id));
+  DB2G_RETURN_NOT_OK(dec.GetValue(&edge->dst_id));
+  DB2G_RETURN_NOT_OK(GetProperties(&dec, &edge->properties));
+  return EdgePtr(std::move(edge));
+}
+
+Status NativeGraphDb::Finalize() {
+  if (finalized_) return Status::OK();
+  disk_vertices_.reserve(staging_vertices_.size());
+  for (const auto& [id, staged] : staging_vertices_) {
+    std::string blob = EncodeVertex(id, staged);
+    // Native-format accounting: a fixed-width node record, one property
+    // record per property, and doubly-linked relationship pointers per
+    // adjacency entry (the Neo4j-style layout behind Table 3's 6-7x
+    // blow-up over the relational representation).
+    disk_bytes_ += blob.size() + 128 + 48 * staged.properties.size() +
+                   24 * (staged.out_edges.size() + staged.in_edges.size());
+    disk_vertices_[id] = std::move(blob);
+    vertex_label_index_[staged.label].push_back(id);
+  }
+  disk_edges_.reserve(staging_edges_.size());
+  for (const auto& [id, edge] : staging_edges_) {
+    std::string blob = EncodeEdge(*edge);
+    disk_bytes_ += blob.size() + 128 + 48 * edge->properties.size();
+    disk_edges_[id] = std::move(blob);
+  }
+  staging_vertices_.clear();
+  staging_edges_.clear();
+  finalized_ = true;
+  return Status::OK();
+}
+
+Status NativeGraphDb::Open() {
+  DB2G_RETURN_NOT_OK(Finalize());
+  if (!options_.prefetch_on_open) return Status::OK();
+  // Aggressive prefetch: decode records into the object cache until full.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (const auto& [id, blob] : disk_vertices_) {
+    if (lru_.size() >= options_.cache_capacity) break;
+    Result<CachedVertexPtr> decoded = DecodeVertex(id, blob);
+    if (!decoded.ok()) return decoded.status();
+    CacheInsertLocked(true, id, *decoded, nullptr);
+  }
+  for (const auto& [id, blob] : disk_edges_) {
+    if (lru_.size() >= options_.cache_capacity) break;
+    Result<EdgePtr> decoded = DecodeEdge(id, blob);
+    if (!decoded.ok()) return decoded.status();
+    CacheInsertLocked(false, id, nullptr, *decoded);
+  }
+  return Status::OK();
+}
+
+size_t NativeGraphDb::DiskBytes() const { return disk_bytes_; }
+
+void NativeGraphDb::CacheInsertLocked(bool is_vertex, const Value& id,
+                                      CachedVertexPtr v, EdgePtr e) const {
+  auto& cache = is_vertex ? vertex_cache_ : edge_cache_;
+  if (cache.count(id) > 0) return;
+  while (lru_.size() >= options_.cache_capacity && !lru_.empty()) {
+    auto [victim_is_vertex, victim_id] = lru_.back();
+    lru_.pop_back();
+    (victim_is_vertex ? vertex_cache_ : edge_cache_).erase(victim_id);
+    cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  lru_.emplace_front(is_vertex, id);
+  CacheSlot slot;
+  slot.vertex = std::move(v);
+  slot.edge = std::move(e);
+  slot.lru_it = lru_.begin();
+  cache.emplace(id, std::move(slot));
+}
+
+Result<NativeGraphDb::CachedVertexPtr> NativeGraphDb::FetchVertex(
+    const Value& id) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = vertex_cache_.find(id);
+    if (it != vertex_cache_.end()) {
+      cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.vertex;
+    }
+  }
+  cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  ChargeMissPenalty(options_.miss_penalty_us);
+  auto disk_it = disk_vertices_.find(id);
+  if (disk_it == disk_vertices_.end()) return CachedVertexPtr(nullptr);
+  Result<CachedVertexPtr> decoded = DecodeVertex(id, disk_it->second);
+  if (!decoded.ok()) return decoded.status();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheInsertLocked(true, id, *decoded, nullptr);
+  return *decoded;
+}
+
+Result<EdgePtr> NativeGraphDb::FetchEdge(const Value& id) {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = edge_cache_.find(id);
+    if (it != edge_cache_.end()) {
+      cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.edge;
+    }
+  }
+  cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  ChargeMissPenalty(options_.miss_penalty_us);
+  auto disk_it = disk_edges_.find(id);
+  if (disk_it == disk_edges_.end()) return EdgePtr(nullptr);
+  Result<EdgePtr> decoded = DecodeEdge(id, disk_it->second);
+  if (!decoded.ok()) return decoded.status();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheInsertLocked(false, id, nullptr, *decoded);
+  return *decoded;
+}
+
+Status NativeGraphDb::Vertices(const LookupSpec& spec,
+                               std::vector<VertexPtr>* out) {
+  if (!finalized_) return Status::Internal("GDB-X: graph not opened");
+  if (!spec.ids.empty()) {
+    for (const Value& id : spec.ids) {
+      Result<CachedVertexPtr> v = FetchVertex(id);
+      if (!v.ok()) return v.status();
+      if (*v != nullptr && MatchesSpec(*(*v)->vertex, spec)) {
+        out->push_back((*v)->vertex);
+      }
+    }
+    return Status::OK();
+  }
+  if (!spec.labels.empty()) {
+    for (const std::string& label : spec.labels) {
+      auto it = vertex_label_index_.find(label);
+      if (it == vertex_label_index_.end()) continue;
+      for (const Value& id : it->second) {
+        Result<CachedVertexPtr> v = FetchVertex(id);
+        if (!v.ok()) return v.status();
+        if (*v != nullptr && MatchesSpec(*(*v)->vertex, spec)) {
+          out->push_back((*v)->vertex);
+        }
+      }
+    }
+    return Status::OK();
+  }
+  // Full scan: decode straight from disk, bypassing (and not polluting)
+  // the object cache.
+  for (const auto& [id, blob] : disk_vertices_) {
+    Result<CachedVertexPtr> v = DecodeVertex(id, blob);
+    if (!v.ok()) return v.status();
+    if (MatchesSpec(*(*v)->vertex, spec)) out->push_back((*v)->vertex);
+  }
+  return Status::OK();
+}
+
+Status NativeGraphDb::Edges(const LookupSpec& spec,
+                            std::vector<EdgePtr>* out) {
+  if (!finalized_) return Status::Internal("GDB-X: graph not opened");
+  auto emit_adjacent = [&](const std::vector<Value>& anchor_ids,
+                           bool outgoing) -> Status {
+    for (const Value& vid : anchor_ids) {
+      Result<CachedVertexPtr> v = FetchVertex(vid);
+      if (!v.ok()) return v.status();
+      if (*v == nullptr) continue;
+      const std::vector<AdjEntry>& adj =
+          outgoing ? (*v)->out_edges : (*v)->in_edges;
+      for (const AdjEntry& entry : adj) {
+        if (!spec.labels.empty() &&
+            std::find(spec.labels.begin(), spec.labels.end(), entry.label) ==
+                spec.labels.end()) {
+          continue;  // index-free adjacency: label known without the record
+        }
+        Result<EdgePtr> e = FetchEdge(entry.edge_id);
+        if (!e.ok()) return e.status();
+        if (*e != nullptr && MatchesSpec(**e, spec)) out->push_back(*e);
+      }
+    }
+    return Status::OK();
+  };
+
+  if (!spec.src_ids.empty()) {
+    DB2G_RETURN_NOT_OK(emit_adjacent(spec.src_ids, /*outgoing=*/true));
+    // Intersect with dst constraint if both present.
+    if (!spec.dst_ids.empty()) {
+      out->erase(std::remove_if(out->begin(), out->end(),
+                                [&](const EdgePtr& e) {
+                                  return std::find(spec.dst_ids.begin(),
+                                                   spec.dst_ids.end(),
+                                                   e->dst_id) ==
+                                         spec.dst_ids.end();
+                                }),
+                 out->end());
+    }
+    return Status::OK();
+  }
+  if (!spec.dst_ids.empty()) {
+    return emit_adjacent(spec.dst_ids, /*outgoing=*/false);
+  }
+  if (!spec.ids.empty()) {
+    for (const Value& id : spec.ids) {
+      Result<EdgePtr> e = FetchEdge(id);
+      if (!e.ok()) return e.status();
+      if (*e != nullptr && MatchesSpec(**e, spec)) out->push_back(*e);
+    }
+    return Status::OK();
+  }
+  for (const auto& [id, blob] : disk_edges_) {
+    Result<EdgePtr> e = DecodeEdge(id, blob);
+    if (!e.ok()) return e.status();
+    if (MatchesSpec(**e, spec)) out->push_back(*e);
+  }
+  return Status::OK();
+}
+
+size_t NativeGraphDb::cached_elements() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return lru_.size();
+}
+
+}  // namespace db2graph::baselines

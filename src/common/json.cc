@@ -1,0 +1,339 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace db2graph {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double n) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = n;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->as_bool() : fallback;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+void Json::Set(const std::string& key, Json v) {
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpTo(const Json& j, int depth, std::string* out) {
+  const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  const std::string pad_in(static_cast<size_t>(depth + 1) * 2, ' ');
+  switch (j.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      return;
+    case Json::Type::kBool:
+      *out += j.as_bool() ? "true" : "false";
+      return;
+    case Json::Type::kNumber: {
+      double n = j.as_number();
+      char buf[32];
+      if (n == std::floor(n) && std::abs(n) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+      }
+      *out += buf;
+      return;
+    }
+    case Json::Type::kString:
+      EscapeTo(j.as_string(), out);
+      return;
+    case Json::Type::kArray: {
+      if (j.items().empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < j.items().size(); ++i) {
+        *out += pad_in;
+        DumpTo(j.items()[i], depth + 1, out);
+        if (i + 1 < j.items().size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "]";
+      return;
+    }
+    case Json::Type::kObject: {
+      if (j.members().empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < j.members().size(); ++i) {
+        *out += pad_in;
+        EscapeTo(j.members()[i].first, out);
+        *out += ": ";
+        DumpTo(j.members()[i].second, depth + 1, out);
+        if (i + 1 < j.members().size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "}";
+      return;
+    }
+  }
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    SkipWs();
+    Json value;
+    Status st = ParseValue(&value);
+    if (!st.ok()) return st;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      DB2G_RETURN_NOT_OK(ParseString(&s));
+      *out = Json::Str(std::move(s));
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = Json::Bool(true);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = Json::Bool(false);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = Json();
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    char* end = nullptr;
+    std::string num = text_.substr(start, pos_ - start);
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number '" + num + "'");
+    *out = Json::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          default:
+            return Error(std::string("unsupported escape '\\") + e + "'");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(Json* out) {
+    Consume('[');
+    *out = Json::Array();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json item;
+      DB2G_RETURN_NOT_OK(ParseValue(&item));
+      out->Append(std::move(item));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    Consume('{');
+    *out = Json::Object();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      DB2G_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' in object");
+      Json value;
+      DB2G_RETURN_NOT_OK(ParseValue(&value));
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, &out);
+  return out;
+}
+
+Result<Json> Json::Parse(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace db2graph

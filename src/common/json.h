@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Minimal JSON document model + parser, sufficient for graph overlay
+// configuration files (Section 5 of the paper). Objects preserve insertion
+// order so serialized configs stay human-diffable.
+
+#ifndef DB2GRAPH_COMMON_JSON_H_
+#define DB2GRAPH_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace db2graph {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Bool(bool b);
+  static Json Number(double n);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  int64_t as_int() const { return static_cast<int64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+
+  const std::vector<Json>& items() const { return array_; }
+  std::vector<Json>& items() { return array_; }
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  /// Object field access; returns nullptr when absent.
+  const Json* Find(const std::string& key) const;
+  /// Object field access with defaults for the common config idioms.
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  void Set(const std::string& key, Json v);
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return object_;
+  }
+
+  /// Serializes with 2-space indentation.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a JSON document (single value). Rejects trailing garbage.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace db2graph
+
+#endif  // DB2GRAPH_COMMON_JSON_H_

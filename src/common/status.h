@@ -1,0 +1,140 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Lightweight Status / Result<T> in the style of Arrow/RocksDB: public APIs
+// that can fail on user input return these instead of throwing.
+
+#ifndef DB2GRAPH_COMMON_STATUS_H_
+#define DB2GRAPH_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace db2graph {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,  // malformed SQL / Gremlin / overlay config
+  kNotFound,         // missing table, column, property, vertex...
+  kAlreadyExists,    // duplicate table, constraint violation on create
+  kConstraintViolation,
+  kUnsupported,      // outside the implemented subset
+  kInternal,
+};
+
+/// Outcome of an operation that produces no value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kAlreadyExists:
+        return "AlreadyExists";
+      case StatusCode::kConstraintViolation:
+        return "ConstraintViolation";
+      case StatusCode::kUnsupported:
+        return "Unsupported";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "?";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; asserts ok(). ValueOrDie-style for tests/examples;
+  /// production code should check ok() first.
+  T& operator*() {
+    assert(ok());
+    return *value_;
+  }
+  const T& operator*() const {
+    assert(ok());
+    return *value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+
+  /// Moves the value out or throws std::runtime_error with the status text.
+  T ValueOrThrow() && {
+    if (!ok()) throw std::runtime_error(status_.ToString());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define DB2G_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::db2graph::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace db2graph
+
+#endif  // DB2GRAPH_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Small string helpers shared across modules, including the '::'-separated
+// composite-id convention used by the graph overlay (Section 5).
+
+#ifndef DB2GRAPH_COMMON_STRINGS_H_
+#define DB2GRAPH_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace db2graph {
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(const std::string& s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Splits on a multi-character delimiter; "a::b::c" -> {"a","b","c"}.
+std::vector<std::string> Split(const std::string& s,
+                               const std::string& delim);
+
+/// Joins with a delimiter.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Separator between components of composite vertex/edge ids, as in the
+/// paper's "'patient'::patientID" id definitions.
+inline const char kIdSeparator[] = "::";
+
+/// Joins id components: {"patient", "1"} -> "patient::1".
+std::string ComposeId(const std::vector<std::string>& parts);
+
+/// Splits "patient::1" -> {"patient", "1"}.
+std::vector<std::string> DecomposeId(const std::string& id);
+
+}  // namespace db2graph
+
+#endif  // DB2GRAPH_COMMON_STRINGS_H_

@@ -1,0 +1,154 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace db2graph {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "BIGINT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return as_bool();
+    case ValueType::kInt:
+      return as_int() != 0;
+    case ValueType::kDouble:
+      return as_double() != 0.0;
+    case ValueType::kString:
+      return !as_string().empty();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      double d = as_double();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", d);
+      return buf;
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_string()) {
+    std::string out = "'";
+    for (char c : as_string()) {
+      if (c == '\'') out += '\'';  // double embedded quotes
+      out += c;
+    }
+    out += "'";
+    return out;
+  }
+  return ToString();
+}
+
+namespace {
+
+// Rank used to order values of different type families.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 2;  // numerics compare cross-type by value
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      bool a = as_bool();
+      bool b = other.as_bool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kInt:
+      if (other.is_int()) {
+        int64_t a = as_int();
+        int64_t b = other.as_int();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      [[fallthrough]];
+    case ValueType::kDouble: {
+      double a = NumericValue();
+      double b = other.NumericValue();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case ValueType::kString:
+      return as_string().compare(other.as_string());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kBool:
+      return as_bool() ? 0x1234567 : 0x7654321;
+    case ValueType::kInt: {
+      // Ints that are exactly representable as doubles must hash like the
+      // equal double (Compare treats them as equal).
+      int64_t v = as_int();
+      double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) return std::hash<double>()(d);
+      return std::hash<int64_t>()(v);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(as_double());
+    case ValueType::kString:
+      return std::hash<std::string>()(as_string());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace db2graph

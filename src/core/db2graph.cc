@@ -1,0 +1,134 @@
+#include "core/db2graph.h"
+
+#include "common/strings.h"
+#include "overlay/auto_overlay.h"
+#include "overlay/topology.h"
+
+namespace db2graph::core {
+
+using gremlin::Script;
+using gremlin::StepKind;
+using gremlin::Traverser;
+
+Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
+    sql::Database* db, const overlay::OverlayConfig& config,
+    Options options) {
+  Result<overlay::Topology> topology = overlay::Topology::Build(*db, config);
+  if (!topology.ok()) return topology.status();
+  std::unique_ptr<Db2Graph> graph(new Db2Graph(db, options));
+  graph->ddl_version_at_open_ = db->ddl_version();
+  graph->dialect_ = std::make_unique<SqlDialect>(db);
+  graph->provider_ = std::make_unique<Db2GraphProvider>(
+      graph->dialect_.get(), std::move(*topology), options.runtime);
+  return graph;
+}
+
+Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
+    sql::Database* db, const std::string& config_json, Options options) {
+  Result<overlay::OverlayConfig> config =
+      overlay::OverlayConfig::Parse(config_json);
+  if (!config.ok()) return config.status();
+  return Open(db, *config, options);
+}
+
+Result<Script> Db2Graph::Compile(const std::string& script_text) const {
+  Result<Script> script = gremlin::ParseGremlin(script_text);
+  if (!script.ok()) return script.status();
+  ApplyStrategies(&*script, options_.strategies);
+  return script;
+}
+
+Result<std::vector<Traverser>> Db2Graph::Execute(
+    const std::string& script_text) {
+  Result<Script> script = Compile(script_text);
+  if (!script.ok()) return script.status();
+  gremlin::Interpreter interpreter(provider_.get());
+  return interpreter.RunScript(*script);
+}
+
+Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {
+  gremlin::Interpreter interpreter(provider_.get());
+  return interpreter.RunScript(script);
+}
+
+Status Db2Graph::RegisterGraphQueryFunction() {
+  Db2Graph* self = this;
+  db_->RegisterTableFunction(
+      "graphQuery",
+      [self](const std::vector<Value>& args) -> Result<sql::ResultSet> {
+        if (args.size() != 2 || !args[0].is_string() ||
+            !args[1].is_string()) {
+          return Status::InvalidArgument(
+              "graphQuery expects (language, query) string arguments");
+        }
+        if (!EqualsIgnoreCase(args[0].as_string(), "gremlin")) {
+          return Status::Unsupported("graphQuery language must be 'gremlin'");
+        }
+        Result<Script> script = self->Compile(args[1].as_string());
+        if (!script.ok()) return script.status();
+        // Row arity: a trailing values(k1..kn) yields n columns; anything
+        // else yields single-column rows (element ids / scalar values).
+        size_t arity = 1;
+        if (!script->statements.empty()) {
+          const auto& steps = script->statements.back().traversal.steps;
+          for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+            if (it->kind == StepKind::kValues && !it->keys.empty()) {
+              arity = it->keys.size();
+              break;
+            }
+            // Look through trailing order/dedup/limit steps only.
+            if (it->kind != StepKind::kOrder &&
+                it->kind != StepKind::kDedup &&
+                it->kind != StepKind::kLimit &&
+                it->kind != StepKind::kRange) {
+              break;
+            }
+          }
+        }
+        Result<std::vector<Traverser>> out = self->ExecuteScript(*script);
+        if (!out.ok()) return out.status();
+        Result<std::vector<Row>> rows =
+            gremlin::TraversersToRows(*out, arity);
+        if (!rows.ok()) return rows.status();
+        sql::ResultSet rs;
+        for (size_t i = 0; i < arity; ++i) {
+          rs.columns.push_back("c" + std::to_string(i + 1));
+        }
+        rs.rows = std::move(*rows);
+        return rs;
+      });
+  return Status::OK();
+}
+
+Result<AutoGraph> AutoGraph::Open(sql::Database* db,
+                                  Db2Graph::Options options) {
+  AutoGraph auto_graph(db, options);
+  DB2G_RETURN_NOT_OK(auto_graph.Reopen());
+  return auto_graph;
+}
+
+Status AutoGraph::Reopen() {
+  Result<overlay::OverlayConfig> config = overlay::AutoOverlay(*db_);
+  if (!config.ok()) return config.status();
+  Result<std::unique_ptr<Db2Graph>> graph =
+      Db2Graph::Open(db_, *config, options_);
+  if (!graph.ok()) return graph.status();
+  graph_ = std::move(*graph);
+  return Status::OK();
+}
+
+Result<Db2Graph*> AutoGraph::Get() {
+  if (graph_ == nullptr || graph_->OverlayMayBeStale()) {
+    DB2G_RETURN_NOT_OK(Reopen());
+  }
+  return graph_.get();
+}
+
+Result<std::vector<Traverser>> AutoGraph::Execute(
+    const std::string& script) {
+  Result<Db2Graph*> graph = Get();
+  if (!graph.ok()) return graph.status();
+  return (*graph)->Execute(script);
+}
+
+}  // namespace db2graph::core

@@ -1,0 +1,1241 @@
+#include "core/graph_structure.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace db2graph::core {
+
+using gremlin::AggOp;
+using gremlin::Direction;
+using gremlin::Edge;
+using gremlin::EdgePtr;
+using gremlin::LookupSpec;
+using gremlin::PropPredicate;
+using gremlin::Vertex;
+using gremlin::VertexPtr;
+using overlay::ResolvedEdgeTable;
+using overlay::ResolvedField;
+using overlay::ResolvedVertexTable;
+
+namespace {
+
+// ----------------------------------------------------------------------
+// SQL construction helpers
+// ----------------------------------------------------------------------
+
+// One SQL condition on a column.
+struct SqlCond {
+  std::string column;
+  std::string op;  // "=", "<>", "<", "<=", ">", ">=", "IN", "NOTNULL"
+  std::vector<Value> params;
+};
+
+// Conjunction of simple conditions plus OR-groups of conjunctions (used
+// for multi-column composite ids: (a=? AND b=?) OR (a=? AND b=?)).
+struct QueryConds {
+  std::vector<SqlCond> conjuncts;
+  std::vector<std::vector<std::vector<SqlCond>>> or_groups;
+};
+
+void RenderCond(const SqlCond& cond, std::string* sql,
+                std::vector<Value>* params) {
+  if (cond.op == "NOTNULL") {
+    *sql += "\"" + cond.column + "\" IS NOT NULL";
+    return;
+  }
+  if (cond.op == "IN") {
+    *sql += "\"" + cond.column + "\" IN (";
+    for (size_t i = 0; i < cond.params.size(); ++i) {
+      if (i > 0) *sql += ", ";
+      *sql += "?";
+      params->push_back(cond.params[i]);
+    }
+    *sql += ")";
+    return;
+  }
+  *sql += "\"" + cond.column + "\" " + cond.op + " ?";
+  params->push_back(cond.params[0]);
+}
+
+// Renders "SELECT <select> FROM <table> WHERE ..." with parameters.
+std::string BuildSql(const std::string& table, const std::string& select,
+                     const QueryConds& conds, std::vector<Value>* params) {
+  std::string sql = "SELECT " + select + " FROM \"" + table + "\"";
+  std::vector<std::string> where_parts;
+  for (const SqlCond& cond : conds.conjuncts) {
+    std::string part;
+    RenderCond(cond, &part, params);
+    where_parts.push_back(std::move(part));
+  }
+  for (const auto& group : conds.or_groups) {
+    std::string part = "(";
+    for (size_t g = 0; g < group.size(); ++g) {
+      if (g > 0) part += " OR ";
+      part += "(";
+      for (size_t c = 0; c < group[g].size(); ++c) {
+        if (c > 0) part += " AND ";
+        RenderCond(group[g][c], &part, params);
+      }
+      part += ")";
+    }
+    part += ")";
+    where_parts.push_back(std::move(part));
+  }
+  if (!where_parts.empty()) {
+    sql += " WHERE " + Join(where_parts, " AND ");
+  }
+  return sql;
+}
+
+const char* SqlOpFor(PropPredicate::Op op) {
+  switch (op) {
+    case PropPredicate::Op::kEq:
+      return "=";
+    case PropPredicate::Op::kNeq:
+      return "<>";
+    case PropPredicate::Op::kLt:
+      return "<";
+    case PropPredicate::Op::kLte:
+      return "<=";
+    case PropPredicate::Op::kGt:
+      return ">";
+    case PropPredicate::Op::kGte:
+      return ">=";
+    default:
+      return nullptr;  // within / without / exists handled separately
+  }
+}
+
+// ----------------------------------------------------------------------
+// Fetch layout: which schema columns a query selects, and where the
+// element's required fields and properties land in the fetched row.
+// ----------------------------------------------------------------------
+
+struct FetchLayout {
+  std::vector<size_t> schema_cols;  // schema column index per SELECT column
+  std::vector<size_t> positions_of_schema;  // schema idx -> fetched pos
+
+  size_t PosOf(size_t schema_col) const {
+    return positions_of_schema[schema_col];
+  }
+  bool Has(size_t schema_col) const {
+    return schema_col < positions_of_schema.size() &&
+           positions_of_schema[schema_col] != SIZE_MAX;
+  }
+};
+
+FetchLayout MakeLayout(const sql::TableSchema& schema,
+                       std::vector<size_t> cols) {
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  FetchLayout layout;
+  layout.schema_cols = cols;
+  layout.positions_of_schema.assign(schema.columns.size(), SIZE_MAX);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    layout.positions_of_schema[cols[i]] = i;
+  }
+  return layout;
+}
+
+std::string SelectListFor(const sql::TableSchema& schema,
+                          const FetchLayout& layout) {
+  std::vector<std::string> names;
+  for (size_t c : layout.schema_cols) {
+    names.push_back("\"" + schema.columns[c].name + "\"");
+  }
+  return Join(names, ", ");
+}
+
+// Composes a ResolvedField value from a *fetched* row through the layout.
+Value ComposeField(const ResolvedField& field, const FetchLayout& layout,
+                   const Row& fetched) {
+  if (field.def.SingleColumn()) {
+    return fetched[layout.PosOf(field.column_indexes[0])];
+  }
+  std::string out;
+  size_t col = 0;
+  for (size_t i = 0; i < field.def.parts.size(); ++i) {
+    if (i > 0) out += kIdSeparator;
+    if (field.def.parts[i].is_constant) {
+      out += field.def.parts[i].text;
+    } else {
+      out += fetched[layout.PosOf(field.column_indexes[col++])].ToString();
+    }
+  }
+  return Value(std::move(out));
+}
+
+// Builds conditions constraining `field` to one of `ids`. Returns:
+//   kNoMatch  — no id can belong to this definition (table prunable),
+//   kExact    — conditions appended cover the constraint exactly,
+struct IdCondResult {
+  bool any_match = false;
+};
+
+// A decomposed id component can only match rows when its runtime type is
+// compatible with the column's declared type; a string id like
+// "patient::1" can never live in a BIGINT key column. This is what makes
+// prefixed (and otherwise type-distinct) ids pin down the exact table.
+bool TypeCompatible(const Value& v, sql::ColumnType column_type) {
+  if (v.is_null()) return false;
+  switch (column_type) {
+    case sql::ColumnType::kInt:
+    case sql::ColumnType::kDouble:
+      return v.is_numeric();
+    case sql::ColumnType::kString:
+      return v.is_string();
+    case sql::ColumnType::kBool:
+      return v.is_bool();
+  }
+  return true;
+}
+
+IdCondResult BuildIdConds(const ResolvedField& field,
+                          const sql::TableSchema& schema,
+                          const std::vector<Value>& ids, QueryConds* conds) {
+  IdCondResult result;
+  std::vector<std::vector<Value>> decomposed;
+  for (const Value& id : ids) {
+    if (auto values = field.Decompose(id)) {
+      bool compatible = true;
+      for (size_t i = 0; i < values->size(); ++i) {
+        compatible &= TypeCompatible(
+            (*values)[i],
+            schema.columns[field.column_indexes[i]].type);
+      }
+      if (compatible) decomposed.push_back(std::move(*values));
+    }
+  }
+  if (decomposed.empty()) return result;
+  result.any_match = true;
+  if (field.column_indexes.size() == 1) {
+    SqlCond cond;
+    cond.column = schema.columns[field.column_indexes[0]].name;
+    cond.op = "IN";
+    for (auto& values : decomposed) cond.params.push_back(values[0]);
+    conds->conjuncts.push_back(std::move(cond));
+    return result;
+  }
+  std::vector<std::vector<SqlCond>> group;
+  for (auto& values : decomposed) {
+    std::vector<SqlCond> conjunction;
+    for (size_t i = 0; i < field.column_indexes.size(); ++i) {
+      SqlCond cond;
+      cond.column = schema.columns[field.column_indexes[i]].name;
+      cond.op = "=";
+      cond.params.push_back(values[i]);
+      conjunction.push_back(std::move(cond));
+    }
+    group.push_back(std::move(conjunction));
+  }
+  conds->or_groups.push_back(std::move(group));
+  return result;
+}
+
+// Extends gremlin::MatchesSpec with edge endpoint checks, for the naive
+// (client-filter) execution paths.
+bool MatchesEdgeSpec(const Edge& e, const LookupSpec& spec) {
+  if (!gremlin::MatchesSpec(e, spec)) return false;
+  if (!spec.src_ids.empty() &&
+      std::find(spec.src_ids.begin(), spec.src_ids.end(), e.src_id) ==
+          spec.src_ids.end()) {
+    return false;
+  }
+  if (!spec.dst_ids.empty() &&
+      std::find(spec.dst_ids.begin(), spec.dst_ids.end(), e.dst_id) ==
+          spec.dst_ids.end()) {
+    return false;
+  }
+  return true;
+}
+
+// Splits an implicit edge id "srcParts::label::dstParts" against an edge
+// table's definitions; nullopt when it cannot belong to this table.
+struct ImplicitIdParts {
+  std::vector<Value> src_values;
+  std::string label;
+  std::vector<Value> dst_values;
+};
+
+std::optional<ImplicitIdParts> DecomposeImplicitEdgeId(
+    const ResolvedEdgeTable& table, const Value& id) {
+  if (!id.is_string()) return std::nullopt;
+  std::vector<std::string> parts = DecomposeId(id.as_string());
+  size_t s = table.src_v.def.parts.size();
+  size_t d = table.dst_v.def.parts.size();
+  if (parts.size() != s + 1 + d) return std::nullopt;
+  auto extract = [&](const overlay::FieldDef& def, size_t offset)
+      -> std::optional<std::vector<Value>> {
+    std::vector<Value> out;
+    for (size_t i = 0; i < def.parts.size(); ++i) {
+      const std::string& text = parts[offset + i];
+      if (def.parts[i].is_constant) {
+        if (text != def.parts[i].text) return std::nullopt;
+      } else {
+        char* end = nullptr;
+        long long n = std::strtoll(text.c_str(), &end, 10);
+        if (!text.empty() && end != nullptr && *end == '\0') {
+          out.emplace_back(static_cast<int64_t>(n));
+        } else {
+          out.emplace_back(text);
+        }
+      }
+    }
+    return out;
+  };
+  ImplicitIdParts result;
+  auto src = extract(table.src_v.def, 0);
+  if (!src) return std::nullopt;
+  result.src_values = std::move(*src);
+  result.label = parts[s];
+  auto dst = extract(table.dst_v.def, s + 1);
+  if (!dst) return std::nullopt;
+  result.dst_values = std::move(*dst);
+  return result;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+
+Db2GraphProvider::Db2GraphProvider(SqlDialect* dialect,
+                                   overlay::Topology topology,
+                                   RuntimeOptions options)
+    : dialect_(dialect), topology_(std::move(topology)), options_(options) {}
+
+VertexPtr Db2GraphProvider::MaterializeVertex(int table_index,
+                                              const Row& row) const {
+  // Only used with full-row fetches (client-filter paths).
+  const ResolvedVertexTable& t = topology_.vertex_tables()[table_index];
+  auto v = std::make_shared<Vertex>();
+  v->id = t.id.Compose(row);
+  v->label = t.conf.label.fixed ? t.conf.label.value
+                                : row[*t.label_column].ToString();
+  for (size_t i = 0; i < t.properties.size(); ++i) {
+    const Value& value = row[t.property_columns[i]];
+    if (!value.is_null()) v->properties.emplace_back(t.properties[i], value);
+  }
+  v->source_table = t.conf.table_name;
+  auto prov = std::make_shared<RowProvenance>();
+  prov->table_index = table_index;
+  prov->row = row;
+  v->provenance = std::move(prov);
+  return v;
+}
+
+// ----------------------------------------------------------------------
+// Vertices
+// ----------------------------------------------------------------------
+
+namespace {
+
+// Per-table vertex query planning shared by Vertices and the aggregates.
+struct VertexPlan {
+  bool skip = false;
+  bool client_filter = false;  // fetch everything, filter in the provider
+  QueryConds conds;
+  std::vector<std::string> predicate_columns;  // for the index advisor
+};
+
+VertexPlan PlanVertexTable(const ResolvedVertexTable& t,
+                           const LookupSpec& spec,
+                           const RuntimeOptions& options) {
+  VertexPlan plan;
+  const sql::TableSchema& schema = *t.schema;
+
+  // Fixed-label pruning (Section 6.3 "Using Label Values").
+  if (!spec.labels.empty()) {
+    if (t.conf.label.fixed) {
+      bool matches = std::find(spec.labels.begin(), spec.labels.end(),
+                               t.conf.label.value) != spec.labels.end();
+      if (!matches) {
+        if (options.label_pruning) {
+          plan.skip = true;
+          return plan;
+        }
+        plan.client_filter = true;
+      }
+    } else {
+      SqlCond cond;
+      cond.column = schema.columns[*t.label_column].name;
+      cond.op = "IN";
+      for (const std::string& l : spec.labels) cond.params.push_back(l);
+      plan.conds.conjuncts.push_back(cond);
+      plan.predicate_columns.push_back(cond.column);
+    }
+  }
+
+  // Prefixed-id pinning / composite-id decomposition.
+  if (!spec.ids.empty()) {
+    QueryConds id_conds;
+    IdCondResult r = BuildIdConds(t.id, schema, spec.ids, &id_conds);
+    if (!r.any_match) {
+      if (options.prefixed_id_pinning) {
+        plan.skip = true;
+        return plan;
+      }
+      plan.client_filter = true;
+    } else {
+      for (auto& c : id_conds.conjuncts) {
+        plan.predicate_columns.push_back(c.column);
+        plan.conds.conjuncts.push_back(std::move(c));
+      }
+      for (auto& g : id_conds.or_groups) {
+        if (!g.empty() && !g[0].empty()) {
+          for (const SqlCond& c : g[0]) {
+            plan.predicate_columns.push_back(c.column);
+          }
+        }
+        plan.conds.or_groups.push_back(std::move(g));
+      }
+    }
+  }
+
+  // Property predicates: pushdown + property-name pruning.
+  for (const PropPredicate& pred : spec.predicates) {
+    if (pred.key == gremlin::kIdKey || pred.key == gremlin::kLabelKey) {
+      plan.client_filter = true;  // rare; resolved after materialization
+      continue;
+    }
+    if (!t.HasProperty(pred.key)) {
+      if (options.property_pruning) {
+        plan.skip = true;  // no row of this table can have the property
+        return plan;
+      }
+      plan.client_filter = true;
+      continue;
+    }
+    // Locate the schema column behind the property.
+    size_t column = 0;
+    for (size_t i = 0; i < t.properties.size(); ++i) {
+      if (EqualsIgnoreCase(t.properties[i], pred.key)) {
+        column = t.property_columns[i];
+        break;
+      }
+    }
+    const std::string& column_name = schema.columns[column].name;
+    SqlCond cond;
+    cond.column = column_name;
+    if (pred.op == PropPredicate::Op::kExists) {
+      cond.op = "NOTNULL";
+    } else if (pred.op == PropPredicate::Op::kWithin) {
+      cond.op = "IN";
+      cond.params = pred.values;
+    } else if (pred.op == PropPredicate::Op::kWithout) {
+      plan.client_filter = true;  // NOT IN needs null care; keep client-side
+      continue;
+    } else {
+      const char* op = SqlOpFor(pred.op);
+      if (op == nullptr) {
+        plan.client_filter = true;
+        continue;
+      }
+      cond.op = op;
+      cond.params = pred.values;
+    }
+    plan.predicate_columns.push_back(column_name);
+    plan.conds.conjuncts.push_back(std::move(cond));
+  }
+
+  // Projection-based pruning: a traversal that only consumes projected
+  // properties gets nothing from a table having none of them.
+  if (spec.has_projection && !spec.projection.empty() &&
+      options.property_pruning) {
+    bool any = false;
+    for (const std::string& key : spec.projection) {
+      if (t.HasProperty(key)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      plan.skip = true;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+// Columns a vertex fetch needs under `spec` (projection-aware).
+std::vector<size_t> VertexFetchColumns(const ResolvedVertexTable& t,
+                                       const LookupSpec& spec) {
+  std::vector<size_t> cols = t.id.column_indexes;
+  if (t.label_column) cols.push_back(*t.label_column);
+  for (size_t i = 0; i < t.properties.size(); ++i) {
+    if (spec.has_projection) {
+      bool wanted = false;
+      for (const std::string& key : spec.projection) {
+        if (EqualsIgnoreCase(key, t.properties[i])) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    cols.push_back(t.property_columns[i]);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Status Db2GraphProvider::Vertices(const LookupSpec& spec,
+                                  std::vector<VertexPtr>* out) {
+  for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
+    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
+    VertexPlan plan = PlanVertexTable(t, spec, options_);
+    if (plan.skip) {
+      stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+
+    const sql::TableSchema& schema = *t.schema;
+    // The naive path fetches full rows (needed for client-side filtering);
+    // the pushdown path fetches only the projected layout.
+    std::vector<size_t> cols;
+    if (plan.client_filter) {
+      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+    } else {
+      cols = VertexFetchColumns(t, spec);
+    }
+    FetchLayout layout = MakeLayout(schema, std::move(cols));
+
+    std::vector<Value> params;
+    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+    std::string sql = BuildSql(t.conf.table_name,
+                               SelectListFor(schema, layout), conds, &params);
+    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    if (!rs.ok()) return rs.status();
+
+    for (Row& row : rs->rows) {
+      auto v = std::make_shared<Vertex>();
+      v->id = ComposeField(t.id, layout, row);
+      v->label = t.conf.label.fixed
+                     ? t.conf.label.value
+                     : row[layout.PosOf(*t.label_column)].ToString();
+      for (size_t i = 0; i < t.properties.size(); ++i) {
+        if (!layout.Has(t.property_columns[i])) continue;
+        const Value& value = row[layout.PosOf(t.property_columns[i])];
+        if (!value.is_null()) {
+          v->properties.emplace_back(t.properties[i], value);
+        }
+      }
+      v->source_table = t.conf.table_name;
+      auto prov = std::make_shared<RowProvenance>();
+      prov->table_index = static_cast<int>(ti);
+      prov->row = std::move(row);
+      v->provenance = std::move(prov);
+      if (plan.client_filter && !gremlin::MatchesSpec(*v, spec)) continue;
+      out->push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
+  if (spec.agg == AggOp::kNone) {
+    return Status::Unsupported("no aggregate in spec");
+  }
+  int64_t total_count = 0;
+  double total_sum = 0;
+  bool sum_is_int = true;
+  int64_t total_isum = 0;
+  Value min_v;
+  Value max_v;
+  for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
+    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
+    VertexPlan plan = PlanVertexTable(t, spec, options_);
+    if (plan.client_filter) {
+      return Status::Unsupported(
+          "aggregate requires client-side filtering; falling back");
+    }
+    if (plan.skip) {
+      stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Locate the aggregated property column (count(*) needs none).
+    std::string agg_column;
+    if (spec.agg != AggOp::kCount || !spec.agg_key.empty()) {
+      bool found = false;
+      for (size_t i = 0; i < t.properties.size(); ++i) {
+        if (EqualsIgnoreCase(t.properties[i], spec.agg_key)) {
+          agg_column = t.schema->columns[t.property_columns[i]].name;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // table contributes nothing
+    }
+    stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    std::string select;
+    switch (spec.agg) {
+      case AggOp::kCount:
+        select = agg_column.empty() ? "COUNT(*)"
+                                    : "COUNT(\"" + agg_column + "\")";
+        break;
+      case AggOp::kSum:
+      case AggOp::kMean:
+        select = "SUM(\"" + agg_column + "\"), COUNT(\"" + agg_column + "\")";
+        break;
+      case AggOp::kMin:
+        select = "MIN(\"" + agg_column + "\")";
+        break;
+      case AggOp::kMax:
+        select = "MAX(\"" + agg_column + "\")";
+        break;
+      case AggOp::kNone:
+        return Status::Internal("unreachable");
+    }
+    std::vector<Value> params;
+    std::string sql =
+        BuildSql(t.conf.table_name, select, plan.conds, &params);
+    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    if (!rs.ok()) return rs.status();
+    if (rs->rows.empty()) continue;
+    const Row& row = rs->rows[0];
+    switch (spec.agg) {
+      case AggOp::kCount:
+        total_count += row[0].is_null() ? 0 : row[0].as_int();
+        break;
+      case AggOp::kSum:
+      case AggOp::kMean:
+        if (!row[0].is_null()) {
+          total_sum += row[0].NumericValue();
+          if (row[0].is_int()) {
+            total_isum += row[0].as_int();
+          } else {
+            sum_is_int = false;
+          }
+          total_count += row[1].as_int();
+        }
+        break;
+      case AggOp::kMin:
+        if (!row[0].is_null() && (min_v.is_null() || row[0] < min_v)) {
+          min_v = row[0];
+        }
+        break;
+      case AggOp::kMax:
+        if (!row[0].is_null() && (max_v.is_null() || row[0] > max_v)) {
+          max_v = row[0];
+        }
+        break;
+      case AggOp::kNone:
+        break;
+    }
+  }
+  switch (spec.agg) {
+    case AggOp::kCount:
+      return Value(total_count);
+    case AggOp::kSum:
+      if (total_count == 0) return Value::Null();
+      return sum_is_int ? Value(total_isum) : Value(total_sum);
+    case AggOp::kMean:
+      if (total_count == 0) return Value::Null();
+      return Value(total_sum / static_cast<double>(total_count));
+    case AggOp::kMin:
+      return min_v;
+    case AggOp::kMax:
+      return max_v;
+    case AggOp::kNone:
+      break;
+  }
+  return Status::Internal("unreachable");
+}
+
+// ----------------------------------------------------------------------
+// Edges
+// ----------------------------------------------------------------------
+
+namespace {
+
+struct EdgePlan {
+  bool skip = false;
+  bool client_filter = false;
+  QueryConds conds;
+  std::vector<std::string> predicate_columns;
+};
+
+EdgePlan PlanEdgeTable(const ResolvedEdgeTable& t, const LookupSpec& spec,
+                       const RuntimeOptions& options) {
+  EdgePlan plan;
+  const sql::TableSchema& schema = *t.schema;
+
+  // Fixed-label pruning.
+  if (!spec.labels.empty()) {
+    if (t.conf.label.fixed) {
+      bool matches = std::find(spec.labels.begin(), spec.labels.end(),
+                               t.conf.label.value) != spec.labels.end();
+      if (!matches) {
+        if (options.label_pruning) {
+          plan.skip = true;
+          return plan;
+        }
+        plan.client_filter = true;
+      }
+    } else {
+      SqlCond cond;
+      cond.column = schema.columns[*t.label_column].name;
+      cond.op = "IN";
+      for (const std::string& l : spec.labels) cond.params.push_back(l);
+      plan.predicate_columns.push_back(cond.column);
+      plan.conds.conjuncts.push_back(std::move(cond));
+    }
+  }
+
+  // Endpoint constraints via src/dst id decomposition.
+  auto endpoint = [&](const ResolvedField& field,
+                      const std::vector<Value>& ids) {
+    if (ids.empty() || plan.skip) return;
+    QueryConds conds;
+    IdCondResult r = BuildIdConds(field, schema, ids, &conds);
+    if (!r.any_match) {
+      if (options.prefixed_id_pinning) {
+        plan.skip = true;
+        return;
+      }
+      plan.client_filter = true;
+      return;
+    }
+    for (auto& c : conds.conjuncts) {
+      plan.predicate_columns.push_back(c.column);
+      plan.conds.conjuncts.push_back(std::move(c));
+    }
+    for (auto& g : conds.or_groups) {
+      if (!g.empty()) {
+        for (const SqlCond& c : g[0]) {
+          plan.predicate_columns.push_back(c.column);
+        }
+      }
+      plan.conds.or_groups.push_back(std::move(g));
+    }
+  };
+  endpoint(t.src_v, spec.src_ids);
+  if (plan.skip) return plan;
+  endpoint(t.dst_v, spec.dst_ids);
+  if (plan.skip) return plan;
+
+  // Edge-id constraints: explicit ids decompose like vertex ids; implicit
+  // ids decompose into src + label + dst conjunctive predicates.
+  if (!spec.ids.empty()) {
+    if (!t.conf.implicit_edge_id) {
+      QueryConds conds;
+      IdCondResult r = BuildIdConds(t.id, schema, spec.ids, &conds);
+      if (!r.any_match) {
+        if (options.prefixed_id_pinning) {
+          plan.skip = true;
+          return plan;
+        }
+        plan.client_filter = true;
+      } else {
+        for (auto& c : conds.conjuncts) {
+          plan.predicate_columns.push_back(c.column);
+          plan.conds.conjuncts.push_back(std::move(c));
+        }
+        for (auto& g : conds.or_groups) {
+          plan.conds.or_groups.push_back(std::move(g));
+        }
+      }
+    } else {
+      std::vector<std::vector<SqlCond>> group;
+      for (const Value& id : spec.ids) {
+        auto parts = DecomposeImplicitEdgeId(t, id);
+        if (!parts) continue;
+        if (t.conf.label.fixed && parts->label != t.conf.label.value) {
+          continue;  // label encoded in the id does not match this table
+        }
+        std::vector<SqlCond> conjunction;
+        for (size_t i = 0; i < t.src_v.column_indexes.size(); ++i) {
+          conjunction.push_back({schema.columns[t.src_v.column_indexes[i]].name,
+                                 "=",
+                                 {parts->src_values[i]}});
+        }
+        for (size_t i = 0; i < t.dst_v.column_indexes.size(); ++i) {
+          conjunction.push_back({schema.columns[t.dst_v.column_indexes[i]].name,
+                                 "=",
+                                 {parts->dst_values[i]}});
+        }
+        if (!t.conf.label.fixed) {
+          conjunction.push_back(
+              {schema.columns[*t.label_column].name, "=",
+               {Value(parts->label)}});
+        }
+        group.push_back(std::move(conjunction));
+      }
+      if (group.empty()) {
+        if (options.implicit_edge_id_decomposition) {
+          plan.skip = true;
+          return plan;
+        }
+        plan.client_filter = true;
+      } else {
+        if (!group[0].empty()) {
+          for (const SqlCond& c : group[0]) {
+            plan.predicate_columns.push_back(c.column);
+          }
+        }
+        plan.conds.or_groups.push_back(std::move(group));
+      }
+    }
+  }
+
+  // Property predicates.
+  for (const PropPredicate& pred : spec.predicates) {
+    if (pred.key == gremlin::kIdKey || pred.key == gremlin::kLabelKey) {
+      plan.client_filter = true;
+      continue;
+    }
+    if (!t.HasProperty(pred.key)) {
+      if (options.property_pruning) {
+        plan.skip = true;
+        return plan;
+      }
+      plan.client_filter = true;
+      continue;
+    }
+    size_t column = 0;
+    for (size_t i = 0; i < t.properties.size(); ++i) {
+      if (EqualsIgnoreCase(t.properties[i], pred.key)) {
+        column = t.property_columns[i];
+        break;
+      }
+    }
+    const std::string& column_name = schema.columns[column].name;
+    SqlCond cond;
+    cond.column = column_name;
+    if (pred.op == PropPredicate::Op::kExists) {
+      cond.op = "NOTNULL";
+    } else if (pred.op == PropPredicate::Op::kWithin) {
+      cond.op = "IN";
+      cond.params = pred.values;
+    } else if (pred.op == PropPredicate::Op::kWithout) {
+      plan.client_filter = true;
+      continue;
+    } else {
+      const char* op = SqlOpFor(pred.op);
+      if (op == nullptr) {
+        plan.client_filter = true;
+        continue;
+      }
+      cond.op = op;
+      cond.params = pred.values;
+    }
+    plan.predicate_columns.push_back(column_name);
+    plan.conds.conjuncts.push_back(std::move(cond));
+  }
+
+  if (spec.has_projection && !spec.projection.empty() &&
+      options.property_pruning) {
+    bool any = false;
+    for (const std::string& key : spec.projection) {
+      if (t.HasProperty(key)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      plan.skip = true;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+std::vector<size_t> EdgeFetchColumns(const ResolvedEdgeTable& t,
+                                     const LookupSpec& spec) {
+  std::vector<size_t> cols = t.src_v.column_indexes;
+  cols.insert(cols.end(), t.dst_v.column_indexes.begin(),
+              t.dst_v.column_indexes.end());
+  if (!t.conf.implicit_edge_id) {
+    cols.insert(cols.end(), t.id.column_indexes.begin(),
+                t.id.column_indexes.end());
+  }
+  if (t.label_column) cols.push_back(*t.label_column);
+  for (size_t i = 0; i < t.properties.size(); ++i) {
+    if (spec.has_projection) {
+      bool wanted = false;
+      for (const std::string& key : spec.projection) {
+        if (EqualsIgnoreCase(key, t.properties[i])) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    cols.push_back(t.property_columns[i]);
+  }
+  return cols;
+}
+
+}  // namespace
+
+Status Db2GraphProvider::Edges(const LookupSpec& spec,
+                               std::vector<EdgePtr>* out) {
+  return EdgesOnTables(spec, {}, out);
+}
+
+Status Db2GraphProvider::EdgesOnTables(const LookupSpec& spec,
+                                       const std::vector<int>& tables,
+                                       std::vector<EdgePtr>* out) {
+  for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
+    if (!tables.empty() &&
+        std::find(tables.begin(), tables.end(), static_cast<int>(ti)) ==
+            tables.end()) {
+      continue;
+    }
+    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
+    EdgePlan plan = PlanEdgeTable(t, spec, options_);
+    if (plan.skip) {
+      stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+
+    const sql::TableSchema& schema = *t.schema;
+    std::vector<size_t> cols;
+    if (plan.client_filter) {
+      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+    } else {
+      cols = EdgeFetchColumns(t, spec);
+    }
+    FetchLayout layout = MakeLayout(schema, std::move(cols));
+
+    std::vector<Value> params;
+    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+    std::string sql = BuildSql(t.conf.table_name,
+                               SelectListFor(schema, layout), conds, &params);
+    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    if (!rs.ok()) return rs.status();
+
+    for (Row& row : rs->rows) {
+      auto e = std::make_shared<Edge>();
+      e->src_id = ComposeField(t.src_v, layout, row);
+      e->dst_id = ComposeField(t.dst_v, layout, row);
+      e->label = t.conf.label.fixed
+                     ? t.conf.label.value
+                     : row[layout.PosOf(*t.label_column)].ToString();
+      if (t.conf.implicit_edge_id) {
+        e->id = Value(e->src_id.ToString() + kIdSeparator + e->label +
+                      kIdSeparator + e->dst_id.ToString());
+      } else {
+        e->id = ComposeField(t.id, layout, row);
+      }
+      for (size_t i = 0; i < t.properties.size(); ++i) {
+        if (!layout.Has(t.property_columns[i])) continue;
+        const Value& value = row[layout.PosOf(t.property_columns[i])];
+        if (!value.is_null()) {
+          e->properties.emplace_back(t.properties[i], value);
+        }
+      }
+      e->source_table = t.conf.table_name;
+      auto prov = std::make_shared<RowProvenance>();
+      prov->table_index = static_cast<int>(ti);
+      prov->row = std::move(row);
+      e->provenance = std::move(prov);
+      if (plan.client_filter && !MatchesEdgeSpec(*e, spec)) continue;
+      out->push_back(std::move(e));
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> Db2GraphProvider::AggregateEdges(const LookupSpec& spec) {
+  return AggregateEdgesOnTables(spec, {});
+}
+
+Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
+    const LookupSpec& spec, const std::vector<int>& tables) {
+  if (spec.agg == AggOp::kNone) {
+    return Status::Unsupported("no aggregate in spec");
+  }
+  int64_t total_count = 0;
+  double total_sum = 0;
+  bool sum_is_int = true;
+  int64_t total_isum = 0;
+  Value min_v;
+  Value max_v;
+  for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
+    if (!tables.empty() &&
+        std::find(tables.begin(), tables.end(), static_cast<int>(ti)) ==
+            tables.end()) {
+      continue;
+    }
+    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
+    EdgePlan plan = PlanEdgeTable(t, spec, options_);
+    if (plan.client_filter) {
+      return Status::Unsupported("aggregate needs client-side filtering");
+    }
+    if (plan.skip) {
+      stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::string agg_column;
+    if (spec.agg != AggOp::kCount || !spec.agg_key.empty()) {
+      bool found = false;
+      for (size_t i = 0; i < t.properties.size(); ++i) {
+        if (EqualsIgnoreCase(t.properties[i], spec.agg_key)) {
+          agg_column = t.schema->columns[t.property_columns[i]].name;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;
+    }
+    stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    std::string select;
+    switch (spec.agg) {
+      case AggOp::kCount:
+        select = agg_column.empty() ? "COUNT(*)"
+                                    : "COUNT(\"" + agg_column + "\")";
+        break;
+      case AggOp::kSum:
+      case AggOp::kMean:
+        select = "SUM(\"" + agg_column + "\"), COUNT(\"" + agg_column + "\")";
+        break;
+      case AggOp::kMin:
+        select = "MIN(\"" + agg_column + "\")";
+        break;
+      case AggOp::kMax:
+        select = "MAX(\"" + agg_column + "\")";
+        break;
+      case AggOp::kNone:
+        return Status::Internal("unreachable");
+    }
+    std::vector<Value> params;
+    std::string sql =
+        BuildSql(t.conf.table_name, select, plan.conds, &params);
+    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    if (!rs.ok()) return rs.status();
+    if (rs->rows.empty()) continue;
+    const Row& row = rs->rows[0];
+    switch (spec.agg) {
+      case AggOp::kCount:
+        total_count += row[0].is_null() ? 0 : row[0].as_int();
+        break;
+      case AggOp::kSum:
+      case AggOp::kMean:
+        if (!row[0].is_null()) {
+          total_sum += row[0].NumericValue();
+          if (row[0].is_int()) {
+            total_isum += row[0].as_int();
+          } else {
+            sum_is_int = false;
+          }
+          total_count += row[1].as_int();
+        }
+        break;
+      case AggOp::kMin:
+        if (!row[0].is_null() && (min_v.is_null() || row[0] < min_v)) {
+          min_v = row[0];
+        }
+        break;
+      case AggOp::kMax:
+        if (!row[0].is_null() && (max_v.is_null() || row[0] > max_v)) {
+          max_v = row[0];
+        }
+        break;
+      case AggOp::kNone:
+        break;
+    }
+  }
+  switch (spec.agg) {
+    case AggOp::kCount:
+      return Value(total_count);
+    case AggOp::kSum:
+      if (total_count == 0) return Value::Null();
+      return sum_is_int ? Value(total_isum) : Value(total_sum);
+    case AggOp::kMean:
+      if (total_count == 0) return Value::Null();
+      return Value(total_sum / static_cast<double>(total_count));
+    case AggOp::kMin:
+      return min_v;
+    case AggOp::kMax:
+      return max_v;
+    case AggOp::kNone:
+      break;
+  }
+  return Status::Internal("unreachable");
+}
+
+// ----------------------------------------------------------------------
+// Adjacency with endpoint-table pruning
+// ----------------------------------------------------------------------
+
+Status Db2GraphProvider::AdjacentEdges(const std::vector<VertexPtr>& from,
+                                       Direction dir, const LookupSpec& spec,
+                                       std::vector<EdgePtr>* out) {
+  // Which vertex tables do the anchors come from?
+  std::unordered_set<std::string> source_tables;
+  std::vector<Value> ids;
+  ids.reserve(from.size());
+  for (const VertexPtr& v : from) {
+    ids.push_back(v->id);
+    if (!v->source_table.empty()) source_tables.insert(v->source_table);
+  }
+  // Candidate edge tables: drop those whose declared endpoint vertex table
+  // cannot contain any anchor (Section 6.3 "Using Source/Destination
+  // Vertex Tables").
+  std::vector<int> candidates;
+  for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
+    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
+    if (options_.endpoint_table_pruning && !source_tables.empty()) {
+      auto endpoint_possible = [&](int vertex_table) {
+        if (vertex_table < 0) return true;  // endpoint table unknown
+        return source_tables.count(
+                   topology_.vertex_tables()[vertex_table].conf.table_name) >
+               0;
+      };
+      bool possible = false;
+      if (dir == Direction::kOut || dir == Direction::kBoth) {
+        possible |= endpoint_possible(t.src_vertex_table);
+      }
+      if (dir == Direction::kIn || dir == Direction::kBoth) {
+        possible |= endpoint_possible(t.dst_vertex_table);
+      }
+      if (!possible) {
+        stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    candidates.push_back(static_cast<int>(ti));
+  }
+
+  LookupSpec edge_spec = spec;
+  if (dir == Direction::kOut) {
+    edge_spec.src_ids = ids;
+    return EdgesOnTables(edge_spec, candidates, out);
+  }
+  if (dir == Direction::kIn) {
+    edge_spec.dst_ids = ids;
+    return EdgesOnTables(edge_spec, candidates, out);
+  }
+  edge_spec.src_ids = ids;
+  DB2G_RETURN_NOT_OK(EdgesOnTables(edge_spec, candidates, out));
+  edge_spec.src_ids.clear();
+  edge_spec.dst_ids = ids;
+  std::vector<EdgePtr> in_edges;
+  DB2G_RETURN_NOT_OK(EdgesOnTables(edge_spec, candidates, &in_edges));
+  for (EdgePtr& e : in_edges) {
+    if (!(e->src_id == e->dst_id)) out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
+                                       Direction endpoint,
+                                       const LookupSpec& spec,
+                                       std::vector<VertexPtr>* out) {
+  // Partition endpoint ids by the vertex table they are pinned to.
+  std::unordered_map<int, std::vector<Value>> pinned;  // vertex table -> ids
+  std::vector<Value> unpinned;
+  std::unordered_set<Value, ValueHash> seen;
+
+  auto classify = [&](const EdgePtr& e, bool source_side) -> bool {
+    const Value& id = source_side ? e->src_id : e->dst_id;
+    if (!seen.insert(id).second) return true;  // already handled
+    const auto* prov = static_cast<const RowProvenance*>(e->provenance.get());
+    int vertex_table = -1;
+    if (prov != nullptr && options_.endpoint_table_pruning) {
+      const ResolvedEdgeTable& t = topology_.edge_tables()[prov->table_index];
+      vertex_table =
+          source_side ? t.src_vertex_table : t.dst_vertex_table;
+      // The vertex-table-is-also-edge-table shortcut: when the pinned
+      // vertex table IS the edge's own table, the vertex's columns are in
+      // the very row we already fetched — construct it without SQL.
+      if (vertex_table >= 0 && options_.vertex_from_edge_shortcut) {
+        const ResolvedVertexTable& vt =
+            topology_.vertex_tables()[vertex_table];
+        if (EqualsIgnoreCase(vt.conf.table_name, t.conf.table_name) &&
+            prov->row.size() == vt.schema->columns.size()) {
+          VertexPtr v = MaterializeVertex(vertex_table, prov->row);
+          if (gremlin::MatchesSpec(*v, spec)) {
+            out->push_back(std::move(v));
+          }
+          stats_.shortcut_vertices.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    if (vertex_table >= 0) {
+      pinned[vertex_table].push_back(id);
+    } else {
+      unpinned.push_back(id);
+    }
+    return true;
+  };
+
+  for (const EdgePtr& e : edges) {
+    if (endpoint == Direction::kOut || endpoint == Direction::kBoth) {
+      classify(e, /*source_side=*/true);
+    }
+    if (endpoint == Direction::kIn || endpoint == Direction::kBoth) {
+      classify(e, /*source_side=*/false);
+    }
+  }
+
+  for (auto& [vertex_table, ids] : pinned) {
+    LookupSpec vertex_spec = spec;
+    vertex_spec.ids = std::move(ids);
+    // Query exactly the pinned table.
+    const ResolvedVertexTable& t = topology_.vertex_tables()[vertex_table];
+    VertexPlan plan = PlanVertexTable(t, vertex_spec, options_);
+    if (plan.skip) {
+      stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    const sql::TableSchema& schema = *t.schema;
+    std::vector<size_t> cols;
+    if (plan.client_filter) {
+      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+    } else {
+      cols = VertexFetchColumns(t, vertex_spec);
+    }
+    FetchLayout layout = MakeLayout(schema, std::move(cols));
+    std::vector<Value> params;
+    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+    std::string sql = BuildSql(t.conf.table_name,
+                               SelectListFor(schema, layout), conds, &params);
+    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    if (!rs.ok()) return rs.status();
+    for (Row& row : rs->rows) {
+      auto v = std::make_shared<Vertex>();
+      v->id = ComposeField(t.id, layout, row);
+      v->label = t.conf.label.fixed
+                     ? t.conf.label.value
+                     : row[layout.PosOf(*t.label_column)].ToString();
+      for (size_t i = 0; i < t.properties.size(); ++i) {
+        if (!layout.Has(t.property_columns[i])) continue;
+        const Value& value = row[layout.PosOf(t.property_columns[i])];
+        if (!value.is_null()) {
+          v->properties.emplace_back(t.properties[i], value);
+        }
+      }
+      v->source_table = t.conf.table_name;
+      auto prov = std::make_shared<RowProvenance>();
+      prov->table_index = vertex_table;
+      prov->row = std::move(row);
+      v->provenance = std::move(prov);
+      if (plan.client_filter && !gremlin::MatchesSpec(*v, vertex_spec)) {
+        continue;
+      }
+      out->push_back(std::move(v));
+    }
+  }
+
+  if (!unpinned.empty()) {
+    LookupSpec vertex_spec = spec;
+    vertex_spec.ids = std::move(unpinned);
+    DB2G_RETURN_NOT_OK(Vertices(vertex_spec, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace db2graph::core

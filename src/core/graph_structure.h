@@ -1,0 +1,123 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The Graph Structure module (paper Section 6): implements the TinkerPop
+// provider API over relational tables through the graph overlay, turning
+// every Graph-Structure-Accessing step into SQL. All of Section 6.3's
+// data-dependent runtime optimizations live here, individually toggleable
+// for the ablation benchmarks:
+//
+//  * fixed-label table pruning,
+//  * prefixed-id table pinning (+ composite-id decomposition into
+//    conjunctive predicates),
+//  * property-name table pruning from pushdown predicates/projections,
+//  * src_v_table / dst_v_table endpoint pruning,
+//  * the vertex-table-is-also-edge-table shortcut (construct the vertex
+//    from the edge row, no SQL at all),
+//  * implicit-edge-id decomposition (src::label::dst) into predicates.
+
+#ifndef DB2GRAPH_CORE_GRAPH_STRUCTURE_H_
+#define DB2GRAPH_CORE_GRAPH_STRUCTURE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sql_dialect.h"
+#include "gremlin/graph_api.h"
+#include "overlay/topology.h"
+
+namespace db2graph::core {
+
+/// Toggles for the Section 6.3 data-dependent runtime optimizations.
+struct RuntimeOptions {
+  bool label_pruning = true;
+  bool prefixed_id_pinning = true;
+  bool property_pruning = true;
+  bool endpoint_table_pruning = true;
+  bool vertex_from_edge_shortcut = true;
+  bool implicit_edge_id_decomposition = true;
+
+  static RuntimeOptions AllOff() {
+    RuntimeOptions o;
+    o.label_pruning = o.prefixed_id_pinning = o.property_pruning =
+        o.endpoint_table_pruning = o.vertex_from_edge_shortcut =
+            o.implicit_edge_id_decomposition = false;
+    return o;
+  }
+};
+
+/// GraphProvider over a relational database + overlay topology.
+class Db2GraphProvider : public gremlin::GraphProvider {
+ public:
+  Db2GraphProvider(SqlDialect* dialect, overlay::Topology topology,
+                   RuntimeOptions options = {});
+
+  std::string name() const override { return "Db2Graph"; }
+  bool SupportsPushdown() const override { return true; }
+
+  Status Vertices(const gremlin::LookupSpec& spec,
+                  std::vector<gremlin::VertexPtr>* out) override;
+  Status Edges(const gremlin::LookupSpec& spec,
+               std::vector<gremlin::EdgePtr>* out) override;
+  Status AdjacentEdges(const std::vector<gremlin::VertexPtr>& from,
+                       gremlin::Direction dir,
+                       const gremlin::LookupSpec& spec,
+                       std::vector<gremlin::EdgePtr>* out) override;
+  Status EdgeEndpoints(const std::vector<gremlin::EdgePtr>& edges,
+                       gremlin::Direction endpoint,
+                       const gremlin::LookupSpec& spec,
+                       std::vector<gremlin::VertexPtr>* out) override;
+  Result<Value> AggregateVertices(const gremlin::LookupSpec& spec) override;
+  Result<Value> AggregateEdges(const gremlin::LookupSpec& spec) override;
+
+  const overlay::Topology& topology() const { return topology_; }
+  const RuntimeOptions& options() const { return options_; }
+  SqlDialect* dialect() const { return dialect_; }
+
+  /// Optimization-visible counters for tests and ablations.
+  struct Stats {
+    std::atomic<uint64_t> vertex_tables_queried{0};
+    std::atomic<uint64_t> vertex_tables_pruned{0};
+    std::atomic<uint64_t> edge_tables_queried{0};
+    std::atomic<uint64_t> edge_tables_pruned{0};
+    std::atomic<uint64_t> shortcut_vertices{0};  // built from edge rows
+
+    void Reset() {
+      vertex_tables_queried = 0;
+      vertex_tables_pruned = 0;
+      edge_tables_queried = 0;
+      edge_tables_pruned = 0;
+      shortcut_vertices = 0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
+
+ private:
+  /// Edges() restricted to a subset of edge-table indexes (used by
+  /// AdjacentEdges after endpoint pruning); empty = all.
+  Status EdgesOnTables(const gremlin::LookupSpec& spec,
+                       const std::vector<int>& tables,
+                       std::vector<gremlin::EdgePtr>* out);
+  Result<Value> AggregateEdgesOnTables(const gremlin::LookupSpec& spec,
+                                       const std::vector<int>& tables);
+
+  gremlin::VertexPtr MaterializeVertex(int table_index, const Row& row) const;
+
+  SqlDialect* dialect_;
+  overlay::Topology topology_;
+  RuntimeOptions options_;
+  Stats stats_;
+};
+
+/// Provenance payload attached to elements produced by Db2GraphProvider:
+/// the overlay-table index and the originating relational row.
+struct RowProvenance {
+  int table_index;
+  Row row;
+};
+
+}  // namespace db2graph::core
+
+#endif  // DB2GRAPH_CORE_GRAPH_STRUCTURE_H_

@@ -1,0 +1,97 @@
+#include "core/gremlin_service.h"
+
+#include "gremlin/parser.h"
+
+namespace db2graph::core {
+
+GremlinService::GremlinService(Db2Graph* graph, int workers)
+    : graph_(graph) {
+  if (workers < 1) workers = 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+GremlinService::~GremlinService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Fail any requests still queued.
+  for (Request& r : queue_) {
+    r.promise.set_value(Status::Internal("service shut down"));
+  }
+}
+
+std::future<GremlinService::Response> GremlinService::Submit(
+    std::string script) {
+  Request request;
+  request.script = std::move(script);
+  std::future<Response> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<GremlinService::Response> GremlinService::SubmitSession(
+    const std::string& session_id, std::string script) {
+  Request request;
+  request.script = std::move(script);
+  std::future<Response> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_ptr<Session>& session = sessions_[session_id];
+    if (session == nullptr) session = std::make_shared<Session>();
+    request.session = session;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void GremlinService::CloseSession(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session_id);
+}
+
+void GremlinService::WorkerLoop() {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    Result<gremlin::Script> script = graph_->Compile(request.script);
+    if (!script.ok()) {
+      request.promise.set_value(script.status());
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    gremlin::Interpreter interpreter(graph_->provider());
+    Response response = Status::Internal("unset");
+    if (request.session != nullptr) {
+      // Per-session serialization + persistent bindings.
+      std::lock_guard<std::mutex> session_lock(request.session->mutex);
+      response = interpreter.RunScript(*script, &request.session->env);
+    } else {
+      response = interpreter.RunScript(*script);
+    }
+    request.promise.set_value(std::move(response));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace db2graph::core

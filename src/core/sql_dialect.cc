@@ -1,0 +1,113 @@
+#include "core/sql_dialect.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace db2graph::core {
+
+namespace {
+
+// Substitutes '?' placeholders with rendered literals, for the trace.
+std::string RenderSql(const std::string& sql,
+                      const std::vector<Value>& params) {
+  std::string out;
+  size_t next = 0;
+  for (char c : sql) {
+    if (c == '?' && next < params.size()) {
+      out += params[next++].ToSqlLiteral();
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
+                                         const std::vector<Value>& params) {
+  queries_issued_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (trace_enabled_) trace_.push_back(RenderSql(sql, params));
+  }
+  // Fast path: reuse a compiled template.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = templates_.find(sql);
+    if (it != templates_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      sql::PreparedStatement stmt = it->second;  // copy out of the lock
+      // Unlock before executing: statement execution takes database locks
+      // and may run long.
+      // (PreparedStatement is a cheap shared handle.)
+      return stmt.Execute(params);
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  Result<sql::PreparedStatement> prepared = db_->Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    templates_.emplace(sql, *prepared);
+  }
+  return prepared->Execute(params);
+}
+
+void SqlDialect::RecordPattern(const std::string& table,
+                               std::vector<std::string> predicate_columns) {
+  if (predicate_columns.empty()) return;
+  // Sampled: pattern statistics do not need every query, and the map
+  // update would otherwise sit on the per-query hot path.
+  thread_local uint64_t counter = 0;
+  if ((counter++ & 0x7) != 0) return;
+  for (std::string& c : predicate_columns) c = ToLower(c);
+  std::sort(predicate_columns.begin(), predicate_columns.end());
+  predicate_columns.erase(
+      std::unique(predicate_columns.begin(), predicate_columns.end()),
+      predicate_columns.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++pattern_counts_[{ToLower(table), std::move(predicate_columns)}];
+}
+
+std::vector<SqlDialect::IndexSuggestion> SqlDialect::SuggestIndexes() const {
+  std::vector<IndexSuggestion> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, count] : pattern_counts_) {
+    if (count < options_.frequent_pattern_threshold) continue;
+    const auto& [table, columns] = key;
+    const sql::Table* base = db_->GetTable(table);
+    if (base == nullptr) continue;  // views cannot be indexed
+    // Resolve to column indexes; skip when an index already covers them.
+    std::vector<size_t> idxs;
+    bool resolvable = true;
+    for (const std::string& c : columns) {
+      auto idx = base->schema().ColumnIndex(c);
+      if (!idx) {
+        resolvable = false;
+        break;
+      }
+      idxs.push_back(*idx);
+    }
+    if (!resolvable || base->FindIndexOn(idxs) != nullptr) continue;
+    IndexSuggestion suggestion;
+    suggestion.table = base->schema().name;
+    for (size_t i : idxs) {
+      suggestion.columns.push_back(base->schema().columns[i].name);
+    }
+    suggestion.occurrences = count;
+    suggestion.ddl = "CREATE INDEX idx_" + suggestion.table + "_" +
+                     Join(suggestion.columns, "_") + " ON " +
+                     suggestion.table + " (" +
+                     Join(suggestion.columns, ", ") + ")";
+    out.push_back(std::move(suggestion));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IndexSuggestion& a, const IndexSuggestion& b) {
+              return a.occurrences > b.occurrences;
+            });
+  return out;
+}
+
+}  // namespace db2graph::core

@@ -1,0 +1,101 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The SQL Dialect module (paper Section 6.1): everything Db2-facing.
+// It executes the SQL the Graph Structure module generates, keeps a cache
+// of pre-compiled statement templates, tracks frequent query patterns, and
+// suggests indexes that would speed the translated queries up.
+
+#ifndef DB2GRAPH_CORE_SQL_DIALECT_H_
+#define DB2GRAPH_CORE_SQL_DIALECT_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/database.h"
+
+namespace db2graph::core {
+
+class SqlDialect {
+ public:
+  struct Options {
+    /// A (table, predicate-columns) pattern seen at least this many times
+    /// is considered frequent and produces an index suggestion when no
+    /// matching index exists.
+    uint64_t frequent_pattern_threshold = 16;
+  };
+
+  explicit SqlDialect(sql::Database* db) : SqlDialect(db, Options()) {}
+  SqlDialect(sql::Database* db, Options options)
+      : db_(db), options_(options) {}
+
+  sql::Database* db() const { return db_; }
+
+  /// Executes a parameterized SELECT, preparing it on first use and
+  /// reusing the compiled statement afterwards (the pre-compiled SQL
+  /// template cache of Section 6.1).
+  Result<sql::ResultSet> Query(const std::string& sql,
+                               const std::vector<Value>& params);
+
+  /// Records that a query against `table` constrained these columns.
+  void RecordPattern(const std::string& table,
+                     std::vector<std::string> predicate_columns);
+
+  /// Index advisor output: frequent patterns that have no backing index.
+  struct IndexSuggestion {
+    std::string table;
+    std::vector<std::string> columns;
+    uint64_t occurrences = 0;
+    /// CREATE INDEX statement implementing the suggestion.
+    std::string ddl;
+  };
+  std::vector<IndexSuggestion> SuggestIndexes() const;
+
+  // -- tracing ------------------------------------------------------------
+  /// When enabled, records every executed statement with its parameters
+  /// substituted (tests assert the exact SQL the graph layer generates).
+  void EnableTrace() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trace_enabled_ = true;
+    trace_.clear();
+  }
+  /// Returns and clears the trace.
+  std::vector<std::string> TakeTrace() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out = std::move(trace_);
+    trace_.clear();
+    return out;
+  }
+
+  uint64_t queries_issued() const { return queries_issued_.load(); }
+  uint64_t template_cache_hits() const { return cache_hits_.load(); }
+  uint64_t template_cache_misses() const { return cache_misses_.load(); }
+  void ResetCounters() {
+    queries_issued_ = 0;
+    cache_hits_ = 0;
+    cache_misses_ = 0;
+  }
+
+ private:
+  sql::Database* db_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, sql::PreparedStatement> templates_;
+  std::map<std::pair<std::string, std::vector<std::string>>, uint64_t>
+      pattern_counts_;
+
+  std::atomic<uint64_t> queries_issued_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+
+  bool trace_enabled_ = false;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace db2graph::core
+
+#endif  // DB2GRAPH_CORE_SQL_DIALECT_H_

@@ -1,0 +1,265 @@
+#include "core/strategies.h"
+
+#include <algorithm>
+
+namespace db2graph::core {
+
+using gremlin::AggOp;
+using gremlin::Direction;
+using gremlin::GremlinArg;
+using gremlin::PropPredicate;
+using gremlin::Step;
+using gremlin::StepKind;
+
+namespace {
+
+bool IsPlainVertexGraphStep(const Step& step) {
+  return step.kind == StepKind::kGraph && !step.graph_emits_edges &&
+         step.spec.labels.empty() && step.spec.predicates.empty() &&
+         step.spec.src_ids.empty() && step.spec.dst_ids.empty() &&
+         step.src_id_args.empty() && step.dst_id_args.empty() &&
+         step.spec.agg == AggOp::kNone;
+}
+
+// Whether a GSA step emits edges (its spec describes edges).
+bool EmitsEdges(const Step& step) {
+  if (step.kind == StepKind::kGraph) return step.graph_emits_edges;
+  if (step.kind == StepKind::kVertex) return !step.to_vertex;
+  return false;
+}
+
+// ---- Strategy 4: GraphStep::VertexStep mutation ------------------------
+
+void ApplyMutation(std::vector<Step>* steps) {
+  for (size_t i = 0; i + 1 < steps->size(); ++i) {
+    Step& graph = (*steps)[i];
+    Step& vertex = (*steps)[i + 1];
+    if (!IsPlainVertexGraphStep(graph)) continue;
+    if (vertex.kind != StepKind::kVertex) continue;
+    if (vertex.direction == Direction::kBoth) continue;  // not expressible
+
+    Step mutated;
+    mutated.kind = StepKind::kGraph;
+    mutated.graph_emits_edges = true;
+    mutated.spec = vertex.spec;  // any pushdown info the step carried
+    mutated.spec.labels = vertex.edge_labels;
+    if (vertex.direction == Direction::kOut) {
+      mutated.src_id_args = graph.start_ids;
+    } else {
+      mutated.dst_id_args = graph.start_ids;
+    }
+    bool to_vertex = vertex.to_vertex;
+    Direction dir = vertex.direction;
+
+    steps->erase(steps->begin() + i, steps->begin() + i + 2);
+    steps->insert(steps->begin() + i, std::move(mutated));
+    if (to_vertex) {
+      // g.V(ids).out() -> edges + the far-endpoint EdgeVertexStep.
+      Step endpoint;
+      endpoint.kind = StepKind::kEdgeVertex;
+      endpoint.direction = dir == Direction::kOut ? Direction::kIn
+                                                  : Direction::kOut;
+      steps->insert(steps->begin() + i + 1, std::move(endpoint));
+    }
+  }
+}
+
+// ---- Strategy 1: predicate pushdown -----------------------------------
+
+// Tries to fold the filter step at index `j` into the GSA step at `i`.
+// Returns true when folded (the caller erases step j).
+bool FoldFilterInto(Step* gsa, const Step& filter) {
+  const bool edges = EmitsEdges(*gsa);
+  gremlin::LookupSpec* spec = &gsa->spec;
+
+  if (filter.kind == StepKind::kHas) {
+    // hasId: fold into the GraphStep's start ids when none are set.
+    if (!filter.id_args.empty()) {
+      if (gsa->kind == StepKind::kGraph && !gsa->graph_emits_edges &&
+          gsa->start_ids.empty() && spec->ids.empty()) {
+        gsa->start_ids = filter.id_args;
+        return true;
+      }
+      if (gsa->kind == StepKind::kVertex && gsa->to_vertex &&
+          spec->ids.empty()) {
+        // ids on the emitted vertices; only literal ids fit LookupSpec.
+        bool all_literals = true;
+        for (const GremlinArg& arg : filter.id_args) {
+          all_literals &= !arg.is_var();
+        }
+        if (!all_literals) return false;
+        for (const GremlinArg& arg : filter.id_args) {
+          spec->ids.push_back(arg.literal);
+        }
+        return true;
+      }
+      return false;
+    }
+    // hasLabel: fold into the spec's (or adjacency step's) label list.
+    for (const PropPredicate& pred : filter.predicates) {
+      if (pred.key == gremlin::kLabelKey &&
+          (pred.op == PropPredicate::Op::kWithin ||
+           pred.op == PropPredicate::Op::kEq)) {
+        std::vector<std::string>* labels =
+            (gsa->kind == StepKind::kVertex && !gsa->to_vertex)
+                ? &gsa->edge_labels
+                : &spec->labels;
+        if (!labels->empty()) return false;  // avoid intersection logic
+        for (const Value& v : pred.values) {
+          if (!v.is_string()) return false;
+          labels->push_back(v.as_string());
+        }
+      } else if (pred.key == gremlin::kIdKey) {
+        return false;  // ids handled above via id_args
+      } else {
+        spec->predicates.push_back(pred);
+      }
+    }
+    return true;
+  }
+
+  // where(inV().hasId(x)) / where(outV().hasId(x)) on an edge stream folds
+  // into the endpoint constraint — the shape of LinkBench's getLink.
+  if (filter.kind == StepKind::kWhere && edges && filter.body.size() == 2 &&
+      filter.body[0].kind == StepKind::kEdgeVertex &&
+      filter.body[0].direction != Direction::kBoth &&
+      filter.body[1].kind == StepKind::kHas &&
+      !filter.body[1].id_args.empty() &&
+      filter.body[1].predicates.empty()) {
+    const bool on_dst = filter.body[0].direction == Direction::kIn;
+    if (gsa->kind == StepKind::kGraph) {
+      auto* args = on_dst ? &gsa->dst_id_args : &gsa->src_id_args;
+      auto* fixed = on_dst ? &gsa->spec.dst_ids : &gsa->spec.src_ids;
+      if (!args->empty() || !fixed->empty()) return false;
+      *args = filter.body[1].id_args;
+      return true;
+    }
+    if (gsa->kind == StepKind::kVertex && !gsa->to_vertex) {
+      bool all_literals = true;
+      for (const GremlinArg& arg : filter.body[1].id_args) {
+        all_literals &= !arg.is_var();
+      }
+      if (!all_literals) return false;
+      auto* fixed = on_dst ? &gsa->spec.dst_ids : &gsa->spec.src_ids;
+      if (!fixed->empty()) return false;
+      for (const GremlinArg& arg : filter.body[1].id_args) {
+        fixed->push_back(arg.literal);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void ApplyPredicatePushdown(std::vector<Step>* steps) {
+  for (size_t i = 0; i < steps->size(); ++i) {
+    if (!(*steps)[i].IsGsa()) continue;
+    while (i + 1 < steps->size() &&
+           FoldFilterInto(&(*steps)[i], (*steps)[i + 1])) {
+      steps->erase(steps->begin() + i + 1);
+    }
+  }
+}
+
+// ---- Strategy 2: projection pushdown -----------------------------------
+
+void ApplyProjectionPushdown(std::vector<Step>* steps) {
+  for (size_t i = 0; i + 1 < steps->size(); ++i) {
+    Step& gsa = (*steps)[i];
+    if (!gsa.IsGsa()) continue;
+    const Step& next = (*steps)[i + 1];
+    if (next.kind == StepKind::kValues && !next.keys.empty()) {
+      gsa.spec.has_projection = true;
+      gsa.spec.projection = next.keys;
+    } else if (next.kind == StepKind::kId ||
+               next.kind == StepKind::kLabel ||
+               (next.kind == StepKind::kAggregate &&
+                next.agg == AggOp::kCount)) {
+      // Only required fields are consumed downstream.
+      gsa.spec.has_projection = true;
+      gsa.spec.projection.clear();
+    }
+  }
+}
+
+// ---- Strategy 3: aggregate pushdown -------------------------------------
+
+void ApplyAggregatePushdown(std::vector<Step>* steps) {
+  for (size_t i = 0; i < steps->size(); ++i) {
+    Step& gsa = (*steps)[i];
+    // Foldable targets: GraphSteps, and adjacency steps that emit edges
+    // (out()/in() emit vertices via EdgeEndpoints and cannot carry an
+    // aggregate through).
+    bool foldable = gsa.kind == StepKind::kGraph ||
+                    (gsa.kind == StepKind::kVertex && !gsa.to_vertex);
+    if (!foldable) continue;
+    if (gsa.spec.agg != AggOp::kNone) continue;
+    // GSA + count().
+    if (i + 1 < steps->size() &&
+        (*steps)[i + 1].kind == StepKind::kAggregate &&
+        (*steps)[i + 1].agg == AggOp::kCount) {
+      gsa.spec.agg = AggOp::kCount;
+      steps->erase(steps->begin() + i + 1);
+      continue;
+    }
+    // GSA + values(key) + sum()/mean()/min()/max()/count().
+    if (i + 2 < steps->size() && (*steps)[i + 1].kind == StepKind::kValues &&
+        (*steps)[i + 1].keys.size() == 1 &&
+        (*steps)[i + 2].kind == StepKind::kAggregate) {
+      gsa.spec.agg = (*steps)[i + 2].agg;
+      gsa.spec.agg_key = (*steps)[i + 1].keys[0];
+      steps->erase(steps->begin() + i + 1, steps->begin() + i + 3);
+      continue;
+    }
+  }
+}
+
+// path()/simplePath() read the traverser history; the
+// GraphStep::VertexStep mutation changes that history (the skipped vertex
+// no longer appears), so it must not run in path-observing traversals.
+bool ObservesPaths(const std::vector<Step>& steps) {
+  for (const Step& step : steps) {
+    if (step.kind == StepKind::kPath || step.kind == StepKind::kSimplePath) {
+      return true;
+    }
+    if (ObservesPaths(step.body)) return true;
+    for (const auto& branch : step.branches) {
+      if (ObservesPaths(branch)) return true;
+    }
+  }
+  return false;
+}
+
+void ApplyToSteps(std::vector<Step>* steps, const StrategyOptions& options) {
+  // Recurse into sub-plans first (repeat bodies benefit from folding too).
+  for (Step& step : *steps) {
+    if (!step.body.empty() && step.kind == StepKind::kRepeat) {
+      ApplyToSteps(&step.body, options);
+    }
+    for (auto& branch : step.branches) {
+      ApplyToSteps(&branch, options);
+    }
+  }
+  if (options.graphstep_vertexstep_mutation && !ObservesPaths(*steps)) {
+    ApplyMutation(steps);
+  }
+  if (options.predicate_pushdown) ApplyPredicatePushdown(steps);
+  if (options.projection_pushdown) ApplyProjectionPushdown(steps);
+  if (options.aggregate_pushdown) ApplyAggregatePushdown(steps);
+}
+
+}  // namespace
+
+void ApplyStrategies(gremlin::Traversal* traversal,
+                     const StrategyOptions& options) {
+  ApplyToSteps(&traversal->steps, options);
+}
+
+void ApplyStrategies(gremlin::Script* script,
+                     const StrategyOptions& options) {
+  for (gremlin::ScriptStatement& stmt : script->statements) {
+    ApplyStrategies(&stmt.traversal, options);
+  }
+}
+
+}  // namespace db2graph::core

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The Traversal Strategy module (paper Section 6.2): data-independent
+// plan rewrites applied at query-compilation time, before any data access.
+// Each strategy is individually toggleable (Fig. 4 turns them all off;
+// the ablation bench flips them one at a time):
+//
+//  1. Predicate pushdown — fold trailing filter steps (has/hasLabel/hasId
+//     and the where(inV().hasId(x)) endpoint shape) into the preceding
+//     GSA step's LookupSpec.
+//  2. Projection pushdown — a GSA step followed by values(keys...) fetches
+//     only those properties.
+//  3. Aggregate pushdown — a GSA step followed by count()/sum()/... folds
+//     the aggregate into the spec ("SELECT COUNT(*) ...").
+//  4. GraphStep::VertexStep mutation — g.V(ids).outE() skips the vertex
+//     fetch and becomes an edge GraphStep constrained by src ids;
+//     g.V(ids).out() additionally appends an EdgeVertexStep.
+
+#ifndef DB2GRAPH_CORE_STRATEGIES_H_
+#define DB2GRAPH_CORE_STRATEGIES_H_
+
+#include "gremlin/step.h"
+
+namespace db2graph::core {
+
+struct StrategyOptions {
+  bool predicate_pushdown = true;
+  bool projection_pushdown = true;
+  bool aggregate_pushdown = true;
+  bool graphstep_vertexstep_mutation = true;
+
+  static StrategyOptions AllOff() {
+    StrategyOptions o;
+    o.predicate_pushdown = o.projection_pushdown = o.aggregate_pushdown =
+        o.graphstep_vertexstep_mutation = false;
+    return o;
+  }
+};
+
+/// Applies the enabled strategies to `traversal` in the paper's order
+/// (mutation, then predicate, then projection, then aggregate pushdown),
+/// recursing into repeat() bodies. The rewritten plan computes identical
+/// results; only the generated SQL changes.
+void ApplyStrategies(gremlin::Traversal* traversal,
+                     const StrategyOptions& options = {});
+
+/// Same, applied to every traversal in a script.
+void ApplyStrategies(gremlin::Script* script,
+                     const StrategyOptions& options = {});
+
+}  // namespace db2graph::core
+
+#endif  // DB2GRAPH_CORE_STRATEGIES_H_

@@ -1,0 +1,167 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The TinkerPop-style "core API" seam (paper Section 3): property-graph
+// element types plus the abstract GraphProvider interface that graph
+// back ends implement. Db2 Graph's Graph Structure module, the native
+// GDB-X simulator, and the JanusGraph-like baseline all plug in here, so
+// the Gremlin interpreter runs identical queries against all three.
+//
+// The LookupSpec carries the *extended* structure-API pushdown information
+// of Section 6: ids, labels, property predicates, endpoint constraints,
+// projections, and aggregates. Providers are free to ignore any hint
+// (except ids/endpoints, which are semantic); the interpreter re-applies
+// filters client-side, so pushdown only ever reduces transferred data.
+
+#ifndef DB2GRAPH_GREMLIN_GRAPH_API_H_
+#define DB2GRAPH_GREMLIN_GRAPH_API_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace db2graph::gremlin {
+
+/// Base of vertices and edges: id, label, properties, and provenance.
+struct Element {
+  Value id;
+  std::string label;
+  std::vector<std::pair<std::string, Value>> properties;
+
+  /// The overlay/storage table this element came from ("" when the back
+  /// end has no table notion). Drives the paper's Section 6.3
+  /// data-dependent optimizations.
+  std::string source_table;
+
+  /// Provider-private provenance payload (e.g. the originating row and
+  /// overlay-table index in Db2 Graph, enabling the "vertex table is also
+  /// an edge table" shortcut). Opaque to the interpreter.
+  std::shared_ptr<const void> provenance;
+
+  /// Property value by key; nullptr when absent.
+  const Value* FindProperty(const std::string& key) const {
+    for (const auto& [k, v] : properties) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct Vertex : Element {};
+
+struct Edge : Element {
+  Value src_id;
+  Value dst_id;
+};
+
+using VertexPtr = std::shared_ptr<const Vertex>;
+using EdgePtr = std::shared_ptr<const Edge>;
+
+/// Traversal direction relative to a vertex.
+enum class Direction { kOut, kIn, kBoth };
+
+/// Comparison predicate on one property, pushed down to providers
+/// (Gremlin P.eq/neq/lt/lte/gt/gte/within).
+struct PropPredicate {
+  enum class Op {
+    kEq,
+    kNeq,
+    kLt,
+    kLte,
+    kGt,
+    kGte,
+    kWithin,
+    kWithout,
+    kExists,  // has(key): the property merely needs to be present
+  };
+  std::string key;
+  Op op = Op::kEq;
+  std::vector<Value> values;  // 1 value for scalar ops, n for within/without
+
+  bool Matches(const Value& v) const;
+  /// Evaluates against an element ("~id" and "~label" address the id and
+  /// label fields; anything else is a property key — absent property fails).
+  bool Matches(const Element& element) const;
+};
+
+/// Reserved predicate keys addressing required fields.
+inline const char kIdKey[] = "~id";
+inline const char kLabelKey[] = "~label";
+
+/// Client-side-computable aggregate, also pushed down when supported.
+enum class AggOp { kNone, kCount, kSum, kMean, kMin, kMax };
+
+/// What to retrieve, with every pushdown hint the optimized traversal
+/// strategies may fold in.
+struct LookupSpec {
+  std::vector<Value> ids;       // empty = unconstrained
+  std::vector<std::string> labels;
+  std::vector<PropPredicate> predicates;
+
+  // Edge lookups only: constrain endpoints ("SELECT ... WHERE src_v IN").
+  std::vector<Value> src_ids;
+  std::vector<Value> dst_ids;
+
+  // Projection pushdown: property names the traversal will consume
+  // (empty = all properties). Ids/labels are always retrieved.
+  std::vector<std::string> projection;
+  bool has_projection = false;
+
+  // Aggregate pushdown: when set, a supporting provider returns the
+  // aggregate instead of the elements.
+  AggOp agg = AggOp::kNone;
+  std::string agg_key;  // property for sum/mean/min/max
+
+  bool HasIdConstraint() const { return !ids.empty(); }
+};
+
+/// Abstract graph back end. All methods are thread-safe for concurrent
+/// readers.
+class GraphProvider {
+ public:
+  virtual ~GraphProvider() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Vertices matching `spec` (ids/labels/predicates conjunctive).
+  virtual Status Vertices(const LookupSpec& spec,
+                          std::vector<VertexPtr>* out) = 0;
+
+  /// Edges matching `spec`, including src/dst endpoint constraints.
+  virtual Status Edges(const LookupSpec& spec,
+                       std::vector<EdgePtr>* out) = 0;
+
+  /// Edges incident to `from` in direction `dir`, also matching `spec`
+  /// (labels/predicates). Default: delegates to Edges() with endpoint
+  /// constraints; providers with provenance-aware pruning override.
+  virtual Status AdjacentEdges(const std::vector<VertexPtr>& from,
+                               Direction dir, const LookupSpec& spec,
+                               std::vector<EdgePtr>* out);
+
+  /// Endpoint vertices of `edges` (kOut = source, kIn = destination),
+  /// matching `spec`. Default: delegates to Vertices() by id; providers
+  /// can use per-edge table provenance to do better.
+  virtual Status EdgeEndpoints(const std::vector<EdgePtr>& edges,
+                               Direction endpoint, const LookupSpec& spec,
+                               std::vector<VertexPtr>* out);
+
+  /// Aggregate pushdown. Providers that can compute spec.agg natively
+  /// (e.g. SELECT COUNT(*)) return the value; default is Unsupported and
+  /// the interpreter aggregates client-side.
+  virtual Result<Value> AggregateVertices(const LookupSpec& spec);
+  virtual Result<Value> AggregateEdges(const LookupSpec& spec);
+
+  /// Whether the provider benefits from the Db2 Graph provider strategies
+  /// (predicate/projection/aggregate pushdown and step mutations).
+  virtual bool SupportsPushdown() const { return false; }
+};
+
+/// Applies labels + predicates of `spec` to an element, client-side.
+bool MatchesSpec(const Element& element, const LookupSpec& spec);
+
+}  // namespace db2graph::gremlin
+
+#endif  // DB2GRAPH_GREMLIN_GRAPH_API_H_

@@ -1,0 +1,829 @@
+#include "gremlin/interpreter.h"
+
+#include <algorithm>
+#include <map>
+
+namespace db2graph::gremlin {
+
+Traverser Traverser::OfVertex(VertexPtr v) {
+  Traverser t;
+  t.kind = Kind::kVertex;
+  t.vertex = std::move(v);
+  return t;
+}
+
+Traverser Traverser::OfEdge(EdgePtr e) {
+  Traverser t;
+  t.kind = Kind::kEdge;
+  t.edge = std::move(e);
+  return t;
+}
+
+Traverser Traverser::OfValue(Value v) {
+  Traverser t;
+  t.kind = Kind::kValue;
+  t.value = std::move(v);
+  return t;
+}
+
+Traverser Traverser::OfList(std::vector<Value> values) {
+  Traverser t;
+  t.kind = Kind::kList;
+  t.list = std::move(values);
+  return t;
+}
+
+namespace {
+
+// Derived-traverser constructor preserving and extending the path.
+Traverser Derive(const Traverser& parent, Traverser child,
+                 const Value& step_value) {
+  child.path = parent.path;
+  child.path.push_back(step_value);
+  return child;
+}
+
+}  // namespace
+
+const Element* Traverser::element() const {
+  if (kind == Kind::kVertex) return vertex.get();
+  if (kind == Kind::kEdge) return edge.get();
+  return nullptr;
+}
+
+Value Traverser::DedupKey() const {
+  if (const Element* e = element()) return e->id;
+  if (kind == Kind::kList) {
+    std::string joined;
+    for (const Value& v : list) {
+      joined += v.ToString();
+      joined += '\x1f';
+    }
+    return Value(joined);
+  }
+  return value;
+}
+
+std::string Traverser::ToString() const {
+  switch (kind) {
+    case Kind::kVertex:
+      return "v[" + vertex->id.ToString() + "]";
+    case Kind::kEdge:
+      return "e[" + edge->id.ToString() + "][" + edge->src_id.ToString() +
+             "-" + edge->label + "->" + edge->dst_id.ToString() + "]";
+    case Kind::kValue:
+      return value.ToString();
+    case Kind::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += list[i].ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+
+Result<std::vector<Value>> Interpreter::ResolveIds(
+    const std::vector<GremlinArg>& args, const ExecState& state) const {
+  std::vector<Value> out;
+  for (const GremlinArg& arg : args) {
+    if (!arg.is_var()) {
+      out.push_back(arg.literal);
+      continue;
+    }
+    auto it = state.env->find(arg.var);
+    if (it == state.env->end()) {
+      return Status::NotFound("Gremlin: unbound variable '" + arg.var + "'");
+    }
+    for (const Value& v : it->second) out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<Traverser>> Interpreter::Run(const Traversal& traversal,
+                                                const Environment& env) {
+  ExecState state;
+  state.env = &env;
+  std::vector<Traverser> seed;
+  seed.emplace_back();  // a single dummy traverser seeds the GraphStep
+  std::vector<Traverser> out;
+  Status st = Execute(traversal.steps, std::move(seed), &state, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::vector<Traverser>> Interpreter::RunScript(const Script& script,
+                                                      Environment* env) {
+  Environment local;
+  Environment* bindings = env != nullptr ? env : &local;
+  std::vector<Traverser> last;
+  for (const ScriptStatement& stmt : script.statements) {
+    Result<std::vector<Traverser>> result = Run(stmt.traversal, *bindings);
+    if (!result.ok()) return result.status();
+    last = std::move(*result);
+    if (stmt.terminal_next && last.size() > 1) {
+      last.resize(1);
+    }
+    if (!stmt.assign_to.empty()) {
+      std::vector<Value> values;
+      for (const Traverser& t : last) {
+        if (const Element* e = t.element()) {
+          values.push_back(e->id);
+        } else if (t.kind == Traverser::Kind::kList) {
+          for (const Value& v : t.list) values.push_back(v);
+        } else {
+          values.push_back(t.value);
+        }
+      }
+      (*bindings)[stmt.assign_to] = std::move(values);
+    }
+  }
+  return last;
+}
+
+Status Interpreter::Execute(const std::vector<Step>& steps,
+                            std::vector<Traverser> input, ExecState* state,
+                            std::vector<Traverser>* out) {
+  std::vector<Traverser> stream = std::move(input);
+  for (const Step& step : steps) {
+    std::vector<Traverser> next;
+    DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
+    stream = std::move(next);
+  }
+  *out = std::move(stream);
+  return Status::OK();
+}
+
+namespace {
+
+// Client-side aggregation over a traverser stream.
+Value AggregateStream(const std::vector<Traverser>& stream, AggOp op) {
+  if (op == AggOp::kCount) {
+    return Value(static_cast<int64_t>(stream.size()));
+  }
+  int64_t count = 0;
+  double sum = 0;
+  bool all_int = true;
+  int64_t isum = 0;
+  Value min_v;
+  Value max_v;
+  for (const Traverser& t : stream) {
+    Value v = t.kind == Traverser::Kind::kValue ? t.value : t.DedupKey();
+    if (v.is_null()) continue;
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.NumericValue();
+      if (v.is_int()) {
+        isum += v.as_int();
+      } else {
+        all_int = false;
+      }
+    } else {
+      all_int = false;
+    }
+    if (min_v.is_null() || v < min_v) min_v = v;
+    if (max_v.is_null() || v > max_v) max_v = v;
+  }
+  switch (op) {
+    case AggOp::kSum:
+      return count == 0 ? Value::Null()
+                        : (all_int ? Value(isum) : Value(sum));
+    case AggOp::kMean:
+      return count == 0 ? Value::Null()
+                        : Value(sum / static_cast<double>(count));
+    case AggOp::kMin:
+      return min_v;
+    case AggOp::kMax:
+      return max_v;
+    default:
+      return Value::Null();
+  }
+}
+
+}  // namespace
+
+Status Interpreter::ApplyGraphStep(const Step& step,
+                                   std::vector<Traverser> input,
+                                   ExecState* state,
+                                   std::vector<Traverser>* out) {
+  (void)input;  // GraphStep restarts the stream
+  LookupSpec spec = step.spec;
+  Result<std::vector<Value>> ids = ResolveIds(step.start_ids, *state);
+  if (!ids.ok()) return ids.status();
+  for (Value& v : *ids) spec.ids.push_back(std::move(v));
+  Result<std::vector<Value>> src_ids = ResolveIds(step.src_id_args, *state);
+  if (!src_ids.ok()) return src_ids.status();
+  for (Value& v : *src_ids) spec.src_ids.push_back(std::move(v));
+  Result<std::vector<Value>> dst_ids = ResolveIds(step.dst_id_args, *state);
+  if (!dst_ids.ok()) return dst_ids.status();
+  for (Value& v : *dst_ids) spec.dst_ids.push_back(std::move(v));
+  // Id lists carry set semantics (Db2 Graph turns them into SQL IN lists;
+  // duplicates would otherwise duplicate traversers on other providers).
+  auto dedupe = [](std::vector<Value>* values) {
+    std::unordered_set<Value, ValueHash> seen;
+    std::vector<Value> unique;
+    for (Value& v : *values) {
+      if (seen.insert(v).second) unique.push_back(std::move(v));
+    }
+    *values = std::move(unique);
+  };
+  dedupe(&spec.ids);
+  dedupe(&spec.src_ids);
+  dedupe(&spec.dst_ids);
+
+  // Aggregate pushdown: ask the provider first; fall back to client-side.
+  if (spec.agg != AggOp::kNone) {
+    Result<Value> agg = step.graph_emits_edges
+                            ? provider_->AggregateEdges(spec)
+                            : provider_->AggregateVertices(spec);
+    if (agg.ok()) {
+      out->push_back(Traverser::OfValue(*agg));
+      return Status::OK();
+    }
+    if (agg.status().code() != StatusCode::kUnsupported) {
+      return agg.status();
+    }
+    spec.agg = AggOp::kNone;  // fetch elements, aggregate below
+    std::vector<Traverser> fetched;
+    if (step.graph_emits_edges) {
+      std::vector<EdgePtr> edges;
+      DB2G_RETURN_NOT_OK(provider_->Edges(spec, &edges));
+      for (EdgePtr& e : edges) fetched.push_back(Traverser::OfEdge(e));
+    } else {
+      std::vector<VertexPtr> vertices;
+      DB2G_RETURN_NOT_OK(provider_->Vertices(spec, &vertices));
+      for (VertexPtr& v : vertices) {
+        fetched.push_back(Traverser::OfVertex(v));
+      }
+    }
+    // When the aggregate was folded over values(key), aggregate the
+    // property values, not the elements.
+    if (!step.spec.agg_key.empty()) {
+      std::vector<Traverser> values;
+      for (const Traverser& t : fetched) {
+        const Element* e = t.element();
+        if (e == nullptr) continue;
+        if (const Value* v = e->FindProperty(step.spec.agg_key)) {
+          values.push_back(Traverser::OfValue(*v));
+        }
+      }
+      fetched = std::move(values);
+    }
+    out->push_back(Traverser::OfValue(AggregateStream(fetched, step.spec.agg)));
+    return Status::OK();
+  }
+
+  // A pushdown provider fully applies the spec; otherwise re-filter here
+  // (a non-pushdown provider's plan carries no folded predicates, but the
+  // recheck keeps correctness independent of provider quality).
+  const bool recheck = !provider_->SupportsPushdown();
+  if (step.graph_emits_edges) {
+    std::vector<EdgePtr> edges;
+    DB2G_RETURN_NOT_OK(provider_->Edges(spec, &edges));
+    for (EdgePtr& e : edges) {
+      if (recheck && !MatchesSpec(*e, spec)) continue;
+      Traverser t = Traverser::OfEdge(std::move(e));
+      t.path.push_back(t.edge->id);
+      out->push_back(std::move(t));
+    }
+  } else {
+    std::vector<VertexPtr> vertices;
+    DB2G_RETURN_NOT_OK(provider_->Vertices(spec, &vertices));
+    for (VertexPtr& v : vertices) {
+      if (recheck && !MatchesSpec(*v, spec)) continue;
+      Traverser t = Traverser::OfVertex(std::move(v));
+      t.path.push_back(t.vertex->id);
+      out->push_back(std::move(t));
+    }
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ApplyVertexStep(const Step& step,
+                                    std::vector<Traverser> input,
+                                    std::vector<Traverser>* out) {
+  // Gather the distinct source vertices.
+  std::vector<VertexPtr> sources;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const Traverser& t : input) {
+    if (t.kind != Traverser::Kind::kVertex) {
+      return Status::InvalidArgument(
+          "Gremlin: adjacency step applied to a non-vertex");
+    }
+    if (seen.insert(t.vertex->id).second) sources.push_back(t.vertex);
+  }
+  if (sources.empty()) {
+    // A folded aggregate still produces its value over the empty stream
+    // (count() of nothing is 0).
+    if (!step.to_vertex && step.spec.agg != AggOp::kNone) {
+      out->push_back(Traverser::OfValue(AggregateStream({}, step.spec.agg)));
+    }
+    return Status::OK();
+  }
+
+  // Fetch incident edges (labels + any pushed-down *edge* predicates).
+  LookupSpec edge_spec;
+  edge_spec.labels = step.edge_labels;
+  if (!step.to_vertex) {
+    edge_spec.predicates = step.spec.predicates;
+    edge_spec.projection = step.spec.projection;
+    edge_spec.has_projection = step.spec.has_projection;
+    edge_spec.agg = step.spec.agg;
+    edge_spec.agg_key = step.spec.agg_key;
+  }
+
+  // Aggregate pushdown for the common v.outE(lbl).count() shape, only
+  // correct when each traverser is a distinct vertex (the barrier sums
+  // over all input anyway).
+  if (!step.to_vertex && edge_spec.agg == AggOp::kCount &&
+      sources.size() == input.size()) {
+    LookupSpec spec = edge_spec;
+    std::vector<Value> ids;
+    for (const VertexPtr& v : sources) ids.push_back(v->id);
+    if (step.direction == Direction::kOut) {
+      spec.src_ids = ids;
+    } else if (step.direction == Direction::kIn) {
+      spec.dst_ids = ids;
+    }
+    if (step.direction != Direction::kBoth) {
+      Result<Value> agg = provider_->AggregateEdges(spec);
+      if (agg.ok()) {
+        out->push_back(Traverser::OfValue(*agg));
+        return Status::OK();
+      }
+    }
+  }
+  edge_spec.agg = AggOp::kNone;
+
+  std::vector<EdgePtr> edges;
+  DB2G_RETURN_NOT_OK(provider_->AdjacentEdges(sources, step.direction,
+                                              edge_spec, &edges));
+  // Group edges by the endpoint on the source side.
+  const bool recheck = !provider_->SupportsPushdown();
+  std::unordered_map<Value, std::vector<const Edge*>, ValueHash> by_source;
+  for (const EdgePtr& e : edges) {
+    if (recheck && !MatchesSpec(*e, edge_spec)) continue;
+    if (step.direction == Direction::kOut) {
+      by_source[e->src_id].push_back(e.get());
+    } else if (step.direction == Direction::kIn) {
+      by_source[e->dst_id].push_back(e.get());
+    } else {
+      by_source[e->src_id].push_back(e.get());
+      if (!(e->dst_id == e->src_id)) by_source[e->dst_id].push_back(e.get());
+    }
+  }
+  std::unordered_map<Value, EdgePtr, ValueHash> edge_by_id;
+  for (const EdgePtr& e : edges) edge_by_id[e->id] = e;
+
+  if (!step.to_vertex) {
+    // outE/inE/bothE: emit the edges per traverser.
+    std::vector<Traverser> emitted;
+    for (const Traverser& t : input) {
+      auto it = by_source.find(t.vertex->id);
+      if (it == by_source.end()) continue;
+      for (const Edge* e : it->second) {
+        emitted.push_back(
+            Derive(t, Traverser::OfEdge(edge_by_id[e->id]), e->id));
+      }
+    }
+    // An aggregate folded into this step that was not pushed down to the
+    // provider (unsupported, kBoth, duplicate anchors) collapses here.
+    if (step.spec.agg != AggOp::kNone) {
+      std::vector<Traverser> basis;
+      if (!step.spec.agg_key.empty()) {
+        for (const Traverser& t : emitted) {
+          if (const Value* v = t.edge->FindProperty(step.spec.agg_key)) {
+            basis.push_back(Traverser::OfValue(*v));
+          }
+        }
+      } else {
+        basis = std::move(emitted);
+      }
+      out->push_back(Traverser::OfValue(AggregateStream(basis, step.spec.agg)));
+      return Status::OK();
+    }
+    for (Traverser& t : emitted) out->push_back(std::move(t));
+    return Status::OK();
+  }
+
+  // out/in/both: resolve the far endpoint vertices, with the step's vertex
+  // pushdown spec applied.
+  LookupSpec vertex_spec = step.spec;
+  std::vector<EdgePtr> edge_vec(edges.begin(), edges.end());
+  Direction endpoint = step.direction == Direction::kOut
+                           ? Direction::kIn
+                           : step.direction == Direction::kIn
+                                 ? Direction::kOut
+                                 : Direction::kBoth;
+  std::vector<VertexPtr> endpoints;
+  DB2G_RETURN_NOT_OK(provider_->EdgeEndpoints(edge_vec, endpoint, vertex_spec,
+                                              &endpoints));
+  std::unordered_map<Value, VertexPtr, ValueHash> vertex_by_id;
+  for (const VertexPtr& v : endpoints) vertex_by_id[v->id] = v;
+
+  for (const Traverser& t : input) {
+    auto it = by_source.find(t.vertex->id);
+    if (it == by_source.end()) continue;
+    for (const Edge* e : it->second) {
+      // The far endpoint relative to this traverser's vertex.
+      const Value& far = step.direction == Direction::kOut
+                             ? e->dst_id
+                             : step.direction == Direction::kIn
+                                   ? e->src_id
+                                   : (e->src_id == t.vertex->id ? e->dst_id
+                                                                : e->src_id);
+      auto vit = vertex_by_id.find(far);
+      if (vit == vertex_by_id.end()) continue;  // filtered or dangling
+      if (recheck && !MatchesSpec(*vit->second, vertex_spec)) continue;
+      out->push_back(Derive(t, Traverser::OfVertex(vit->second), far));
+    }
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ApplyEdgeVertexStep(const Step& step,
+                                        std::vector<Traverser> input,
+                                        std::vector<Traverser>* out) {
+  std::vector<EdgePtr> edges;
+  for (const Traverser& t : input) {
+    if (t.kind != Traverser::Kind::kEdge) {
+      return Status::InvalidArgument(
+          "Gremlin: outV/inV applied to a non-edge");
+    }
+    edges.push_back(t.edge);
+  }
+  if (edges.empty()) return Status::OK();
+  std::vector<VertexPtr> vertices;
+  DB2G_RETURN_NOT_OK(
+      provider_->EdgeEndpoints(edges, step.direction, step.spec, &vertices));
+  std::unordered_map<Value, VertexPtr, ValueHash> by_id;
+  for (const VertexPtr& v : vertices) by_id[v->id] = v;
+  for (const Traverser& t : input) {
+    auto emit = [&](const Value& id) {
+      auto it = by_id.find(id);
+      if (it == by_id.end()) return;
+      if (!provider_->SupportsPushdown() &&
+          !MatchesSpec(*it->second, step.spec)) {
+        return;
+      }
+      out->push_back(Derive(t, Traverser::OfVertex(it->second), id));
+    };
+    if (step.direction == Direction::kOut ||
+        step.direction == Direction::kBoth) {
+      emit(t.edge->src_id);
+    }
+    if (step.direction == Direction::kIn ||
+        step.direction == Direction::kBoth) {
+      emit(t.edge->dst_id);
+    }
+  }
+  return Status::OK();
+}
+
+Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
+                              ExecState* state,
+                              std::vector<Traverser>* out) {
+  switch (step.kind) {
+    case StepKind::kGraph:
+      return ApplyGraphStep(step, std::move(input), state, out);
+    case StepKind::kVertex:
+      return ApplyVertexStep(step, std::move(input), out);
+    case StepKind::kEdgeVertex:
+      return ApplyEdgeVertexStep(step, std::move(input), out);
+
+    case StepKind::kHas: {
+      std::vector<Value> ids;
+      if (!step.id_args.empty()) {
+        Result<std::vector<Value>> resolved = ResolveIds(step.id_args, *state);
+        if (!resolved.ok()) return resolved.status();
+        ids = std::move(*resolved);
+      }
+      for (Traverser& t : input) {
+        const Element* e = t.element();
+        if (e == nullptr) continue;  // has() on values drops nothing? drop:
+        bool keep = true;
+        if (!ids.empty() &&
+            std::find(ids.begin(), ids.end(), e->id) == ids.end()) {
+          keep = false;
+        }
+        for (const PropPredicate& pred : step.predicates) {
+          if (!pred.Matches(*e)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) out->push_back(std::move(t));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kValues: {
+      for (const Traverser& t : input) {
+        const Element* e = t.element();
+        if (e == nullptr) continue;
+        if (step.keys.empty()) {
+          for (const auto& [k, v] : e->properties) {
+            (void)k;
+            out->push_back(Derive(t, Traverser::OfValue(v), v));
+          }
+        } else {
+          for (const std::string& key : step.keys) {
+            if (const Value* v = e->FindProperty(key)) {
+              out->push_back(Derive(t, Traverser::OfValue(*v), *v));
+            }
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kValueMap: {
+      for (const Traverser& t : input) {
+        const Element* e = t.element();
+        if (e == nullptr) continue;
+        std::string repr = "{";
+        bool first = true;
+        for (const auto& [k, v] : e->properties) {
+          if (!step.keys.empty() &&
+              std::find(step.keys.begin(), step.keys.end(), k) ==
+                  step.keys.end()) {
+            continue;
+          }
+          if (!first) repr += ", ";
+          first = false;
+          repr += k + ": " + v.ToString();
+        }
+        repr += "}";
+        out->push_back(Traverser::OfValue(Value(std::move(repr))));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kId: {
+      for (const Traverser& t : input) {
+        if (const Element* e = t.element()) {
+          out->push_back(Derive(t, Traverser::OfValue(e->id), e->id));
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kLabel: {
+      for (const Traverser& t : input) {
+        if (const Element* e = t.element()) {
+          out->push_back(
+              Derive(t, Traverser::OfValue(Value(e->label)), Value(e->label)));
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kAggregate:
+      out->push_back(Traverser::OfValue(AggregateStream(input, step.agg)));
+      return Status::OK();
+
+    case StepKind::kDedup: {
+      auto& seen = state->dedup_seen[&step];
+      for (Traverser& t : input) {
+        if (seen.insert(t.DedupKey()).second) {
+          out->push_back(std::move(t));
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kLimit: {
+      for (Traverser& t : input) {
+        if (static_cast<int64_t>(out->size()) >= step.high) break;
+        out->push_back(std::move(t));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kRange: {
+      for (int64_t i = step.low;
+           i < static_cast<int64_t>(input.size()) && i < step.high; ++i) {
+        out->push_back(std::move(input[i]));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kOrder: {
+      auto sort_key = [&](const Traverser& t) -> Value {
+        if (!step.keys.empty()) {
+          if (const Element* e = t.element()) {
+            for (const std::string& key : step.keys) {
+              if (const Value* v = e->FindProperty(key)) return *v;
+            }
+            return Value::Null();  // missing property sorts first
+          }
+        }
+        return t.DedupKey();
+      };
+      std::stable_sort(input.begin(), input.end(),
+                       [&](const Traverser& a, const Traverser& b) {
+                         int c = sort_key(a).Compare(sort_key(b));
+                         return step.descending ? c > 0 : c < 0;
+                       });
+      *out = std::move(input);
+      return Status::OK();
+    }
+
+    case StepKind::kRepeat: {
+      std::vector<Traverser> stream = std::move(input);
+      for (int64_t i = 0; i < step.times; ++i) {
+        std::vector<Traverser> next;
+        DB2G_RETURN_NOT_OK(Execute(step.body, std::move(stream), state,
+                                   &next));
+        stream = std::move(next);
+        if (step.emit) {
+          for (const Traverser& t : stream) out->push_back(t);
+        }
+      }
+      if (!step.emit) *out = std::move(stream);
+      return Status::OK();
+    }
+
+    case StepKind::kWhere:
+    case StepKind::kNot: {
+      for (Traverser& t : input) {
+        std::vector<Traverser> sub_out;
+        std::vector<Traverser> seed;
+        seed.push_back(t);
+        DB2G_RETURN_NOT_OK(Execute(step.body, std::move(seed), state,
+                                   &sub_out));
+        bool matched = !sub_out.empty();
+        // A sub-traversal ending in an aggregate always yields one value;
+        // treat count()==0 as no match.
+        if (matched && sub_out.size() == 1 &&
+            sub_out[0].kind == Traverser::Kind::kValue &&
+            sub_out[0].value.is_int() && !step.body.empty() &&
+            step.body.back().kind == StepKind::kAggregate) {
+          matched = sub_out[0].value.as_int() != 0;
+        }
+        if (matched == (step.kind == StepKind::kWhere)) {
+          out->push_back(std::move(t));
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kStore: {
+      auto& store = state->stores[step.side_effect_key];
+      for (Traverser& t : input) {
+        if (const Element* e = t.element()) {
+          store.push_back(e->id);
+        } else if (t.kind == Traverser::Kind::kList) {
+          for (const Value& v : t.list) store.push_back(v);
+        } else {
+          store.push_back(t.value);
+        }
+        out->push_back(std::move(t));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kCap: {
+      auto it = state->stores.find(step.side_effect_key);
+      std::vector<Value> values =
+          it != state->stores.end() ? it->second : std::vector<Value>{};
+      out->push_back(Traverser::OfList(std::move(values)));
+      return Status::OK();
+    }
+
+    case StepKind::kUnion: {
+      for (Traverser& t : input) {
+        for (const auto& branch : step.branches) {
+          std::vector<Traverser> branch_out;
+          std::vector<Traverser> seed;
+          seed.push_back(t);
+          DB2G_RETURN_NOT_OK(Execute(branch, std::move(seed), state,
+                                     &branch_out));
+          for (Traverser& r : branch_out) out->push_back(std::move(r));
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kCoalesce: {
+      for (Traverser& t : input) {
+        for (const auto& branch : step.branches) {
+          std::vector<Traverser> branch_out;
+          std::vector<Traverser> seed;
+          seed.push_back(t);
+          DB2G_RETURN_NOT_OK(Execute(branch, std::move(seed), state,
+                                     &branch_out));
+          if (!branch_out.empty()) {
+            for (Traverser& r : branch_out) out->push_back(std::move(r));
+            break;
+          }
+        }
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kIs: {
+      for (Traverser& t : input) {
+        if (t.kind != Traverser::Kind::kValue) continue;
+        bool keep = true;
+        for (const PropPredicate& pred : step.predicates) {
+          if (!pred.Matches(t.value)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) out->push_back(std::move(t));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kPath: {
+      for (Traverser& t : input) {
+        Traverser p = Traverser::OfList(t.path);
+        p.path = t.path;
+        out->push_back(std::move(p));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kSimplePath: {
+      for (Traverser& t : input) {
+        std::unordered_set<Value, ValueHash> seen;
+        bool simple = true;
+        for (const Value& v : t.path) {
+          if (!seen.insert(v).second) {
+            simple = false;
+            break;
+          }
+        }
+        if (simple) out->push_back(std::move(t));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kTail: {
+      int64_t n = step.high;
+      size_t start = input.size() > static_cast<size_t>(n)
+                         ? input.size() - static_cast<size_t>(n)
+                         : 0;
+      for (size_t i = start; i < input.size(); ++i) {
+        out->push_back(std::move(input[i]));
+      }
+      return Status::OK();
+    }
+
+    case StepKind::kGroupCount: {
+      // Barrier: multiplicity per value/element id, emitted as one list of
+      // alternating [key, count, key, count, ...] sorted by key.
+      std::map<Value, int64_t> counts;
+      for (const Traverser& t : input) {
+        ++counts[t.DedupKey()];
+      }
+      std::vector<Value> flattened;
+      flattened.reserve(counts.size() * 2);
+      for (const auto& [key, count] : counts) {
+        flattened.push_back(key);
+        flattened.push_back(Value(count));
+      }
+      out->push_back(Traverser::OfList(std::move(flattened)));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown step kind");
+}
+
+Result<std::vector<Row>> TraversersToRows(const std::vector<Traverser>& ts,
+                                          size_t arity) {
+  std::vector<Value> flat;
+  for (const Traverser& t : ts) {
+    if (const Element* e = t.element()) {
+      flat.push_back(e->id);
+    } else if (t.kind == Traverser::Kind::kList) {
+      for (const Value& v : t.list) flat.push_back(v);
+    } else {
+      flat.push_back(t.value);
+    }
+  }
+  if (arity == 0) {
+    return Status::InvalidArgument("row arity must be positive");
+  }
+  if (flat.size() % arity != 0) {
+    return Status::InvalidArgument(
+        "graph query produced " + std::to_string(flat.size()) +
+        " values, not a multiple of the declared column count " +
+        std::to_string(arity));
+  }
+  std::vector<Row> rows;
+  rows.reserve(flat.size() / arity);
+  for (size_t i = 0; i < flat.size(); i += arity) {
+    Row row(flat.begin() + i, flat.begin() + i + arity);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace db2graph::gremlin

@@ -1,0 +1,108 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The traversal machine: executes a (possibly strategy-mutated) step plan
+// against any GraphProvider. Filters that were not pushed down are applied
+// client-side here, so providers may ignore pushdown hints without
+// affecting correctness — only performance.
+
+#ifndef DB2GRAPH_GREMLIN_INTERPRETER_H_
+#define DB2GRAPH_GREMLIN_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "gremlin/graph_api.h"
+#include "gremlin/step.h"
+
+namespace db2graph::gremlin {
+
+/// One unit flowing through the traversal: a vertex, an edge, a scalar
+/// value, or a list of values (the result of cap()).
+struct Traverser {
+  enum class Kind { kVertex, kEdge, kValue, kList };
+  Kind kind = Kind::kValue;
+  VertexPtr vertex;
+  EdgePtr edge;
+  Value value;
+  std::vector<Value> list;
+
+  /// Id/value history of the traversal that produced this traverser,
+  /// including the current element (supports path() / simplePath()).
+  std::vector<Value> path;
+
+  static Traverser OfVertex(VertexPtr v);
+  static Traverser OfEdge(EdgePtr e);
+  static Traverser OfValue(Value v);
+  static Traverser OfList(std::vector<Value> values);
+
+  /// The element payload (vertex or edge); nullptr for values/lists.
+  const Element* element() const;
+
+  /// Identity used by dedup(): element id, or the value itself.
+  Value DedupKey() const;
+
+  /// Display rendering (console / examples).
+  std::string ToString() const;
+};
+
+/// Script variable bindings: each variable holds a list of values (ids or
+/// scalars) produced by a terminated traversal.
+using Environment = std::unordered_map<std::string, std::vector<Value>>;
+
+/// Executes traversals and scripts against a provider.
+class Interpreter {
+ public:
+  explicit Interpreter(GraphProvider* provider) : provider_(provider) {}
+
+  /// Runs one traversal with variable bindings.
+  Result<std::vector<Traverser>> Run(const Traversal& traversal,
+                                     const Environment& env = {});
+
+  /// Runs a full script; returns the final statement's output stream.
+  /// Assignments bind intermediate results into the environment.
+  Result<std::vector<Traverser>> RunScript(const Script& script,
+                                           Environment* env = nullptr);
+
+ private:
+  struct ExecState {
+    const Environment* env;
+    std::map<std::string, std::vector<Value>> stores;  // store()/cap()
+    // dedup() keeps its seen-set across repeat() iterations, keyed by the
+    // identity of the step within this execution.
+    std::unordered_map<const Step*, std::unordered_set<Value, ValueHash>>
+        dedup_seen;
+  };
+
+  Status Execute(const std::vector<Step>& steps,
+                 std::vector<Traverser> input, ExecState* state,
+                 std::vector<Traverser>* out);
+  Status ApplyStep(const Step& step, std::vector<Traverser> input,
+                   ExecState* state, std::vector<Traverser>* out);
+
+  Status ApplyGraphStep(const Step& step, std::vector<Traverser> input,
+                        ExecState* state, std::vector<Traverser>* out);
+  Status ApplyVertexStep(const Step& step, std::vector<Traverser> input,
+                         std::vector<Traverser>* out);
+  Status ApplyEdgeVertexStep(const Step& step, std::vector<Traverser> input,
+                             std::vector<Traverser>* out);
+
+  Result<std::vector<Value>> ResolveIds(const std::vector<GremlinArg>& args,
+                                        const ExecState& state) const;
+
+  GraphProvider* provider_;
+};
+
+/// Converts a final traverser stream into value rows of width `arity`
+/// (consecutive values grouped) — the conversion the paper's graphQuery
+/// table function performs (Section 4, footnote 1). Elements contribute
+/// their id; lists are flattened.
+Result<std::vector<Row>> TraversersToRows(const std::vector<Traverser>& ts,
+                                          size_t arity);
+
+}  // namespace db2graph::gremlin
+
+#endif  // DB2GRAPH_GREMLIN_INTERPRETER_H_

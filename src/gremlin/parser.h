@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Gremlin script parser. Supports the traversal subset used throughout the
+// paper: V/E starts, adjacency steps, has-filters with P predicates,
+// values/valueMap projections, aggregates, dedup/limit/range/order,
+// repeat().times().emit(), where()/filter()/not() sub-traversals,
+// store()/aggregate() + cap() side effects, variable assignment between
+// statements, and .next()/.toList()/.iterate() terminals.
+
+#ifndef DB2GRAPH_GREMLIN_PARSER_H_
+#define DB2GRAPH_GREMLIN_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "gremlin/step.h"
+
+namespace db2graph::gremlin {
+
+/// Parses a full script (';'-separated statements).
+Result<Script> ParseGremlin(const std::string& text);
+
+/// Parses a single traversal ("g.V()..." without assignment).
+Result<Traversal> ParseTraversal(const std::string& text);
+
+}  // namespace db2graph::gremlin
+
+#endif  // DB2GRAPH_GREMLIN_PARSER_H_

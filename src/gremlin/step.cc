@@ -1,0 +1,209 @@
+#include "gremlin/step.h"
+
+#include <sstream>
+
+namespace db2graph::gremlin {
+
+const char* StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kGraph:
+      return "GraphStep";
+    case StepKind::kVertex:
+      return "VertexStep";
+    case StepKind::kEdgeVertex:
+      return "EdgeVertexStep";
+    case StepKind::kHas:
+      return "HasStep";
+    case StepKind::kValues:
+      return "PropertiesStep";
+    case StepKind::kValueMap:
+      return "PropertyMapStep";
+    case StepKind::kId:
+      return "IdStep";
+    case StepKind::kLabel:
+      return "LabelStep";
+    case StepKind::kAggregate:
+      return "AggregateStep";
+    case StepKind::kDedup:
+      return "DedupStep";
+    case StepKind::kLimit:
+      return "LimitStep";
+    case StepKind::kRange:
+      return "RangeStep";
+    case StepKind::kOrder:
+      return "OrderStep";
+    case StepKind::kRepeat:
+      return "RepeatStep";
+    case StepKind::kWhere:
+      return "WhereStep";
+    case StepKind::kNot:
+      return "NotStep";
+    case StepKind::kStore:
+      return "StoreStep";
+    case StepKind::kCap:
+      return "CapStep";
+    case StepKind::kUnion:
+      return "UnionStep";
+    case StepKind::kCoalesce:
+      return "CoalesceStep";
+    case StepKind::kIs:
+      return "IsStep";
+    case StepKind::kPath:
+      return "PathStep";
+    case StepKind::kSimplePath:
+      return "SimplePathStep";
+    case StepKind::kTail:
+      return "TailStep";
+    case StepKind::kGroupCount:
+      return "GroupCountStep";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* AggName(AggOp agg) {
+  switch (agg) {
+    case AggOp::kNone:
+      return "none";
+    case AggOp::kCount:
+      return "count";
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMean:
+      return "mean";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+void AppendValueList(const std::vector<Value>& values, std::ostream& os) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ",";
+    os << values[i];
+  }
+}
+
+}  // namespace
+
+std::string Step::ToString() const {
+  std::ostringstream os;
+  os << StepKindName(kind);
+  switch (kind) {
+    case StepKind::kGraph: {
+      os << "(" << (graph_emits_edges ? "E" : "V");
+      if (!start_ids.empty()) {
+        os << " ids=[";
+        for (size_t i = 0; i < start_ids.size(); ++i) {
+          if (i > 0) os << ",";
+          os << (start_ids[i].is_var() ? "$" + start_ids[i].var
+                                       : start_ids[i].literal.ToString());
+        }
+        os << "]";
+      }
+      if (!spec.labels.empty()) {
+        os << " labels=[";
+        for (size_t i = 0; i < spec.labels.size(); ++i) {
+          if (i > 0) os << ",";
+          os << spec.labels[i];
+        }
+        os << "]";
+      }
+      if (!spec.predicates.empty()) os << " preds=" << spec.predicates.size();
+      if (!src_id_args.empty() || !spec.src_ids.empty()) os << " by-src";
+      if (!dst_id_args.empty() || !spec.dst_ids.empty()) os << " by-dst";
+      if (spec.has_projection) os << " proj=" << spec.projection.size();
+      if (spec.agg != AggOp::kNone) os << " agg=" << AggName(spec.agg);
+      os << ")";
+      break;
+    }
+    case StepKind::kVertex: {
+      os << "(";
+      os << (direction == Direction::kOut
+                 ? (to_vertex ? "out" : "outE")
+                 : direction == Direction::kIn ? (to_vertex ? "in" : "inE")
+                                               : (to_vertex ? "both" : "bothE"));
+      for (const std::string& l : edge_labels) os << " " << l;
+      if (!spec.predicates.empty()) os << " preds=" << spec.predicates.size();
+      if (spec.agg != AggOp::kNone) os << " agg=" << AggName(spec.agg);
+      os << ")";
+      break;
+    }
+    case StepKind::kEdgeVertex:
+      os << "("
+         << (direction == Direction::kOut
+                 ? "outV"
+                 : direction == Direction::kIn ? "inV" : "bothV")
+         << ")";
+      break;
+    case StepKind::kHas: {
+      os << "(";
+      for (size_t i = 0; i < predicates.size(); ++i) {
+        if (i > 0) os << ",";
+        os << predicates[i].key << ":";
+        AppendValueList(predicates[i].values, os);
+      }
+      os << ")";
+      break;
+    }
+    case StepKind::kValues:
+    case StepKind::kValueMap: {
+      os << "(";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) os << ",";
+        os << keys[i];
+      }
+      os << ")";
+      break;
+    }
+    case StepKind::kAggregate:
+      os << "(" << AggName(agg) << ")";
+      break;
+    case StepKind::kLimit:
+      os << "(" << high << ")";
+      break;
+    case StepKind::kRange:
+      os << "(" << low << "," << high << ")";
+      break;
+    case StepKind::kRepeat: {
+      os << "(times=" << times << (emit ? " emit" : "") << " body=[";
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (i > 0) os << ".";
+        os << body[i].ToString();
+      }
+      os << "])";
+      break;
+    }
+    case StepKind::kWhere:
+    case StepKind::kNot: {
+      os << "([";
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (i > 0) os << ".";
+        os << body[i].ToString();
+      }
+      os << "])";
+      break;
+    }
+    case StepKind::kStore:
+    case StepKind::kCap:
+      os << "(" << side_effect_key << ")";
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string Traversal::ToString() const {
+  std::string out = "g";
+  for (const Step& step : steps) {
+    out += ".";
+    out += step.ToString();
+  }
+  return out;
+}
+
+}  // namespace db2graph::gremlin

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// LinkBench-shaped synthetic data and workload (paper Section 8, Tables 1
+// and 2): a social-graph dataset with 10 vertex types and 10 edge types,
+// 3 properties per vertex and 4 per edge, a skewed degree distribution
+// with a very large maximum degree, and the four query-only operations
+// (getNode, countLinks, getLink, getLinkList) expressed in Gremlin.
+//
+// Scales are laptop-sized stand-ins for the paper's 10M/100M datasets;
+// the shape (who wins, crossovers) is what the benchmarks reproduce.
+
+#ifndef DB2GRAPH_LINKBENCH_LINKBENCH_H_
+#define DB2GRAPH_LINKBENCH_LINKBENCH_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "overlay/config.h"
+#include "sql/database.h"
+
+namespace db2graph::linkbench {
+
+struct Config {
+  int64_t num_vertices = 40000;
+  double edges_per_vertex = 4.3;  // Table 2's average degree
+  int num_vertex_types = 10;
+  int num_edge_types = 10;
+  /// Fraction of edges landing on the single hottest vertex; the paper's
+  /// datasets have max degree ~= 2.2% of the edge count.
+  double hot_vertex_fraction = 0.022;
+  int payload_bytes = 24;  // size of the 'data' string properties
+  uint64_t seed = 42;
+
+  /// The paper's two scales, shrunk 250x / 2500x.
+  static Config Small() { return Config{}; }
+  static Config Large() {
+    Config c;
+    c.num_vertices = 400000;
+    return c;
+  }
+};
+
+/// One generated vertex row (the LinkBench "node").
+struct Node {
+  int64_t id;
+  int type;  // 0..num_vertex_types-1
+  int64_t version;
+  int64_t time;
+  std::string data;
+};
+
+/// One generated edge row (the LinkBench "link").
+struct Link {
+  int64_t id1;
+  int ltype;  // 0..num_edge_types-1
+  int64_t id2;
+  int64_t visibility;
+  std::string data;
+  int64_t time;
+  int64_t version;
+};
+
+/// Dataset statistics, i.e. the columns of the paper's Table 2.
+struct DatasetStats {
+  int64_t num_vertices = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0;
+  int64_t max_degree = 0;
+  size_t approx_csv_bytes = 0;  // the paper's "CSV File" column
+};
+
+/// A fully generated dataset, loadable into any of the three systems.
+struct Dataset {
+  Config config;
+  std::vector<Node> nodes;
+  std::vector<Link> links;
+
+  DatasetStats Stats() const;
+
+  static std::string VertexLabel(int type) {
+    return "vt" + std::to_string(type);
+  }
+  static std::string EdgeLabel(int type) {
+    return "et" + std::to_string(type);
+  }
+};
+
+/// Generates a dataset deterministically from config.seed.
+Dataset Generate(const Config& config);
+
+/// Creates the Node/Link tables (with the indexes a tuned deployment would
+/// build) and bulk-loads the dataset. This models the paper's premise that
+/// the graph data already lives in the relational database.
+Status LoadIntoDatabase(sql::Database* db, const Dataset& dataset);
+
+/// Overlay mapping the Node/Link tables as a property graph: vertex label
+/// and edge label come from type columns, edge ids are implicit.
+overlay::OverlayConfig MakeOverlay();
+
+/// The four LinkBench query types (paper Table 1).
+enum class QueryType { kGetNode, kCountLinks, kGetLink, kGetLinkList };
+
+const char* QueryTypeName(QueryType type);
+
+/// Generates query instances with parameters drawn from the dataset (ids
+/// biased toward existing links, as LinkBench's query mix does).
+class Workload {
+ public:
+  Workload(const Dataset& dataset, uint64_t seed);
+
+  /// The Gremlin text for one random instance of `type` (Table 1 shapes).
+  std::string Next(QueryType type);
+
+  /// A random instance of a random type (uniform mix).
+  std::string NextMixed();
+
+ private:
+  const Dataset& dataset_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace db2graph::linkbench
+
+#endif  // DB2GRAPH_LINKBENCH_LINKBENCH_H_

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// A partitioned variant of the LinkBench schema: each of the 10 vertex
+// types lives in its own table (fixed label, optionally prefixed ids) and
+// each of the 10 edge types in its own table with declared endpoint
+// vertex tables. This is the layout where the paper's Section 6.3
+// data-dependent optimizations (fixed-label pruning, prefixed-id pinning,
+// src/dst vertex-table pruning) have real work to do — the ablation
+// benchmark runs on it.
+
+#ifndef DB2GRAPH_LINKBENCH_PARTITIONED_H_
+#define DB2GRAPH_LINKBENCH_PARTITIONED_H_
+
+#include "linkbench/linkbench.h"
+
+namespace db2graph::linkbench {
+
+/// Generates a dataset in which vertex type = id % 10 and edge type k
+/// only connects type (k % 10) sources to type ((k + 3) % 10)
+/// destinations, so each edge table's endpoints are pinned to one vertex
+/// table each.
+Dataset GeneratePartitioned(const Config& config);
+
+/// Creates Node_t0..Node_t9 and Link_e0..Link_e9 and loads the dataset.
+Status LoadIntoPartitionedDatabase(sql::Database* db,
+                                   const Dataset& dataset);
+
+/// Overlay with fixed labels, implicit edge ids, and declared src/dst
+/// vertex tables. With `prefixed_ids`, vertex ids become 'vtK'::id
+/// (enabling prefixed-id table pinning); otherwise they are the plain
+/// integer ids LinkBench queries use.
+overlay::OverlayConfig MakePartitionedOverlay(bool prefixed_ids = false);
+
+/// Renders the prefixed vertex id of a node ("vt3::13").
+std::string PartitionedVertexId(int64_t node_id);
+
+/// Gremlin for the four query types against the partitioned overlay
+/// (prefixed vertex ids).
+class PartitionedWorkload {
+ public:
+  PartitionedWorkload(const Dataset& dataset, uint64_t seed)
+      : dataset_(dataset), rng_(seed) {}
+
+  std::string Next(QueryType type);
+
+ private:
+  const Dataset& dataset_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace db2graph::linkbench
+
+#endif  // DB2GRAPH_LINKBENCH_PARTITIONED_H_

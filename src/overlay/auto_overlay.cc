@@ -1,0 +1,154 @@
+#include "overlay/auto_overlay.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace db2graph::overlay {
+
+namespace {
+
+// combine(t.uniqueID, columns): the table name as constant identifier
+// followed by the key columns (paper Algorithm 2).
+FieldDef PrefixedField(const std::string& table_identifier,
+                       const std::vector<std::string>& columns) {
+  FieldDef def;
+  def.parts.push_back({true, table_identifier});
+  for (const std::string& c : columns) {
+    def.parts.push_back({false, c});
+  }
+  return def;
+}
+
+std::vector<std::string> RemainingColumns(
+    const sql::TableSchema& schema,
+    const std::vector<std::vector<std::string>>& used_sets) {
+  std::vector<std::string> out;
+  for (const sql::ColumnDef& col : schema.columns) {
+    bool used = false;
+    for (const auto& set : used_sets) {
+      for (const std::string& u : set) {
+        if (EqualsIgnoreCase(u, col.name)) {
+          used = true;
+          break;
+        }
+      }
+      if (used) break;
+    }
+    if (!used) out.push_back(col.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OverlayConfig> AutoOverlay(const sql::Database& db,
+                                  const std::vector<std::string>& tables) {
+  // Step 1: gather metadata for the selected tables.
+  std::vector<std::string> selected =
+      tables.empty() ? db.TableNames() : tables;
+  std::vector<const sql::TableSchema*> schemas;
+  for (const std::string& name : selected) {
+    const sql::TableSchema* schema = db.GetSchema(name);
+    if (schema == nullptr) {
+      return Status::NotFound("AutoOverlay: no table named " + name);
+    }
+    schemas.push_back(schema);
+  }
+  auto is_selected = [&](const std::string& name) {
+    for (const sql::TableSchema* s : schemas) {
+      if (EqualsIgnoreCase(s->name, name)) return true;
+    }
+    return false;
+  };
+
+  // Step 2 (Algorithm 1): classify vertex and edge tables.
+  std::vector<const sql::TableSchema*> vertex_tables;
+  std::vector<const sql::TableSchema*> edge_tables;
+  for (const sql::TableSchema* schema : schemas) {
+    if (schema->has_primary_key()) {
+      vertex_tables.push_back(schema);
+      if (!schema->foreign_keys.empty()) edge_tables.push_back(schema);
+    } else if (schema->foreign_keys.size() >= 2) {
+      edge_tables.push_back(schema);
+    }
+  }
+  if (vertex_tables.empty()) {
+    return Status::InvalidArgument(
+        "AutoOverlay: no table with a primary key; cannot infer a vertex "
+        "set (specify the overlay manually)");
+  }
+
+  // Step 3 (Algorithm 2): generate the configuration.
+  OverlayConfig config;
+  for (const sql::TableSchema* schema : vertex_tables) {
+    VertexTableConf conf;
+    conf.table_name = schema->name;
+    conf.prefixed_id = true;
+    conf.id = PrefixedField(schema->name, schema->primary_key);
+    conf.label.fixed = true;
+    conf.label.value = schema->name;
+    conf.properties = RemainingColumns(*schema, {schema->primary_key});
+    conf.properties_specified = true;
+    config.v_tables.push_back(std::move(conf));
+  }
+
+  for (const sql::TableSchema* schema : edge_tables) {
+    // Every FK endpoint must map onto a selected vertex table.
+    for (const sql::ForeignKey& fk : schema->foreign_keys) {
+      if (!is_selected(fk.ref_table)) {
+        return Status::NotFound(
+            "AutoOverlay: " + schema->name + " references table " +
+            fk.ref_table + " which is not among the selected tables");
+      }
+    }
+    if (schema->has_primary_key()) {
+      // One edge table per foreign key: this-row -> referenced-row.
+      for (const sql::ForeignKey& fk : schema->foreign_keys) {
+        EdgeTableConf conf;
+        conf.table_name = schema->name;
+        conf.implicit_edge_id = true;
+        conf.src_v_table = schema->name;
+        conf.src_v = PrefixedField(schema->name, schema->primary_key);
+        conf.dst_v_table = fk.ref_table;
+        const sql::TableSchema* ref = db.GetSchema(fk.ref_table);
+        if (ref == nullptr || !ref->has_primary_key()) {
+          return Status::InvalidArgument(
+              "AutoOverlay: FK of " + schema->name + " references " +
+              fk.ref_table + " which has no primary key");
+        }
+        conf.dst_v = PrefixedField(fk.ref_table, fk.columns);
+        conf.label.fixed = true;
+        conf.label.value = schema->name + "_" + fk.ref_table;
+        conf.properties = RemainingColumns(
+            *schema, {schema->primary_key, fk.columns});
+        conf.properties_specified = true;
+        config.e_tables.push_back(std::move(conf));
+      }
+    } else {
+      // One edge table per pair of foreign keys (many-to-many).
+      const auto& fks = schema->foreign_keys;
+      for (size_t i = 0; i < fks.size(); ++i) {
+        for (size_t j = i + 1; j < fks.size(); ++j) {
+          EdgeTableConf conf;
+          conf.table_name = schema->name;
+          conf.implicit_edge_id = true;
+          conf.src_v_table = fks[i].ref_table;
+          conf.src_v = PrefixedField(fks[i].ref_table, fks[i].columns);
+          conf.dst_v_table = fks[j].ref_table;
+          conf.dst_v = PrefixedField(fks[j].ref_table, fks[j].columns);
+          conf.label.fixed = true;
+          conf.label.value = fks[i].ref_table + "_" + schema->name + "_" +
+                             fks[j].ref_table;
+          conf.properties =
+              RemainingColumns(*schema, {fks[i].columns, fks[j].columns});
+          conf.properties_specified = true;
+          config.e_tables.push_back(std::move(conf));
+        }
+      }
+    }
+  }
+  return config;
+}
+
+}  // namespace db2graph::overlay

@@ -1,0 +1,29 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The AutoOverlay toolkit (paper Section 5.1, Algorithms 1 and 2):
+// derives an overlay configuration from the catalog's primary-key and
+// foreign-key constraints. Any table with a primary key becomes a vertex
+// table; a table with a primary key and foreign keys additionally becomes
+// one edge table per foreign key; a table with k >= 2 foreign keys and no
+// primary key becomes one edge table per pair of foreign keys.
+
+#ifndef DB2GRAPH_OVERLAY_AUTO_OVERLAY_H_
+#define DB2GRAPH_OVERLAY_AUTO_OVERLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "overlay/config.h"
+#include "sql/database.h"
+
+namespace db2graph::overlay {
+
+/// Generates an overlay for the listed tables (all base tables when
+/// `tables` is empty). Fails when a referenced table lacks the metadata
+/// the algorithms need (e.g. an FK referencing a non-selected table).
+Result<OverlayConfig> AutoOverlay(const sql::Database& db,
+                                  const std::vector<std::string>& tables = {});
+
+}  // namespace db2graph::overlay
+
+#endif  // DB2GRAPH_OVERLAY_AUTO_OVERLAY_H_

@@ -1,0 +1,262 @@
+#include "overlay/config.h"
+
+#include "common/strings.h"
+
+namespace db2graph::overlay {
+
+std::vector<std::string> FieldDef::Columns() const {
+  std::vector<std::string> out;
+  for (const Part& p : parts) {
+    if (!p.is_constant) out.push_back(p.text);
+  }
+  return out;
+}
+
+std::string FieldDef::Prefix() const {
+  if (!parts.empty() && parts[0].is_constant) return parts[0].text;
+  return "";
+}
+
+Result<FieldDef> FieldDef::Parse(const std::string& text) {
+  FieldDef def;
+  for (const std::string& raw : Split(text, kIdSeparator)) {
+    std::string part = Trim(raw);
+    if (part.empty()) {
+      return Status::InvalidArgument("overlay: empty id part in '" + text +
+                                     "'");
+    }
+    Part p;
+    if (part.front() == '\'') {
+      if (part.size() < 2 || part.back() != '\'') {
+        return Status::InvalidArgument(
+            "overlay: unterminated constant in '" + text + "'");
+      }
+      p.is_constant = true;
+      p.text = part.substr(1, part.size() - 2);
+    } else {
+      p.text = part;
+    }
+    def.parts.push_back(std::move(p));
+  }
+  if (def.parts.empty()) {
+    return Status::InvalidArgument("overlay: empty field definition");
+  }
+  return def;
+}
+
+std::string FieldDef::ToString() const {
+  std::vector<std::string> rendered;
+  for (const Part& p : parts) {
+    rendered.push_back(p.is_constant ? "'" + p.text + "'" : p.text);
+  }
+  return Join(rendered, kIdSeparator);
+}
+
+namespace {
+
+Result<LabelDef> ParseLabel(const Json& table, bool fix_label) {
+  LabelDef def;
+  def.fixed = fix_label;
+  std::string raw = table.GetString("label", "");
+  if (raw.empty()) {
+    return Status::InvalidArgument("overlay: table entry is missing 'label'");
+  }
+  if (raw.front() == '\'' && raw.size() >= 2 && raw.back() == '\'') {
+    def.fixed = true;  // a quoted label is constant even without fix_label
+    def.value = raw.substr(1, raw.size() - 2);
+  } else if (fix_label) {
+    def.value = raw;  // fix_label with unquoted constant
+  } else {
+    def.value = raw;  // column name
+  }
+  return def;
+}
+
+Status ParseProperties(const Json& table, std::vector<std::string>* props,
+                       bool* specified) {
+  const Json* list = table.Find("properties");
+  if (list == nullptr) {
+    *specified = false;
+    return Status::OK();
+  }
+  if (!list->is_array()) {
+    return Status::InvalidArgument("overlay: 'properties' must be an array");
+  }
+  *specified = true;
+  for (const Json& item : list->items()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument(
+          "overlay: 'properties' entries must be strings");
+    }
+    props->push_back(item.as_string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OverlayConfig> OverlayConfig::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("overlay: config must be a JSON object");
+  }
+  OverlayConfig config;
+  const Json* v_tables = json.Find("v_tables");
+  if (v_tables == nullptr || !v_tables->is_array() ||
+      v_tables->items().empty()) {
+    return Status::InvalidArgument(
+        "overlay: config requires a non-empty 'v_tables' array");
+  }
+  for (const Json& entry : v_tables->items()) {
+    VertexTableConf conf;
+    conf.table_name = entry.GetString("table_name", "");
+    if (conf.table_name.empty()) {
+      return Status::InvalidArgument("overlay: v_table missing 'table_name'");
+    }
+    conf.prefixed_id = entry.GetBool("prefixed_id", false);
+    std::string id_text = entry.GetString("id", "");
+    if (id_text.empty()) {
+      return Status::InvalidArgument("overlay: v_table " + conf.table_name +
+                                     " missing 'id'");
+    }
+    Result<FieldDef> id = FieldDef::Parse(id_text);
+    if (!id.ok()) return id.status();
+    conf.id = std::move(*id);
+    if (conf.prefixed_id && conf.id.Prefix().empty()) {
+      return Status::InvalidArgument(
+          "overlay: v_table " + conf.table_name +
+          " sets prefixed_id but its id has no constant prefix");
+    }
+    Result<LabelDef> label =
+        ParseLabel(entry, entry.GetBool("fix_label", false));
+    if (!label.ok()) return label.status();
+    conf.label = std::move(*label);
+    DB2G_RETURN_NOT_OK(ParseProperties(entry, &conf.properties,
+                                       &conf.properties_specified));
+    config.v_tables.push_back(std::move(conf));
+  }
+
+  const Json* e_tables = json.Find("e_tables");
+  if (e_tables != nullptr) {
+    if (!e_tables->is_array()) {
+      return Status::InvalidArgument("overlay: 'e_tables' must be an array");
+    }
+    for (const Json& entry : e_tables->items()) {
+      EdgeTableConf conf;
+      conf.table_name = entry.GetString("table_name", "");
+      if (conf.table_name.empty()) {
+        return Status::InvalidArgument(
+            "overlay: e_table missing 'table_name'");
+      }
+      conf.src_v_table = entry.GetString("src_v_table", "");
+      conf.dst_v_table = entry.GetString("dst_v_table", "");
+      std::string src_text = entry.GetString("src_v", "");
+      std::string dst_text = entry.GetString("dst_v", "");
+      if (src_text.empty() || dst_text.empty()) {
+        return Status::InvalidArgument("overlay: e_table " + conf.table_name +
+                                       " needs 'src_v' and 'dst_v'");
+      }
+      Result<FieldDef> src = FieldDef::Parse(src_text);
+      if (!src.ok()) return src.status();
+      conf.src_v = std::move(*src);
+      Result<FieldDef> dst = FieldDef::Parse(dst_text);
+      if (!dst.ok()) return dst.status();
+      conf.dst_v = std::move(*dst);
+
+      conf.implicit_edge_id = entry.GetBool("implicit_edge_id", false);
+      conf.prefixed_edge_id = entry.GetBool("prefixed_edge_id", false);
+      std::string id_text = entry.GetString("id", "");
+      if (conf.implicit_edge_id) {
+        if (!id_text.empty()) {
+          return Status::InvalidArgument(
+              "overlay: e_table " + conf.table_name +
+              " sets implicit_edge_id and an explicit 'id'");
+        }
+      } else {
+        if (id_text.empty()) {
+          return Status::InvalidArgument(
+              "overlay: e_table " + conf.table_name +
+              " needs either 'id' or implicit_edge_id");
+        }
+        Result<FieldDef> id = FieldDef::Parse(id_text);
+        if (!id.ok()) return id.status();
+        conf.id = std::move(*id);
+        if (conf.prefixed_edge_id && conf.id.Prefix().empty()) {
+          return Status::InvalidArgument(
+              "overlay: e_table " + conf.table_name +
+              " sets prefixed_edge_id but its id has no constant prefix");
+        }
+      }
+      Result<LabelDef> label =
+          ParseLabel(entry, entry.GetBool("fix_label", false));
+      if (!label.ok()) return label.status();
+      conf.label = std::move(*label);
+      DB2G_RETURN_NOT_OK(ParseProperties(entry, &conf.properties,
+                                         &conf.properties_specified));
+      config.e_tables.push_back(std::move(conf));
+    }
+  }
+  return config;
+}
+
+Result<OverlayConfig> OverlayConfig::Parse(const std::string& json_text) {
+  Result<Json> json = Json::Parse(json_text);
+  if (!json.ok()) return json.status();
+  return FromJson(*json);
+}
+
+Json OverlayConfig::ToJson() const {
+  Json root = Json::Object();
+  Json v_tables = Json::Array();
+  for (const VertexTableConf& conf : this->v_tables) {
+    Json entry = Json::Object();
+    entry.Set("table_name", Json::Str(conf.table_name));
+    if (conf.prefixed_id) entry.Set("prefixed_id", Json::Bool(true));
+    entry.Set("id", Json::Str(conf.id.ToString()));
+    if (conf.label.fixed) entry.Set("fix_label", Json::Bool(true));
+    entry.Set("label", Json::Str(conf.label.fixed ? "'" + conf.label.value +
+                                                        "'"
+                                                  : conf.label.value));
+    if (conf.properties_specified) {
+      Json props = Json::Array();
+      for (const std::string& p : conf.properties) props.Append(Json::Str(p));
+      entry.Set("properties", std::move(props));
+    }
+    v_tables.Append(std::move(entry));
+  }
+  root.Set("v_tables", std::move(v_tables));
+  Json e_tables = Json::Array();
+  for (const EdgeTableConf& conf : this->e_tables) {
+    Json entry = Json::Object();
+    entry.Set("table_name", Json::Str(conf.table_name));
+    if (!conf.src_v_table.empty()) {
+      entry.Set("src_v_table", Json::Str(conf.src_v_table));
+    }
+    entry.Set("src_v", Json::Str(conf.src_v.ToString()));
+    if (!conf.dst_v_table.empty()) {
+      entry.Set("dst_v_table", Json::Str(conf.dst_v_table));
+    }
+    entry.Set("dst_v", Json::Str(conf.dst_v.ToString()));
+    if (conf.implicit_edge_id) {
+      entry.Set("implicit_edge_id", Json::Bool(true));
+    } else {
+      if (conf.prefixed_edge_id) {
+        entry.Set("prefixed_edge_id", Json::Bool(true));
+      }
+      entry.Set("id", Json::Str(conf.id.ToString()));
+    }
+    if (conf.label.fixed) entry.Set("fix_label", Json::Bool(true));
+    entry.Set("label", Json::Str(conf.label.fixed ? "'" + conf.label.value +
+                                                        "'"
+                                                  : conf.label.value));
+    if (conf.properties_specified) {
+      Json props = Json::Array();
+      for (const std::string& p : conf.properties) props.Append(Json::Str(p));
+      entry.Set("properties", std::move(props));
+    }
+    e_tables.Append(std::move(entry));
+  }
+  root.Set("e_tables", std::move(e_tables));
+  return root;
+}
+
+}  // namespace db2graph::overlay

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Graph overlay configuration (paper Section 5): the JSON document that
+// maps a property graph's vertex set and edge set onto relational tables
+// or views, with prefixed ids, fixed labels, implicit edge ids, and
+// explicit property lists.
+
+#ifndef DB2GRAPH_OVERLAY_CONFIG_H_
+#define DB2GRAPH_OVERLAY_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace db2graph::overlay {
+
+/// An id / src_v / dst_v definition: a '::'-joined sequence of parts, each
+/// a quoted string constant ('patient') or a table column (patientID),
+/// e.g. "'patient'::patientID" or "'ontology'::sourceID::targetID".
+struct FieldDef {
+  struct Part {
+    bool is_constant = false;
+    std::string text;  // constant value or column name
+
+    bool operator==(const Part& o) const {
+      return is_constant == o.is_constant && text == o.text;
+    }
+  };
+  std::vector<Part> parts;
+
+  bool empty() const { return parts.empty(); }
+  /// Column names referenced (non-constant parts, in order).
+  std::vector<std::string> Columns() const;
+  /// The leading constant, when the definition is prefixed ("" otherwise).
+  std::string Prefix() const;
+  bool SingleColumn() const {
+    return parts.size() == 1 && !parts[0].is_constant;
+  }
+
+  /// Parses "'patient'::patientID" syntax.
+  static Result<FieldDef> Parse(const std::string& text);
+  std::string ToString() const;
+
+  bool operator==(const FieldDef& o) const { return parts == o.parts; }
+};
+
+/// Label definition: a constant (fix_label) or a column.
+struct LabelDef {
+  bool fixed = false;
+  std::string value;  // constant value, or column name
+};
+
+struct VertexTableConf {
+  std::string table_name;
+  bool prefixed_id = false;
+  FieldDef id;
+  LabelDef label;
+  /// Property columns. When `properties_specified` is false, all columns
+  /// not used by required fields become properties (paper Section 5).
+  std::vector<std::string> properties;
+  bool properties_specified = false;
+};
+
+struct EdgeTableConf {
+  std::string table_name;
+  std::string src_v_table;  // optional: the one vertex table sources live in
+  std::string dst_v_table;
+  FieldDef src_v;
+  FieldDef dst_v;
+  /// Edge id: explicit (possibly prefixed) or the implicit
+  /// src_v::label::dst_v combination.
+  bool implicit_edge_id = false;
+  bool prefixed_edge_id = false;
+  FieldDef id;
+  LabelDef label;
+  std::vector<std::string> properties;
+  bool properties_specified = false;
+};
+
+/// A full overlay: the vertex-set and edge-set mappings.
+struct OverlayConfig {
+  std::vector<VertexTableConf> v_tables;
+  std::vector<EdgeTableConf> e_tables;
+
+  static Result<OverlayConfig> FromJson(const Json& json);
+  static Result<OverlayConfig> Parse(const std::string& json_text);
+  Json ToJson() const;
+  std::string ToJsonText() const { return ToJson().Dump(); }
+};
+
+}  // namespace db2graph::overlay
+
+#endif  // DB2GRAPH_OVERLAY_CONFIG_H_

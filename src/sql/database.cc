@@ -1,0 +1,596 @@
+#include "sql/database.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/executor.h"
+#include "sql/expr.h"
+#include "sql/parser.h"
+
+namespace db2graph::sql {
+
+std::string CatalogKey(const std::string& name) { return ToLower(name); }
+
+namespace {
+
+// Reader reentrancy: a table function invoked inside a SELECT (e.g. the
+// graphQuery function) issues further SELECTs against the same database on
+// the same thread. A plain shared_mutex would self-deadlock, so we track a
+// per-thread shared-lock depth per database instance and only lock at depth
+// zero. Table functions must be read-only (as the paper's graphQuery is).
+thread_local std::unordered_map<const void*, int> tls_read_depth;
+
+class ReadLock {
+ public:
+  explicit ReadLock(const Database* db, std::shared_mutex* mutex)
+      : db_(db), mutex_(mutex) {
+    if (tls_read_depth[db_]++ == 0) mutex_->lock_shared();
+  }
+  ~ReadLock() {
+    if (--tls_read_depth[db_] == 0) {
+      mutex_->unlock_shared();
+      tls_read_depth.erase(db_);
+    }
+  }
+
+ private:
+  const Database* db_;
+  std::shared_mutex* mutex_;
+};
+
+class WriteLock {
+ public:
+  explicit WriteLock(std::shared_mutex* mutex) : mutex_(mutex) {
+    mutex_->lock();
+  }
+  ~WriteLock() { mutex_->unlock(); }
+
+ private:
+  std::shared_mutex* mutex_;
+};
+
+bool IsReadOnly(const Statement& stmt) {
+  return stmt.kind == StatementKind::kSelect;
+}
+
+}  // namespace
+
+Database::Database() = default;
+Database::~Database() = default;
+
+Result<ResultSet> PreparedStatement::Execute(
+    const std::vector<Value>& params) const {
+  if (static_cast<int>(params.size()) != param_count_) {
+    return Status::InvalidArgument(
+        "prepared statement expects " + std::to_string(param_count_) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  return db_->ExecuteStatement(*stmt_, params);
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  Result<std::unique_ptr<Statement>> stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteStatement(**stmt, {});
+}
+
+Status Database::ExecuteScript(const std::string& script) {
+  // Split on ';' at top level (quotes respected).
+  std::vector<std::string> statements;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < script.size(); ++i) {
+    char c = script[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      statements.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  statements.push_back(current);
+  for (const std::string& text : statements) {
+    if (Trim(text).empty()) continue;
+    Result<ResultSet> rs = Execute(text);
+    if (!rs.ok()) {
+      return Status(rs.status().code(),
+                    rs.status().message() + " (in statement: " + Trim(text) +
+                        ")");
+    }
+  }
+  return Status::OK();
+}
+
+Result<PreparedStatement> Database::Prepare(const std::string& sql) {
+  int param_count = 0;
+  Result<std::unique_ptr<Statement>> stmt = ParseSql(sql, &param_count);
+  if (!stmt.ok()) return stmt.status();
+  if ((*stmt)->kind == StatementKind::kSelect) {
+    // Resolve column references once; repeated executions then skip the
+    // per-call clone-and-bind pass. Falls back silently when the shape
+    // cannot be prebound.
+    ReadLock lock(this, &mutex_);
+    (void)PrebindSelect(this, (*stmt)->select.get());
+  }
+  return PreparedStatement(this, std::shared_ptr<Statement>(std::move(*stmt)),
+                           param_count);
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
+                                             const std::vector<Value>& params) {
+  if (IsReadOnly(stmt)) {
+    ReadLock lock(this, &mutex_);
+    Executor executor(this, &params);
+    return executor.Select(*stmt.select);
+  }
+  WriteLock lock(&mutex_);
+  return ExecuteLocked(stmt, params);
+}
+
+void Database::SetCurrentUser(std::string user) {
+  current_user_ = ToLower(user);
+}
+
+void Database::Grant(const std::string& user, const std::string& relation,
+                     bool select_only) {
+  Privilege& p = grants_[{ToLower(user), CatalogKey(relation)}];
+  p.select = true;
+  if (!select_only) p.modify = true;
+}
+
+void Database::Revoke(const std::string& user, const std::string& relation) {
+  grants_.erase({ToLower(user), CatalogKey(relation)});
+}
+
+Status Database::CheckAccess(const std::string& relation, bool write) const {
+  if (!access_control_ || current_user_.empty()) return Status::OK();
+  auto it = grants_.find({current_user_, CatalogKey(relation)});
+  bool allowed = it != grants_.end() &&
+                 (write ? it->second.modify : it->second.select);
+  if (allowed) return Status::OK();
+  return Status::ConstraintViolation(
+      "user '" + current_user_ + "' lacks " +
+      (write ? "MODIFY" : "SELECT") + " privilege on " + relation);
+}
+
+Result<ResultSet> Database::ExecuteLocked(const Statement& stmt,
+                                          const std::vector<Value>& params) {
+  switch (stmt.kind) {
+    case StatementKind::kGrant:
+    case StatementKind::kRevoke:
+      // Only the superuser administers grants.
+      if (access_control_ && !current_user_.empty()) {
+        return Status::ConstraintViolation(
+            "only the superuser can GRANT/REVOKE");
+      }
+      if (stmt.grant->is_revoke) {
+        Revoke(stmt.grant->user, stmt.grant->table);
+      } else {
+        Grant(stmt.grant->user, stmt.grant->table,
+              stmt.grant->select_only);
+      }
+      return ResultSet{};
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(*stmt.create_table);
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(*stmt.create_index);
+    case StatementKind::kCreateView:
+      return ExecuteCreateView(*stmt.create_view);
+    case StatementKind::kDropTable:
+      return ExecuteDropTable(*stmt.drop_table);
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert, params);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, params);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del, params);
+    case StatementKind::kBegin:
+      if (in_transaction_) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      in_transaction_ = true;
+      undo_log_.clear();
+      return ResultSet{};
+    case StatementKind::kCommit:
+      if (!in_transaction_) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      in_transaction_ = false;
+      undo_log_.clear();
+      return ResultSet{};
+    case StatementKind::kRollback:
+      if (!in_transaction_) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      RollbackLocked();
+      in_transaction_ = false;
+      return ResultSet{};
+    case StatementKind::kSelect:
+      return Status::Internal("select reached write path");
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<ResultSet> Database::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  ddl_version_.fetch_add(1, std::memory_order_release);
+  std::string key = CatalogKey(stmt.schema.name);
+  if (tables_.count(key) > 0 || views_.count(key) > 0) {
+    if (stmt.if_not_exists) return ResultSet{};
+    return Status::AlreadyExists("relation " + stmt.schema.name +
+                                 " already exists");
+  }
+  // Validate PK/FK column references.
+  for (const std::string& pk : stmt.schema.primary_key) {
+    if (!stmt.schema.HasColumn(pk)) {
+      return Status::NotFound("PRIMARY KEY column " + pk + " not in table");
+    }
+  }
+  for (const ForeignKey& fk : stmt.schema.foreign_keys) {
+    for (const std::string& c : fk.columns) {
+      if (!stmt.schema.HasColumn(c)) {
+        return Status::NotFound("FOREIGN KEY column " + c + " not in table");
+      }
+    }
+    auto ref = tables_.find(CatalogKey(fk.ref_table));
+    if (ref == tables_.end()) {
+      return Status::NotFound("FOREIGN KEY references unknown table " +
+                              fk.ref_table);
+    }
+    for (const std::string& c : fk.ref_columns) {
+      if (!ref->second->schema().HasColumn(c)) {
+        return Status::NotFound("FOREIGN KEY references unknown column " +
+                                fk.ref_table + "." + c);
+      }
+    }
+  }
+  auto table = std::make_unique<Table>(stmt.schema);
+  if (stmt.schema.has_primary_key()) {
+    DB2G_RETURN_NOT_OK(table->CreateIndex("pk_" + stmt.schema.name,
+                                          stmt.schema.primary_key,
+                                          /*unique=*/true));
+  }
+  tables_.emplace(key, std::move(table));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  ddl_version_.fetch_add(1, std::memory_order_release);
+  auto it = tables_.find(CatalogKey(stmt.table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  if (stmt.ordered) {
+    if (stmt.columns.size() != 1) {
+      return Status::Unsupported(
+          "ORDERED INDEX supports exactly one column");
+    }
+    if (stmt.unique) {
+      return Status::Unsupported("ORDERED INDEX cannot be UNIQUE");
+    }
+    DB2G_RETURN_NOT_OK(
+        it->second->CreateOrderedIndex(stmt.index_name, stmt.columns[0]));
+    return ResultSet{};
+  }
+  DB2G_RETURN_NOT_OK(
+      it->second->CreateIndex(stmt.index_name, stmt.columns, stmt.unique));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecuteCreateView(const CreateViewStmt& stmt) {
+  ddl_version_.fetch_add(1, std::memory_order_release);
+  std::string key = CatalogKey(stmt.name);
+  if (tables_.count(key) > 0 || views_.count(key) > 0) {
+    return Status::AlreadyExists("relation " + stmt.name + " already exists");
+  }
+  Result<std::vector<ColumnDef>> columns =
+      DeriveSelectColumns(this, *stmt.select);
+  if (!columns.ok()) return columns.status();
+  ViewDef def;
+  def.select = stmt.select;
+  def.select_text = stmt.select_text;
+  def.derived_schema.name = stmt.name;
+  def.derived_schema.columns = std::move(*columns);
+  views_.emplace(key, std::move(def));
+  return ResultSet{};
+}
+
+Result<ResultSet> Database::ExecuteDropTable(const DropTableStmt& stmt) {
+  ddl_version_.fetch_add(1, std::memory_order_release);
+  std::string key = CatalogKey(stmt.table);
+  if (tables_.erase(key) > 0 || views_.erase(key) > 0) return ResultSet{};
+  if (stmt.if_exists) return ResultSet{};
+  return Status::NotFound("unknown relation: " + stmt.table);
+}
+
+Status Database::CheckForeignKeysOnInsert(const Table& table,
+                                          const Row& row) {
+  for (const ForeignKey& fk : table.schema().foreign_keys) {
+    auto ref_it = tables_.find(CatalogKey(fk.ref_table));
+    if (ref_it == tables_.end()) continue;  // referenced table dropped
+    Table* ref = ref_it->second.get();
+    // NULL FK values are exempt.
+    Row key;
+    bool has_null = false;
+    for (const std::string& c : fk.columns) {
+      const Value& v = row[*table.schema().ColumnIndex(c)];
+      if (v.is_null()) {
+        has_null = true;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (has_null) continue;
+    std::vector<size_t> ref_cols;
+    for (const std::string& c : fk.ref_columns) {
+      auto idx = ref->schema().ColumnIndex(c);
+      if (!idx) return Status::Internal("dangling FK reference column");
+      ref_cols.push_back(*idx);
+    }
+    const Index* index = ref->FindIndexOn(ref_cols);
+    bool found = false;
+    if (index != nullptr &&
+        index->column_indexes() == ref_cols) {  // same order required
+      found = index->Contains(key);
+    } else {
+      for (RowId rid = 0; rid < ref->slot_count() && !found; ++rid) {
+        if (!ref->IsLive(rid)) continue;
+        const Row& candidate = ref->GetRow(rid);
+        bool match = true;
+        for (size_t i = 0; i < ref_cols.size(); ++i) {
+          if (candidate[ref_cols[i]] != key[i]) {
+            match = false;
+            break;
+          }
+        }
+        found = match;
+      }
+    }
+    if (!found) {
+      return Status::ConstraintViolation(
+          "foreign key violation: no row in " + fk.ref_table +
+          " matches (" + Join(fk.columns, ", ") + ") of " +
+          table.schema().name);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt,
+                                          const std::vector<Value>& params) {
+  DB2G_RETURN_NOT_OK(CheckAccess(stmt.table, /*write=*/true));
+  auto it = tables_.find(CatalogKey(stmt.table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  Table* table = it->second.get();
+  const TableSchema& schema = table->schema();
+  // Map provided columns to schema positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      auto idx = schema.ColumnIndex(c);
+      if (!idx) {
+        return Status::NotFound("unknown column " + c + " in " + stmt.table);
+      }
+      positions.push_back(*idx);
+    }
+  }
+  ResultSet result;
+  Row empty;
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch for " +
+                                     stmt.table);
+    }
+    Row row(schema.columns.size());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      row[positions[i]] = EvalExpr(*exprs[i], empty, &params);
+    }
+    DB2G_RETURN_NOT_OK(CheckForeignKeysOnInsert(*table, row));
+    Result<RowId> rid = table->Insert(std::move(row));
+    if (!rid.ok()) return rid.status();
+    if (in_transaction_) {
+      LogUndo({UndoRecord::Kind::kInsert, CatalogKey(stmt.table), *rid, {}});
+    }
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt,
+                                          const std::vector<Value>& params) {
+  DB2G_RETURN_NOT_OK(CheckAccess(stmt.table, /*write=*/true));
+  auto it = tables_.find(CatalogKey(stmt.table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  Table* table = it->second.get();
+  const TableSchema& schema = table->schema();
+
+  Scope scope;
+  scope.AddTable(stmt.table, schema.ColumnNames());
+  std::unique_ptr<Expr> where;
+  if (stmt.where) {
+    where = stmt.where->Clone();
+    DB2G_RETURN_NOT_OK(BindExpr(where.get(), scope));
+  }
+  std::vector<std::pair<size_t, std::unique_ptr<Expr>>> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    auto idx = schema.ColumnIndex(column);
+    if (!idx) {
+      return Status::NotFound("unknown column " + column + " in " +
+                              stmt.table);
+    }
+    std::unique_ptr<Expr> bound = expr->Clone();
+    DB2G_RETURN_NOT_OK(BindExpr(bound.get(), scope));
+    assignments.emplace_back(*idx, std::move(bound));
+  }
+
+  ResultSet result;
+  for (RowId rid = 0; rid < table->slot_count(); ++rid) {
+    if (!table->IsLive(rid)) continue;
+    const Row& row = table->GetRow(rid);
+    if (where) {
+      Value v = EvalExpr(*where, row, &params);
+      if (v.is_null() || !v.Truthy()) continue;
+    }
+    Row updated = row;
+    for (const auto& [idx, expr] : assignments) {
+      updated[idx] = EvalExpr(*expr, row, &params);
+    }
+    Result<Row> before = table->Update(rid, std::move(updated));
+    if (!before.ok()) return before.status();
+    if (in_transaction_) {
+      LogUndo({UndoRecord::Kind::kUpdate, CatalogKey(stmt.table), rid,
+               std::move(*before)});
+    }
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt,
+                                          const std::vector<Value>& params) {
+  DB2G_RETURN_NOT_OK(CheckAccess(stmt.table, /*write=*/true));
+  auto it = tables_.find(CatalogKey(stmt.table));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + stmt.table);
+  }
+  Table* table = it->second.get();
+  Scope scope;
+  scope.AddTable(stmt.table, table->schema().ColumnNames());
+  std::unique_ptr<Expr> where;
+  if (stmt.where) {
+    where = stmt.where->Clone();
+    DB2G_RETURN_NOT_OK(BindExpr(where.get(), scope));
+  }
+  std::vector<RowId> to_delete;
+  for (RowId rid = 0; rid < table->slot_count(); ++rid) {
+    if (!table->IsLive(rid)) continue;
+    if (where) {
+      Value v = EvalExpr(*where, table->GetRow(rid), &params);
+      if (v.is_null() || !v.Truthy()) continue;
+    }
+    to_delete.push_back(rid);
+  }
+  ResultSet result;
+  for (RowId rid : to_delete) {
+    Result<Row> image = table->Delete(rid);
+    if (!image.ok()) return image.status();
+    if (in_transaction_) {
+      LogUndo({UndoRecord::Kind::kDelete, CatalogKey(stmt.table), rid,
+               std::move(*image)});
+    }
+    ++result.affected;
+  }
+  return result;
+}
+
+void Database::LogUndo(UndoRecord record) {
+  undo_log_.push_back(std::move(record));
+}
+
+void Database::RollbackLocked() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    auto table_it = tables_.find(it->table);
+    if (table_it == tables_.end()) continue;  // table dropped mid-txn
+    Table* table = table_it->second.get();
+    switch (it->kind) {
+      case UndoRecord::Kind::kInsert:
+        table->EraseSlot(it->rid);
+        break;
+      case UndoRecord::Kind::kDelete:
+        table->RestoreSlot(it->rid, std::move(it->before));
+        break;
+      case UndoRecord::Kind::kUpdate:
+        (void)table->Update(it->rid, std::move(it->before));
+        break;
+    }
+  }
+  undo_log_.clear();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  ReadLock lock(this, &mutex_);
+  std::vector<std::string> names;
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    names.push_back(table->schema().name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  ReadLock lock(this, &mutex_);
+  std::vector<std::string> names;
+  for (const auto& [key, view] : views_) {
+    (void)key;
+    names.push_back(view.derived_schema.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const TableSchema* Database::GetSchema(const std::string& name) const {
+  auto it = tables_.find(CatalogKey(name));
+  if (it != tables_.end()) return &it->second->schema();
+  auto vit = views_.find(CatalogKey(name));
+  if (vit != views_.end()) return &vit->second.derived_schema;
+  return nullptr;
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return GetSchema(name) != nullptr;
+}
+
+bool Database::IsView(const std::string& name) const {
+  return views_.count(CatalogKey(name)) > 0;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(CatalogKey(name));
+  return it != tables_.end() ? it->second.get() : nullptr;
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(CatalogKey(name));
+  return it != tables_.end() ? it->second.get() : nullptr;
+}
+
+void Database::RegisterTableFunction(const std::string& name,
+                                     TableFunction fn) {
+  WriteLock lock(&mutex_);
+  table_functions_[CatalogKey(name)] = std::move(fn);
+}
+
+const Database::TableFunction* Database::FindTableFunction(
+    const std::string& name) const {
+  auto it = table_functions_.find(CatalogKey(name));
+  return it != table_functions_.end() ? &it->second : nullptr;
+}
+
+size_t Database::ApproxBytes() const {
+  ReadLock lock(this, &mutex_);
+  size_t bytes = 0;
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    bytes += table->ApproxBytes();
+  }
+  return bytes;
+}
+
+size_t Database::ApproxDiskBytes() const {
+  ReadLock lock(this, &mutex_);
+  size_t bytes = 0;
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    bytes += table->ApproxDiskBytes();
+  }
+  return bytes;
+}
+
+}  // namespace db2graph::sql

@@ -1,0 +1,217 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The MiniDb2 facade: catalog of tables, views, indexes and registered
+// polymorphic table functions; statement execution; prepared statements;
+// and multi-statement transactions with an undo log.
+//
+// Concurrency model mirrors what the paper leans on ("the underlying Db2
+// engine is extremely good at handling concurrent queries"): reads take a
+// shared lock, writes take an exclusive lock, so concurrent SELECT-heavy
+// workloads scale with cores.
+
+#ifndef DB2GRAPH_SQL_DATABASE_H_
+#define DB2GRAPH_SQL_DATABASE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "sql/table.h"
+
+namespace db2graph::sql {
+
+/// Cumulative execution counters, used by tests to assert that the graph
+/// layer's optimizations actually change the access paths.
+struct ExecStats {
+  std::atomic<uint64_t> selects{0};
+  std::atomic<uint64_t> rows_scanned{0};    // rows examined by scans/probes
+  std::atomic<uint64_t> index_probes{0};    // index point/IN lookups
+  std::atomic<uint64_t> range_scans{0};     // ordered-index range lookups
+  std::atomic<uint64_t> full_scans{0};      // table scans
+  std::atomic<uint64_t> rows_returned{0};
+
+  void Reset() {
+    selects = 0;
+    rows_scanned = 0;
+    index_probes = 0;
+    range_scans = 0;
+    full_scans = 0;
+    rows_returned = 0;
+  }
+};
+
+class Database;
+
+/// A parsed statement bound to a database, executable repeatedly with
+/// different '?' parameter vectors. This is what the SQL Dialect module's
+/// pre-compiled template cache hands out.
+class PreparedStatement {
+ public:
+  PreparedStatement(Database* db, std::shared_ptr<Statement> stmt,
+                    int param_count)
+      : db_(db), stmt_(std::move(stmt)), param_count_(param_count) {}
+
+  int param_count() const { return param_count_; }
+
+  Result<ResultSet> Execute(const std::vector<Value>& params) const;
+
+ private:
+  Database* db_;
+  std::shared_ptr<Statement> stmt_;
+  int param_count_;
+};
+
+/// An in-memory relational database with SQL front end.
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes one statement.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Executes a ';'-separated script of statements, discarding results.
+  Status ExecuteScript(const std::string& script);
+
+  /// Parses once; execute many times with parameters.
+  Result<PreparedStatement> Prepare(const std::string& sql);
+
+  /// Executes an already-parsed statement with parameters.
+  Result<ResultSet> ExecuteStatement(const Statement& stmt,
+                                     const std::vector<Value>& params);
+
+  // -- catalog ----------------------------------------------------------
+  /// Names of base tables (not views).
+  std::vector<std::string> TableNames() const;
+  /// Names of views.
+  std::vector<std::string> ViewNames() const;
+  /// Schema of a base table or a view (views expose derived columns, an
+  /// empty primary key, and no foreign keys). nullptr when absent.
+  const TableSchema* GetSchema(const std::string& name) const;
+  bool HasRelation(const std::string& name) const;
+  bool IsView(const std::string& name) const;
+  /// Base table access (nullptr for views/absent). The pointer stays valid
+  /// until the table is dropped.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  // -- table functions ---------------------------------------------------
+  using TableFunction =
+      std::function<Result<ResultSet>(const std::vector<Value>& args)>;
+  /// Registers TABLE(name(...)) for use in FROM clauses (this is the seam
+  /// the paper's graphQuery polymorphic table function plugs into).
+  void RegisterTableFunction(const std::string& name, TableFunction fn);
+  const TableFunction* FindTableFunction(const std::string& name) const;
+
+  // -- bookkeeping --------------------------------------------------------
+  /// Approximate in-memory bytes across all tables and indexes.
+  size_t ApproxBytes() const;
+  /// Approximate compact on-disk bytes (see Table::ApproxDiskBytes).
+  size_t ApproxDiskBytes() const;
+  ExecStats& stats() { return stats_; }
+  const ExecStats& stats() const { return stats_; }
+
+  /// True while a BEGIN..COMMIT/ROLLBACK transaction is open.
+  bool InTransaction() const { return in_transaction_; }
+
+  /// Monotonic counter bumped by every DDL statement (CREATE/DROP of
+  /// tables, views, and indexes). Lets overlay holders detect that their
+  /// mapping may be stale — the paper's planned AutoOverlay-catalog
+  /// integration (Section 5.1).
+  uint64_t ddl_version() const {
+    return ddl_version_.load(std::memory_order_acquire);
+  }
+
+  // -- access control ------------------------------------------------------
+  // Off by default (every statement runs unchecked). Once enabled, SELECT
+  // requires a SELECT grant on every referenced relation and DML requires
+  // an ALL grant; views run with definer's rights (a grant on the view
+  // suffices — the expansion does not re-check the underlying tables).
+  // This is the mechanism graph queries inherit "for free": an overlay
+  // over tables the current user cannot read fails exactly like the SQL
+  // would (paper Section 1).
+  void EnableAccessControl() { access_control_ = true; }
+  bool access_control_enabled() const { return access_control_; }
+  /// Sets the user for subsequent statements ("" = superuser).
+  void SetCurrentUser(std::string user);
+  const std::string& current_user() const { return current_user_; }
+  /// Programmatic grant API (SQL GRANT/REVOKE routes here).
+  void Grant(const std::string& user, const std::string& relation,
+             bool select_only);
+  void Revoke(const std::string& user, const std::string& relation);
+  /// OK when access control is off, the user is the superuser, or a
+  /// sufficient grant exists.
+  Status CheckAccess(const std::string& relation, bool write) const;
+
+ private:
+  friend class Executor;
+  friend class PreparedStatement;
+
+  struct ViewDef {
+    std::shared_ptr<SelectStmt> select;
+    std::string select_text;
+    TableSchema derived_schema;  // name + derived output columns
+  };
+
+  // Undo-log entry for transaction rollback.
+  struct UndoRecord {
+    enum class Kind { kInsert, kDelete, kUpdate };
+    Kind kind;
+    std::string table;
+    RowId rid;
+    Row before;  // kDelete / kUpdate
+  };
+
+  Result<ResultSet> ExecuteLocked(const Statement& stmt,
+                                  const std::vector<Value>& params);
+  Result<ResultSet> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSet> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<ResultSet> ExecuteCreateView(const CreateViewStmt& stmt);
+  Result<ResultSet> ExecuteDropTable(const DropTableStmt& stmt);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& stmt,
+                                  const std::vector<Value>& params);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& stmt,
+                                  const std::vector<Value>& params);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& stmt,
+                                  const std::vector<Value>& params);
+  Status CheckForeignKeysOnInsert(const Table& table, const Row& row);
+
+  void LogUndo(UndoRecord record);
+  void RollbackLocked();
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, ViewDef> views_;
+  std::unordered_map<std::string, TableFunction> table_functions_;
+  bool in_transaction_ = false;
+  std::vector<UndoRecord> undo_log_;
+  ExecStats stats_;
+
+  std::atomic<uint64_t> ddl_version_{0};
+  bool access_control_ = false;
+  std::string current_user_;  // "" = superuser
+  struct Privilege {
+    bool select = false;
+    bool modify = false;
+  };
+  // (user, relation) -> privilege
+  std::map<std::pair<std::string, std::string>, Privilege> grants_;
+};
+
+/// Case-normalized catalog key.
+std::string CatalogKey(const std::string& name);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_DATABASE_H_

@@ -1,0 +1,1045 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "sql/database.h"
+#include "sql/expr.h"
+#include "sql/table.h"
+
+namespace db2graph::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Predicate decomposition helpers
+// ---------------------------------------------------------------------
+
+// Splits a boolean expression into its top-level AND conjuncts.
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->op == "AND") {
+    SplitConjuncts(expr->children[0].get(), out);
+    SplitConjuncts(expr->children[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// True when every column reference in `expr` resolves in `scope`.
+bool BindsIn(const Expr& expr, const Scope& scope) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    return scope.Resolve(expr.table_alias, expr.column).ok();
+  }
+  if (expr.kind == ExprKind::kStar) return false;
+  for (const auto& child : expr.children) {
+    if (!BindsIn(*child, scope)) return false;
+  }
+  return true;
+}
+
+// A predicate usable for index probing on the newly joined relation:
+// `column` belongs to that relation and every `value` expression binds in
+// the pre-join scope (so it is computable per outer row).
+struct ProbeTerm {
+  size_t column_index;                   // within the inner relation
+  std::vector<const Expr*> values;       // 1 = equality, >1 = IN list
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Relation resolution
+// ---------------------------------------------------------------------
+
+Result<Executor::Relation> Executor::ResolveRef(const TableRef& ref) {
+  Relation rel;
+  rel.alias = ref.alias;
+  switch (ref.kind) {
+    case TableRef::Kind::kTable: {
+      if (!skip_access_checks_) {
+        DB2G_RETURN_NOT_OK(db_->CheckAccess(ref.table, /*write=*/false));
+      }
+      if (Table* table = db_->GetTable(ref.table)) {
+        rel.table = table;
+        rel.columns = table->schema().ColumnNames();
+        return rel;
+      }
+      if (db_->IsView(ref.table)) {
+        // Expand the non-materialized view by executing its definition.
+        const TableSchema* schema = db_->GetSchema(ref.table);
+        SelectStmt* view_select = nullptr;
+        {
+          auto it = db_->views_.find(CatalogKey(ref.table));
+          view_select = it->second.select.get();
+        }
+        Executor sub(db_, nullptr);
+        sub.set_skip_access_checks(true);  // definer's rights
+        Result<ResultSet> rs = sub.Select(*view_select);
+        if (!rs.ok()) return rs.status();
+        rel.columns = schema->ColumnNames();
+        rel.rows = std::move(rs->rows);
+        return rel;
+      }
+      return Status::NotFound("unknown table or view: " + ref.table);
+    }
+    case TableRef::Kind::kSubquery: {
+      Executor sub(db_, params_);
+      Result<ResultSet> rs = sub.Select(*ref.subquery);
+      if (!rs.ok()) return rs.status();
+      rel.columns = rs->columns;
+      rel.rows = std::move(rs->rows);
+      return rel;
+    }
+    case TableRef::Kind::kTableFunction: {
+      const Database::TableFunction* fn =
+          db_->FindTableFunction(ref.function_name);
+      if (fn == nullptr) {
+        return Status::NotFound("unknown table function: " +
+                                ref.function_name);
+      }
+      std::vector<Value> args;
+      Row empty;
+      for (const auto& arg : ref.function_args) {
+        args.push_back(EvalExpr(*arg, empty, params_));
+      }
+      Result<ResultSet> rs = (*fn)(args);
+      if (!rs.ok()) return rs.status();
+      // The declared column list names (and truncates/pads) the output.
+      for (const ColumnDef& c : ref.function_columns) {
+        rel.columns.push_back(c.name);
+      }
+      rel.rows.reserve(rs->rows.size());
+      for (Row& row : rs->rows) {
+        row.resize(ref.function_columns.size());
+        rel.rows.push_back(std::move(row));
+      }
+      return rel;
+    }
+  }
+  return Status::Internal("unreachable table ref kind");
+}
+
+// ---------------------------------------------------------------------
+// Aggregation machinery
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct AggSpec {
+  const Expr* node;   // the aggregate kFuncCall node
+  std::string op;     // upper-cased
+  const Expr* arg;    // nullptr for COUNT(*)
+};
+
+void CollectAggregates(const Expr* expr, std::vector<AggSpec>* out) {
+  if (expr->kind == ExprKind::kFuncCall && IsAggregateName(expr->op)) {
+    AggSpec spec;
+    spec.node = expr;
+    spec.op = ToUpper(expr->op);
+    spec.arg = expr->children.empty() ||
+                       expr->children[0]->kind == ExprKind::kStar
+                   ? nullptr
+                   : expr->children[0].get();
+    out->push_back(spec);
+    return;  // no nested aggregates
+  }
+  for (const auto& child : expr->children) {
+    CollectAggregates(child.get(), out);
+  }
+}
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min;
+  Value max;
+
+  void Accumulate(const Value& v) {
+    if (v.is_null()) return;
+    ++count;
+    if (v.is_numeric()) {
+      sum += v.NumericValue();
+      if (v.is_int()) {
+        isum += v.as_int();
+      } else {
+        sum_is_int = false;
+      }
+    } else {
+      sum_is_int = false;
+    }
+    if (min.is_null() || v < min) min = v;
+    if (max.is_null() || v > max) max = v;
+  }
+
+  Value Finish(const std::string& op) const {
+    if (op == "COUNT") return Value(count);
+    if (count == 0) return Value::Null();
+    if (op == "SUM") return sum_is_int ? Value(isum) : Value(sum);
+    if (op == "AVG") return Value(sum / static_cast<double>(count));
+    if (op == "MIN") return min;
+    if (op == "MAX") return max;
+    return Value::Null();
+  }
+};
+
+// Evaluates an expression in which aggregate nodes have precomputed values.
+Value EvalWithAggregates(
+    const Expr& expr, const Row& row, const std::vector<Value>* params,
+    const std::unordered_map<const Expr*, Value>& agg_values) {
+  auto it = agg_values.find(&expr);
+  if (it != agg_values.end()) return it->second;
+  if (!ContainsAggregate(expr)) return EvalExpr(expr, row, params);
+  // Recurse through composite nodes that contain aggregates below.
+  Expr shallow;
+  shallow.kind = expr.kind;
+  shallow.op = expr.op;
+  shallow.negated = expr.negated;
+  shallow.literal = expr.literal;
+  shallow.param_index = expr.param_index;
+  shallow.bound_index = expr.bound_index;
+  for (const auto& child : expr.children) {
+    shallow.children.push_back(
+        MakeLiteral(EvalWithAggregates(*child, row, params, agg_values)));
+  }
+  return EvalExpr(shallow, row, params);
+}
+
+std::string OutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column;
+  return item.expr->ToString();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// SELECT execution
+// ---------------------------------------------------------------------
+
+Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
+  db_->stats().selects.fetch_add(1, std::memory_order_relaxed);
+
+  // 1. Resolve all FROM-clause relations, in order.
+  struct Stage {
+    Relation relation;
+    const Expr* on = nullptr;  // join condition (nullptr for FROM list)
+    bool left = false;
+  };
+  std::vector<Stage> stages;
+  for (const TableRef& ref : stmt.from) {
+    Result<Relation> rel = ResolveRef(ref);
+    if (!rel.ok()) return rel.status();
+    stages.push_back({std::move(*rel), nullptr, false});
+  }
+  for (const JoinClause& join : stmt.joins) {
+    Result<Relation> rel = ResolveRef(join.table);
+    if (!rel.ok()) return rel.status();
+    stages.push_back({std::move(*rel), join.on.get(),
+                      join.kind == JoinClause::Kind::kLeft});
+  }
+
+  // 2. Build the full scope. Prebound statements carry resolved column
+  // offsets already; otherwise clone + bind against this scope. Join
+  // conditions and WHERE conjuncts are bound against the FULL scope — a
+  // prefix-stage row shares the offsets of its prefix, so evaluating a
+  // conjunct early is safe whenever its columns resolve in the prefix.
+  Scope scope;
+  for (const Stage& stage : stages) {
+    scope.AddTable(stage.relation.alias, stage.relation.columns);
+  }
+  bool any_left = false;
+  for (const Stage& stage : stages) any_left |= stage.left;
+
+  std::vector<std::unique_ptr<Expr>> owned;  // keeps per-call clones alive
+  auto borrow = [&](const std::unique_ptr<Expr>& source)
+      -> Result<const Expr*> {
+    if (stmt.prebound) return source.get();
+    std::unique_ptr<Expr> copy = source->Clone();
+    Status st = BindExpr(copy.get(), scope);
+    if (!st.ok()) return st;
+    owned.push_back(std::move(copy));
+    return static_cast<const Expr*>(owned.back().get());
+  };
+
+  const Expr* where = nullptr;
+  if (stmt.where) {
+    Result<const Expr*> bound = borrow(stmt.where);
+    if (!bound.ok()) return bound.status();
+    where = *bound;
+  }
+  std::vector<const Expr*> where_conjuncts;
+  SplitConjuncts(where, &where_conjuncts);
+
+  // Join ON conditions, parallel to stages.
+  std::vector<const Expr*> stage_on(stages.size(), nullptr);
+  for (size_t k = 0; k < stages.size(); ++k) {
+    if (stages[k].on == nullptr) continue;
+    // stages[k].on points into stmt; bind/borrow like where.
+    if (stmt.prebound) {
+      stage_on[k] = stages[k].on;
+    } else {
+      std::unique_ptr<Expr> copy = stages[k].on->Clone();
+      DB2G_RETURN_NOT_OK(BindExpr(copy.get(), scope));
+      owned.push_back(std::move(copy));
+      stage_on[k] = owned.back().get();
+    }
+  }
+
+  // 3. Iteratively join stages, probing indexes where possible.
+  std::vector<Row> acc;
+  acc.emplace_back();  // one empty row seeds the pipeline
+  Scope partial_scope;
+  bool no_from = stages.empty();
+
+  for (size_t k = 0; k < stages.size(); ++k) {
+    Stage& stage = stages[k];
+    Scope before = partial_scope;
+    partial_scope.AddTable(stage.relation.alias, stage.relation.columns);
+
+    // Collect predicates applicable at this stage (borrowed pointers into
+    // the already-bound where / on expressions).
+    std::vector<const Expr*> stage_preds;
+    if (stage_on[k] != nullptr) stage_preds.push_back(stage_on[k]);
+    if (!any_left) {
+      for (const Expr* conjunct : where_conjuncts) {
+        if (BindsIn(*conjunct, partial_scope) &&
+            !BindsIn(*conjunct, before)) {
+          stage_preds.push_back(conjunct);
+        }
+      }
+    }
+
+    // Probe-term extraction against the inner relation's base table index.
+    const Table* table = stage.relation.table;
+    const Index* index = nullptr;
+    std::vector<ProbeTerm> probe_terms;
+    if (table != nullptr) {
+      std::vector<const Expr*> conjuncts;
+      for (const Expr* pred : stage_preds) {
+        SplitConjuncts(pred, &conjuncts);
+      }
+      const TableSchema& schema = table->schema();
+      std::vector<ProbeTerm> candidates;
+      for (const Expr* conjunct : conjuncts) {
+        const Expr* column_side = nullptr;
+        std::vector<const Expr*> values;
+        if (conjunct->kind == ExprKind::kBinary && conjunct->op == "=") {
+          const Expr* lhs = conjunct->children[0].get();
+          const Expr* rhs = conjunct->children[1].get();
+          auto is_inner_col = [&](const Expr* e) {
+            return e->kind == ExprKind::kColumnRef &&
+                   (e->table_alias.empty() ||
+                    EqualsIgnoreCase(e->table_alias, stage.relation.alias)) &&
+                   schema.HasColumn(e->column) &&
+                   // ensure it resolved into this relation, not earlier
+                   !BindsIn(*e, before);
+          };
+          if (is_inner_col(lhs) && BindsIn(*rhs, before)) {
+            column_side = lhs;
+            values.push_back(rhs);
+          } else if (is_inner_col(rhs) && BindsIn(*lhs, before)) {
+            column_side = rhs;
+            values.push_back(lhs);
+          }
+        } else if (conjunct->kind == ExprKind::kIn && !conjunct->negated) {
+          const Expr* lhs = conjunct->children[0].get();
+          if (lhs->kind == ExprKind::kColumnRef &&
+              (lhs->table_alias.empty() ||
+               EqualsIgnoreCase(lhs->table_alias, stage.relation.alias)) &&
+              schema.HasColumn(lhs->column) && !BindsIn(*lhs, before)) {
+            bool all_outer = true;
+            for (size_t i = 1; i < conjunct->children.size(); ++i) {
+              all_outer &= BindsIn(*conjunct->children[i], before);
+            }
+            if (all_outer) {
+              column_side = lhs;
+              for (size_t i = 1; i < conjunct->children.size(); ++i) {
+                values.push_back(conjunct->children[i].get());
+              }
+            }
+          }
+        }
+        if (column_side != nullptr) {
+          ProbeTerm term;
+          term.column_index = *schema.ColumnIndex(column_side->column);
+          term.values = std::move(values);
+          candidates.push_back(std::move(term));
+        }
+      }
+      // Prefer a multi-column index exactly covered by equality terms, then
+      // any single-column index on one term.
+      std::vector<size_t> eq_columns;
+      for (const ProbeTerm& term : candidates) {
+        if (term.values.size() == 1) eq_columns.push_back(term.column_index);
+      }
+      if (!eq_columns.empty()) {
+        index = table->FindIndexOn(eq_columns);
+        if (index != nullptr) {
+          for (size_t col : index->column_indexes()) {
+            for (const ProbeTerm& term : candidates) {
+              if (term.values.size() == 1 && term.column_index == col) {
+                probe_terms.push_back(term);
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (index == nullptr) {
+        for (const ProbeTerm& term : candidates) {
+          const Index* single = table->FindIndexOn({term.column_index});
+          if (single != nullptr) {
+            index = single;
+            probe_terms.push_back(term);
+            break;
+          }
+        }
+      }
+    }
+
+    // Hash-join fallback: when there is an equality term but no backing
+    // index (materialized relations — subqueries, views, table functions —
+    // or unindexed base tables) and several outer rows, build a transient
+    // hash table over the inner side instead of rescanning it per row.
+    ProbeTerm hash_term_storage;
+    bool use_hash_join = false;
+    std::unordered_multimap<Value, size_t, ValueHash> hash_join;
+    if (index == nullptr && acc.size() > 1) {
+      std::vector<const Expr*> conjuncts;
+      for (const Expr* pred : stage_preds) SplitConjuncts(pred, &conjuncts);
+      // Recompute candidates for the materialized case (the block above
+      // only ran for base tables).
+      std::vector<ProbeTerm> candidates;
+      for (const Expr* conjunct : conjuncts) {
+        if (conjunct->kind != ExprKind::kBinary || conjunct->op != "=") {
+          continue;
+        }
+        const Expr* lhs = conjunct->children[0].get();
+        const Expr* rhs = conjunct->children[1].get();
+        auto inner_col = [&](const Expr* e) -> int {
+          if (e->kind != ExprKind::kColumnRef) return -1;
+          if (!e->table_alias.empty() &&
+              !EqualsIgnoreCase(e->table_alias, stage.relation.alias)) {
+            return -1;
+          }
+          if (BindsIn(*e, before)) return -1;
+          for (size_t c = 0; c < stage.relation.columns.size(); ++c) {
+            if (EqualsIgnoreCase(stage.relation.columns[c], e->column)) {
+              return static_cast<int>(c);
+            }
+          }
+          return -1;
+        };
+        int col = inner_col(lhs);
+        if (col >= 0 && BindsIn(*rhs, before)) {
+          candidates.push_back(
+              {static_cast<size_t>(col), {rhs}});
+        } else {
+          col = inner_col(rhs);
+          if (col >= 0 && BindsIn(*lhs, before)) {
+            candidates.push_back({static_cast<size_t>(col), {lhs}});
+          }
+        }
+      }
+      if (!candidates.empty()) {
+        hash_term_storage = candidates[0];
+        use_hash_join = true;
+        if (stage.relation.materialized()) {
+          for (size_t r = 0; r < stage.relation.rows.size(); ++r) {
+            hash_join.emplace(
+                stage.relation.rows[r][hash_term_storage.column_index], r);
+          }
+        } else {
+          for (RowId rid = 0; rid < table->slot_count(); ++rid) {
+            if (!table->IsLive(rid)) continue;
+            hash_join.emplace(
+                table->GetRow(rid)[hash_term_storage.column_index], rid);
+          }
+        }
+      }
+    }
+
+    // Ordered-index range path: a range conjunct (col < / <= / > / >= v)
+    // on a column with an ORDERED INDEX scans only the matching key range.
+    const OrderedIndex* range_index = nullptr;
+    const Expr* range_lo = nullptr;
+    const Expr* range_hi = nullptr;
+    bool range_lo_excl = false;
+    bool range_hi_excl = false;
+    if (index == nullptr && !use_hash_join && table != nullptr) {
+      std::vector<const Expr*> conjuncts;
+      for (const Expr* pred : stage_preds) SplitConjuncts(pred, &conjuncts);
+      const TableSchema& schema = table->schema();
+      for (const Expr* conjunct : conjuncts) {
+        if (conjunct->kind != ExprKind::kBinary) continue;
+        const std::string& op = conjunct->op;
+        if (op != "<" && op != "<=" && op != ">" && op != ">=") continue;
+        const Expr* lhs = conjunct->children[0].get();
+        const Expr* rhs = conjunct->children[1].get();
+        auto inner_col = [&](const Expr* e) {
+          return e->kind == ExprKind::kColumnRef &&
+                 (e->table_alias.empty() ||
+                  EqualsIgnoreCase(e->table_alias, stage.relation.alias)) &&
+                 schema.HasColumn(e->column) && !BindsIn(*e, before);
+        };
+        const Expr* column_side = nullptr;
+        const Expr* value_side = nullptr;
+        bool upper = false;  // column < value?
+        if (inner_col(lhs) && BindsIn(*rhs, before)) {
+          column_side = lhs;
+          value_side = rhs;
+          upper = op == "<" || op == "<=";
+        } else if (inner_col(rhs) && BindsIn(*lhs, before)) {
+          column_side = rhs;
+          value_side = lhs;
+          upper = op == ">" || op == ">=";  // v > col  <=>  col < v
+        } else {
+          continue;
+        }
+        size_t col = *schema.ColumnIndex(column_side->column);
+        const OrderedIndex* candidate = table->FindOrderedIndexOn(col);
+        if (candidate == nullptr) continue;
+        if (range_index != nullptr && candidate != range_index) continue;
+        range_index = candidate;
+        bool exclusive = op == "<" || op == ">";
+        if (upper) {
+          range_hi = value_side;
+          range_hi_excl = exclusive;
+        } else {
+          range_lo = value_side;
+          range_lo_excl = exclusive;
+        }
+      }
+      if (range_lo == nullptr && range_hi == nullptr) range_index = nullptr;
+    }
+
+    std::vector<Row> next;
+    const size_t inner_width = stage.relation.columns.size();
+    auto emit_if_match = [&](const Row& outer, const Row& inner) -> bool {
+      Row joined;
+      joined.reserve(outer.size() + inner.size());
+      joined.insert(joined.end(), outer.begin(), outer.end());
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      for (const Expr* pred : stage_preds) {
+        Value v = EvalExpr(*pred, joined, params_);
+        if (v.is_null() || !v.Truthy()) return false;
+      }
+      next.push_back(std::move(joined));
+      return true;
+    };
+
+    auto& stats = db_->stats();
+    for (const Row& outer : acc) {
+      bool matched = false;
+      if (table != nullptr && index != nullptr) {
+        // Index probe: enumerate the cartesian product of probe values
+        // (IN-lists contribute several keys).
+        std::vector<Row> keys;
+        keys.emplace_back();
+        for (size_t c : index->column_indexes()) {
+          const ProbeTerm* term = nullptr;
+          for (const ProbeTerm& t : probe_terms) {
+            if (t.column_index == c) {
+              term = &t;
+              break;
+            }
+          }
+          std::vector<Row> expanded;
+          for (const Row& partial : keys) {
+            for (const Expr* value_expr : term->values) {
+              Row key = partial;
+              key.push_back(EvalExpr(*value_expr, outer, params_));
+              expanded.push_back(std::move(key));
+            }
+          }
+          keys = std::move(expanded);
+        }
+        // Duplicate IN-list values must not duplicate result rows.
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        std::vector<RowId> rids;
+        for (const Row& key : keys) {
+          index->Lookup(key, &rids);
+        }
+        stats.index_probes.fetch_add(keys.size(), std::memory_order_relaxed);
+        stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
+        for (RowId rid : rids) {
+          matched |= emit_if_match(outer, table->GetRow(rid));
+        }
+      } else if (range_index != nullptr) {
+        Value lo_value;
+        Value hi_value;
+        if (range_lo != nullptr) lo_value = EvalExpr(*range_lo, outer, params_);
+        if (range_hi != nullptr) hi_value = EvalExpr(*range_hi, outer, params_);
+        std::vector<RowId> rids;
+        range_index->RangeLookup(range_lo != nullptr ? &lo_value : nullptr,
+                                 range_lo_excl,
+                                 range_hi != nullptr ? &hi_value : nullptr,
+                                 range_hi_excl, &rids);
+        stats.range_scans.fetch_add(1, std::memory_order_relaxed);
+        stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
+        for (RowId rid : rids) {
+          matched |= emit_if_match(outer, table->GetRow(rid));
+        }
+      } else if (use_hash_join) {
+        Value key = EvalExpr(*hash_term_storage.values[0], outer, params_);
+        auto [begin, end] = hash_join.equal_range(key);
+        stats.index_probes.fetch_add(1, std::memory_order_relaxed);
+        for (auto it = begin; it != end; ++it) {
+          stats.rows_scanned.fetch_add(1, std::memory_order_relaxed);
+          const Row& inner = stage.relation.materialized()
+                                 ? stage.relation.rows[it->second]
+                                 : table->GetRow(it->second);
+          matched |= emit_if_match(outer, inner);
+        }
+      } else if (table != nullptr) {
+        stats.full_scans.fetch_add(1, std::memory_order_relaxed);
+        stats.rows_scanned.fetch_add(table->row_count(),
+                                     std::memory_order_relaxed);
+        for (RowId rid = 0; rid < table->slot_count(); ++rid) {
+          if (!table->IsLive(rid)) continue;
+          matched |= emit_if_match(outer, table->GetRow(rid));
+        }
+      } else {
+        stats.rows_scanned.fetch_add(stage.relation.rows.size(),
+                                     std::memory_order_relaxed);
+        for (const Row& inner : stage.relation.rows) {
+          matched |= emit_if_match(outer, inner);
+        }
+      }
+      if (!matched && stage.left) {
+        Row joined = outer;
+        joined.resize(joined.size() + inner_width);  // null extension
+        next.push_back(std::move(joined));
+      }
+    }
+    acc = std::move(next);
+  }
+
+  // 4. Residual WHERE (needed with LEFT JOINs; idempotent otherwise).
+  if (where != nullptr && (any_left || no_from)) {
+    std::vector<Row> filtered;
+    for (Row& row : acc) {
+      Value v = EvalExpr(*where, row, params_);
+      if (!v.is_null() && v.Truthy()) filtered.push_back(std::move(row));
+    }
+    acc = std::move(filtered);
+  }
+
+  // 5. Projection / aggregation.
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    has_aggregate |= ContainsAggregate(*item.expr);
+  }
+
+  ResultSet result;
+  std::vector<const Expr*> item_exprs;
+  std::vector<std::vector<size_t>> star_expansion;  // per item (kStar only)
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      std::vector<size_t> offsets =
+          scope.StarOffsets(item.expr->table_alias);
+      if (offsets.empty() && !item.expr->table_alias.empty()) {
+        return Status::NotFound("unknown alias in " +
+                                item.expr->table_alias + ".*");
+      }
+      for (size_t offset : offsets) {
+        result.columns.push_back(scope.NameAt(offset));
+      }
+      star_expansion.push_back(std::move(offsets));
+      item_exprs.push_back(item.expr.get());
+      continue;
+    }
+    Result<const Expr*> bound = borrow(item.expr);
+    if (!bound.ok()) return bound.status();
+    result.columns.push_back(OutputName(item));
+    star_expansion.emplace_back();
+    item_exprs.push_back(*bound);
+  }
+
+  if (has_aggregate) {
+    // Fast path for the pushdown shape "SELECT AGG(..), AGG(..) FROM ..."
+    // with no grouping: single pass, no hash map, no tree rewriting.
+    bool simple = stmt.group_by.empty() && !stmt.distinct &&
+                  stmt.order_by.empty() && stmt.having == nullptr;
+    if (simple) {
+      for (const Expr* expr : item_exprs) {
+        simple &= expr->kind == ExprKind::kFuncCall &&
+                  IsAggregateName(expr->op);
+      }
+    }
+    if (simple) {
+      std::vector<AggState> states(item_exprs.size());
+      std::vector<const Expr*> args(item_exprs.size(), nullptr);
+      std::vector<std::string> ops(item_exprs.size());
+      for (size_t i = 0; i < item_exprs.size(); ++i) {
+        ops[i] = ToUpper(item_exprs[i]->op);
+        if (!item_exprs[i]->children.empty() &&
+            item_exprs[i]->children[0]->kind != ExprKind::kStar) {
+          args[i] = item_exprs[i]->children[0].get();
+        }
+      }
+      for (const Row& row : acc) {
+        for (size_t i = 0; i < states.size(); ++i) {
+          if (args[i] == nullptr) {
+            ++states[i].count;
+          } else {
+            states[i].Accumulate(EvalExpr(*args[i], row, params_));
+          }
+        }
+      }
+      Row out;
+      out.reserve(states.size());
+      for (size_t i = 0; i < states.size(); ++i) {
+        out.push_back(states[i].Finish(ops[i]));
+      }
+      result.rows.push_back(std::move(out));
+      db_->stats().rows_returned.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+
+    // General grouped aggregation.
+    std::vector<const Expr*> group_exprs;
+    for (const auto& g : stmt.group_by) {
+      Result<const Expr*> bound = borrow(g);
+      if (!bound.ok()) return bound.status();
+      group_exprs.push_back(*bound);
+    }
+    const Expr* having = nullptr;
+    if (stmt.having) {
+      Result<const Expr*> bound = borrow(stmt.having);
+      if (!bound.ok()) return bound.status();
+      having = *bound;
+    }
+    std::vector<AggSpec> agg_specs;
+    for (const Expr* expr : item_exprs) {
+      CollectAggregates(expr, &agg_specs);
+    }
+    if (having != nullptr) CollectAggregates(having, &agg_specs);
+    struct Group {
+      Row sample;
+      std::vector<AggState> states;
+    };
+    std::map<Row, Group> groups;  // ordered for deterministic output
+    for (const Row& row : acc) {
+      Row key;
+      key.reserve(group_exprs.size());
+      for (const Expr* g : group_exprs) {
+        key.push_back(EvalExpr(*g, row, params_));
+      }
+      Group& group = groups[key];
+      if (group.states.empty()) {
+        group.states.resize(agg_specs.size());
+        group.sample = row;
+      }
+      for (size_t a = 0; a < agg_specs.size(); ++a) {
+        if (agg_specs[a].arg == nullptr) {
+          ++group.states[a].count;  // COUNT(*)
+        } else {
+          group.states[a].Accumulate(
+              EvalExpr(*agg_specs[a].arg, row, params_));
+        }
+      }
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if (groups.empty() && stmt.group_by.empty()) {
+      Group& group = groups[Row()];
+      group.states.resize(agg_specs.size());
+    }
+    for (auto& [key, group] : groups) {
+      (void)key;
+      std::unordered_map<const Expr*, Value> agg_values;
+      for (size_t a = 0; a < agg_specs.size(); ++a) {
+        agg_values[agg_specs[a].node] =
+            group.states[a].Finish(agg_specs[a].op);
+      }
+      if (having != nullptr) {
+        Value keep =
+            EvalWithAggregates(*having, group.sample, params_, agg_values);
+        if (keep.is_null() || !keep.Truthy()) continue;
+      }
+      Row out;
+      for (const Expr* expr : item_exprs) {
+        if (expr->kind == ExprKind::kStar) {
+          return Status::Unsupported("SELECT * with aggregation");
+        }
+        out.push_back(
+            EvalWithAggregates(*expr, group.sample, params_, agg_values));
+      }
+      result.rows.push_back(std::move(out));
+    }
+    // ORDER BY over aggregated output: match items by name or position.
+    if (!stmt.order_by.empty()) {
+      std::vector<std::pair<int, bool>> keys;
+      for (const OrderItem& item : stmt.order_by) {
+        int idx = -1;
+        if (item.expr->kind == ExprKind::kColumnRef) {
+          idx = result.ColumnIndex(item.expr->column);
+        } else if (item.expr->kind == ExprKind::kLiteral &&
+                   item.expr->literal.is_int()) {
+          idx = static_cast<int>(item.expr->literal.as_int()) - 1;
+        }
+        if (idx < 0 || idx >= static_cast<int>(result.columns.size())) {
+          return Status::Unsupported(
+              "ORDER BY with aggregation must name an output column");
+        }
+        keys.emplace_back(idx, item.descending);
+      }
+      std::stable_sort(result.rows.begin(), result.rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (auto [idx, desc] : keys) {
+                           int c = a[idx].Compare(b[idx]);
+                           if (c != 0) return desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+  } else {
+    // Plain projection, with optional ORDER BY over source rows.
+    std::vector<const Expr*> order_exprs;
+    for (const OrderItem& item : stmt.order_by) {
+      if (stmt.prebound) {
+        order_exprs.push_back(item.expr.get());
+        continue;
+      }
+      std::unique_ptr<Expr> expr = item.expr->Clone();
+      // ORDER BY may reference a select alias.
+      bool rebound = false;
+      if (expr->kind == ExprKind::kColumnRef && expr->table_alias.empty()) {
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (EqualsIgnoreCase(stmt.items[i].alias, expr->column)) {
+            order_exprs.push_back(item_exprs[i]);
+            rebound = true;
+            break;
+          }
+        }
+      }
+      if (rebound) continue;
+      DB2G_RETURN_NOT_OK(BindExpr(expr.get(), scope));
+      owned.push_back(std::move(expr));
+      order_exprs.push_back(owned.back().get());
+    }
+    struct Projected {
+      Row out;
+      Row sort_keys;
+    };
+    std::vector<Projected> projected;
+    projected.reserve(acc.size());
+    for (const Row& row : acc) {
+      Projected p;
+      for (size_t i = 0; i < item_exprs.size(); ++i) {
+        if (item_exprs[i]->kind == ExprKind::kStar) {
+          for (size_t offset : star_expansion[i]) {
+            p.out.push_back(row[offset]);
+          }
+        } else {
+          p.out.push_back(EvalExpr(*item_exprs[i], row, params_));
+        }
+      }
+      for (const Expr* expr : order_exprs) {
+        p.sort_keys.push_back(EvalExpr(*expr, row, params_));
+      }
+      projected.push_back(std::move(p));
+      // Fast-path limit when no sorting/distinct is requested.
+      if (stmt.limit >= 0 && !stmt.distinct && order_exprs.empty() &&
+          projected.size() >= static_cast<size_t>(stmt.limit)) {
+        break;
+      }
+    }
+    if (!order_exprs.empty()) {
+      std::stable_sort(projected.begin(), projected.end(),
+                       [&](const Projected& a, const Projected& b) {
+                         for (size_t i = 0; i < order_exprs.size(); ++i) {
+                           int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                           if (c != 0) {
+                             return stmt.order_by[i].descending ? c > 0
+                                                                : c < 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+    for (Projected& p : projected) {
+      result.rows.push_back(std::move(p.out));
+    }
+  }
+
+  // 6. DISTINCT, LIMIT.
+  if (stmt.distinct) {
+    std::unordered_set<Row, RowHash> seen;
+    std::vector<Row> unique;
+    for (Row& row : result.rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+  if (stmt.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(stmt.limit)) {
+    result.rows.resize(stmt.limit);
+  }
+
+  db_->stats().rows_returned.fetch_add(result.rows.size(),
+                                       std::memory_order_relaxed);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Prebinding (Database::Prepare fast path)
+// ---------------------------------------------------------------------
+
+bool PrebindSelect(Database* db, SelectStmt* stmt) {
+  // Build the scope from catalog metadata only.
+  Scope scope;
+  auto add_ref = [&](const TableRef& ref) -> bool {
+    Result<std::vector<ColumnDef>> cols = RelationColumns(db, ref);
+    if (!cols.ok()) return false;
+    std::vector<std::string> names;
+    for (const ColumnDef& c : *cols) names.push_back(c.name);
+    scope.AddTable(ref.alias, names);
+    return true;
+  };
+  for (const TableRef& ref : stmt->from) {
+    if (!add_ref(ref)) return false;
+  }
+  for (const JoinClause& join : stmt->joins) {
+    if (!add_ref(join.table)) return false;
+  }
+
+  if (stmt->where && !BindExpr(stmt->where.get(), scope).ok()) return false;
+  for (JoinClause& join : stmt->joins) {
+    if (join.on && !BindExpr(join.on.get(), scope).ok()) return false;
+  }
+  for (SelectItem& item : stmt->items) {
+    if (item.expr->kind == ExprKind::kStar) continue;
+    if (!BindExpr(item.expr.get(), scope).ok()) return false;
+  }
+  for (auto& g : stmt->group_by) {
+    if (!BindExpr(g.get(), scope).ok()) return false;
+  }
+  if (stmt->having && !BindExpr(stmt->having.get(), scope).ok()) {
+    return false;
+  }
+  for (OrderItem& item : stmt->order_by) {
+    // Rewrite select-alias references to the underlying expression so
+    // execution needs no alias logic.
+    if (item.expr->kind == ExprKind::kColumnRef &&
+        item.expr->table_alias.empty()) {
+      bool rewritten = false;
+      for (SelectItem& sel : stmt->items) {
+        if (EqualsIgnoreCase(sel.alias, item.expr->column) &&
+            sel.expr->kind != ExprKind::kStar) {
+          item.expr = sel.expr->Clone();
+          rewritten = true;
+          break;
+        }
+      }
+      if (rewritten) continue;  // already bound via the item
+    }
+    if (!BindExpr(item.expr.get(), scope).ok()) return false;
+  }
+  stmt->prebound = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Schema derivation (CREATE VIEW)
+// ---------------------------------------------------------------------
+
+Result<std::vector<ColumnDef>> RelationColumns(Database* db,
+                                               const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRef::Kind::kTable: {
+      const TableSchema* schema = db->GetSchema(ref.table);
+      if (schema == nullptr) {
+        return Status::NotFound("unknown table or view: " + ref.table);
+      }
+      return schema->columns;
+    }
+    case TableRef::Kind::kSubquery:
+      return DeriveSelectColumns(db, *ref.subquery);
+    case TableRef::Kind::kTableFunction:
+      return ref.function_columns;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<ColumnDef>> DeriveSelectColumns(Database* db,
+                                                   const SelectStmt& stmt) {
+  // Build a scope plus a parallel type map.
+  Scope scope;
+  std::vector<ColumnType> types;
+  auto add_ref = [&](const TableRef& ref) -> Status {
+    Result<std::vector<ColumnDef>> cols = RelationColumns(db, ref);
+    if (!cols.ok()) return cols.status();
+    std::vector<std::string> names;
+    for (const ColumnDef& c : *cols) {
+      names.push_back(c.name);
+      types.push_back(c.type);
+    }
+    scope.AddTable(ref.alias, names);
+    return Status::OK();
+  };
+  for (const TableRef& ref : stmt.from) {
+    DB2G_RETURN_NOT_OK(add_ref(ref));
+  }
+  for (const JoinClause& join : stmt.joins) {
+    DB2G_RETURN_NOT_OK(add_ref(join.table));
+  }
+
+  std::vector<ColumnDef> out;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      for (size_t offset : scope.StarOffsets(item.expr->table_alias)) {
+        ColumnDef col;
+        col.name = scope.NameAt(offset);
+        col.type = types[offset];
+        out.push_back(std::move(col));
+      }
+      continue;
+    }
+    ColumnDef col;
+    col.name = !item.alias.empty()
+                   ? item.alias
+                   : (item.expr->kind == ExprKind::kColumnRef
+                          ? item.expr->column
+                          : item.expr->ToString());
+    col.type = ColumnType::kString;
+    if (item.expr->kind == ExprKind::kColumnRef) {
+      Result<size_t> offset =
+          scope.Resolve(item.expr->table_alias, item.expr->column);
+      if (!offset.ok()) return offset.status();
+      col.type = types[*offset];
+    } else if (item.expr->kind == ExprKind::kFuncCall &&
+               EqualsIgnoreCase(item.expr->op, "COUNT")) {
+      col.type = ColumnType::kInt;
+    } else if (item.expr->kind == ExprKind::kFuncCall &&
+               (EqualsIgnoreCase(item.expr->op, "AVG") ||
+                EqualsIgnoreCase(item.expr->op, "SUM"))) {
+      col.type = ColumnType::kDouble;
+    } else if (item.expr->kind == ExprKind::kLiteral) {
+      switch (item.expr->literal.type()) {
+        case ValueType::kInt:
+          col.type = ColumnType::kInt;
+          break;
+        case ValueType::kDouble:
+          col.type = ColumnType::kDouble;
+          break;
+        case ValueType::kBool:
+          col.type = ColumnType::kBool;
+          break;
+        default:
+          col.type = ColumnType::kString;
+      }
+    }
+    out.push_back(std::move(col));
+  }
+  return out;
+}
+
+}  // namespace db2graph::sql

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// SELECT execution: FROM resolution (tables, views, subqueries, table
+// functions), index-assisted joins, filtering, grouping/aggregation,
+// DISTINCT, ORDER BY and LIMIT. Simple by design, but with the access-path
+// behaviours the paper's optimizations rely on: equality and IN predicates
+// on indexed columns become index probes instead of scans.
+
+#ifndef DB2GRAPH_SQL_EXECUTOR_H_
+#define DB2GRAPH_SQL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/result_set.h"
+
+namespace db2graph::sql {
+
+class Database;
+
+/// Executes one SELECT against a database. The caller must already hold the
+/// database lock (Database::Execute does).
+class Executor {
+ public:
+  Executor(Database* db, const std::vector<Value>* params)
+      : db_(db), params_(params) {}
+
+  /// View expansion runs with definer's rights: a grant on the view is
+  /// enough, so the inner executor skips per-table checks.
+  void set_skip_access_checks(bool skip) { skip_access_checks_ = skip; }
+
+  Result<ResultSet> Select(const SelectStmt& stmt);
+
+ private:
+  struct Relation {
+    std::string alias;
+    std::vector<std::string> columns;
+    const class Table* table = nullptr;  // base table access path
+    std::vector<Row> rows;               // materialized otherwise
+    bool materialized() const { return table == nullptr; }
+  };
+
+  Result<Relation> ResolveRef(const TableRef& ref);
+
+  Database* db_;
+  const std::vector<Value>* params_;
+  bool skip_access_checks_ = false;
+};
+
+/// Binds every expression of `stmt` against its own FROM scope and sets
+/// stmt->prebound on success (used by Database::Prepare so repeated
+/// executions skip per-call clone+bind). Returns false when the statement
+/// shape cannot be prebound (e.g. ORDER BY aliases); execution then falls
+/// back to per-call binding.
+bool PrebindSelect(Database* db, SelectStmt* stmt);
+
+/// Derives the output column shape of a SELECT without executing it
+/// (used for CREATE VIEW schemas). Best-effort types.
+Result<std::vector<ColumnDef>> DeriveSelectColumns(Database* db,
+                                                   const SelectStmt& stmt);
+
+/// Column shape a FROM-clause reference exposes.
+Result<std::vector<ColumnDef>> RelationColumns(Database* db,
+                                               const TableRef& ref);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_EXECUTOR_H_

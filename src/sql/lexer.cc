@@ -1,0 +1,125 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace db2graph::sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      // Quoted identifier.
+      size_t start = ++i;
+      while (i < n && sql[i] != '"') ++i;
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated quoted identifier");
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_double = true;
+        ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      tok.type = TokenType::kNumber;
+      tok.text = num;
+      if (is_double) {
+        tok.value = Value(std::strtod(num.c_str(), nullptr));
+      } else {
+        tok.value = Value(static_cast<int64_t>(
+            std::strtoll(num.c_str(), nullptr, 10)));
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      std::string s;
+      ++i;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        s.push_back(sql[i++]);
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++i;  // closing quote
+      tok.type = TokenType::kString;
+      tok.text = s;
+      tok.value = Value(std::move(s));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-character operators.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string();
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=" ||
+        two == "||") {
+      tok.type = TokenType::kOperator;
+      tok.text = two;
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "=<>+-*/%.,()?;";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace db2graph::sql

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// SQL tokenizer. Keywords are recognized case-insensitively; identifiers
+// may be double-quoted to preserve case.
+
+#ifndef DB2GRAPH_SQL_LEXER_H_
+#define DB2GRAPH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace db2graph::sql {
+
+enum class TokenType {
+  kIdentifier,
+  kNumber,
+  kString,
+  kOperator,   // = <> != < <= > >= + - * / % || . , ( ) ? ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier (original case) / operator spelling
+  Value value;        // kNumber / kString literal value
+  size_t offset = 0;  // byte offset in the source, for error messages
+};
+
+/// Tokenizes `sql`; fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_LEXER_H_

@@ -1,0 +1,23 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Recursive-descent parser for the SQL subset (see ast.h).
+
+#ifndef DB2GRAPH_SQL_PARSER_H_
+#define DB2GRAPH_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace db2graph::sql {
+
+/// Parses one SQL statement (an optional trailing ';' is allowed).
+/// `param_count`, when non-null, receives the number of '?' placeholders.
+Result<std::unique_ptr<Statement>> ParseSql(const std::string& sql,
+                                            int* param_count = nullptr);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_PARSER_H_

@@ -1,0 +1,60 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace db2graph::sql {
+
+int ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      cells[r][c] = c < rows[r].size() ? rows[r][c].ToString() : "";
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << "+";
+    for (size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  rule();
+  os << "|";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    os << " " << columns[c] << std::string(widths[c] - columns[c].size(), ' ')
+       << " |";
+  }
+  os << "\n";
+  rule();
+  for (size_t r = 0; r < shown; ++r) {
+    os << "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << " " << cells[r][c] << std::string(widths[c] - cells[r][c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  }
+  rule();
+  if (rows.size() > shown) {
+    os << "... (" << rows.size() << " rows total)\n";
+  } else {
+    os << rows.size() << " row(s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace db2graph::sql

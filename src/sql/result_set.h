@@ -1,0 +1,31 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+
+#ifndef DB2GRAPH_SQL_RESULT_SET_H_
+#define DB2GRAPH_SQL_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace db2graph::sql {
+
+/// A fully materialized query result.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  /// Rows affected, for DML statements (rows empty then).
+  int64_t affected = 0;
+
+  /// Index of a named output column (case-insensitive); -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Pretty-prints an ASCII table (examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_RESULT_SET_H_

@@ -1,0 +1,50 @@
+#include "sql/schema.h"
+
+#include "common/strings.h"
+
+namespace db2graph::sql {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kBool:
+      return "BOOLEAN";
+    case ColumnType::kInt:
+      return "BIGINT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+ValueType ColumnValueType(ColumnType t) {
+  switch (t) {
+    case ColumnType::kBool:
+      return ValueType::kBool;
+    case ColumnType::kInt:
+      return ValueType::kInt;
+    case ColumnType::kDouble:
+      return ValueType::kDouble;
+    case ColumnType::kString:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, column)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TableSchema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const ColumnDef& c : columns) names.push_back(c.name);
+  return names;
+}
+
+}  // namespace db2graph::sql

@@ -1,0 +1,62 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Table schemas with primary-key and foreign-key constraints. The catalog
+// metadata here is what AutoOverlay (paper Section 5.1, Algorithms 1 & 2)
+// consumes to infer vertex and edge tables.
+
+#ifndef DB2GRAPH_SQL_SCHEMA_H_
+#define DB2GRAPH_SQL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace db2graph::sql {
+
+/// Declared column type of the SQL subset.
+enum class ColumnType { kBool, kInt, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType t);
+
+/// Returns the runtime value type a column type stores.
+ValueType ColumnValueType(ColumnType t);
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool not_null = false;
+};
+
+/// A FOREIGN KEY (columns) REFERENCES ref_table (ref_columns) constraint.
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string ref_table;
+  std::vector<std::string> ref_columns;
+};
+
+/// Schema of a base table (or of a view's result shape).
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;  // empty when no PK declared
+  std::vector<ForeignKey> foreign_keys;
+
+  bool has_primary_key() const { return !primary_key.empty(); }
+
+  /// Case-insensitive column lookup; nullopt when absent.
+  std::optional<size_t> ColumnIndex(const std::string& column) const;
+
+  bool HasColumn(const std::string& column) const {
+    return ColumnIndex(column).has_value();
+  }
+
+  /// All column names in declaration order.
+  std::vector<std::string> ColumnNames() const;
+};
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_SCHEMA_H_

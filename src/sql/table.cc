@@ -1,0 +1,327 @@
+#include "sql/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace db2graph::sql {
+
+void Index::Erase(const Row& key, RowId rid) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void Index::Lookup(const Row& key, std::vector<RowId>* out) const {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) out->push_back(it->second);
+}
+
+size_t Index::ApproxBytes() const {
+  size_t bytes = 64;
+  for (const auto& [key, rid] : map_) {
+    (void)rid;
+    bytes += ApproxRowBytes(key) + sizeof(RowId) + 32;  // bucket overhead
+  }
+  return bytes;
+}
+
+namespace {
+
+// Encoded width of one value in a compact page layout.
+size_t EncodedValueBytes(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return v.as_string().size() + 2;
+  }
+  return 8;
+}
+
+size_t EncodedRowBytes(const Row& row) {
+  size_t bytes = 4;  // row header / slot pointer
+  for (const Value& v : row) bytes += EncodedValueBytes(v);
+  return bytes;
+}
+
+}  // namespace
+
+void OrderedIndex::Erase(const Value& key, RowId rid) {
+  auto [begin, end] = map_.equal_range(key);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void OrderedIndex::RangeLookup(const Value* lo, bool lo_exclusive,
+                               const Value* hi, bool hi_exclusive,
+                               std::vector<RowId>* out) const {
+  auto begin = lo == nullptr
+                   ? map_.begin()
+                   : (lo_exclusive ? map_.upper_bound(*lo)
+                                   : map_.lower_bound(*lo));
+  auto end = hi == nullptr
+                 ? map_.end()
+                 : (hi_exclusive ? map_.lower_bound(*hi)
+                                 : map_.upper_bound(*hi));
+  for (auto it = begin; it != end; ++it) {
+    if (it->first.is_null()) continue;
+    out->push_back(it->second);
+  }
+}
+
+size_t ApproxRowBytes(const Row& row) {
+  size_t bytes = sizeof(Row) + row.capacity() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.is_string()) bytes += v.as_string().capacity();
+  }
+  return bytes;
+}
+
+Result<RowId> Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        schema_.name + " arity " + std::to_string(schema_.columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (schema_.columns[i].not_null) {
+        return Status::ConstraintViolation("column " + schema_.columns[i].name +
+                                           " of " + schema_.name +
+                                           " is NOT NULL");
+      }
+      continue;
+    }
+    // Coerce int literals into double columns; reject other mismatches.
+    ValueType want = ColumnValueType(schema_.columns[i].type);
+    if (row[i].type() != want) {
+      if (want == ValueType::kDouble && row[i].is_int()) {
+        row[i] = Value(static_cast<double>(row[i].as_int()));
+      } else if (want == ValueType::kInt && row[i].is_double() &&
+                 row[i].as_double() ==
+                     static_cast<double>(
+                         static_cast<int64_t>(row[i].as_double()))) {
+        row[i] = Value(static_cast<int64_t>(row[i].as_double()));
+      } else {
+        return Status::InvalidArgument(
+            "type mismatch for column " + schema_.columns[i].name + " of " +
+            schema_.name + ": expected " +
+            ColumnTypeName(schema_.columns[i].type) + ", got " +
+            ValueTypeName(row[i].type()));
+      }
+    }
+  }
+  // Unique-index enforcement before any mutation.
+  for (const auto& index : indexes_) {
+    if (index->unique() && index->Contains(index->KeyFor(row))) {
+      return Status::ConstraintViolation("duplicate key for unique index " +
+                                         index->name() + " on " +
+                                         schema_.name);
+    }
+  }
+  RowId rid;
+  if (!free_slots_.empty()) {
+    rid = free_slots_.back();
+    free_slots_.pop_back();
+    rows_[rid] = std::move(row);
+    live_[rid] = true;
+  } else {
+    rid = rows_.size();
+    rows_.push_back(std::move(row));
+    live_.push_back(true);
+  }
+  ++live_count_;
+  IndexInsert(rows_[rid], rid);
+  return rid;
+}
+
+Result<Row> Table::Delete(RowId rid) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) + " of " +
+                            schema_.name + " is not live");
+  }
+  Row image = std::move(rows_[rid]);
+  IndexErase(image, rid);
+  rows_[rid] = Row();
+  live_[rid] = false;
+  free_slots_.push_back(rid);
+  --live_count_;
+  return image;
+}
+
+Result<Row> Table::Update(RowId rid, Row new_row) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("row " + std::to_string(rid) + " of " +
+                            schema_.name + " is not live");
+  }
+  if (new_row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("update arity mismatch on " + schema_.name);
+  }
+  Row before = rows_[rid];
+  IndexErase(before, rid);
+  rows_[rid] = std::move(new_row);
+  IndexInsert(rows_[rid], rid);
+  return before;
+}
+
+void Table::RestoreSlot(RowId rid, Row row) {
+  if (rid >= rows_.size()) {
+    rows_.resize(rid + 1);
+    live_.resize(rid + 1, false);
+  }
+  rows_[rid] = std::move(row);
+  if (!live_[rid]) {
+    live_[rid] = true;
+    ++live_count_;
+    free_slots_.erase(
+        std::remove(free_slots_.begin(), free_slots_.end(), rid),
+        free_slots_.end());
+  }
+  IndexInsert(rows_[rid], rid);
+}
+
+void Table::EraseSlot(RowId rid) {
+  if (!IsLive(rid)) return;
+  IndexErase(rows_[rid], rid);
+  rows_[rid] = Row();
+  live_[rid] = false;
+  free_slots_.push_back(rid);
+  --live_count_;
+}
+
+Status Table::CreateIndex(const std::string& name,
+                          const std::vector<std::string>& columns,
+                          bool unique) {
+  if (HasIndexNamed(name)) {
+    return Status::AlreadyExists("index " + name + " already exists on " +
+                                 schema_.name);
+  }
+  std::vector<size_t> column_indexes;
+  for (const std::string& c : columns) {
+    auto idx = schema_.ColumnIndex(c);
+    if (!idx) {
+      return Status::NotFound("no column " + c + " in table " + schema_.name);
+    }
+    column_indexes.push_back(*idx);
+  }
+  auto index = std::make_unique<Index>(name, column_indexes, unique);
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (!live_[rid]) continue;
+    Row key = index->KeyFor(rows_[rid]);
+    if (unique && index->Contains(key)) {
+      return Status::ConstraintViolation(
+          "cannot create unique index " + name + " on " + schema_.name +
+          ": duplicate existing keys");
+    }
+    index->Insert(key, rid);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+bool Table::HasIndexNamed(const std::string& name) const {
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->name(), name)) return true;
+  }
+  for (const auto& index : ordered_indexes_) {
+    if (EqualsIgnoreCase(index->name(), name)) return true;
+  }
+  return false;
+}
+
+const Index* Table::FindIndexOn(
+    const std::vector<size_t>& column_indexes) const {
+  std::vector<size_t> want = column_indexes;
+  std::sort(want.begin(), want.end());
+  for (const auto& index : indexes_) {
+    std::vector<size_t> have = index->column_indexes();
+    std::sort(have.begin(), have.end());
+    if (have == want) return index.get();
+  }
+  return nullptr;
+}
+
+Status Table::CreateOrderedIndex(const std::string& name,
+                                 const std::string& column) {
+  if (HasIndexNamed(name)) {
+    return Status::AlreadyExists("index " + name + " already exists on " +
+                                 schema_.name);
+  }
+  auto idx = schema_.ColumnIndex(column);
+  if (!idx) {
+    return Status::NotFound("no column " + column + " in table " +
+                            schema_.name);
+  }
+  auto index = std::make_unique<OrderedIndex>(name, *idx);
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (!live_[rid]) continue;
+    index->Insert(rows_[rid][*idx], rid);
+  }
+  ordered_indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+const OrderedIndex* Table::FindOrderedIndexOn(size_t column_index) const {
+  for (const auto& index : ordered_indexes_) {
+    if (index->column_index() == column_index) return index.get();
+  }
+  return nullptr;
+}
+
+void Table::IndexInsert(const Row& row, RowId rid) {
+  for (const auto& index : indexes_) index->Insert(index->KeyFor(row), rid);
+  for (const auto& index : ordered_indexes_) {
+    index->Insert(row[index->column_index()], rid);
+  }
+}
+
+void Table::IndexErase(const Row& row, RowId rid) {
+  for (const auto& index : indexes_) index->Erase(index->KeyFor(row), rid);
+  for (const auto& index : ordered_indexes_) {
+    index->Erase(row[index->column_index()], rid);
+  }
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 128;
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (live_[rid]) bytes += ApproxRowBytes(rows_[rid]);
+  }
+  for (const auto& index : indexes_) bytes += index->ApproxBytes();
+  for (const auto& index : ordered_indexes_) bytes += index->ApproxBytes();
+  return bytes;
+}
+
+size_t Table::ApproxDiskBytes() const {
+  size_t bytes = 256;  // catalog entry + page directory
+  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    if (live_[rid]) bytes += EncodedRowBytes(rows_[rid]);
+  }
+  for (const auto& index : indexes_) {
+    // One B-tree leaf entry per row: key widths + a row pointer.
+    for (RowId rid = 0; rid < rows_.size(); ++rid) {
+      if (!live_[rid]) continue;
+      bytes += 10;
+      for (size_t c : index->column_indexes()) {
+        bytes += EncodedValueBytes(rows_[rid][c]);
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace db2graph::sql

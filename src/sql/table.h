@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Slot-based in-memory row store with hash indexes. Row slots are stable
+// across deletes (a free list recycles them), so index postings stay valid.
+
+#ifndef DB2GRAPH_SQL_TABLE_H_
+#define DB2GRAPH_SQL_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/schema.h"
+
+namespace db2graph::sql {
+
+/// Stable row identifier within a table (slot number).
+using RowId = uint64_t;
+
+/// A hash index over one or more columns of a table.
+class Index {
+ public:
+  Index(std::string name, std::vector<size_t> column_indexes, bool unique)
+      : name_(std::move(name)),
+        column_indexes_(std::move(column_indexes)),
+        unique_(unique) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& column_indexes() const {
+    return column_indexes_;
+  }
+  bool unique() const { return unique_; }
+
+  /// Extracts this index's key from a full row.
+  Row KeyFor(const Row& row) const {
+    Row key;
+    key.reserve(column_indexes_.size());
+    for (size_t c : column_indexes_) key.push_back(row[c]);
+    return key;
+  }
+
+  void Insert(const Row& key, RowId rid) { map_.emplace(key, rid); }
+  void Erase(const Row& key, RowId rid);
+
+  /// All row ids whose key equals `key`.
+  void Lookup(const Row& key, std::vector<RowId>* out) const;
+
+  bool Contains(const Row& key) const { return map_.count(key) > 0; }
+
+  size_t entry_count() const { return map_.size(); }
+
+  /// Approximate memory footprint, for storage accounting.
+  size_t ApproxBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<size_t> column_indexes_;
+  bool unique_;
+  std::unordered_multimap<Row, RowId, RowHash> map_;
+};
+
+/// A single-column ordered (B-tree-style) index supporting range scans.
+class OrderedIndex {
+ public:
+  OrderedIndex(std::string name, size_t column_index)
+      : name_(std::move(name)), column_index_(column_index) {}
+
+  const std::string& name() const { return name_; }
+  size_t column_index() const { return column_index_; }
+
+  void Insert(const Value& key, RowId rid) { map_.emplace(key, rid); }
+  void Erase(const Value& key, RowId rid);
+
+  /// Row ids with key in [lo, hi] (either bound optional; exclusive when
+  /// the corresponding flag is set). NULL keys never match.
+  void RangeLookup(const Value* lo, bool lo_exclusive, const Value* hi,
+                   bool hi_exclusive, std::vector<RowId>* out) const;
+
+  size_t entry_count() const { return map_.size(); }
+  size_t ApproxBytes() const { return 64 + map_.size() * 48; }
+
+ private:
+  std::string name_;
+  size_t column_index_;
+  std::multimap<Value, RowId> map_;
+};
+
+/// A base table: schema + slotted rows + its indexes.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Number of live rows.
+  size_t row_count() const { return live_count_; }
+
+  /// Upper bound of slot numbers; iterate [0, slot_count()) and check
+  /// IsLive().
+  size_t slot_count() const { return rows_.size(); }
+  bool IsLive(RowId rid) const { return rid < live_.size() && live_[rid]; }
+  const Row& GetRow(RowId rid) const { return rows_[rid]; }
+
+  /// Appends a row (recycling a free slot when available). The row must
+  /// already match the schema arity. Index maintenance included. Uniqueness
+  /// for unique indexes is enforced here.
+  Result<RowId> Insert(Row row);
+
+  /// Deletes a live row; returns the removed image for undo logs.
+  Result<Row> Delete(RowId rid);
+
+  /// Replaces a live row in place; returns the before image.
+  Result<Row> Update(RowId rid, Row new_row);
+
+  /// Re-inserts a row into a specific slot (transaction undo of Delete).
+  void RestoreSlot(RowId rid, Row row);
+  /// Removes a row from a specific slot (transaction undo of Insert).
+  void EraseSlot(RowId rid);
+
+  /// Creates a hash index. Populates it from existing rows.
+  Status CreateIndex(const std::string& name,
+                     const std::vector<std::string>& columns, bool unique);
+
+  /// Creates a single-column ordered index (range scans).
+  Status CreateOrderedIndex(const std::string& name,
+                            const std::string& column);
+
+  bool HasIndexNamed(const std::string& name) const;
+
+  /// Finds an index whose columns are exactly `column_indexes` (order
+  /// insensitive); nullptr when none.
+  const Index* FindIndexOn(const std::vector<size_t>& column_indexes) const;
+
+  /// Ordered index on exactly `column_index`; nullptr when none.
+  const OrderedIndex* FindOrderedIndexOn(size_t column_index) const;
+
+  const std::vector<std::unique_ptr<Index>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Approximate in-memory footprint in bytes (rows + indexes).
+  size_t ApproxBytes() const;
+
+  /// Approximate size of a compact on-disk page layout (encoded value
+  /// widths + row headers + index entries). Drives the paper's Table 3
+  /// "Disk Usage" comparison against the graph stores' formats.
+  size_t ApproxDiskBytes() const;
+
+ private:
+  void IndexInsert(const Row& row, RowId rid);
+  void IndexErase(const Row& row, RowId rid);
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  std::vector<RowId> free_slots_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+};
+
+/// Approximate in-memory size of one row's payload.
+size_t ApproxRowBytes(const Row& row);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_TABLE_H_

@@ -1,0 +1,178 @@
+// Unit tests for the common module: Value semantics, string helpers, the
+// '::' composite-id convention, Status/Result, and JSON parsing errors.
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/value.h"
+
+namespace db2graph {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_TRUE(Value(int64_t{7}).is_int());
+  EXPECT_TRUE(Value(7.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(7).is_numeric());
+  EXPECT_TRUE(Value(7.5).is_numeric());
+  EXPECT_FALSE(Value("7").is_numeric());
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, SqlLiteralEscapesQuotes) {
+  EXPECT_EQ(Value("a'b").ToSqlLiteral(), "'a''b'");
+  EXPECT_EQ(Value(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value(3), Value(3.0));
+  EXPECT_LT(Value(3), Value(3.5));
+  EXPECT_LT(Value(3.5), Value(4));
+  EXPECT_EQ(Value(3).Hash(), Value(3.0).Hash());
+}
+
+TEST(ValueTest, TypeFamiliesAreOrderedConsistently) {
+  // NULL < BOOL < numeric < string.
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(999999), Value(""));
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value(1).Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_TRUE(Value(0.1).Truthy());
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Patient", "PATIENT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Patient", "Patients"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  EXPECT_EQ(Split("a::b::c", "::"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("abc", "::"), std::vector<std::string>{"abc"});
+  EXPECT_EQ(Split("::", "::"), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringsTest, TrimAndStartsWith) {
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_TRUE(StartsWith("patient::1", "patient"));
+  EXPECT_FALSE(StartsWith("pa", "patient"));
+}
+
+TEST(StringsTest, ComposeDecomposeIdRoundTrip) {
+  std::string id = ComposeId({"patient", "17"});
+  EXPECT_EQ(id, "patient::17");
+  EXPECT_EQ(DecomposeId(id), (std::vector<std::string>{"patient", "17"}));
+  EXPECT_EQ(DecomposeId("just-one"),
+            std::vector<std::string>{"just-one"});
+}
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  Result<int> bad(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(std::move(bad).ValueOrThrow(), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  Result<Json> doc = Json::Parse(
+      R"({"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->as_int(), 1);
+  EXPECT_EQ(doc->Find("b")->items().size(), 3u);
+  EXPECT_TRUE(doc->Find("b")->items()[1].is_null());
+  EXPECT_DOUBLE_EQ(doc->Find("c")->Find("d")->as_number(), 2.5);
+  EXPECT_EQ(doc->Find("nope"), nullptr);
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("z", Json::Number(1));
+  obj.Set("a", Json::Number(2));
+  obj.Set("z", Json::Number(3));  // update, not reorder
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "z");
+  EXPECT_EQ(obj.members()[0].second.as_int(), 3);
+}
+
+TEST(JsonTest, StringEscapes) {
+  Result<Json> doc = Json::Parse(R"({"s": "a\"b\\c\nd"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("s")->as_string(), "a\"b\\c\nd");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse(R"({"a" 1})").ok());
+  EXPECT_FALSE(Json::Parse(R"({"a": 1} garbage)").ok());
+  EXPECT_FALSE(Json::Parse(R"("unterminated)").ok());
+}
+
+TEST(JsonTest, GetHelpersApplyDefaults) {
+  Result<Json> doc = Json::Parse(R"({"flag": true, "name": "x"})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->GetBool("flag", false));
+  EXPECT_FALSE(doc->GetBool("missing", false));
+  EXPECT_EQ(doc->GetString("name", "d"), "x");
+  EXPECT_EQ(doc->GetString("missing", "d"), "d");
+  // Wrong-typed fields fall back too.
+  EXPECT_EQ(doc->GetString("flag", "d"), "d");
+}
+
+TEST(JsonTest, NegativeAndExponentNumbers) {
+  Result<Json> doc = Json::Parse(R"([-5, 1.5e3, -0.25])");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->items()[0].as_int(), -5);
+  EXPECT_DOUBLE_EQ(doc->items()[1].as_number(), 1500.0);
+  EXPECT_DOUBLE_EQ(doc->items()[2].as_number(), -0.25);
+}
+
+}  // namespace
+}  // namespace db2graph

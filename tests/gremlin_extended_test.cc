@@ -1,0 +1,260 @@
+// Tests for the extended Gremlin steps: union, coalesce, is, path,
+// simplePath, tail, groupCount — on the native provider and end-to-end
+// through Db2 Graph (where the strategies must respect path semantics).
+
+#include <gtest/gtest.h>
+
+#include "baselines/native_graph.h"
+#include "core/db2graph.h"
+#include "gremlin/interpreter.h"
+#include "gremlin/parser.h"
+
+namespace db2graph::gremlin {
+namespace {
+
+using baselines::NativeGraphDb;
+using core::Db2Graph;
+
+// Diamond graph with a cycle:
+//   1 -> 2 -> 4, 1 -> 3 -> 4, 4 -> 1 (cycle back), all label "e".
+class GremlinExtendedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int64_t i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(db_.AddVertex(Value(i), i % 2 == 0 ? "even" : "odd",
+                                {{"score", Value(i * 10)}})
+                      .ok());
+    }
+    int64_t eid = 100;
+    for (auto [s, d] : {std::pair<int64_t, int64_t>{1, 2},
+                        {1, 3},
+                        {2, 4},
+                        {3, 4},
+                        {4, 1}}) {
+      ASSERT_TRUE(db_.AddEdge(Value(eid++), "e", Value(s), Value(d),
+                              {{"w", Value(s + d)}})
+                      .ok());
+    }
+    ASSERT_TRUE(db_.Open().ok());
+  }
+
+  std::vector<Traverser> Run(const std::string& text) {
+    Result<Script> script = ParseGremlin(text);
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    if (!script.ok()) return {};
+    Interpreter interp(&db_);
+    Result<std::vector<Traverser>> out = interp.RunScript(*script);
+    EXPECT_TRUE(out.ok()) << out.status().ToString() << " for " << text;
+    return out.ok() ? *out : std::vector<Traverser>{};
+  }
+
+  Value Single(const std::string& text) {
+    std::vector<Traverser> out = Run(text);
+    EXPECT_EQ(out.size(), 1u) << text;
+    if (out.empty()) return Value::Null();
+    return out[0].kind == Traverser::Kind::kValue ? out[0].value
+                                                  : out[0].DedupKey();
+  }
+
+  NativeGraphDb db_;
+};
+
+TEST_F(GremlinExtendedTest, UnionMergesBranchesPerTraverser) {
+  // For vertex 1: out() = {2,3}; in() = {4}.
+  EXPECT_EQ(Single("g.V(1).union(out('e'), in('e')).count()"),
+            Value(int64_t{3}));
+  // Branch outputs can be values too.
+  std::vector<Traverser> out =
+      Run("g.V(1).union(values('score'), id()).order()");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, Value(int64_t{1}));
+  EXPECT_EQ(out[1].value, Value(int64_t{10}));
+}
+
+TEST_F(GremlinExtendedTest, CoalesceTakesFirstNonEmptyBranch) {
+  // Vertex 2 has out-edges, so the first branch wins.
+  EXPECT_EQ(Single("g.V(2).coalesce(out('e'), values('score')).id()"),
+            Value(int64_t{4}));
+  // A vertex with no out-edges of label 'x' falls through to the second.
+  EXPECT_EQ(Single("g.V(2).coalesce(out('x'), values('score'))"),
+            Value(int64_t{20}));
+}
+
+TEST_F(GremlinExtendedTest, IsFiltersValueStreams) {
+  EXPECT_EQ(Single("g.V().values('score').is(gt(25)).count()"),
+            Value(int64_t{2}));
+  EXPECT_EQ(Single("g.V().values('score').is(30).count()"),
+            Value(int64_t{1}));
+}
+
+TEST_F(GremlinExtendedTest, WhereWithCountIsPredicate) {
+  // Vertices with at least 2 outgoing edges: only vertex 1.
+  EXPECT_EQ(
+      Single("g.V().where(outE('e').count().is(gte(2))).count()"),
+      Value(int64_t{1}));
+}
+
+TEST_F(GremlinExtendedTest, PathRecordsTheTraversalHistory) {
+  std::vector<Traverser> out = Run("g.V(1).out('e').out('e').path()");
+  ASSERT_EQ(out.size(), 2u);  // 1-2-4 and 1-3-4
+  for (const Traverser& t : out) {
+    ASSERT_EQ(t.kind, Traverser::Kind::kList);
+    ASSERT_EQ(t.list.size(), 3u);
+    EXPECT_EQ(t.list[0], Value(int64_t{1}));
+    EXPECT_EQ(t.list[2], Value(int64_t{4}));
+  }
+}
+
+TEST_F(GremlinExtendedTest, PathIncludesEdgesWhenTraversedExplicitly) {
+  std::vector<Traverser> out = Run("g.V(1).outE('e').inV().path()");
+  ASSERT_EQ(out.size(), 2u);
+  // Path = vertex, edge, vertex.
+  EXPECT_EQ(out[0].list.size(), 3u);
+}
+
+TEST_F(GremlinExtendedTest, SimplePathDropsCycles) {
+  // 3 hops from 1: 1-2-4-1 and 1-3-4-1 revisit vertex 1.
+  EXPECT_EQ(Single("g.V(1).out('e').out('e').out('e').count()"),
+            Value(int64_t{2}));
+  std::vector<Traverser> out =
+      Run("g.V(1).out('e').out('e').out('e').simplePath()");
+  EXPECT_TRUE(out.empty());
+  // 2 hops are still simple.
+  EXPECT_EQ(
+      Single("g.V(1).out('e').out('e').simplePath().count()"),
+      Value(int64_t{2}));
+}
+
+TEST_F(GremlinExtendedTest, TailKeepsLastN) {
+  std::vector<Traverser> out = Run("g.V().id().order().tail(2)");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, Value(int64_t{3}));
+  EXPECT_EQ(out[1].value, Value(int64_t{4}));
+}
+
+TEST_F(GremlinExtendedTest, GroupCountTalliesValues) {
+  std::vector<Traverser> out = Run("g.V().label().groupCount()");
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].kind, Traverser::Kind::kList);
+  // Alternating [key, count] sorted by key: even=2, odd=2.
+  ASSERT_EQ(out[0].list.size(), 4u);
+  EXPECT_EQ(out[0].list[0], Value("even"));
+  EXPECT_EQ(out[0].list[1], Value(int64_t{2}));
+  EXPECT_EQ(out[0].list[2], Value("odd"));
+  EXPECT_EQ(out[0].list[3], Value(int64_t{2}));
+}
+
+TEST_F(GremlinExtendedTest, OrderByPropertyModulator) {
+  std::vector<Traverser> out =
+      Run("g.V().order().by('score').by('desc').values('score')");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].value, Value(int64_t{40}));
+  EXPECT_EQ(out[3].value, Value(int64_t{10}));
+  out = Run("g.V().order().by('score').id()");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].value, Value(int64_t{1}));
+}
+
+TEST_F(GremlinExtendedTest, ParseErrorsForNewSteps) {
+  EXPECT_FALSE(ParseGremlin("g.V().union()").ok());
+  EXPECT_FALSE(ParseGremlin("g.V().union(5)").ok());
+  EXPECT_FALSE(ParseGremlin("g.V().is()").ok());
+  EXPECT_FALSE(ParseGremlin("g.V().tail('x')").ok());
+  EXPECT_FALSE(ParseGremlin("g.V().by('x')").ok());  // by needs order
+}
+
+// ---- the same steps through Db2 Graph (strategies + SQL) --------------
+
+class Db2GraphExtendedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE N (id BIGINT PRIMARY KEY, score BIGINT);
+      CREATE TABLE E2 (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                       w BIGINT);
+      CREATE INDEX idx_src ON E2 (src);
+      CREATE INDEX idx_dst ON E2 (dst);
+      INSERT INTO N VALUES (1, 10), (2, 20), (3, 30), (4, 40);
+      INSERT INTO E2 VALUES (100, 1, 2, 3), (101, 1, 3, 4),
+        (102, 2, 4, 6), (103, 3, 4, 7), (104, 4, 1, 5);
+    )sql")
+                    .ok());
+    auto graph = core::Db2Graph::Open(&db_, R"json({
+      "v_tables": [{"table_name": "N", "id": "id", "fix_label": true,
+                    "label": "'n'", "properties": ["score"]}],
+      "e_tables": [{"table_name": "E2", "src_v_table": "N", "src_v": "src",
+                    "dst_v_table": "N", "dst_v": "dst",
+                    "id": "'e'::eid", "prefixed_edge_id": true,
+                    "fix_label": true, "label": "'e'",
+                    "properties": ["w"]}]
+    })json");
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    graph_ = std::move(*graph);
+  }
+
+  Value Single(const std::string& text) {
+    auto out = graph_->Execute(text);
+    EXPECT_TRUE(out.ok()) << out.status().ToString() << " for " << text;
+    if (!out.ok() || out->size() != 1) return Value::Null();
+    return (*out)[0].kind == Traverser::Kind::kValue ? (*out)[0].value
+                                                     : (*out)[0].DedupKey();
+  }
+
+  sql::Database db_;
+  std::unique_ptr<Db2Graph> graph_;
+};
+
+TEST_F(Db2GraphExtendedTest, PathDisablesTheMutationStrategy) {
+  // With the GraphStep::VertexStep mutation, the path would lose the
+  // starting vertex; the strategy must detect path() and stand down.
+  auto compiled = graph_->Compile("g.V(1).out('e').path()");
+  ASSERT_TRUE(compiled.ok());
+  const auto& steps = compiled->statements[0].traversal.steps;
+  ASSERT_GE(steps.size(), 2u);
+  EXPECT_FALSE(steps[0].graph_emits_edges);  // not mutated
+
+  auto out = graph_->Execute("g.V(1).out('e').path()");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0].list.front(), Value(int64_t{1}));
+}
+
+TEST_F(Db2GraphExtendedTest, UnionAndCoalesceOverSql) {
+  EXPECT_EQ(Single("g.V(1).union(out('e'), in('e')).count()"),
+            Value(int64_t{3}));
+  EXPECT_EQ(Single("g.V(2).coalesce(out('x'), values('score'))"),
+            Value(int64_t{20}));
+}
+
+TEST_F(Db2GraphExtendedTest, SimplePathOverSql) {
+  EXPECT_EQ(Single("g.V(1).out('e').out('e').simplePath().count()"),
+            Value(int64_t{2}));
+  EXPECT_EQ(
+      Single("g.V(1).out('e').out('e').out('e').simplePath().count()"),
+      Value(int64_t{0}));
+}
+
+TEST_F(Db2GraphExtendedTest, GroupCountOverSql) {
+  auto out = graph_->Execute("g.V(1).out('e').label().groupCount()");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].list.size(), 2u);
+  EXPECT_EQ((*out)[0].list[1], Value(int64_t{2}));
+}
+
+TEST_F(Db2GraphExtendedTest, FraudStylePathQuery) {
+  // The Section 7 mule-trace shape: enumerate simple paths with weights.
+  auto out = graph_->Execute(
+      "g.V(1).outE('e').has('w', gt(3)).inV().outE('e').inV()"
+      ".simplePath().path()");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);  // 1 -e101-> 3 -e103-> 4
+  const auto& path = (*out)[0].list;
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path[0], Value(int64_t{1}));
+  EXPECT_EQ(path[1], Value("e::101"));
+  EXPECT_EQ(path[4], Value(int64_t{4}));
+}
+
+}  // namespace
+}  // namespace db2graph::gremlin

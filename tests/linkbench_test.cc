@@ -1,0 +1,192 @@
+// Tests for the LinkBench generator/workload, the Table 3 export/load
+// pipeline, and cross-system result equivalence on LinkBench data.
+
+#include <gtest/gtest.h>
+
+#include "baselines/janus_like.h"
+#include "baselines/loader.h"
+#include "baselines/native_graph.h"
+#include "core/db2graph.h"
+#include "linkbench/linkbench.h"
+
+namespace db2graph::linkbench {
+namespace {
+
+using baselines::ExportedGraph;
+using baselines::ExportLinkBenchTables;
+using baselines::JanusLikeDb;
+using baselines::LoadExport;
+using baselines::NativeGraphDb;
+using core::Db2Graph;
+using gremlin::Traverser;
+
+Config TinyConfig() {
+  Config config;
+  config.num_vertices = 2000;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  Dataset a = Generate(TinyConfig());
+  Dataset b = Generate(TinyConfig());
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.links.size(), b.links.size());
+  EXPECT_EQ(a.nodes[7].data, b.nodes[7].data);
+  EXPECT_EQ(a.links[13].id2, b.links[13].id2);
+  Config other = TinyConfig();
+  other.seed = 7;
+  Dataset c = Generate(other);
+  EXPECT_NE(a.nodes[7].data, c.nodes[7].data);
+}
+
+TEST(GeneratorTest, StatsMatchTableTwoShape) {
+  Dataset d = Generate(TinyConfig());
+  DatasetStats stats = d.Stats();
+  EXPECT_EQ(stats.num_vertices, 2000);
+  // Average degree ~4.3, as in Table 2.
+  EXPECT_NEAR(stats.avg_degree, 4.3, 0.5);
+  // Heavily skewed: the max degree is orders of magnitude above average.
+  EXPECT_GT(stats.max_degree, stats.num_edges / 100);
+  EXPECT_GT(stats.approx_csv_bytes, 0u);
+}
+
+TEST(GeneratorTest, TypesSpanTheConfiguredRanges) {
+  Dataset d = Generate(TinyConfig());
+  std::set<int> vtypes;
+  std::set<int> etypes;
+  for (const Node& n : d.nodes) vtypes.insert(n.type);
+  for (const Link& l : d.links) etypes.insert(l.ltype);
+  EXPECT_EQ(vtypes.size(), 10u);
+  EXPECT_EQ(etypes.size(), 10u);
+}
+
+TEST(GeneratorTest, NoDuplicateLinksOrSelfLoops) {
+  Dataset d = Generate(TinyConfig());
+  std::set<std::tuple<int64_t, int, int64_t>> seen;
+  for (const Link& l : d.links) {
+    EXPECT_NE(l.id1, l.id2);
+    EXPECT_TRUE(seen.insert({l.id1, l.ltype, l.id2}).second);
+  }
+}
+
+class LinkBenchSystemsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = Generate(TinyConfig());
+    ASSERT_TRUE(LoadIntoDatabase(&db_, dataset_).ok());
+    Result<std::unique_ptr<Db2Graph>> graph =
+        Db2Graph::Open(&db_, MakeOverlay());
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    graph_ = std::move(*graph);
+
+    Result<ExportedGraph> exported = ExportLinkBenchTables(&db_);
+    ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+    ASSERT_TRUE(LoadExport(*exported, &native_).ok());
+    ASSERT_TRUE(native_.Open().ok());
+    ASSERT_TRUE(LoadExport(*exported, &janus_).ok());
+    ASSERT_TRUE(janus_.Open().ok());
+  }
+
+  static std::vector<std::string> Normalize(
+      const std::vector<Traverser>& ts) {
+    std::vector<std::string> out;
+    for (const Traverser& t : ts) {
+      if (t.kind == Traverser::Kind::kEdge) {
+        // Edge ids differ across stores; compare structural identity.
+        out.push_back(t.edge->src_id.ToString() + "|" + t.edge->label + "|" +
+                      t.edge->dst_id.ToString());
+      } else {
+        out.push_back(t.ToString());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Dataset dataset_;
+  sql::Database db_;
+  std::unique_ptr<Db2Graph> graph_;
+  NativeGraphDb native_;
+  JanusLikeDb janus_;
+};
+
+TEST_F(LinkBenchSystemsTest, LoadedCountsAgree) {
+  Result<std::vector<Traverser>> v = graph_->Execute("g.V().count()");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)[0].value,
+            Value(static_cast<int64_t>(dataset_.nodes.size())));
+  Result<std::vector<Traverser>> e = graph_->Execute("g.E().count()");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)[0].value,
+            Value(static_cast<int64_t>(dataset_.links.size())));
+  EXPECT_EQ(native_.VertexCount(), dataset_.nodes.size());
+  EXPECT_EQ(native_.EdgeCount(), dataset_.links.size());
+}
+
+TEST_F(LinkBenchSystemsTest, ExportMatchesDatasetSizes) {
+  Result<ExportedGraph> exported = ExportLinkBenchTables(&db_);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported->vertices.size(), dataset_.nodes.size());
+  EXPECT_EQ(exported->edges.size(), dataset_.links.size());
+  EXPECT_GT(exported->csv_bytes, 0u);
+}
+
+// The headline correctness property: all three systems return identical
+// results for every LinkBench query type, over many random instances.
+TEST_F(LinkBenchSystemsTest, AllThreeSystemsAgreeOnLinkBenchQueries) {
+  Workload workload(dataset_, 7);
+  gremlin::Interpreter native_interp(&native_);
+  gremlin::Interpreter janus_interp(&janus_);
+  for (QueryType type :
+       {QueryType::kGetNode, QueryType::kCountLinks, QueryType::kGetLink,
+        QueryType::kGetLinkList}) {
+    for (int i = 0; i < 25; ++i) {
+      std::string q = workload.Next(type);
+      Result<std::vector<Traverser>> a = graph_->Execute(q);
+      ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+      Result<gremlin::Script> script = gremlin::ParseGremlin(q);
+      ASSERT_TRUE(script.ok());
+      Result<std::vector<Traverser>> b = native_interp.RunScript(*script);
+      ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+      Result<std::vector<Traverser>> c = janus_interp.RunScript(*script);
+      ASSERT_TRUE(c.ok()) << q << ": " << c.status().ToString();
+      EXPECT_EQ(Normalize(*a), Normalize(*b)) << q;
+      EXPECT_EQ(Normalize(*a), Normalize(*c)) << q;
+    }
+  }
+}
+
+TEST_F(LinkBenchSystemsTest, WorkloadQueriesMostlyHit) {
+  // Parameters are drawn from existing links, so getLink finds its edge.
+  Workload workload(dataset_, 99);
+  int hits = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::string q = workload.Next(QueryType::kGetLink);
+    Result<std::vector<Traverser>> out = graph_->Execute(q);
+    ASSERT_TRUE(out.ok());
+    if (!out->empty()) ++hits;
+  }
+  EXPECT_EQ(hits, 20);
+}
+
+TEST_F(LinkBenchSystemsTest, CountLinksUsesAggregatePushdown) {
+  db_.stats().Reset();
+  Workload workload(dataset_, 3);
+  std::string q = workload.Next(QueryType::kCountLinks);
+  Result<std::vector<Traverser>> out = graph_->Execute(q);
+  ASSERT_TRUE(out.ok());
+  // One SQL SELECT (COUNT pushed down), zero rows materialized client-side.
+  EXPECT_EQ(db_.stats().selects.load(), 1u);
+  EXPECT_EQ(db_.stats().rows_returned.load(), 1u);
+}
+
+TEST_F(LinkBenchSystemsTest, Db2GraphDiskIsSmallerThanBaselines) {
+  // Table 3 shape: the graph stores' proprietary formats blow up several
+  // times over the relational representation Db2 Graph queries in place.
+  size_t relational = db_.ApproxDiskBytes();
+  EXPECT_GT(native_.DiskBytes(), 2 * relational);
+  EXPECT_GT(janus_.DiskBytes(), 2 * relational);
+}
+
+}  // namespace
+}  // namespace db2graph::linkbench

@@ -1,0 +1,415 @@
+// Tests for the overlay configuration parser, field definitions, the
+// Topology resolver, and the AutoOverlay toolkit (Algorithms 1 & 2).
+
+#include <gtest/gtest.h>
+
+#include "overlay/auto_overlay.h"
+#include "overlay/config.h"
+#include "overlay/topology.h"
+#include "sql/database.h"
+
+namespace db2graph::overlay {
+namespace {
+
+// The overlay configuration printed verbatim in the paper's Section 5.
+constexpr char kPaperConfig[] = R"json({
+  "v_tables": [
+    {
+      "table_name": "Patient",
+      "prefixed_id": true,
+      "id": "'patient'::patientID",
+      "fix_label": true,
+      "label": "'patient'",
+      "properties": ["patientID", "name", "address", "subscriptionID"]
+    },
+    {
+      "table_name": "Disease",
+      "id": "diseaseID",
+      "fix_label": true,
+      "label": "'disease'",
+      "properties": ["diseaseID", "conceptCode", "conceptName"]
+    }
+  ],
+  "e_tables": [
+    {
+      "table_name": "DiseaseOntology",
+      "src_v_table": "Disease",
+      "src_v": "sourceID",
+      "dst_v_table": "Disease",
+      "dst_v": "targetID",
+      "prefixed_edge_id": true,
+      "id": "'ontology'::sourceID::targetID",
+      "label": "type"
+    },
+    {
+      "table_name": "HasDisease",
+      "src_v_table": "Patient",
+      "src_v": "'patient'::patientID",
+      "dst_v_table": "Disease",
+      "dst_v": "diseaseID",
+      "implicit_edge_id": true,
+      "fix_label": true,
+      "label": "'hasDisease'"
+    }
+  ]
+})json";
+
+void CreateHealthcareTables(sql::Database* db) {
+  ASSERT_TRUE(db->ExecuteScript(R"sql(
+    CREATE TABLE Patient (
+      patientID BIGINT PRIMARY KEY,
+      name VARCHAR(100),
+      address VARCHAR(200),
+      subscriptionID BIGINT
+    );
+    CREATE TABLE Disease (
+      diseaseID BIGINT PRIMARY KEY,
+      conceptCode VARCHAR(20),
+      conceptName VARCHAR(100)
+    );
+    CREATE TABLE DiseaseOntology (
+      sourceID BIGINT,
+      targetID BIGINT,
+      type VARCHAR(20),
+      FOREIGN KEY (sourceID) REFERENCES Disease (diseaseID),
+      FOREIGN KEY (targetID) REFERENCES Disease (diseaseID)
+    );
+    CREATE TABLE HasDisease (
+      patientID BIGINT,
+      diseaseID BIGINT,
+      description VARCHAR(200),
+      FOREIGN KEY (patientID) REFERENCES Patient (patientID),
+      FOREIGN KEY (diseaseID) REFERENCES Disease (diseaseID)
+    );
+  )sql")
+                  .ok());
+}
+
+// -------------------------------------------------------------- FieldDef
+
+TEST(FieldDefTest, ParsesSingleColumn) {
+  Result<FieldDef> def = FieldDef::Parse("diseaseID");
+  ASSERT_TRUE(def.ok());
+  EXPECT_TRUE(def->SingleColumn());
+  EXPECT_EQ(def->Prefix(), "");
+  EXPECT_EQ(def->Columns(), std::vector<std::string>{"diseaseID"});
+}
+
+TEST(FieldDefTest, ParsesPrefixedColumn) {
+  Result<FieldDef> def = FieldDef::Parse("'patient'::patientID");
+  ASSERT_TRUE(def.ok());
+  EXPECT_FALSE(def->SingleColumn());
+  EXPECT_EQ(def->Prefix(), "patient");
+  EXPECT_EQ(def->Columns(), std::vector<std::string>{"patientID"});
+  EXPECT_EQ(def->ToString(), "'patient'::patientID");
+}
+
+TEST(FieldDefTest, ParsesMultiColumnComposite) {
+  Result<FieldDef> def = FieldDef::Parse("'ontology'::sourceID::targetID");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->Columns(),
+            (std::vector<std::string>{"sourceID", "targetID"}));
+}
+
+TEST(FieldDefTest, RejectsMalformedDefinitions) {
+  EXPECT_FALSE(FieldDef::Parse("").ok());
+  EXPECT_FALSE(FieldDef::Parse("'unterminated::x").ok());
+  EXPECT_FALSE(FieldDef::Parse("a::::b").ok());
+}
+
+// ---------------------------------------------------------- config parse
+
+TEST(OverlayConfigTest, ParsesThePaperExample) {
+  Result<OverlayConfig> config = OverlayConfig::Parse(kPaperConfig);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  ASSERT_EQ(config->v_tables.size(), 2u);
+  ASSERT_EQ(config->e_tables.size(), 2u);
+
+  const VertexTableConf& patient = config->v_tables[0];
+  EXPECT_EQ(patient.table_name, "Patient");
+  EXPECT_TRUE(patient.prefixed_id);
+  EXPECT_EQ(patient.id.Prefix(), "patient");
+  EXPECT_TRUE(patient.label.fixed);
+  EXPECT_EQ(patient.label.value, "patient");
+  EXPECT_EQ(patient.properties.size(), 4u);
+
+  const EdgeTableConf& ontology = config->e_tables[0];
+  EXPECT_EQ(ontology.src_v_table, "Disease");
+  EXPECT_FALSE(ontology.label.fixed);
+  EXPECT_EQ(ontology.label.value, "type");
+  EXPECT_TRUE(ontology.prefixed_edge_id);
+
+  const EdgeTableConf& has_disease = config->e_tables[1];
+  EXPECT_TRUE(has_disease.implicit_edge_id);
+  EXPECT_TRUE(has_disease.label.fixed);
+  // Properties not specified: defaulting behaviour is resolved later.
+  EXPECT_FALSE(has_disease.properties_specified);
+}
+
+TEST(OverlayConfigTest, RoundTripsThroughJson) {
+  Result<OverlayConfig> config = OverlayConfig::Parse(kPaperConfig);
+  ASSERT_TRUE(config.ok());
+  std::string text = config->ToJsonText();
+  Result<OverlayConfig> again = OverlayConfig::Parse(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->v_tables.size(), 2u);
+  EXPECT_EQ(again->e_tables.size(), 2u);
+  EXPECT_EQ(again->e_tables[0].id.ToString(),
+            "'ontology'::sourceID::targetID");
+}
+
+TEST(OverlayConfigTest, RejectsInvalidConfigs) {
+  EXPECT_FALSE(OverlayConfig::Parse("not json").ok());
+  EXPECT_FALSE(OverlayConfig::Parse("{}").ok());  // no v_tables
+  EXPECT_FALSE(
+      OverlayConfig::Parse(R"({"v_tables": [{"table_name": "T"}]})").ok());
+  // prefixed_id without a constant prefix.
+  EXPECT_FALSE(OverlayConfig::Parse(R"({"v_tables": [{
+    "table_name": "T", "prefixed_id": true, "id": "x",
+    "fix_label": true, "label": "'t'"}]})")
+                   .ok());
+  // implicit_edge_id combined with an explicit id.
+  EXPECT_FALSE(OverlayConfig::Parse(R"({"v_tables": [{
+      "table_name": "T", "id": "x", "fix_label": true, "label": "'t'"}],
+    "e_tables": [{
+      "table_name": "E", "src_v": "a", "dst_v": "b",
+      "implicit_edge_id": true, "id": "c",
+      "fix_label": true, "label": "'e'"}]})")
+                   .ok());
+}
+
+// ------------------------------------------------------------- topology
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateHealthcareTables(&db_); }
+  sql::Database db_;
+};
+
+TEST_F(TopologyTest, ResolvesThePaperOverlay) {
+  Result<OverlayConfig> config = OverlayConfig::Parse(kPaperConfig);
+  ASSERT_TRUE(config.ok());
+  Result<Topology> topo = Topology::Build(db_, *config);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_EQ(topo->vertex_tables().size(), 2u);
+  ASSERT_EQ(topo->edge_tables().size(), 2u);
+
+  const ResolvedVertexTable& patient = topo->vertex_tables()[0];
+  EXPECT_EQ(patient.id.column_indexes, std::vector<size_t>{0});
+  EXPECT_EQ(patient.properties.size(), 4u);
+
+  const ResolvedEdgeTable& ontology = topo->edge_tables()[0];
+  ASSERT_TRUE(ontology.label_column.has_value());
+  EXPECT_EQ(*ontology.label_column, 2u);
+  EXPECT_EQ(ontology.src_vertex_table, 1);  // Disease
+  EXPECT_EQ(ontology.dst_vertex_table, 1);
+
+  const ResolvedEdgeTable& has_disease = topo->edge_tables()[1];
+  EXPECT_EQ(has_disease.src_vertex_table, 0);  // Patient
+  EXPECT_EQ(has_disease.dst_vertex_table, 1);  // Disease
+  // Unspecified properties default to all non-required columns.
+  EXPECT_EQ(has_disease.properties,
+            std::vector<std::string>{"description"});
+}
+
+TEST_F(TopologyTest, RejectsUnknownTable) {
+  OverlayConfig config;
+  VertexTableConf conf;
+  conf.table_name = "Nope";
+  conf.id = *FieldDef::Parse("x");
+  conf.label.fixed = true;
+  conf.label.value = "n";
+  config.v_tables.push_back(conf);
+  EXPECT_FALSE(Topology::Build(db_, config).ok());
+}
+
+TEST_F(TopologyTest, RejectsUnknownColumn) {
+  OverlayConfig config;
+  VertexTableConf conf;
+  conf.table_name = "Patient";
+  conf.id = *FieldDef::Parse("noSuchColumn");
+  conf.label.fixed = true;
+  conf.label.value = "p";
+  config.v_tables.push_back(conf);
+  EXPECT_FALSE(Topology::Build(db_, config).ok());
+}
+
+TEST_F(TopologyTest, RejectsEndpointDefinitionMismatch) {
+  // HasDisease src_v must match Patient's id definition structurally.
+  std::string bad = kPaperConfig;
+  size_t pos = bad.find("'patient'::patientID\",\n      \"dst_v_table\"");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 20, "patientID");  // drop the prefix -> mismatch
+  Result<OverlayConfig> config = OverlayConfig::Parse(bad);
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(Topology::Build(db_, *config).ok());
+}
+
+TEST_F(TopologyTest, ResolvesOverlayOnViews) {
+  // The "surprising benefit": a join view mapped as an edge table.
+  ASSERT_TRUE(db_.Execute(
+                     "CREATE VIEW PatientOntologyRoot AS "
+                     "SELECT h.patientID AS pid, o.targetID AS root FROM "
+                     "HasDisease h JOIN DiseaseOntology o "
+                     "ON h.diseaseID = o.sourceID")
+                  .ok());
+  OverlayConfig config = *OverlayConfig::Parse(kPaperConfig);
+  EdgeTableConf derived;
+  derived.table_name = "PatientOntologyRoot";
+  derived.src_v_table = "Patient";
+  derived.src_v = *FieldDef::Parse("'patient'::pid");
+  derived.dst_v_table = "Disease";
+  derived.dst_v = *FieldDef::Parse("root");
+  derived.implicit_edge_id = true;
+  derived.label.fixed = true;
+  derived.label.value = "derivedLink";
+  config.e_tables.push_back(derived);
+  Result<Topology> topo = Topology::Build(db_, config);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  EXPECT_EQ(topo->edge_tables().size(), 3u);
+}
+
+TEST_F(TopologyTest, FieldComposeAndDecomposeRoundTrip) {
+  Result<OverlayConfig> config = OverlayConfig::Parse(kPaperConfig);
+  ASSERT_TRUE(config.ok());
+  Result<Topology> topo = Topology::Build(db_, *config);
+  ASSERT_TRUE(topo.ok());
+  const ResolvedVertexTable& patient = topo->vertex_tables()[0];
+  Row row = {Value(int64_t{7}), Value("Ann"), Value("addr"),
+             Value(int64_t{77})};
+  Value id = patient.id.Compose(row);
+  EXPECT_EQ(id, Value("patient::7"));
+  auto decomposed = patient.id.Decompose(id);
+  ASSERT_TRUE(decomposed.has_value());
+  ASSERT_EQ(decomposed->size(), 1u);
+  EXPECT_EQ((*decomposed)[0], Value(int64_t{7}));
+  // A disease id (plain int) does not decompose against the prefixed def.
+  EXPECT_FALSE(patient.id.Decompose(Value(int64_t{7})).has_value());
+  // The single-column Disease id composes to the raw value.
+  const ResolvedVertexTable& disease = topo->vertex_tables()[1];
+  Row drow = {Value(int64_t{10}), Value("D10"), Value("diabetes")};
+  EXPECT_EQ(disease.id.Compose(drow), Value(int64_t{10}));
+}
+
+// ----------------------------------------------------------- AutoOverlay
+
+class AutoOverlayTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateHealthcareTables(&db_); }
+  sql::Database db_;
+};
+
+TEST_F(AutoOverlayTest, ClassifiesVertexAndEdgeTables) {
+  Result<OverlayConfig> config = AutoOverlay(db_);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  // Algorithm 1: Patient and Disease have PKs -> vertex tables.
+  ASSERT_EQ(config->v_tables.size(), 2u);
+  // DiseaseOntology and HasDisease: no PK, 2 FKs -> 1 edge table each.
+  ASSERT_EQ(config->e_tables.size(), 2u);
+}
+
+TEST_F(AutoOverlayTest, VertexConfFollowsAlgorithmTwo) {
+  Result<OverlayConfig> config = AutoOverlay(db_);
+  ASSERT_TRUE(config.ok());
+  const VertexTableConf* patient = nullptr;
+  for (const auto& v : config->v_tables) {
+    if (v.table_name == "Patient") patient = &v;
+  }
+  ASSERT_NE(patient, nullptr);
+  EXPECT_TRUE(patient->prefixed_id);
+  EXPECT_EQ(patient->id.ToString(), "'Patient'::patientID");
+  EXPECT_TRUE(patient->label.fixed);
+  EXPECT_EQ(patient->label.value, "Patient");
+  // Properties: all columns minus the primary key.
+  EXPECT_EQ(patient->properties,
+            (std::vector<std::string>{"name", "address", "subscriptionID"}));
+}
+
+TEST_F(AutoOverlayTest, ManyToManyTableBecomesEdgePerFkPair) {
+  Result<OverlayConfig> config = AutoOverlay(db_);
+  ASSERT_TRUE(config.ok());
+  const EdgeTableConf* has_disease = nullptr;
+  for (const auto& e : config->e_tables) {
+    if (e.table_name == "HasDisease") has_disease = &e;
+  }
+  ASSERT_NE(has_disease, nullptr);
+  EXPECT_TRUE(has_disease->implicit_edge_id);
+  EXPECT_EQ(has_disease->src_v_table, "Patient");
+  EXPECT_EQ(has_disease->dst_v_table, "Disease");
+  EXPECT_EQ(has_disease->src_v.ToString(), "'Patient'::patientID");
+  EXPECT_EQ(has_disease->dst_v.ToString(), "'Disease'::diseaseID");
+  EXPECT_TRUE(has_disease->label.fixed);
+  EXPECT_EQ(has_disease->properties,
+            std::vector<std::string>{"description"});
+}
+
+TEST_F(AutoOverlayTest, PkPlusFkTableIsBothVertexAndEdge) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE Visit (
+      visitID BIGINT PRIMARY KEY,
+      patientID BIGINT,
+      note VARCHAR(50),
+      FOREIGN KEY (patientID) REFERENCES Patient (patientID)
+    );
+  )sql")
+                  .ok());
+  Result<OverlayConfig> config = AutoOverlay(db_);
+  ASSERT_TRUE(config.ok());
+  bool visit_vertex = false;
+  const EdgeTableConf* visit_edge = nullptr;
+  for (const auto& v : config->v_tables) {
+    if (v.table_name == "Visit") visit_vertex = true;
+  }
+  for (const auto& e : config->e_tables) {
+    if (e.table_name == "Visit") visit_edge = &e;
+  }
+  EXPECT_TRUE(visit_vertex);
+  ASSERT_NE(visit_edge, nullptr);
+  EXPECT_EQ(visit_edge->src_v_table, "Visit");
+  EXPECT_EQ(visit_edge->dst_v_table, "Patient");
+  EXPECT_EQ(visit_edge->label.value, "Visit_Patient");
+}
+
+TEST_F(AutoOverlayTest, ThreeForeignKeysYieldThreeEdgePairs) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+    CREATE TABLE Fact (
+      patientID BIGINT,
+      diseaseID BIGINT,
+      subscriptionID BIGINT,
+      FOREIGN KEY (patientID) REFERENCES Patient (patientID),
+      FOREIGN KEY (diseaseID) REFERENCES Disease (diseaseID),
+      FOREIGN KEY (subscriptionID) REFERENCES Patient (patientID)
+    );
+  )sql")
+                  .ok());
+  Result<OverlayConfig> config = AutoOverlay(db_, {"Patient", "Disease",
+                                                   "Fact"});
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  int fact_edges = 0;
+  for (const auto& e : config->e_tables) {
+    if (e.table_name == "Fact") ++fact_edges;
+  }
+  EXPECT_EQ(fact_edges, 3);  // C(3,2)
+}
+
+TEST_F(AutoOverlayTest, GeneratedOverlayResolvesAgainstTheCatalog) {
+  Result<OverlayConfig> config = AutoOverlay(db_);
+  ASSERT_TRUE(config.ok());
+  Result<Topology> topo = Topology::Build(db_, *config);
+  EXPECT_TRUE(topo.ok()) << topo.status().ToString();
+}
+
+TEST_F(AutoOverlayTest, FailsWhenFkTargetNotSelected) {
+  Result<OverlayConfig> config = AutoOverlay(db_, {"Patient", "HasDisease"});
+  EXPECT_FALSE(config.ok());  // HasDisease references Disease
+}
+
+TEST_F(AutoOverlayTest, FailsWithoutAnyPrimaryKey) {
+  sql::Database empty;
+  ASSERT_TRUE(
+      empty.Execute("CREATE TABLE NoKeys (a BIGINT, b BIGINT)").ok());
+  EXPECT_FALSE(AutoOverlay(empty).ok());
+}
+
+}  // namespace
+}  // namespace db2graph::overlay

@@ -1,0 +1,448 @@
+// Property-based tests for the graph layers: randomized traversals must
+// return identical results (a) across all three back ends, (b) under
+// every combination of traversal strategies, and (c) under every
+// combination of runtime optimizations; plus concurrent-reader safety.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+
+#include "baselines/janus_like.h"
+#include "baselines/native_graph.h"
+#include "core/db2graph.h"
+#include "gremlin/interpreter.h"
+#include "gremlin/parser.h"
+
+namespace db2graph {
+namespace {
+
+using core::Db2Graph;
+using core::RuntimeOptions;
+using core::StrategyOptions;
+using gremlin::Traverser;
+
+// ------------------------------------------------------------------
+// Random graph + random traversal machinery
+// ------------------------------------------------------------------
+
+struct RandomGraph {
+  // Two vertex kinds (user/item) and three edge kinds; mirrors a small
+  // heterogeneous overlay with one table per kind.
+  struct V {
+    int64_t id;
+    bool is_user;
+    int64_t score;
+    std::string name;
+  };
+  struct E {
+    int64_t id;
+    std::string label;  // follows (u->u), likes (u->i), related (i->i)
+    int64_t src;
+    int64_t dst;
+    int64_t weight;
+  };
+  std::vector<V> vertices;
+  std::vector<E> edges;
+};
+
+RandomGraph MakeRandomGraph(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RandomGraph g;
+  int users = 6 + rng() % 8;
+  int items = 6 + rng() % 8;
+  for (int i = 1; i <= users; ++i) {
+    g.vertices.push_back({i, true, static_cast<int64_t>(rng() % 50),
+                          "u" + std::to_string(i)});
+  }
+  for (int i = 1; i <= items; ++i) {
+    g.vertices.push_back({100 + i, false, static_cast<int64_t>(rng() % 50),
+                          "i" + std::to_string(i)});
+  }
+  int64_t eid = 1000;
+  std::set<std::tuple<std::string, int64_t, int64_t>> seen;
+  int edge_count = 20 + rng() % 30;
+  for (int i = 0; i < edge_count; ++i) {
+    RandomGraph::E e;
+    int kind = rng() % 3;
+    e.label = kind == 0 ? "follows" : kind == 1 ? "likes" : "related";
+    if (kind == 0) {
+      e.src = 1 + rng() % users;
+      e.dst = 1 + rng() % users;
+    } else if (kind == 1) {
+      e.src = 1 + rng() % users;
+      e.dst = 101 + rng() % items;
+    } else {
+      e.src = 101 + rng() % items;
+      e.dst = 101 + rng() % items;
+    }
+    if (e.src == e.dst) continue;
+    if (!seen.insert({e.label, e.src, e.dst}).second) continue;
+    e.id = eid++;
+    e.weight = static_cast<int64_t>(rng() % 100);
+    g.edges.push_back(std::move(e));
+  }
+  return g;
+}
+
+// Loads the random graph into a relational database (one table per kind).
+void LoadRelational(const RandomGraph& g, sql::Database* db) {
+  ASSERT_TRUE(db->ExecuteScript(R"sql(
+    CREATE TABLE Users (id BIGINT PRIMARY KEY, score BIGINT,
+                        name VARCHAR(10));
+    CREATE TABLE Items (id BIGINT PRIMARY KEY, score BIGINT,
+                        name VARCHAR(10));
+    CREATE TABLE Follows (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                          weight BIGINT);
+    CREATE TABLE Likes (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                        weight BIGINT);
+    CREATE TABLE Related (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT,
+                          weight BIGINT);
+    CREATE INDEX idx_f_src ON Follows (src);
+    CREATE INDEX idx_f_dst ON Follows (dst);
+    CREATE INDEX idx_l_src ON Likes (src);
+    CREATE INDEX idx_l_dst ON Likes (dst);
+    CREATE INDEX idx_r_src ON Related (src);
+    CREATE INDEX idx_r_dst ON Related (dst);
+  )sql")
+                  .ok());
+  for (const auto& v : g.vertices) {
+    sql::Table* table = db->GetTable(v.is_user ? "Users" : "Items");
+    ASSERT_TRUE(
+        table->Insert({Value(v.id), Value(v.score), Value(v.name)}).ok());
+  }
+  for (const auto& e : g.edges) {
+    sql::Table* table = db->GetTable(
+        e.label == "follows" ? "Follows"
+                             : e.label == "likes" ? "Likes" : "Related");
+    ASSERT_TRUE(table
+                    ->Insert({Value(e.id), Value(e.src), Value(e.dst),
+                              Value(e.weight)})
+                    .ok());
+  }
+}
+
+const char* kRandomOverlay = R"json({
+  "v_tables": [
+    {"table_name": "Users", "id": "id", "fix_label": true,
+     "label": "'user'", "properties": ["score", "name"]},
+    {"table_name": "Items", "id": "id", "fix_label": true,
+     "label": "'item'", "properties": ["score", "name"]}
+  ],
+  "e_tables": [
+    {"table_name": "Follows", "src_v_table": "Users", "src_v": "src",
+     "dst_v_table": "Users", "dst_v": "dst", "id": "'f'::eid",
+     "prefixed_edge_id": true, "fix_label": true, "label": "'follows'"},
+    {"table_name": "Likes", "src_v_table": "Users", "src_v": "src",
+     "dst_v_table": "Items", "dst_v": "dst", "id": "'l'::eid",
+     "prefixed_edge_id": true, "fix_label": true, "label": "'likes'"},
+    {"table_name": "Related", "src_v_table": "Items", "src_v": "src",
+     "dst_v_table": "Items", "dst_v": "dst", "id": "'r'::eid",
+     "prefixed_edge_id": true, "fix_label": true, "label": "'related'"}
+  ]
+})json";
+
+template <typename Db>
+void LoadBaseline(const RandomGraph& g, Db* db) {
+  for (const auto& v : g.vertices) {
+    ASSERT_TRUE(db->AddVertex(Value(v.id), v.is_user ? "user" : "item",
+                              {{"score", Value(v.score)},
+                               {"name", Value(v.name)}})
+                    .ok());
+  }
+  for (const auto& e : g.edges) {
+    ASSERT_TRUE(db->AddEdge(Value(e.id), e.label, Value(e.src),
+                            Value(e.dst), {{"weight", Value(e.weight)}})
+                    .ok());
+  }
+  ASSERT_TRUE(db->Open().ok());
+}
+
+// Generates a random traversal within the supported grammar.
+std::string RandomTraversal(std::mt19937_64* rng, const RandomGraph& g) {
+  std::string q = "g.V(";
+  // Random start: everything, a random id, or a couple of ids.
+  switch ((*rng)() % 3) {
+    case 0:
+      break;
+    case 1:
+      q += std::to_string(g.vertices[(*rng)() % g.vertices.size()].id);
+      break;
+    default:
+      q += std::to_string(g.vertices[(*rng)() % g.vertices.size()].id);
+      q += ", ";
+      q += std::to_string(g.vertices[(*rng)() % g.vertices.size()].id);
+  }
+  q += ")";
+  const char* labels[] = {"follows", "likes", "related"};
+  int hops = (*rng)() % 4;
+  bool on_edges = false;
+  for (int h = 0; h < hops; ++h) {
+    switch ((*rng)() % 8) {
+      case 0:
+        q += on_edges ? ".inV()" : ".out('" +
+                                       std::string(labels[(*rng)() % 3]) +
+                                       "')";
+        on_edges = false;
+        break;
+      case 1:
+        q += on_edges ? ".outV()" : ".in('" +
+                                        std::string(labels[(*rng)() % 3]) +
+                                        "')";
+        on_edges = false;
+        break;
+      case 2:
+        if (!on_edges) {
+          q += ".outE('" + std::string(labels[(*rng)() % 3]) + "')";
+          on_edges = true;
+        } else {
+          q += ".inV()";
+          on_edges = false;
+        }
+        break;
+      case 3:
+        if (!on_edges) {
+          q += ".hasLabel('" +
+               std::string((*rng)() % 2 == 0 ? "user" : "item") + "')";
+        } else {
+          q += ".has('weight', gt(" + std::to_string((*rng)() % 100) + "))";
+        }
+        break;
+      case 4:
+        q += on_edges ? ".has('weight', lt(" +
+                            std::to_string((*rng)() % 100) + "))"
+                      : ".has('score', gte(" +
+                            std::to_string((*rng)() % 50) + "))";
+        break;
+      case 5:
+        q += ".dedup()";
+        break;
+      case 6:
+        q += ".order()";
+        break;
+      default:
+        if (!on_edges) {
+          q += ".both('" + std::string(labels[(*rng)() % 3]) + "')";
+        } else {
+          q += ".outV()";
+          on_edges = false;
+        }
+    }
+  }
+  // Terminal: ids/values/count. Edge ids are system-specific (Db2 Graph
+  // composes them from the overlay), so .id() only terminates vertex
+  // streams.
+  switch ((*rng)() % 3) {
+    case 0:
+      q += on_edges ? ".count()" : ".id()";
+      break;
+    case 1:
+      q += on_edges ? ".values('weight')" : ".values('score')";
+      break;
+    default:
+      q += ".count()";
+  }
+  return q;
+}
+
+std::multiset<std::string> Normalize(const std::vector<Traverser>& ts) {
+  std::multiset<std::string> out;
+  for (const Traverser& t : ts) {
+    if (t.kind == Traverser::Kind::kEdge) {
+      out.insert(t.edge->src_id.ToString() + "|" + t.edge->label + "|" +
+                 t.edge->dst_id.ToString());
+    } else {
+      out.insert(t.ToString());
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------
+// (a) Cross-backend equivalence on random traversals.
+// ------------------------------------------------------------------
+
+class CrossBackendTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossBackendTest, RandomTraversalsAgreeEverywhere) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  RandomGraph g = MakeRandomGraph(GetParam());
+  sql::Database db;
+  LoadRelational(g, &db);
+  auto graph = Db2Graph::Open(&db, kRandomOverlay);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  baselines::NativeGraphDb native;
+  LoadBaseline(g, &native);
+  baselines::JanusLikeDb janus;
+  LoadBaseline(g, &janus);
+  gremlin::Interpreter native_interp(&native);
+  gremlin::Interpreter janus_interp(&janus);
+
+  for (int i = 0; i < 60; ++i) {
+    std::string q = RandomTraversal(&rng, g);
+    auto a = (*graph)->Execute(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    auto script = gremlin::ParseGremlin(q);
+    ASSERT_TRUE(script.ok()) << q;
+    auto b = native_interp.RunScript(*script);
+    ASSERT_TRUE(b.ok()) << q;
+    auto c = janus_interp.RunScript(*script);
+    ASSERT_TRUE(c.ok()) << q;
+    EXPECT_EQ(Normalize(*a), Normalize(*b)) << q;
+    EXPECT_EQ(Normalize(*a), Normalize(*c)) << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendTest, ::testing::Range(1, 11));
+
+// ------------------------------------------------------------------
+// (b) Every strategy combination preserves results.
+// ------------------------------------------------------------------
+
+class StrategyCombinationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyCombinationTest, AllSixteenCombinationsAgree) {
+  int mask = GetParam();
+  StrategyOptions options;
+  options.predicate_pushdown = mask & 1;
+  options.projection_pushdown = mask & 2;
+  options.aggregate_pushdown = mask & 4;
+  options.graphstep_vertexstep_mutation = mask & 8;
+
+  RandomGraph g = MakeRandomGraph(99);
+  sql::Database db;
+  LoadRelational(g, &db);
+  Db2Graph::Options reference_options;
+  reference_options.strategies = StrategyOptions::AllOff();
+  auto reference = Db2Graph::Open(&db, kRandomOverlay, reference_options);
+  ASSERT_TRUE(reference.ok());
+  Db2Graph::Options variant_options;
+  variant_options.strategies = options;
+  auto variant = Db2Graph::Open(&db, kRandomOverlay, variant_options);
+  ASSERT_TRUE(variant.ok());
+
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 40; ++i) {
+    std::string q = RandomTraversal(&rng, g);
+    auto a = (*reference)->Execute(q);
+    auto b = (*variant)->Execute(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(Normalize(*a), Normalize(*b)) << q << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, StrategyCombinationTest,
+                         ::testing::Range(0, 16));
+
+// ------------------------------------------------------------------
+// (c) Every runtime-optimization combination preserves results.
+// ------------------------------------------------------------------
+
+class RuntimeCombinationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeCombinationTest, AllCombinationsAgree) {
+  int mask = GetParam();
+  RuntimeOptions options;
+  options.label_pruning = mask & 1;
+  options.prefixed_id_pinning = mask & 2;
+  options.property_pruning = mask & 4;
+  options.endpoint_table_pruning = mask & 8;
+  options.vertex_from_edge_shortcut = mask & 16;
+  options.implicit_edge_id_decomposition = mask & 32;
+
+  RandomGraph g = MakeRandomGraph(123);
+  sql::Database db;
+  LoadRelational(g, &db);
+  auto reference = Db2Graph::Open(&db, kRandomOverlay);
+  ASSERT_TRUE(reference.ok());
+  Db2Graph::Options variant_options;
+  variant_options.runtime = options;
+  auto variant = Db2Graph::Open(&db, kRandomOverlay, variant_options);
+  ASSERT_TRUE(variant.ok());
+
+  std::mt19937_64 rng(4242);
+  for (int i = 0; i < 25; ++i) {
+    std::string q = RandomTraversal(&rng, g);
+    auto a = (*reference)->Execute(q);
+    auto b = (*variant)->Execute(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    EXPECT_EQ(Normalize(*a), Normalize(*b)) << q << " mask=" << mask;
+  }
+}
+
+// 64 combinations exist; sample the extremes plus every single-bit and
+// neighbouring pair to keep runtime modest.
+INSTANTIATE_TEST_SUITE_P(Masks, RuntimeCombinationTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 32, 3, 12, 48,
+                                           21, 42, 63));
+
+// ------------------------------------------------------------------
+// Concurrency: readers race a writer without torn results.
+// ------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ConcurrentReadersSeeConsistentCounts) {
+  RandomGraph g = MakeRandomGraph(7);
+  sql::Database db;
+  LoadRelational(g, &db);
+  auto graph = Db2Graph::Open(&db, kRandomOverlay);
+  ASSERT_TRUE(graph.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto out = (*graph)->Execute("g.V().hasLabel('user').count()");
+        if (!out.ok() || out->size() != 1) {
+          ++errors;
+          continue;
+        }
+        // Count must be between the initial and final user counts.
+        int64_t count = (*out)[0].value.as_int();
+        if (count < 6 || count > 2000) ++errors;
+      }
+    });
+  }
+  // Writer inserts new users while readers run.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO Users VALUES (" +
+                           std::to_string(5000 + i) + ", 1, 'w')")
+                    .ok());
+  }
+  stop = true;
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  auto out = (*graph)->Execute("g.V(5299).values('name')");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+}
+
+TEST(ConcurrencyTest, ConcurrentGraphQueriesOnBaselines) {
+  RandomGraph g = MakeRandomGraph(8);
+  baselines::NativeGraphDb native;
+  LoadBaseline(g, &native);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      gremlin::Interpreter interp(&native);
+      std::mt19937_64 rng(t);
+      for (int i = 0; i < 200; ++i) {
+        int64_t id = g.vertices[rng() % g.vertices.size()].id;
+        auto script = gremlin::ParseGremlin(
+            "g.V(" + std::to_string(id) + ").both('follows').count()");
+        auto out = interp.RunScript(*script);
+        if (!out.ok()) ++errors;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace db2graph

@@ -1,0 +1,417 @@
+// Unit tests for the MiniDb2 relational engine: DDL, DML, SELECT pipeline,
+// indexes, views, table functions, and transactions.
+
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+
+namespace db2graph::sql {
+namespace {
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Patient (
+        patientID BIGINT PRIMARY KEY,
+        name VARCHAR(100),
+        address VARCHAR(200),
+        subscriptionID BIGINT
+      );
+      CREATE TABLE Disease (
+        diseaseID BIGINT PRIMARY KEY,
+        conceptCode VARCHAR(20),
+        conceptName VARCHAR(100)
+      );
+      CREATE TABLE HasDisease (
+        patientID BIGINT,
+        diseaseID BIGINT,
+        description VARCHAR(200),
+        FOREIGN KEY (patientID) REFERENCES Patient (patientID),
+        FOREIGN KEY (diseaseID) REFERENCES Disease (diseaseID)
+      );
+      INSERT INTO Patient VALUES
+        (1, 'Alice', '1 Main St', 101),
+        (2, 'Bob', '2 Oak Ave', 102),
+        (3, 'Carol', '3 Pine Rd', 103);
+      INSERT INTO Disease VALUES
+        (10, 'D10', 'diabetes'),
+        (11, 'D11', 'type 2 diabetes'),
+        (12, 'D12', 'hypertension');
+      INSERT INTO HasDisease VALUES
+        (1, 11, 'diagnosed 2019'),
+        (2, 12, 'diagnosed 2020'),
+        (3, 11, 'diagnosed 2021');
+    )sql")
+                    .ok());
+  }
+
+  ResultSet Query(const std::string& sql) {
+    Result<ResultSet> rs = db_.Execute(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for " << sql;
+    return rs.ok() ? *rs : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlEngineTest, SelectStarReturnsAllRowsAndColumns) {
+  ResultSet rs = Query("SELECT * FROM Patient");
+  EXPECT_EQ(rs.columns,
+            (std::vector<std::string>{"patientID", "name", "address",
+                                      "subscriptionID"}));
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, WhereEqualityFilters) {
+  ResultSet rs = Query("SELECT name FROM Patient WHERE patientID = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Bob"));
+}
+
+TEST_F(SqlEngineTest, WhereUsesPrimaryKeyIndex) {
+  db_.stats().Reset();
+  Query("SELECT name FROM Patient WHERE patientID = 2");
+  EXPECT_GE(db_.stats().index_probes.load(), 1u);
+  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+}
+
+TEST_F(SqlEngineTest, InListProbesIndexPerValue) {
+  db_.stats().Reset();
+  ResultSet rs = Query("SELECT name FROM Patient WHERE patientID IN (1, 3)");
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_GE(db_.stats().index_probes.load(), 2u);
+  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+}
+
+TEST_F(SqlEngineTest, NonIndexedPredicateFallsBackToScan) {
+  db_.stats().Reset();
+  ResultSet rs = Query("SELECT * FROM Patient WHERE name = 'Alice'");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_GE(db_.stats().full_scans.load(), 1u);
+}
+
+TEST_F(SqlEngineTest, SecondaryIndexIsUsedAfterCreation) {
+  Query("SELECT 1 FROM Patient");  // warm-up no-op
+  ASSERT_TRUE(db_.Execute("CREATE INDEX idx_name ON Patient (name)").ok());
+  db_.stats().Reset();
+  ResultSet rs = Query("SELECT * FROM Patient WHERE name = 'Alice'");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+  EXPECT_GE(db_.stats().index_probes.load(), 1u);
+}
+
+TEST_F(SqlEngineTest, JoinOnForeignKey) {
+  ResultSet rs = Query(
+      "SELECT p.name, d.conceptName FROM HasDisease h "
+      "JOIN Patient p ON h.patientID = p.patientID "
+      "JOIN Disease d ON h.diseaseID = d.diseaseID "
+      "ORDER BY p.name");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value("Alice"));
+  EXPECT_EQ(rs.rows[0][1], Value("type 2 diabetes"));
+}
+
+TEST_F(SqlEngineTest, ImplicitJoinViaWhere) {
+  ResultSet rs = Query(
+      "SELECT p.name FROM Patient p, HasDisease h "
+      "WHERE p.patientID = h.patientID AND h.diseaseID = 11 ORDER BY p.name");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value("Alice"));
+  EXPECT_EQ(rs.rows[1][0], Value("Carol"));
+}
+
+TEST_F(SqlEngineTest, LeftJoinPreservesUnmatchedRows) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO Patient VALUES (4, 'Dave', '4 Elm', "
+                          "104)")
+                  .ok());
+  ResultSet rs = Query(
+      "SELECT p.name, h.diseaseID FROM Patient p "
+      "LEFT JOIN HasDisease h ON p.patientID = h.patientID "
+      "ORDER BY p.name");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[3][0], Value("Dave"));
+  EXPECT_TRUE(rs.rows[3][1].is_null());
+}
+
+TEST_F(SqlEngineTest, AggregatesOverWholeTable) {
+  ResultSet rs = Query(
+      "SELECT COUNT(*), MIN(patientID), MAX(patientID), AVG(patientID) "
+      "FROM Patient");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+  EXPECT_EQ(rs.rows[0][1], Value(int64_t{1}));
+  EXPECT_EQ(rs.rows[0][2], Value(int64_t{3}));
+  EXPECT_DOUBLE_EQ(rs.rows[0][3].NumericValue(), 2.0);
+}
+
+TEST_F(SqlEngineTest, CountOnEmptyResultIsZero) {
+  ResultSet rs = Query("SELECT COUNT(*) FROM Patient WHERE patientID = 99");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{0}));
+}
+
+TEST_F(SqlEngineTest, GroupByWithAggregate) {
+  ResultSet rs = Query(
+      "SELECT diseaseID, COUNT(*) AS n FROM HasDisease "
+      "GROUP BY diseaseID ORDER BY n DESC, diseaseID");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{11}));
+  EXPECT_EQ(rs.rows[0][1], Value(int64_t{2}));
+}
+
+TEST_F(SqlEngineTest, DistinctRemovesDuplicates) {
+  ResultSet rs = Query("SELECT DISTINCT diseaseID FROM HasDisease");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, OrderByDescAndLimit) {
+  ResultSet rs =
+      Query("SELECT patientID FROM Patient ORDER BY patientID DESC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+  EXPECT_EQ(rs.rows[1][0], Value(int64_t{2}));
+}
+
+TEST_F(SqlEngineTest, ArithmeticAndStringConcat) {
+  ResultSet rs = Query(
+      "SELECT patientID * 2 + 1, name || '!' FROM Patient WHERE "
+      "patientID = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+  EXPECT_EQ(rs.rows[0][1], Value("Alice!"));
+}
+
+TEST_F(SqlEngineTest, LikePatterns) {
+  ResultSet rs = Query("SELECT name FROM Patient WHERE name LIKE 'A%'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Alice"));
+  rs = Query("SELECT name FROM Patient WHERE name LIKE '_ob'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Bob"));
+}
+
+TEST_F(SqlEngineTest, IsNullAndIsNotNull) {
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO Patient (patientID, name) VALUES (5, 'Eve')")
+          .ok());
+  ResultSet rs = Query("SELECT name FROM Patient WHERE address IS NULL");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Eve"));
+  rs = Query(
+      "SELECT COUNT(*) FROM Patient WHERE address IS NOT NULL");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+}
+
+TEST_F(SqlEngineTest, PrimaryKeyUniquenessEnforced) {
+  Result<ResultSet> rs =
+      db_.Execute("INSERT INTO Patient VALUES (1, 'Dup', 'x', 1)");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlEngineTest, ForeignKeyEnforcedOnInsert) {
+  Result<ResultSet> rs =
+      db_.Execute("INSERT INTO HasDisease VALUES (99, 11, 'bad patient')");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlEngineTest, NotNullEnforced) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE T (a BIGINT NOT NULL, b VARCHAR(10))").ok());
+  Result<ResultSet> rs = db_.Execute("INSERT INTO T (b) VALUES ('x')");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(SqlEngineTest, UpdateChangesMatchingRows) {
+  ResultSet rs =
+      Query("UPDATE Patient SET address = 'moved' WHERE patientID = 1");
+  EXPECT_EQ(rs.affected, 1);
+  rs = Query("SELECT address FROM Patient WHERE patientID = 1");
+  EXPECT_EQ(rs.rows[0][0], Value("moved"));
+}
+
+TEST_F(SqlEngineTest, DeleteRemovesRowsAndIndexEntries) {
+  ResultSet rs = Query("DELETE FROM HasDisease WHERE diseaseID = 11");
+  EXPECT_EQ(rs.affected, 2);
+  rs = Query("SELECT COUNT(*) FROM HasDisease");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{1}));
+}
+
+TEST_F(SqlEngineTest, ViewExpandsAtQueryTimeAndSeesUpdates) {
+  ASSERT_TRUE(db_.Execute(
+                     "CREATE VIEW Diabetics AS SELECT p.patientID, p.name "
+                     "FROM Patient p JOIN HasDisease h ON p.patientID = "
+                     "h.patientID WHERE h.diseaseID = 11")
+                  .ok());
+  ResultSet rs = Query("SELECT * FROM Diabetics ORDER BY patientID");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  // A new base-table row is visible through the view immediately.
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO HasDisease VALUES (2, 11, 'later')").ok());
+  rs = Query("SELECT * FROM Diabetics");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, ViewSchemaIsDerivedWithoutExecution) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW V AS SELECT name AS who, "
+                          "patientID * 2 AS twice FROM Patient")
+                  .ok());
+  const TableSchema* schema = db_.GetSchema("V");
+  ASSERT_NE(schema, nullptr);
+  ASSERT_EQ(schema->columns.size(), 2u);
+  EXPECT_EQ(schema->columns[0].name, "who");
+  EXPECT_EQ(schema->columns[1].name, "twice");
+}
+
+TEST_F(SqlEngineTest, SubqueryInFrom) {
+  ResultSet rs = Query(
+      "SELECT COUNT(*) FROM (SELECT patientID FROM Patient "
+      "WHERE patientID > 1) AS sub");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{2}));
+}
+
+TEST_F(SqlEngineTest, TableFunctionInFrom) {
+  db_.RegisterTableFunction(
+      "twoRows", [](const std::vector<Value>& args) -> Result<ResultSet> {
+        ResultSet rs;
+        rs.columns = {"a", "b"};
+        rs.rows.push_back({args.empty() ? Value(int64_t{0}) : args[0],
+                           Value("x")});
+        rs.rows.push_back({Value(int64_t{2}), Value("y")});
+        return rs;
+      });
+  ResultSet rs = Query(
+      "SELECT t.a, t.b FROM TABLE (twoRows(7)) AS t (a BIGINT, b "
+      "VARCHAR(5)) ORDER BY a");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{2}));
+  EXPECT_EQ(rs.rows[1][0], Value(int64_t{7}));
+}
+
+TEST_F(SqlEngineTest, PreparedStatementWithParameters) {
+  Result<PreparedStatement> prepared =
+      db_.Prepare("SELECT name FROM Patient WHERE patientID = ?");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->param_count(), 1);
+  Result<ResultSet> rs = prepared->Execute({Value(int64_t{2})});
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0], Value("Bob"));
+  rs = prepared->Execute({Value(int64_t{3})});
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0], Value("Carol"));
+}
+
+TEST_F(SqlEngineTest, PreparedStatementParamCountMismatch) {
+  Result<PreparedStatement> prepared =
+      db_.Prepare("SELECT name FROM Patient WHERE patientID = ?");
+  ASSERT_TRUE(prepared.ok());
+  Result<ResultSet> rs = prepared->Execute({});
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(SqlEngineTest, TransactionRollbackUndoesAllChanges) {
+  ASSERT_TRUE(db_.Execute("BEGIN").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO Patient VALUES (7, 'Tmp', 't', 107)")
+                  .ok());
+  ASSERT_TRUE(
+      db_.Execute("UPDATE Patient SET name = 'Changed' WHERE patientID = 1")
+          .ok());
+  ASSERT_TRUE(
+      db_.Execute("DELETE FROM Patient WHERE patientID = 3").ok());
+  ASSERT_TRUE(db_.Execute("ROLLBACK").ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM Patient");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+  rs = Query("SELECT name FROM Patient WHERE patientID = 1");
+  EXPECT_EQ(rs.rows[0][0], Value("Alice"));
+  rs = Query("SELECT COUNT(*) FROM Patient WHERE patientID = 3");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{1}));
+}
+
+TEST_F(SqlEngineTest, TransactionCommitKeepsChanges) {
+  ASSERT_TRUE(db_.Execute("BEGIN").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO Patient VALUES (8, 'Kept', 'k', 108)")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("COMMIT").ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM Patient");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{4}));
+}
+
+TEST_F(SqlEngineTest, RollbackRestoresIndexConsistency) {
+  ASSERT_TRUE(db_.Execute("BEGIN").ok());
+  ASSERT_TRUE(
+      db_.Execute("DELETE FROM Patient WHERE patientID = 2").ok());
+  ASSERT_TRUE(db_.Execute("ROLLBACK").ok());
+  db_.stats().Reset();
+  ResultSet rs = Query("SELECT name FROM Patient WHERE patientID = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Bob"));
+  EXPECT_GE(db_.stats().index_probes.load(), 1u);  // found via restored index
+}
+
+TEST_F(SqlEngineTest, BetweenPredicate) {
+  ResultSet rs =
+      Query("SELECT COUNT(*) FROM Patient WHERE patientID BETWEEN 1 AND 2");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{2}));
+}
+
+TEST_F(SqlEngineTest, ParseErrorsSurfaceAsInvalidArgument) {
+  Result<ResultSet> rs = db_.Execute("SELEC * FORM Patient");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlEngineTest, UnknownTableIsNotFound) {
+  Result<ResultSet> rs = db_.Execute("SELECT * FROM Nope");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SqlEngineTest, DropTableRemovesRelation) {
+  ASSERT_TRUE(db_.Execute("DROP TABLE HasDisease").ok());
+  EXPECT_FALSE(db_.HasRelation("HasDisease"));
+  EXPECT_FALSE(db_.Execute("SELECT * FROM HasDisease").ok());
+}
+
+TEST_F(SqlEngineTest, ApproxBytesGrowsWithData) {
+  size_t before = db_.ApproxBytes();
+  for (int i = 100; i < 200; ++i) {
+    ASSERT_TRUE(db_.Execute("INSERT INTO Patient VALUES (" +
+                            std::to_string(i) + ", 'P', 'addr', 1)")
+                    .ok());
+  }
+  EXPECT_GT(db_.ApproxBytes(), before);
+}
+
+TEST_F(SqlEngineTest, CatalogListsTablesAndViews) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE VIEW V1 AS SELECT name FROM Patient").ok());
+  std::vector<std::string> tables = db_.TableNames();
+  EXPECT_EQ(tables.size(), 3u);
+  std::vector<std::string> views = db_.ViewNames();
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0], "V1");
+}
+
+TEST_F(SqlEngineTest, SchemaExposesPrimaryAndForeignKeys) {
+  const TableSchema* schema = db_.GetSchema("HasDisease");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_FALSE(schema->has_primary_key());
+  ASSERT_EQ(schema->foreign_keys.size(), 2u);
+  EXPECT_EQ(schema->foreign_keys[0].ref_table, "Patient");
+}
+
+// The multi-row VALUES and quoted-identifier paths.
+TEST_F(SqlEngineTest, MultiRowInsertAndQuotedIdentifiers) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE \"Mixed\" (\"idCol\" BIGINT)").ok());
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO Mixed VALUES (1), (2), (3)").ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM Mixed");
+  EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+}
+
+}  // namespace
+}  // namespace db2graph::sql
