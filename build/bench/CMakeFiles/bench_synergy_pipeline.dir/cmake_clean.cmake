@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synergy_pipeline.dir/bench_synergy_pipeline.cc.o"
+  "CMakeFiles/bench_synergy_pipeline.dir/bench_synergy_pipeline.cc.o.d"
+  "bench_synergy_pipeline"
+  "bench_synergy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synergy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_loading.dir/bench_table3_loading.cc.o"
+  "CMakeFiles/bench_table3_loading.dir/bench_table3_loading.cc.o.d"
+  "bench_table3_loading"
+  "bench_table3_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_console.dir/gremlin_console.cpp.o"
+  "CMakeFiles/gremlin_console.dir/gremlin_console.cpp.o.d"
+  "gremlin_console"
+  "gremlin_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

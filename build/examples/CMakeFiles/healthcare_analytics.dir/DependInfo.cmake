@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/healthcare_analytics.cpp" "examples/CMakeFiles/healthcare_analytics.dir/healthcare_analytics.cpp.o" "gcc" "examples/CMakeFiles/healthcare_analytics.dir/healthcare_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/db2g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/db2g_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkbench/CMakeFiles/db2g_linkbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/gremlin/CMakeFiles/db2g_gremlin.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/db2g_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/db2g_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_analytics.dir/healthcare_analytics.cpp.o"
+  "CMakeFiles/healthcare_analytics.dir/healthcare_analytics.cpp.o.d"
+  "healthcare_analytics"
+  "healthcare_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

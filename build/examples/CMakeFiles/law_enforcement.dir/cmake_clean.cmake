@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/law_enforcement.dir/law_enforcement.cpp.o"
+  "CMakeFiles/law_enforcement.dir/law_enforcement.cpp.o.d"
+  "law_enforcement"
+  "law_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/law_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for law_enforcement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for law_enforcement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_views.dir/overlay_views.cpp.o"
+  "CMakeFiles/overlay_views.dir/overlay_views.cpp.o.d"
+  "overlay_views"
+  "overlay_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

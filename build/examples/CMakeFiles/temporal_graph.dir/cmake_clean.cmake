@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_graph.dir/temporal_graph.cpp.o"
+  "CMakeFiles/temporal_graph.dir/temporal_graph.cpp.o.d"
+  "temporal_graph"
+  "temporal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/codec.cc" "src/baselines/CMakeFiles/db2g_baselines.dir/codec.cc.o" "gcc" "src/baselines/CMakeFiles/db2g_baselines.dir/codec.cc.o.d"
+  "/root/repo/src/baselines/janus_like.cc" "src/baselines/CMakeFiles/db2g_baselines.dir/janus_like.cc.o" "gcc" "src/baselines/CMakeFiles/db2g_baselines.dir/janus_like.cc.o.d"
+  "/root/repo/src/baselines/kvstore.cc" "src/baselines/CMakeFiles/db2g_baselines.dir/kvstore.cc.o" "gcc" "src/baselines/CMakeFiles/db2g_baselines.dir/kvstore.cc.o.d"
+  "/root/repo/src/baselines/loader.cc" "src/baselines/CMakeFiles/db2g_baselines.dir/loader.cc.o" "gcc" "src/baselines/CMakeFiles/db2g_baselines.dir/loader.cc.o.d"
+  "/root/repo/src/baselines/native_graph.cc" "src/baselines/CMakeFiles/db2g_baselines.dir/native_graph.cc.o" "gcc" "src/baselines/CMakeFiles/db2g_baselines.dir/native_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gremlin/CMakeFiles/db2g_gremlin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/db2g_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_baselines.dir/codec.cc.o"
+  "CMakeFiles/db2g_baselines.dir/codec.cc.o.d"
+  "CMakeFiles/db2g_baselines.dir/janus_like.cc.o"
+  "CMakeFiles/db2g_baselines.dir/janus_like.cc.o.d"
+  "CMakeFiles/db2g_baselines.dir/kvstore.cc.o"
+  "CMakeFiles/db2g_baselines.dir/kvstore.cc.o.d"
+  "CMakeFiles/db2g_baselines.dir/loader.cc.o"
+  "CMakeFiles/db2g_baselines.dir/loader.cc.o.d"
+  "CMakeFiles/db2g_baselines.dir/native_graph.cc.o"
+  "CMakeFiles/db2g_baselines.dir/native_graph.cc.o.d"
+  "libdb2g_baselines.a"
+  "libdb2g_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdb2g_baselines.a"
+)

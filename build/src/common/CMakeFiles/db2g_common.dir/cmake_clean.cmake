@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_common.dir/json.cc.o"
+  "CMakeFiles/db2g_common.dir/json.cc.o.d"
+  "CMakeFiles/db2g_common.dir/strings.cc.o"
+  "CMakeFiles/db2g_common.dir/strings.cc.o.d"
+  "CMakeFiles/db2g_common.dir/value.cc.o"
+  "CMakeFiles/db2g_common.dir/value.cc.o.d"
+  "libdb2g_common.a"
+  "libdb2g_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

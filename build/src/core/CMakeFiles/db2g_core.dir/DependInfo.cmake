@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/db2graph.cc" "src/core/CMakeFiles/db2g_core.dir/db2graph.cc.o" "gcc" "src/core/CMakeFiles/db2g_core.dir/db2graph.cc.o.d"
+  "/root/repo/src/core/graph_structure.cc" "src/core/CMakeFiles/db2g_core.dir/graph_structure.cc.o" "gcc" "src/core/CMakeFiles/db2g_core.dir/graph_structure.cc.o.d"
+  "/root/repo/src/core/gremlin_service.cc" "src/core/CMakeFiles/db2g_core.dir/gremlin_service.cc.o" "gcc" "src/core/CMakeFiles/db2g_core.dir/gremlin_service.cc.o.d"
+  "/root/repo/src/core/sql_dialect.cc" "src/core/CMakeFiles/db2g_core.dir/sql_dialect.cc.o" "gcc" "src/core/CMakeFiles/db2g_core.dir/sql_dialect.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/db2g_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/db2g_core.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/overlay/CMakeFiles/db2g_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/gremlin/CMakeFiles/db2g_gremlin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/db2g_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

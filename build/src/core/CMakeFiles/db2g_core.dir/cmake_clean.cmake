@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_core.dir/db2graph.cc.o"
+  "CMakeFiles/db2g_core.dir/db2graph.cc.o.d"
+  "CMakeFiles/db2g_core.dir/graph_structure.cc.o"
+  "CMakeFiles/db2g_core.dir/graph_structure.cc.o.d"
+  "CMakeFiles/db2g_core.dir/gremlin_service.cc.o"
+  "CMakeFiles/db2g_core.dir/gremlin_service.cc.o.d"
+  "CMakeFiles/db2g_core.dir/sql_dialect.cc.o"
+  "CMakeFiles/db2g_core.dir/sql_dialect.cc.o.d"
+  "CMakeFiles/db2g_core.dir/strategies.cc.o"
+  "CMakeFiles/db2g_core.dir/strategies.cc.o.d"
+  "libdb2g_core.a"
+  "libdb2g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

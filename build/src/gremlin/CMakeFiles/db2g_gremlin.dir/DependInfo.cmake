@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gremlin/graph_api.cc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/graph_api.cc.o" "gcc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/graph_api.cc.o.d"
+  "/root/repo/src/gremlin/interpreter.cc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/interpreter.cc.o" "gcc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/interpreter.cc.o.d"
+  "/root/repo/src/gremlin/parser.cc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/parser.cc.o" "gcc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/parser.cc.o.d"
+  "/root/repo/src/gremlin/step.cc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/step.cc.o" "gcc" "src/gremlin/CMakeFiles/db2g_gremlin.dir/step.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/db2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

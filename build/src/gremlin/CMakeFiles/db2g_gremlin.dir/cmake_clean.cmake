@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_gremlin.dir/graph_api.cc.o"
+  "CMakeFiles/db2g_gremlin.dir/graph_api.cc.o.d"
+  "CMakeFiles/db2g_gremlin.dir/interpreter.cc.o"
+  "CMakeFiles/db2g_gremlin.dir/interpreter.cc.o.d"
+  "CMakeFiles/db2g_gremlin.dir/parser.cc.o"
+  "CMakeFiles/db2g_gremlin.dir/parser.cc.o.d"
+  "CMakeFiles/db2g_gremlin.dir/step.cc.o"
+  "CMakeFiles/db2g_gremlin.dir/step.cc.o.d"
+  "libdb2g_gremlin.a"
+  "libdb2g_gremlin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_gremlin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_linkbench.dir/linkbench.cc.o"
+  "CMakeFiles/db2g_linkbench.dir/linkbench.cc.o.d"
+  "CMakeFiles/db2g_linkbench.dir/partitioned.cc.o"
+  "CMakeFiles/db2g_linkbench.dir/partitioned.cc.o.d"
+  "libdb2g_linkbench.a"
+  "libdb2g_linkbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_linkbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

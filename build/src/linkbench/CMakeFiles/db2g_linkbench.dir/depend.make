@@ -1,0 +1,2 @@
+# Empty dependencies file for db2g_linkbench.
+# This may be replaced when dependencies are built.

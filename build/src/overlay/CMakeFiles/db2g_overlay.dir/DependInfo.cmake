@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/auto_overlay.cc" "src/overlay/CMakeFiles/db2g_overlay.dir/auto_overlay.cc.o" "gcc" "src/overlay/CMakeFiles/db2g_overlay.dir/auto_overlay.cc.o.d"
+  "/root/repo/src/overlay/config.cc" "src/overlay/CMakeFiles/db2g_overlay.dir/config.cc.o" "gcc" "src/overlay/CMakeFiles/db2g_overlay.dir/config.cc.o.d"
+  "/root/repo/src/overlay/topology.cc" "src/overlay/CMakeFiles/db2g_overlay.dir/topology.cc.o" "gcc" "src/overlay/CMakeFiles/db2g_overlay.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/db2g_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/db2g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_overlay.dir/auto_overlay.cc.o"
+  "CMakeFiles/db2g_overlay.dir/auto_overlay.cc.o.d"
+  "CMakeFiles/db2g_overlay.dir/config.cc.o"
+  "CMakeFiles/db2g_overlay.dir/config.cc.o.d"
+  "CMakeFiles/db2g_overlay.dir/topology.cc.o"
+  "CMakeFiles/db2g_overlay.dir/topology.cc.o.d"
+  "libdb2g_overlay.a"
+  "libdb2g_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

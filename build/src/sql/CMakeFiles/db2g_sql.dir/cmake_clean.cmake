@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2g_sql.dir/database.cc.o"
+  "CMakeFiles/db2g_sql.dir/database.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/executor.cc.o"
+  "CMakeFiles/db2g_sql.dir/executor.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/expr.cc.o"
+  "CMakeFiles/db2g_sql.dir/expr.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/lexer.cc.o"
+  "CMakeFiles/db2g_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/parser.cc.o"
+  "CMakeFiles/db2g_sql.dir/parser.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/result_set.cc.o"
+  "CMakeFiles/db2g_sql.dir/result_set.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/schema.cc.o"
+  "CMakeFiles/db2g_sql.dir/schema.cc.o.d"
+  "CMakeFiles/db2g_sql.dir/table.cc.o"
+  "CMakeFiles/db2g_sql.dir/table.cc.o.d"
+  "libdb2g_sql.a"
+  "libdb2g_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2g_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

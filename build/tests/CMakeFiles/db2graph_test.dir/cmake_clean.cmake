@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db2graph_test.dir/db2graph_test.cc.o"
+  "CMakeFiles/db2graph_test.dir/db2graph_test.cc.o.d"
+  "db2graph_test"
+  "db2graph_test.pdb"
+  "db2graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db2graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

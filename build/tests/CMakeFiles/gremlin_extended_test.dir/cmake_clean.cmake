@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_extended_test.dir/gremlin_extended_test.cc.o"
+  "CMakeFiles/gremlin_extended_test.dir/gremlin_extended_test.cc.o.d"
+  "gremlin_extended_test"
+  "gremlin_extended_test.pdb"
+  "gremlin_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_service_test.dir/gremlin_service_test.cc.o"
+  "CMakeFiles/gremlin_service_test.dir/gremlin_service_test.cc.o.d"
+  "gremlin_service_test"
+  "gremlin_service_test.pdb"
+  "gremlin_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

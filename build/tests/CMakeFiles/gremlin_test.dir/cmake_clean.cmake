@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gremlin_test.dir/gremlin_test.cc.o"
+  "CMakeFiles/gremlin_test.dir/gremlin_test.cc.o.d"
+  "gremlin_test"
+  "gremlin_test.pdb"
+  "gremlin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gremlin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkbench_test.dir/linkbench_test.cc.o"
+  "CMakeFiles/linkbench_test.dir/linkbench_test.cc.o.d"
+  "linkbench_test"
+  "linkbench_test.pdb"
+  "linkbench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

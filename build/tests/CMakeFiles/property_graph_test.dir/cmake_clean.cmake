@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_graph_test.dir/property_graph_test.cc.o"
+  "CMakeFiles/property_graph_test.dir/property_graph_test.cc.o.d"
+  "property_graph_test"
+  "property_graph_test.pdb"
+  "property_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

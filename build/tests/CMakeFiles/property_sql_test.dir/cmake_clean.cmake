@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sql_test.dir/property_sql_test.cc.o"
+  "CMakeFiles/property_sql_test.dir/property_sql_test.cc.o.d"
+  "property_sql_test"
+  "property_sql_test.pdb"
+  "property_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_engine_test.dir/sql_engine_test.cc.o"
+  "CMakeFiles/sql_engine_test.dir/sql_engine_test.cc.o.d"
+  "sql_engine_test"
+  "sql_engine_test.pdb"
+  "sql_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_extended_test.dir/sql_extended_test.cc.o"
+  "CMakeFiles/sql_extended_test.dir/sql_extended_test.cc.o.d"
+  "sql_extended_test"
+  "sql_extended_test.pdb"
+  "sql_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

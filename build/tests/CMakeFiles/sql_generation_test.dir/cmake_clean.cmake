@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_generation_test.dir/sql_generation_test.cc.o"
+  "CMakeFiles/sql_generation_test.dir/sql_generation_test.cc.o.d"
+  "sql_generation_test"
+  "sql_generation_test.pdb"
+  "sql_generation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

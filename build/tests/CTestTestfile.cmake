@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sql_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/gremlin_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/overlay_test[1]_include.cmake")
+include("/root/repo/build/tests/db2graph_test[1]_include.cmake")
+include("/root/repo/build/tests/linkbench_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/property_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/gremlin_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/access_control_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_generation_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_extended_test[1]_include.cmake")
+include("/root/repo/build/tests/gremlin_service_test[1]_include.cmake")
