@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace db2graph::core {
 
@@ -303,7 +305,49 @@ std::optional<ImplicitIdParts> DecomposeImplicitEdgeId(
 Db2GraphProvider::Db2GraphProvider(SqlDialect* dialect,
                                    overlay::Topology topology,
                                    RuntimeOptions options)
-    : dialect_(dialect), topology_(std::move(topology)), options_(options) {}
+    : dialect_(dialect), topology_(std::move(topology)), options_(options) {
+  if (options_.vertex_cache) {
+    VertexCache::Options cache_options;
+    cache_options.capacity = options_.vertex_cache_entries;
+    cache_ = std::make_unique<VertexCache>(cache_options);
+  }
+}
+
+void Db2GraphProvider::ExecuteJobs(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  // Fanning out while this thread already holds the database's shared
+  // read lock (a graphQuery table function inside a SELECT) is unsafe:
+  // pool workers would queue for fresh shared locks behind any waiting
+  // writer, which in turn waits on this thread — a deadlock. Reentrant
+  // calls run serially instead; the outer statement still parallelizes.
+  if (n > 1 && options_.parallel_fanout &&
+      !dialect_->db()->ReadLockHeldByThisThread()) {
+    stats_.parallel_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.parallel_tasks.fetch_add(n, std::memory_order_relaxed);
+    ThreadPool::Shared().RunBatch(n, fn);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+bool Db2GraphProvider::CacheUsable(const LookupSpec& spec) const {
+  // Single-id point lookups only: multi-id answers would interleave
+  // cached and fetched rows and break the deterministic table-major
+  // result order. Projections fetch partial rows (never cacheable), and
+  // under access control every lookup must reach SQL so grants apply.
+  return cache_ != nullptr && options_.vertex_cache && spec.ids.size() == 1 &&
+         spec.agg == AggOp::kNone && !spec.has_projection &&
+         !dialect_->db()->access_control_enabled();
+}
+
+bool Db2GraphProvider::CacheFillEligible(const LookupSpec& spec) const {
+  // Labels prune tables and predicates are pushed into WHERE: either one
+  // makes the fetched set a subset of "all vertices with this id", which
+  // is what a cache entry must hold. (Id-type pinning is fine — a table
+  // skipped because the id cannot decompose into its key columns cannot
+  // contain the vertex at all.)
+  return spec.labels.empty() && spec.predicates.empty();
+}
 
 VertexPtr Db2GraphProvider::MaterializeVertex(int table_index,
                                               const Row& row) const {
@@ -479,60 +523,123 @@ std::vector<size_t> VertexFetchColumns(const ResolvedVertexTable& t,
   return cols;
 }
 
+VertexPtr BuildVertexFromFetched(const ResolvedVertexTable& t, int table_index,
+                                 const FetchLayout& layout, Row row) {
+  auto v = std::make_shared<Vertex>();
+  v->id = ComposeField(t.id, layout, row);
+  v->label = t.conf.label.fixed
+                 ? t.conf.label.value
+                 : row[layout.PosOf(*t.label_column)].ToString();
+  for (size_t i = 0; i < t.properties.size(); ++i) {
+    if (!layout.Has(t.property_columns[i])) continue;
+    const Value& value = row[layout.PosOf(t.property_columns[i])];
+    if (!value.is_null()) {
+      v->properties.emplace_back(t.properties[i], value);
+    }
+  }
+  v->source_table = t.conf.table_name;
+  auto prov = std::make_shared<RowProvenance>();
+  prov->table_index = table_index;
+  prov->row = std::move(row);
+  v->provenance = std::move(prov);
+  return v;
+}
+
+// One per-table vertex fetch: the unit of work the fan-out parallelizes.
+// Everything it touches is either private to the call or internally
+// synchronized (dialect template cache, database shared lock, atomics).
+Status FetchVertexTable(SqlDialect* dialect, const ResolvedVertexTable& t,
+                        int table_index, const LookupSpec& spec,
+                        const VertexPlan& plan, std::vector<VertexPtr>* out) {
+  const sql::TableSchema& schema = *t.schema;
+  // The naive path fetches full rows (needed for client-side filtering);
+  // the pushdown path fetches only the projected layout.
+  std::vector<size_t> cols;
+  if (plan.client_filter) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+  } else {
+    cols = VertexFetchColumns(t, spec);
+  }
+  FetchLayout layout = MakeLayout(schema, std::move(cols));
+
+  std::vector<Value> params;
+  QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+  std::string sql = BuildSql(t.conf.table_name, SelectListFor(schema, layout),
+                             conds, &params);
+  dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
+  Result<sql::ResultSet> rs = dialect->Query(sql, params);
+  if (!rs.ok()) return rs.status();
+
+  for (Row& row : rs->rows) {
+    VertexPtr v = BuildVertexFromFetched(t, table_index, layout,
+                                         std::move(row));
+    if (plan.client_filter && !gremlin::MatchesSpec(*v, spec)) continue;
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status Db2GraphProvider::Vertices(const LookupSpec& spec,
                                   std::vector<VertexPtr>* out) {
+  const bool cache_on = CacheUsable(spec);
+  uint64_t epoch = 0;
+  if (cache_on) {
+    // Epoch read *before* the lookup: a write racing with the fetch makes
+    // the entry stale-by-construction rather than stale-but-current.
+    epoch = dialect_->db()->write_epoch();
+    std::vector<VertexPtr> cached;
+    if (cache_->Get(spec.ids[0], epoch, &cached)) {
+      stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      for (VertexPtr& v : cached) {
+        if (gremlin::MatchesSpec(*v, spec)) out->push_back(std::move(v));
+      }
+      return Status::OK();
+    }
+    stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  struct Job {
+    int table_index;
+    VertexPlan plan;
+  };
+  std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
-    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
-    VertexPlan plan = PlanVertexTable(t, spec, options_);
+    VertexPlan plan =
+        PlanVertexTable(topology_.vertex_tables()[ti], spec, options_);
     if (plan.skip) {
       stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
-
-    const sql::TableSchema& schema = *t.schema;
-    // The naive path fetches full rows (needed for client-side filtering);
-    // the pushdown path fetches only the projected layout.
-    std::vector<size_t> cols;
-    if (plan.client_filter) {
-      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
-    } else {
-      cols = VertexFetchColumns(t, spec);
-    }
-    FetchLayout layout = MakeLayout(schema, std::move(cols));
-
-    std::vector<Value> params;
-    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
-    std::string sql = BuildSql(t.conf.table_name,
-                               SelectListFor(schema, layout), conds, &params);
-    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
-    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
-    if (!rs.ok()) return rs.status();
-
-    for (Row& row : rs->rows) {
-      auto v = std::make_shared<Vertex>();
-      v->id = ComposeField(t.id, layout, row);
-      v->label = t.conf.label.fixed
-                     ? t.conf.label.value
-                     : row[layout.PosOf(*t.label_column)].ToString();
-      for (size_t i = 0; i < t.properties.size(); ++i) {
-        if (!layout.Has(t.property_columns[i])) continue;
-        const Value& value = row[layout.PosOf(t.property_columns[i])];
-        if (!value.is_null()) {
-          v->properties.emplace_back(t.properties[i], value);
-        }
-      }
-      v->source_table = t.conf.table_name;
-      auto prov = std::make_shared<RowProvenance>();
-      prov->table_index = static_cast<int>(ti);
-      prov->row = std::move(row);
-      v->provenance = std::move(prov);
-      if (plan.client_filter && !gremlin::MatchesSpec(*v, spec)) continue;
-      out->push_back(std::move(v));
-    }
+    jobs.push_back(Job{static_cast<int>(ti), std::move(plan)});
   }
+
+  // Per-job result slots keep the merge deterministic in table order no
+  // matter which worker finishes first.
+  std::vector<std::vector<VertexPtr>> slots(jobs.size());
+  std::vector<Status> statuses(jobs.size(), Status::OK());
+  ExecuteJobs(jobs.size(), [&](size_t j) {
+    statuses[j] = FetchVertexTable(
+        dialect_, topology_.vertex_tables()[jobs[j].table_index],
+        jobs[j].table_index, spec, jobs[j].plan, &slots[j]);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  std::vector<VertexPtr> fetched;
+  for (auto& slot : slots) {
+    for (VertexPtr& v : slot) fetched.push_back(std::move(v));
+  }
+  if (cache_on && CacheFillEligible(spec)) {
+    // Every surviving table was consulted and nothing was filtered, so
+    // `fetched` is the complete vertex set for this id (possibly empty —
+    // a cached negative).
+    cache_->Put(spec.ids[0], fetched, epoch);
+  }
+  for (VertexPtr& v : fetched) out->push_back(std::move(v));
   return Status::OK();
 }
 
@@ -540,12 +647,12 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
   if (spec.agg == AggOp::kNone) {
     return Status::Unsupported("no aggregate in spec");
   }
-  int64_t total_count = 0;
-  double total_sum = 0;
-  bool sum_is_int = true;
-  int64_t total_isum = 0;
-  Value min_v;
-  Value max_v;
+  struct Job {
+    int table_index;
+    VertexPlan plan;
+    std::string select;
+  };
+  std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
     const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
     VertexPlan plan = PlanVertexTable(t, spec, options_);
@@ -590,14 +697,45 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
       case AggOp::kNone:
         return Status::Internal("unreachable");
     }
+    jobs.push_back(Job{static_cast<int>(ti), std::move(plan),
+                       std::move(select)});
+  }
+
+  struct Partial {
+    Status status = Status::OK();
+    bool has_row = false;
+    Row row;
+  };
+  std::vector<Partial> partials(jobs.size());
+  ExecuteJobs(jobs.size(), [&](size_t j) {
+    const ResolvedVertexTable& t =
+        topology_.vertex_tables()[jobs[j].table_index];
     std::vector<Value> params;
     std::string sql =
-        BuildSql(t.conf.table_name, select, plan.conds, &params);
-    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+        BuildSql(t.conf.table_name, jobs[j].select, jobs[j].plan.conds,
+                 &params);
+    dialect_->RecordPattern(t.conf.table_name, jobs[j].plan.predicate_columns);
     Result<sql::ResultSet> rs = dialect_->Query(sql, params);
-    if (!rs.ok()) return rs.status();
-    if (rs->rows.empty()) continue;
-    const Row& row = rs->rows[0];
+    if (!rs.ok()) {
+      partials[j].status = rs.status();
+      return;
+    }
+    if (!rs->rows.empty()) {
+      partials[j].has_row = true;
+      partials[j].row = std::move(rs->rows[0]);
+    }
+  });
+
+  int64_t total_count = 0;
+  double total_sum = 0;
+  bool sum_is_int = true;
+  int64_t total_isum = 0;
+  Value min_v;
+  Value max_v;
+  for (Partial& partial : partials) {
+    if (!partial.status.ok()) return partial.status;
+    if (!partial.has_row) continue;
+    const Row& row = partial.row;
     switch (spec.agg) {
       case AggOp::kCount:
         total_count += row[0].is_null() ? 0 : row[0].as_int();
@@ -871,6 +1009,59 @@ std::vector<size_t> EdgeFetchColumns(const ResolvedEdgeTable& t,
   return cols;
 }
 
+// One per-table edge fetch: the parallel fan-out unit for Edges /
+// AdjacentEdges. Same thread-safety contract as FetchVertexTable.
+Status FetchEdgeTable(SqlDialect* dialect, const ResolvedEdgeTable& t,
+                      int table_index, const LookupSpec& spec,
+                      const EdgePlan& plan, std::vector<EdgePtr>* out) {
+  const sql::TableSchema& schema = *t.schema;
+  std::vector<size_t> cols;
+  if (plan.client_filter) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+  } else {
+    cols = EdgeFetchColumns(t, spec);
+  }
+  FetchLayout layout = MakeLayout(schema, std::move(cols));
+
+  std::vector<Value> params;
+  QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+  std::string sql = BuildSql(t.conf.table_name, SelectListFor(schema, layout),
+                             conds, &params);
+  dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
+  Result<sql::ResultSet> rs = dialect->Query(sql, params);
+  if (!rs.ok()) return rs.status();
+
+  for (Row& row : rs->rows) {
+    auto e = std::make_shared<Edge>();
+    e->src_id = ComposeField(t.src_v, layout, row);
+    e->dst_id = ComposeField(t.dst_v, layout, row);
+    e->label = t.conf.label.fixed
+                   ? t.conf.label.value
+                   : row[layout.PosOf(*t.label_column)].ToString();
+    if (t.conf.implicit_edge_id) {
+      e->id = Value(e->src_id.ToString() + kIdSeparator + e->label +
+                    kIdSeparator + e->dst_id.ToString());
+    } else {
+      e->id = ComposeField(t.id, layout, row);
+    }
+    for (size_t i = 0; i < t.properties.size(); ++i) {
+      if (!layout.Has(t.property_columns[i])) continue;
+      const Value& value = row[layout.PosOf(t.property_columns[i])];
+      if (!value.is_null()) {
+        e->properties.emplace_back(t.properties[i], value);
+      }
+    }
+    e->source_table = t.conf.table_name;
+    auto prov = std::make_shared<RowProvenance>();
+    prov->table_index = table_index;
+    prov->row = std::move(row);
+    e->provenance = std::move(prov);
+    if (plan.client_filter && !MatchesEdgeSpec(*e, spec)) continue;
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status Db2GraphProvider::Edges(const LookupSpec& spec,
@@ -881,65 +1072,40 @@ Status Db2GraphProvider::Edges(const LookupSpec& spec,
 Status Db2GraphProvider::EdgesOnTables(const LookupSpec& spec,
                                        const std::vector<int>& tables,
                                        std::vector<EdgePtr>* out) {
+  struct Job {
+    int table_index;
+    EdgePlan plan;
+  };
+  std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
     if (!tables.empty() &&
         std::find(tables.begin(), tables.end(), static_cast<int>(ti)) ==
             tables.end()) {
       continue;
     }
-    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
-    EdgePlan plan = PlanEdgeTable(t, spec, options_);
+    EdgePlan plan = PlanEdgeTable(topology_.edge_tables()[ti], spec, options_);
     if (plan.skip) {
       stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    jobs.push_back(Job{static_cast<int>(ti), std::move(plan)});
+  }
 
-    const sql::TableSchema& schema = *t.schema;
-    std::vector<size_t> cols;
-    if (plan.client_filter) {
-      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
-    } else {
-      cols = EdgeFetchColumns(t, spec);
-    }
-    FetchLayout layout = MakeLayout(schema, std::move(cols));
-
-    std::vector<Value> params;
-    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
-    std::string sql = BuildSql(t.conf.table_name,
-                               SelectListFor(schema, layout), conds, &params);
-    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
-    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
-    if (!rs.ok()) return rs.status();
-
-    for (Row& row : rs->rows) {
-      auto e = std::make_shared<Edge>();
-      e->src_id = ComposeField(t.src_v, layout, row);
-      e->dst_id = ComposeField(t.dst_v, layout, row);
-      e->label = t.conf.label.fixed
-                     ? t.conf.label.value
-                     : row[layout.PosOf(*t.label_column)].ToString();
-      if (t.conf.implicit_edge_id) {
-        e->id = Value(e->src_id.ToString() + kIdSeparator + e->label +
-                      kIdSeparator + e->dst_id.ToString());
-      } else {
-        e->id = ComposeField(t.id, layout, row);
-      }
-      for (size_t i = 0; i < t.properties.size(); ++i) {
-        if (!layout.Has(t.property_columns[i])) continue;
-        const Value& value = row[layout.PosOf(t.property_columns[i])];
-        if (!value.is_null()) {
-          e->properties.emplace_back(t.properties[i], value);
-        }
-      }
-      e->source_table = t.conf.table_name;
-      auto prov = std::make_shared<RowProvenance>();
-      prov->table_index = static_cast<int>(ti);
-      prov->row = std::move(row);
-      e->provenance = std::move(prov);
-      if (plan.client_filter && !MatchesEdgeSpec(*e, spec)) continue;
-      out->push_back(std::move(e));
-    }
+  // Edge order matters downstream (per-source emission order in the
+  // interpreter), so per-job slots are merged in table order.
+  std::vector<std::vector<EdgePtr>> slots(jobs.size());
+  std::vector<Status> statuses(jobs.size(), Status::OK());
+  ExecuteJobs(jobs.size(), [&](size_t j) {
+    statuses[j] = FetchEdgeTable(
+        dialect_, topology_.edge_tables()[jobs[j].table_index],
+        jobs[j].table_index, spec, jobs[j].plan, &slots[j]);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  for (auto& slot : slots) {
+    for (EdgePtr& e : slot) out->push_back(std::move(e));
   }
   return Status::OK();
 }
@@ -953,12 +1119,12 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
   if (spec.agg == AggOp::kNone) {
     return Status::Unsupported("no aggregate in spec");
   }
-  int64_t total_count = 0;
-  double total_sum = 0;
-  bool sum_is_int = true;
-  int64_t total_isum = 0;
-  Value min_v;
-  Value max_v;
+  struct Job {
+    int table_index;
+    EdgePlan plan;
+    std::string select;
+  };
+  std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
     if (!tables.empty() &&
         std::find(tables.begin(), tables.end(), static_cast<int>(ti)) ==
@@ -1006,14 +1172,44 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
       case AggOp::kNone:
         return Status::Internal("unreachable");
     }
+    jobs.push_back(Job{static_cast<int>(ti), std::move(plan),
+                       std::move(select)});
+  }
+
+  struct Partial {
+    Status status = Status::OK();
+    bool has_row = false;
+    Row row;
+  };
+  std::vector<Partial> partials(jobs.size());
+  ExecuteJobs(jobs.size(), [&](size_t j) {
+    const ResolvedEdgeTable& t = topology_.edge_tables()[jobs[j].table_index];
     std::vector<Value> params;
     std::string sql =
-        BuildSql(t.conf.table_name, select, plan.conds, &params);
-    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
+        BuildSql(t.conf.table_name, jobs[j].select, jobs[j].plan.conds,
+                 &params);
+    dialect_->RecordPattern(t.conf.table_name, jobs[j].plan.predicate_columns);
     Result<sql::ResultSet> rs = dialect_->Query(sql, params);
-    if (!rs.ok()) return rs.status();
-    if (rs->rows.empty()) continue;
-    const Row& row = rs->rows[0];
+    if (!rs.ok()) {
+      partials[j].status = rs.status();
+      return;
+    }
+    if (!rs->rows.empty()) {
+      partials[j].has_row = true;
+      partials[j].row = std::move(rs->rows[0]);
+    }
+  });
+
+  int64_t total_count = 0;
+  double total_sum = 0;
+  bool sum_is_int = true;
+  int64_t total_isum = 0;
+  Value min_v;
+  Value max_v;
+  for (Partial& partial : partials) {
+    if (!partial.status.ok()) return partial.status;
+    if (!partial.has_row) continue;
+    const Row& row = partial.row;
     switch (spec.agg) {
       case AggOp::kCount:
         total_count += row[0].is_null() ? 0 : row[0].as_int();
@@ -1131,6 +1327,18 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
                                        Direction endpoint,
                                        const LookupSpec& spec,
                                        std::vector<VertexPtr>* out) {
+  // Downstream the interpreter joins endpoints back to edges through an
+  // id-keyed map, so result order here is free — cache hits can be
+  // emitted immediately during classification.
+  const bool cache_on = cache_ != nullptr && options_.vertex_cache &&
+                        spec.agg == AggOp::kNone && !spec.has_projection &&
+                        !dialect_->db()->access_control_enabled();
+  uint64_t epoch = cache_on ? dialect_->db()->write_epoch() : 0;
+  // The pinned paths below replace spec.ids with the endpoint ids, so
+  // cached vertices are filtered against labels/predicates only.
+  LookupSpec cached_check = spec;
+  cached_check.ids.clear();
+
   // Partition endpoint ids by the vertex table they are pinned to.
   std::unordered_map<int, std::vector<Value>> pinned;  // vertex table -> ids
   std::vector<Value> unpinned;
@@ -1162,6 +1370,19 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
         }
       }
     }
+    if (cache_on) {
+      std::vector<VertexPtr> cached;
+      if (cache_->Get(id, epoch, &cached)) {
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        for (VertexPtr& v : cached) {
+          if (gremlin::MatchesSpec(*v, cached_check)) {
+            out->push_back(std::move(v));
+          }
+        }
+        return true;
+      }
+      stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
     if (vertex_table >= 0) {
       pinned[vertex_table].push_back(id);
     } else {
@@ -1179,7 +1400,19 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
     }
   }
 
-  for (auto& [vertex_table, ids] : pinned) {
+  // One job per pinned vertex table, in table-index order so the merge
+  // (and any trace) is deterministic under fan-out.
+  struct Job {
+    int vertex_table;
+    LookupSpec vertex_spec;
+    VertexPlan plan;
+  };
+  std::vector<std::pair<int, std::vector<Value>>> groups(pinned.begin(),
+                                                         pinned.end());
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Job> jobs;
+  for (auto& [vertex_table, ids] : groups) {
     LookupSpec vertex_spec = spec;
     vertex_spec.ids = std::move(ids);
     // Query exactly the pinned table.
@@ -1190,44 +1423,21 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
       continue;
     }
     stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
-    const sql::TableSchema& schema = *t.schema;
-    std::vector<size_t> cols;
-    if (plan.client_filter) {
-      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
-    } else {
-      cols = VertexFetchColumns(t, vertex_spec);
-    }
-    FetchLayout layout = MakeLayout(schema, std::move(cols));
-    std::vector<Value> params;
-    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
-    std::string sql = BuildSql(t.conf.table_name,
-                               SelectListFor(schema, layout), conds, &params);
-    dialect_->RecordPattern(t.conf.table_name, plan.predicate_columns);
-    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
-    if (!rs.ok()) return rs.status();
-    for (Row& row : rs->rows) {
-      auto v = std::make_shared<Vertex>();
-      v->id = ComposeField(t.id, layout, row);
-      v->label = t.conf.label.fixed
-                     ? t.conf.label.value
-                     : row[layout.PosOf(*t.label_column)].ToString();
-      for (size_t i = 0; i < t.properties.size(); ++i) {
-        if (!layout.Has(t.property_columns[i])) continue;
-        const Value& value = row[layout.PosOf(t.property_columns[i])];
-        if (!value.is_null()) {
-          v->properties.emplace_back(t.properties[i], value);
-        }
-      }
-      v->source_table = t.conf.table_name;
-      auto prov = std::make_shared<RowProvenance>();
-      prov->table_index = vertex_table;
-      prov->row = std::move(row);
-      v->provenance = std::move(prov);
-      if (plan.client_filter && !gremlin::MatchesSpec(*v, vertex_spec)) {
-        continue;
-      }
-      out->push_back(std::move(v));
-    }
+    jobs.push_back(Job{vertex_table, std::move(vertex_spec), std::move(plan)});
+  }
+
+  std::vector<std::vector<VertexPtr>> slots(jobs.size());
+  std::vector<Status> statuses(jobs.size(), Status::OK());
+  ExecuteJobs(jobs.size(), [&](size_t j) {
+    statuses[j] = FetchVertexTable(
+        dialect_, topology_.vertex_tables()[jobs[j].vertex_table],
+        jobs[j].vertex_table, jobs[j].vertex_spec, jobs[j].plan, &slots[j]);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  for (auto& slot : slots) {
+    for (VertexPtr& v : slot) out->push_back(std::move(v));
   }
 
   if (!unpinned.empty()) {

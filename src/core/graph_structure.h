@@ -19,17 +19,22 @@
 #define DB2GRAPH_CORE_GRAPH_STRUCTURE_H_
 
 #include <atomic>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/sql_dialect.h"
+#include "core/vertex_cache.h"
 #include "gremlin/graph_api.h"
 #include "overlay/topology.h"
 
 namespace db2graph::core {
 
-/// Toggles for the Section 6.3 data-dependent runtime optimizations.
+/// Toggles for the Section 6.3 data-dependent runtime optimizations, plus
+/// the execution-layer knobs (parallel fan-out, hot-vertex cache) that sit
+/// on top of them.
 struct RuntimeOptions {
   bool label_pruning = true;
   bool prefixed_id_pinning = true;
@@ -38,11 +43,22 @@ struct RuntimeOptions {
   bool vertex_from_edge_shortcut = true;
   bool implicit_edge_id_decomposition = true;
 
+  /// Fan per-table SQL of one lookup out across the shared thread pool
+  /// whenever more than one table survives pruning. Skipped when the
+  /// calling thread already holds the database read lock (graphQuery
+  /// inside a SELECT) — see DESIGN.md "Concurrency & caching".
+  bool parallel_fanout = true;
+  /// Sharded LRU cache of fully-materialized vertices by id, invalidated
+  /// via the database write epoch. Bypassed under access control.
+  bool vertex_cache = true;
+  size_t vertex_cache_entries = 65536;
+
   static RuntimeOptions AllOff() {
     RuntimeOptions o;
     o.label_pruning = o.prefixed_id_pinning = o.property_pruning =
         o.endpoint_table_pruning = o.vertex_from_edge_shortcut =
-            o.implicit_edge_id_decomposition = false;
+            o.implicit_edge_id_decomposition = o.parallel_fanout =
+                o.vertex_cache = false;
     return o;
   }
 };
@@ -82,6 +98,10 @@ class Db2GraphProvider : public gremlin::GraphProvider {
     std::atomic<uint64_t> edge_tables_queried{0};
     std::atomic<uint64_t> edge_tables_pruned{0};
     std::atomic<uint64_t> shortcut_vertices{0};  // built from edge rows
+    std::atomic<uint64_t> parallel_batches{0};   // fan-outs dispatched
+    std::atomic<uint64_t> parallel_tasks{0};     // per-table jobs in them
+    std::atomic<uint64_t> cache_hits{0};         // vertex-cache hits
+    std::atomic<uint64_t> cache_misses{0};       // vertex-cache misses
 
     void Reset() {
       vertex_tables_queried = 0;
@@ -89,6 +109,10 @@ class Db2GraphProvider : public gremlin::GraphProvider {
       edge_tables_queried = 0;
       edge_tables_pruned = 0;
       shortcut_vertices = 0;
+      parallel_batches = 0;
+      parallel_tasks = 0;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   };
   const Stats& stats() const { return stats_; }
@@ -105,10 +129,24 @@ class Db2GraphProvider : public gremlin::GraphProvider {
 
   gremlin::VertexPtr MaterializeVertex(int table_index, const Row& row) const;
 
+  /// Runs fn(0..n-1): on the shared thread pool when fan-out applies
+  /// (enabled, n > 1, caller not inside a database read lock), serially
+  /// otherwise. Counts dispatched batches/tasks.
+  void ExecuteJobs(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Cache is consulted only for pure single-id point lookups that fetch
+  /// full rows (no projection, no aggregate) outside access control.
+  bool CacheUsable(const gremlin::LookupSpec& spec) const;
+  /// Entries may only be *filled* from fetches whose result is the
+  /// complete vertex set for the id: no label/predicate restriction (those
+  /// prune or filter tables a later lookup might need).
+  bool CacheFillEligible(const gremlin::LookupSpec& spec) const;
+
   SqlDialect* dialect_;
   overlay::Topology topology_;
   RuntimeOptions options_;
   Stats stats_;
+  std::unique_ptr<VertexCache> cache_;
 };
 
 /// Provenance payload attached to elements produced by Db2GraphProvider:

@@ -76,8 +76,10 @@ void GremlinService::WorkerLoop() {
 
     Result<gremlin::Script> script = graph_->Compile(request.script);
     if (!script.ok()) {
+      // Count before fulfilling the promise: a client that synchronizes
+      // on the future must observe its own request in completed().
+      completed_.fetch_add(1, std::memory_order_release);
       request.promise.set_value(script.status());
-      completed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     gremlin::Interpreter interpreter(graph_->provider());
@@ -89,8 +91,8 @@ void GremlinService::WorkerLoop() {
     } else {
       response = interpreter.RunScript(*script);
     }
+    completed_.fetch_add(1, std::memory_order_release);
     request.promise.set_value(std::move(response));
-    completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

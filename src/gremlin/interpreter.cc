@@ -362,22 +362,22 @@ Status Interpreter::ApplyVertexStep(const Step& step,
   std::vector<EdgePtr> edges;
   DB2G_RETURN_NOT_OK(provider_->AdjacentEdges(sources, step.direction,
                                               edge_spec, &edges));
-  // Group edges by the endpoint on the source side.
+  // Group edges by the endpoint on the source side. Shared EdgePtrs go
+  // straight into the buckets, so emission below needs no second
+  // lookup-by-id map.
   const bool recheck = !provider_->SupportsPushdown();
-  std::unordered_map<Value, std::vector<const Edge*>, ValueHash> by_source;
+  std::unordered_map<Value, std::vector<EdgePtr>, ValueHash> by_source;
   for (const EdgePtr& e : edges) {
     if (recheck && !MatchesSpec(*e, edge_spec)) continue;
     if (step.direction == Direction::kOut) {
-      by_source[e->src_id].push_back(e.get());
+      by_source[e->src_id].push_back(e);
     } else if (step.direction == Direction::kIn) {
-      by_source[e->dst_id].push_back(e.get());
+      by_source[e->dst_id].push_back(e);
     } else {
-      by_source[e->src_id].push_back(e.get());
-      if (!(e->dst_id == e->src_id)) by_source[e->dst_id].push_back(e.get());
+      by_source[e->src_id].push_back(e);
+      if (!(e->dst_id == e->src_id)) by_source[e->dst_id].push_back(e);
     }
   }
-  std::unordered_map<Value, EdgePtr, ValueHash> edge_by_id;
-  for (const EdgePtr& e : edges) edge_by_id[e->id] = e;
 
   if (!step.to_vertex) {
     // outE/inE/bothE: emit the edges per traverser.
@@ -385,9 +385,8 @@ Status Interpreter::ApplyVertexStep(const Step& step,
     for (const Traverser& t : input) {
       auto it = by_source.find(t.vertex->id);
       if (it == by_source.end()) continue;
-      for (const Edge* e : it->second) {
-        emitted.push_back(
-            Derive(t, Traverser::OfEdge(edge_by_id[e->id]), e->id));
+      for (const EdgePtr& e : it->second) {
+        emitted.push_back(Derive(t, Traverser::OfEdge(e), e->id));
       }
     }
     // An aggregate folded into this step that was not pushed down to the
@@ -428,7 +427,7 @@ Status Interpreter::ApplyVertexStep(const Step& step,
   for (const Traverser& t : input) {
     auto it = by_source.find(t.vertex->id);
     if (it == by_source.end()) continue;
-    for (const Edge* e : it->second) {
+    for (const EdgePtr& e : it->second) {
       // The far endpoint relative to this traverser's vertex.
       const Value& far = step.direction == Direction::kOut
                              ? e->dst_id

@@ -1,6 +1,7 @@
 #include "linkbench/linkbench.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -189,35 +190,47 @@ const char* QueryTypeName(QueryType type) {
   return "?";
 }
 
-Workload::Workload(const Dataset& dataset, uint64_t seed)
-    : dataset_(dataset), rng_(seed) {}
+Workload::Workload(const Dataset& dataset, uint64_t seed, bool zipfian)
+    : dataset_(dataset), rng_(seed), zipfian_(zipfian) {}
+
+size_t Workload::PickIndex(size_t n) {
+  if (n == 0) return 0;
+  if (!zipfian_) {
+    std::uniform_int_distribution<size_t> pick(0, n - 1);
+    return pick(rng_);
+  }
+  // Rank-skewed pick via a log-uniform rank: r = floor(e^(u * ln n)) maps
+  // u ~ U[0,1) to P(rank r) proportional to 1/r — the classic Zipf shape
+  // without per-n harmonic-number tables.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  double rank = std::exp(uniform(rng_) * std::log(static_cast<double>(n)));
+  size_t r = static_cast<size_t>(rank);
+  if (r >= n) r = n - 1;
+  return r;
+}
 
 std::string Workload::Next(QueryType type) {
   // Parameters come from existing nodes/links so that queries mostly hit,
   // as LinkBench's request distributions do.
-  std::uniform_int_distribution<size_t> node_pick(0,
-                                                  dataset_.nodes.size() - 1);
-  std::uniform_int_distribution<size_t> link_pick(0,
-                                                  dataset_.links.size() - 1);
   switch (type) {
     case QueryType::kGetNode: {
-      const Node& n = dataset_.nodes[node_pick(rng_)];
+      const Node& n = dataset_.nodes[PickIndex(dataset_.nodes.size())];
       return "g.V(" + std::to_string(n.id) + ").hasLabel('" +
              Dataset::VertexLabel(n.type) + "')";
     }
     case QueryType::kCountLinks: {
-      const Link& l = dataset_.links[link_pick(rng_)];
+      const Link& l = dataset_.links[PickIndex(dataset_.links.size())];
       return "g.V(" + std::to_string(l.id1) + ").outE('" +
              Dataset::EdgeLabel(l.ltype) + "').count()";
     }
     case QueryType::kGetLink: {
-      const Link& l = dataset_.links[link_pick(rng_)];
+      const Link& l = dataset_.links[PickIndex(dataset_.links.size())];
       return "g.V(" + std::to_string(l.id1) + ").outE('" +
              Dataset::EdgeLabel(l.ltype) + "').where(inV().hasId(" +
              std::to_string(l.id2) + "))";
     }
     case QueryType::kGetLinkList: {
-      const Link& l = dataset_.links[link_pick(rng_)];
+      const Link& l = dataset_.links[PickIndex(dataset_.links.size())];
       return "g.V(" + std::to_string(l.id1) + ").outE('" +
              Dataset::EdgeLabel(l.ltype) + "')";
     }

@@ -109,7 +109,11 @@ const char* QueryTypeName(QueryType type);
 /// biased toward existing links, as LinkBench's query mix does).
 class Workload {
  public:
-  Workload(const Dataset& dataset, uint64_t seed);
+  /// With `zipfian` set, node/link parameters are drawn rank-skewed
+  /// (P(rank r) proportional to 1/r) instead of uniformly — the access
+  /// distribution real LinkBench uses, and the one that gives hot-vertex
+  /// caching something to work with.
+  Workload(const Dataset& dataset, uint64_t seed, bool zipfian = false);
 
   /// The Gremlin text for one random instance of `type` (Table 1 shapes).
   std::string Next(QueryType type);
@@ -118,8 +122,11 @@ class Workload {
   std::string NextMixed();
 
  private:
+  size_t PickIndex(size_t n);
+
   const Dataset& dataset_;
   std::mt19937_64 rng_;
+  bool zipfian_ = false;
 };
 
 }  // namespace db2graph::linkbench

@@ -125,7 +125,18 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
     return executor.Select(*stmt.select);
   }
   WriteLock lock(&mutex_);
+  // Bumped under the exclusive lock: readers that observe the new epoch are
+  // serialized after this write, so data they fetch and tag with it cannot
+  // be stale. (Bumping outside the lock would let a reader tag pre-write
+  // data with the post-write epoch.)
+  write_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
   return ExecuteLocked(stmt, params);
+}
+
+bool Database::ReadLockHeldByThisThread() const {
+  auto it = tls_read_depth.find(this);
+  return it != tls_read_depth.end() && it->second > 0;
 }
 
 void Database::SetCurrentUser(std::string user) {

@@ -37,6 +37,7 @@ struct ExecStats {
   std::atomic<uint64_t> range_scans{0};     // ordered-index range lookups
   std::atomic<uint64_t> full_scans{0};      // table scans
   std::atomic<uint64_t> rows_returned{0};
+  std::atomic<uint64_t> writes{0};          // write-path statements executed
 
   void Reset() {
     selects = 0;
@@ -45,6 +46,7 @@ struct ExecStats {
     range_scans = 0;
     full_scans = 0;
     rows_returned = 0;
+    writes = 0;
   }
 };
 
@@ -133,6 +135,23 @@ class Database {
     return ddl_version_.load(std::memory_order_acquire);
   }
 
+  /// Monotonic counter bumped (under the exclusive lock) by every
+  /// write-path statement: INSERT/UPDATE/DELETE, DDL, and transaction
+  /// control. Caches above the SQL layer (the graph layer's hot-vertex
+  /// cache) tag entries with the epoch observed before their read and
+  /// lazily discard entries whose epoch no longer matches — any committed
+  /// write therefore invalidates them without a cross-layer callback.
+  uint64_t write_epoch() const {
+    return write_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// True when the calling thread currently holds this database's shared
+  /// (read) lock — i.e. we are inside a SELECT, e.g. evaluating a
+  /// graphQuery table function. Used by the graph layer to suppress
+  /// intra-query fan-out: handing sub-reads to other threads while this
+  /// thread pins the shared lock could deadlock behind a queued writer.
+  bool ReadLockHeldByThisThread() const;
+
   // -- access control ------------------------------------------------------
   // Off by default (every statement runs unchecked). Once enabled, SELECT
   // requires a SELECT grant on every referenced relation and DML requires
@@ -199,6 +218,7 @@ class Database {
   ExecStats stats_;
 
   std::atomic<uint64_t> ddl_version_{0};
+  std::atomic<uint64_t> write_epoch_{0};
   bool access_control_ = false;
   std::string current_user_;  // "" = superuser
   struct Privilege {

@@ -502,12 +502,21 @@ TEST_F(Db2GraphTest, AutoOverlayGraphIsQueryable) {
 // ------------------------------------------------------- dialect module
 
 TEST_F(Db2GraphTest, TemplateCacheHitsOnRepeatedQueries) {
-  graph_->dialect()->ResetCounters();
+  // The vertex cache would satisfy the repeats without reaching SQL;
+  // disable it so every run exercises the statement-template cache.
+  Db2Graph::Options options;
+  options.runtime.vertex_cache = false;
+  Result<std::unique_ptr<Db2Graph>> graph =
+      Db2Graph::Open(&db_, kPaperConfig, options);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  (*graph)->dialect()->ResetCounters();
   for (int i = 0; i < 5; ++i) {
-    Run("g.V('patient::" + std::to_string(1 + i % 3) + "')");
+    Result<std::vector<Traverser>> out = (*graph)->Execute(
+        "g.V('patient::" + std::to_string(1 + i % 3) + "')");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
   }
-  EXPECT_GT(graph_->dialect()->template_cache_hits(), 0u);
-  EXPECT_GE(graph_->dialect()->queries_issued(), 5u);
+  EXPECT_GT((*graph)->dialect()->template_cache_hits(), 0u);
+  EXPECT_GE((*graph)->dialect()->queries_issued(), 5u);
 }
 
 TEST_F(Db2GraphTest, IndexAdvisorSuggestsFrequentPatterns) {
