@@ -55,8 +55,8 @@ double MeasureOne(db2graph::sql::Database* db, bool prefixed,
   LatencyStats stats = MeasureLatency(run, queries);
   *tables_per_query =
       static_cast<double>(
-          (*graph)->provider()->stats().vertex_tables_queried.load() +
-          (*graph)->provider()->stats().edge_tables_queried.load()) /
+          (*graph)->provider()->stats().Snapshot().vertex_tables_queried +
+          (*graph)->provider()->stats().Snapshot().edge_tables_queried) /
       iterations;
   return stats.mean_us;
 }
@@ -157,8 +157,8 @@ int main() {
     LatencyStats stats = MeasureLatency(run, queries);
     double tables =
         static_cast<double>(
-            (*graph)->provider()->stats().vertex_tables_queried.load() +
-            (*graph)->provider()->stats().edge_tables_queried.load()) /
+            (*graph)->provider()->stats().Snapshot().vertex_tables_queried +
+            (*graph)->provider()->stats().Snapshot().edge_tables_queried) /
         queries.size();
     std::printf("%-24s %15.1f %18.1f\n", name, stats.mean_us, tables);
   }

@@ -230,11 +230,11 @@ AblationResult MeasureAblationMode(
   AblationResult result;
   result.mode = mode;
   result.overall_qps = RunClients(run, per_client);
-  const auto& stats = (*graph)->provider()->stats();
-  result.cache_hits = stats.cache_hits.load();
-  result.cache_misses = stats.cache_misses.load();
-  result.parallel_batches = stats.parallel_batches.load();
-  result.parallel_tasks = stats.parallel_tasks.load();
+  const auto stats = (*graph)->provider()->stats().Snapshot();
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  result.parallel_batches = stats.parallel_batches;
+  result.parallel_tasks = stats.parallel_tasks;
   return result;
 }
 

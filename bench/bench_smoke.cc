@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Smoke benchmark guarding the tracing layer's "zero cost when disabled"
+// contract: runs the same point-lookup workload untraced and traced (by
+// arming the slow-query threshold, which routes queries through the traced
+// path without ever logging them) and fails — nonzero exit, so ctest
+// reports it — if traced throughput falls below a floor fraction of
+// untraced throughput. Interleaves the two modes across rounds and takes
+// each mode's best round to damp scheduler noise on small CI machines.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "core/db2graph.h"
+#include "linkbench/linkbench.h"
+#include "linkbench/partitioned.h"
+
+namespace {
+
+using db2graph::Result;
+using db2graph::SlowQueryLog;
+using db2graph::core::Db2Graph;
+using db2graph::gremlin::Traverser;
+
+// One-hop neighborhood expansions: every query issues real SQL (edge
+// lookups are not cached), which is the workload shape whose overhead the
+// tracing contract is about. Pure cache-hit point reads (~1us each) would
+// make any per-query trace bookkeeping look catastrophic while being
+// irrelevant to real traversals.
+double RunBatch(Db2Graph* graph, int queries, int id_range) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < queries; ++i) {
+    int64_t id = 1 + (i % id_range);
+    Result<std::vector<Traverser>> out =
+        graph->Execute("g.V(" + std::to_string(id) + ").out()");
+    if (!out.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   out.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return queries / elapsed.count();
+}
+
+}  // namespace
+
+int main() {
+  db2graph::linkbench::Config config;
+  config.num_vertices = 400;
+  db2graph::linkbench::Dataset dataset =
+      db2graph::linkbench::GeneratePartitioned(config);
+  db2graph::sql::Database db;
+  if (!db2graph::linkbench::LoadIntoPartitionedDatabase(&db, dataset).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 2;
+  }
+  Result<std::unique_ptr<Db2Graph>> graph = Db2Graph::Open(
+      &db, db2graph::linkbench::MakePartitionedOverlay(/*prefixed_ids=*/false));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+
+  constexpr int kQueries = 1500;
+  constexpr int kIdRange = 200;
+  constexpr int kRounds = 3;
+  // Traced throughput must stay within this fraction of untraced. The
+  // floor is deliberately loose — it catches pathologies (a mutex on the
+  // untraced path, per-record allocation storms), not small regressions.
+  constexpr double kRatioFloor = 0.30;
+
+  // Warm the vertex cache and code paths in both modes.
+  RunBatch(graph->get(), kIdRange, kIdRange);
+  SlowQueryLog::Global().SetThresholdMs(1000000);  // traced, never logged
+  RunBatch(graph->get(), kIdRange, kIdRange);
+  SlowQueryLog::Global().SetThresholdMs(0);
+
+  double untraced_best = 0;
+  double traced_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double untraced = RunBatch(graph->get(), kQueries, kIdRange);
+    if (untraced > untraced_best) untraced_best = untraced;
+
+    SlowQueryLog::Global().SetThresholdMs(1000000);
+    double traced = RunBatch(graph->get(), kQueries, kIdRange);
+    SlowQueryLog::Global().SetThresholdMs(0);
+    if (traced > traced_best) traced_best = traced;
+  }
+
+  double ratio = traced_best / untraced_best;
+  std::printf("bench_smoke: untraced=%.0f q/s traced=%.0f q/s ratio=%.2f "
+              "(floor %.2f)\n",
+              untraced_best, traced_best, ratio, kRatioFloor);
+  if (!SlowQueryLog::Global().Entries().empty()) {
+    std::fprintf(stderr, "FAIL: armed-but-under-threshold queries were "
+                         "logged as slow\n");
+    return 1;
+  }
+  if (ratio < kRatioFloor) {
+    std::fprintf(stderr, "FAIL: traced/untraced throughput ratio %.2f below "
+                         "floor %.2f\n",
+                 ratio, kRatioFloor);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "common/metrics.h"
+
+namespace db2graph::metrics {
+
+namespace {
+
+// Bucket index for a value: 0 for <=1, else 1 + floor(log2(v-ish)),
+// clamped into the fixed bucket range.
+int BucketIndex(uint64_t value) {
+  int b = 0;
+  uint64_t bound = 1;
+  while (b < Histogram::kBuckets - 1 && value > bound) {
+    ++b;
+    bound <<= 1;
+  }
+  return b;
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      return b == 0 ? 1 : (uint64_t{1} << b);
+    }
+  }
+  return uint64_t{1} << (kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "counter " + name + " " + std::to_string(c->load()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "gauge " + name + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram " + name + " count=" + std::to_string(h->Count()) +
+           " sum=" + std::to_string(h->Sum()) +
+           " p50=" + std::to_string(h->Percentile(0.50)) +
+           " p95=" + std::to_string(h->Percentile(0.95)) +
+           " p99=" + std::to_string(h->Percentile(0.99)) + "\n";
+  }
+  return out;
+}
+
+Json MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) {
+    counters.Set(name, Json::Number(static_cast<double>(c->load())));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.Set(name, Json::Number(static_cast<double>(g->Value())));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json one = Json::Object();
+    one.Set("count", Json::Number(static_cast<double>(h->Count())));
+    one.Set("sum", Json::Number(static_cast<double>(h->Sum())));
+    one.Set("p50", Json::Number(static_cast<double>(h->Percentile(0.50))));
+    one.Set("p95", Json::Number(static_cast<double>(h->Percentile(0.95))));
+    one.Set("p99", Json::Number(static_cast<double>(h->Percentile(0.99))));
+    histograms.Set(name, std::move(one));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace db2graph::metrics

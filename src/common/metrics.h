@@ -1,0 +1,126 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Process-wide metrics primitives: counters, gauges, and fixed-bucket
+// latency histograms with percentile estimation, collected in a registry
+// that renders to text and JSON. The Counter type deliberately mirrors the
+// std::atomic<uint64_t> surface so the ad-hoc stat structs (sql::ExecStats,
+// Db2GraphProvider::Stats) could be retyped without touching their dozens
+// of fetch_add()/load() call sites.
+
+#ifndef DB2GRAPH_COMMON_METRICS_H_
+#define DB2GRAPH_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/json.h"
+
+namespace db2graph::metrics {
+
+/// Monotonically increasing counter with the std::atomic<uint64_t> API
+/// subset the codebase uses (load / fetch_add / assignment).
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(uint64_t v) : value_(v) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  uint64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    return value_.load(order);
+  }
+  uint64_t fetch_add(uint64_t n,
+                     std::memory_order order = std::memory_order_relaxed) {
+    return value_.fetch_add(n, order);
+  }
+  /// Assignment resets/seeds the counter (used by the Reset() methods).
+  Counter& operator=(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, cache sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram over fixed exponential buckets (powers of two, in
+/// whatever unit the caller observes — the registry labels them micros).
+/// Percentiles are estimated from bucket upper bounds, which is exact
+/// enough for p50/p95/p99 dashboards and costs one fetch_add per sample.
+class Histogram {
+ public:
+  /// Buckets: [0,1], (1,2], (2,4], ... (2^(kBuckets-2), inf).
+  static constexpr int kBuckets = 22;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]);
+  /// 0 when the histogram is empty.
+  uint64_t Percentile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Named metric registry. GetX() returns a stable pointer, creating the
+/// metric on first use; the hot path then touches only that pointer's
+/// atomics — the registry mutex is paid once per name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// One metric per line: "counter <name> <value>", "gauge <name> <value>",
+  /// "histogram <name> count=<n> sum=<s> p50=<..> p95=<..> p99=<..>".
+  std::string RenderText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+  Json RenderJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace db2graph::metrics
+
+#endif  // DB2GRAPH_COMMON_METRICS_H_

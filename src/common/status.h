@@ -22,6 +22,7 @@ enum class StatusCode {
   kAlreadyExists,    // duplicate table, constraint violation on create
   kConstraintViolation,
   kUnsupported,      // outside the implemented subset
+  kUnavailable,      // service shutting down / not accepting work
   kInternal,
 };
 
@@ -47,6 +48,9 @@ class Status {
   }
   static Status Unsupported(std::string m) {
     return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
@@ -75,6 +79,8 @@ class Status {
         return "ConstraintViolation";
       case StatusCode::kUnsupported:
         return "Unsupported";
+      case StatusCode::kUnavailable:
+        return "Unavailable";
       case StatusCode::kInternal:
         return "Internal";
     }

@@ -1,0 +1,296 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace db2graph {
+
+uint64_t TraceClock::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceClock* TraceClock::Default() {
+  static TraceClock* instance = new TraceClock();
+  return instance;
+}
+
+QueryTrace::QueryTrace(TraceClock* clock) : clock_(clock) {}
+
+void QueryTrace::SetScript(std::string script) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  script_ = std::move(script);
+}
+
+StepTraceSpan* QueryTrace::InnermostOpenLocked() {
+  if (open_.empty()) return nullptr;
+  return &spans_[open_.back()];
+}
+
+int QueryTrace::BeginStep(std::string step, std::string detail,
+                          uint64_t in_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StepTraceSpan span;
+  span.index = static_cast<int>(spans_.size());
+  span.depth = static_cast<int>(open_.size());
+  span.step = std::move(step);
+  span.detail = std::move(detail);
+  span.in_count = in_count;
+  spans_.push_back(std::move(span));
+  span_starts_.push_back(clock_->NowMicros());
+  open_.push_back(spans_.back().index);
+  return spans_.back().index;
+}
+
+void QueryTrace::EndStep(int span_id, uint64_t out_count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  StepTraceSpan& span = spans_[span_id];
+  span.out_count = out_count;
+  span.micros = clock_->NowMicros() - span_starts_[span_id];
+  // Close this span (and, defensively, anything opened after it).
+  while (!open_.empty() && open_.back() >= span_id) open_.pop_back();
+}
+
+void QueryTrace::AddRewrite(std::string strategy, std::string before,
+                            std::string after) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rewrites_.push_back(
+      {std::move(strategy), std::move(before), std::move(after)});
+}
+
+void QueryTrace::RecordSql(SqlTraceRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) {
+    span->statements.push_back(std::move(record));
+  }
+}
+
+void QueryTrace::AddTableConsulted(std::string table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) {
+    span->tables_consulted.push_back(std::move(table));
+  }
+}
+
+void QueryTrace::AddTablePruned(std::string table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) {
+    span->tables_pruned.push_back(std::move(table));
+  }
+}
+
+void QueryTrace::AddCacheHit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) ++span->cache_hits;
+}
+
+void QueryTrace::AddCacheMiss() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) ++span->cache_misses;
+}
+
+void QueryTrace::AddFanout(uint64_t batches, uint64_t tasks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) {
+    span->fanout_batches += batches;
+    span->fanout_tasks += tasks;
+  }
+}
+
+void QueryTrace::AddShortcutVertices(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) {
+    span->shortcut_vertices += n;
+  }
+}
+
+void QueryTrace::Finish(uint64_t total_micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_micros_ = total_micros;
+}
+
+uint64_t QueryTrace::total_micros() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_micros_;
+}
+
+std::vector<StepTraceSpan> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::vector<StrategyRewrite> QueryTrace::Rewrites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rewrites_;
+}
+
+std::string QueryTrace::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  if (!script_.empty()) out += "query: " + script_ + "\n";
+  if (!rewrites_.empty()) {
+    out += "strategies:\n";
+    for (const StrategyRewrite& r : rewrites_) {
+      out += "  " + r.strategy + ":\n";
+      out += "    before: " + r.before + "\n";
+      out += "    after:  " + r.after + "\n";
+    }
+  }
+  out += "steps:\n";
+  for (const StepTraceSpan& span : spans_) {
+    std::string pad(2 + 2 * static_cast<size_t>(span.depth), ' ');
+    out += pad + span.step + " " + span.detail + "  [" +
+           std::to_string(span.in_count) + " -> " +
+           std::to_string(span.out_count) + " traversers, " +
+           std::to_string(span.micros) + "us]\n";
+    if (!span.tables_consulted.empty() || !span.tables_pruned.empty()) {
+      out += pad + "  tables: consulted=" +
+             std::to_string(span.tables_consulted.size()) + " pruned=" +
+             std::to_string(span.tables_pruned.size());
+      if (!span.tables_consulted.empty()) {
+        out += " [";
+        for (size_t i = 0; i < span.tables_consulted.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += span.tables_consulted[i];
+        }
+        out += "]";
+      }
+      out += "\n";
+    }
+    if (span.cache_hits + span.cache_misses > 0) {
+      out += pad + "  cache: hits=" + std::to_string(span.cache_hits) +
+             " misses=" + std::to_string(span.cache_misses) + "\n";
+    }
+    if (span.fanout_batches > 0) {
+      out += pad + "  fanout: batches=" +
+             std::to_string(span.fanout_batches) +
+             " tasks=" + std::to_string(span.fanout_tasks) + "\n";
+    }
+    if (span.shortcut_vertices > 0) {
+      out += pad + "  shortcut_vertices=" +
+             std::to_string(span.shortcut_vertices) + "\n";
+    }
+    for (const SqlTraceRecord& rec : span.statements) {
+      out += pad + "  sql[" + rec.table + ", " + rec.access_path + "]: " +
+             rec.sql + "\n";
+      out += pad + "    rows: scanned=" + std::to_string(rec.rows_scanned) +
+             " returned=" + std::to_string(rec.rows_returned);
+      if (rec.rows_estimated > 0) {
+        out += " estimated<=" + std::to_string(rec.rows_estimated);
+      }
+      out += " (" + std::to_string(rec.micros) + "us)\n";
+    }
+  }
+  out += "total: " + std::to_string(total_micros_) + "us\n";
+  return out;
+}
+
+Json QueryTrace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out = Json::Object();
+  out.Set("script", Json::Str(script_));
+  out.Set("total_micros", Json::Number(static_cast<double>(total_micros_)));
+  Json strategies = Json::Array();
+  for (const StrategyRewrite& r : rewrites_) {
+    Json one = Json::Object();
+    one.Set("strategy", Json::Str(r.strategy));
+    one.Set("before", Json::Str(r.before));
+    one.Set("after", Json::Str(r.after));
+    strategies.Append(std::move(one));
+  }
+  out.Set("strategies", std::move(strategies));
+  Json steps = Json::Array();
+  for (const StepTraceSpan& span : spans_) {
+    Json one = Json::Object();
+    one.Set("index", Json::Number(span.index));
+    one.Set("depth", Json::Number(span.depth));
+    one.Set("step", Json::Str(span.step));
+    one.Set("detail", Json::Str(span.detail));
+    one.Set("in", Json::Number(static_cast<double>(span.in_count)));
+    one.Set("out", Json::Number(static_cast<double>(span.out_count)));
+    one.Set("micros", Json::Number(static_cast<double>(span.micros)));
+    Json consulted = Json::Array();
+    for (const std::string& t : span.tables_consulted) {
+      consulted.Append(Json::Str(t));
+    }
+    one.Set("tables_consulted", std::move(consulted));
+    Json pruned = Json::Array();
+    for (const std::string& t : span.tables_pruned) {
+      pruned.Append(Json::Str(t));
+    }
+    one.Set("tables_pruned", std::move(pruned));
+    one.Set("cache_hits", Json::Number(static_cast<double>(span.cache_hits)));
+    one.Set("cache_misses",
+            Json::Number(static_cast<double>(span.cache_misses)));
+    one.Set("fanout_batches",
+            Json::Number(static_cast<double>(span.fanout_batches)));
+    one.Set("fanout_tasks",
+            Json::Number(static_cast<double>(span.fanout_tasks)));
+    one.Set("shortcut_vertices",
+            Json::Number(static_cast<double>(span.shortcut_vertices)));
+    Json statements = Json::Array();
+    for (const SqlTraceRecord& rec : span.statements) {
+      Json stmt = Json::Object();
+      stmt.Set("table", Json::Str(rec.table));
+      stmt.Set("sql", Json::Str(rec.sql));
+      stmt.Set("access_path", Json::Str(rec.access_path));
+      stmt.Set("rows_scanned",
+               Json::Number(static_cast<double>(rec.rows_scanned)));
+      stmt.Set("rows_returned",
+               Json::Number(static_cast<double>(rec.rows_returned)));
+      stmt.Set("rows_estimated",
+               Json::Number(static_cast<double>(rec.rows_estimated)));
+      stmt.Set("micros", Json::Number(static_cast<double>(rec.micros)));
+      statements.Append(std::move(stmt));
+    }
+    one.Set("statements", std::move(statements));
+    steps.Append(std::move(one));
+  }
+  out.Set("steps", std::move(steps));
+  return out;
+}
+
+namespace {
+thread_local QueryTrace* g_current_trace = nullptr;
+}  // namespace
+
+QueryTrace* CurrentTrace() { return g_current_trace; }
+
+ScopedTrace::ScopedTrace(QueryTrace* trace) : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+ScopedTrace::~ScopedTrace() { g_current_trace = previous_; }
+
+SlowQueryLog::SlowQueryLog() {
+  const char* env = std::getenv("DB2G_SLOW_QUERY_MS");
+  if (env != nullptr) {
+    threshold_ms_.store(std::atoll(env), std::memory_order_relaxed);
+  }
+}
+
+SlowQueryLog& SlowQueryLog::Global() {
+  static SlowQueryLog* instance = new SlowQueryLog();
+  return *instance;
+}
+
+void SlowQueryLog::Record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kCapacity) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace db2graph

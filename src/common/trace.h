@@ -1,0 +1,198 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Per-query execution tracing for the Gremlin -> SQL pipeline. A
+// QueryTrace is installed for the duration of one traced query (thread-
+// locally, via ScopedTrace) and every layer underneath — strategy
+// application, the interpreter's step loop, the provider's planner, the
+// SQL Dialect — records into it through CurrentTrace().
+//
+// Zero-cost-when-disabled contract: the untraced hot path performs one
+// thread-local pointer read and a null check per potential record site;
+// no mutex is touched and nothing allocates. Only when a trace is
+// installed do the record methods lock the trace's internal mutex (which
+// is required anyway: parallel fan-out workers record into the same
+// query's trace concurrently).
+
+#ifndef DB2GRAPH_COMMON_TRACE_H_
+#define DB2GRAPH_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace db2graph {
+
+/// Injectable wall-clock source so tests can pin span timings.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  /// Monotonic microseconds.
+  virtual uint64_t NowMicros() const;
+  /// The process default (steady_clock-backed) instance.
+  static TraceClock* Default();
+};
+
+/// One SQL statement executed (or, for EXPLAIN, predicted) on behalf of a
+/// traced step.
+struct SqlTraceRecord {
+  std::string table;
+  std::string sql;  // parameters substituted
+  /// Chosen access path: "index", "range", "scan", "mixed", "none" at
+  /// runtime; "index probe" / "full scan" / "full scan+filter" predictions
+  /// from EXPLAIN.
+  std::string access_path;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_returned = 0;
+  /// EXPLAIN only: table cardinality bound on the rows the statement may
+  /// touch (0 when unknown).
+  uint64_t rows_estimated = 0;
+  uint64_t micros = 0;
+};
+
+/// One compile-time strategy application that changed the plan.
+struct StrategyRewrite {
+  std::string strategy;
+  std::string before;  // Traversal::ToString() prior to the pass
+  std::string after;
+};
+
+/// One step of the traversal plan as executed, with everything the layers
+/// below reported while it was the innermost open step.
+struct StepTraceSpan {
+  int index = 0;  // creation order within the trace
+  int depth = 0;  // nesting depth (repeat bodies, sub-traversals)
+  std::string step;    // step kind name
+  std::string detail;  // Step::ToString()
+  uint64_t in_count = 0;
+  uint64_t out_count = 0;
+  uint64_t micros = 0;
+  std::vector<std::string> tables_consulted;
+  std::vector<std::string> tables_pruned;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t fanout_batches = 0;
+  uint64_t fanout_tasks = 0;
+  uint64_t shortcut_vertices = 0;
+  std::vector<SqlTraceRecord> statements;
+};
+
+/// The trace of one query, from strategy application to result delivery.
+/// All mutation methods are internally synchronized.
+class QueryTrace {
+ public:
+  explicit QueryTrace(TraceClock* clock = TraceClock::Default());
+
+  TraceClock* clock() const { return clock_; }
+
+  void SetScript(std::string script);
+  const std::string& script() const { return script_; }
+
+  /// Opens a step span (interpreter thread only); returns its id for
+  /// EndStep. Spans nest: records arriving from lower layers attach to the
+  /// most recently opened, still-open span.
+  int BeginStep(std::string step, std::string detail, uint64_t in_count);
+  void EndStep(int span_id, uint64_t out_count);
+
+  void AddRewrite(std::string strategy, std::string before,
+                  std::string after);
+
+  // Record sites for the layers below; each attaches to the innermost
+  // open span (or is dropped when no span is open — e.g. SQL issued
+  // outside any traversal step).
+  void RecordSql(SqlTraceRecord record);
+  void AddTableConsulted(std::string table);
+  void AddTablePruned(std::string table);
+  void AddCacheHit();
+  void AddCacheMiss();
+  void AddFanout(uint64_t batches, uint64_t tasks);
+  void AddShortcutVertices(uint64_t n);
+
+  /// Stamps the total query wall time.
+  void Finish(uint64_t total_micros);
+  uint64_t total_micros() const;
+
+  // -- inspection ---------------------------------------------------------
+  std::vector<StepTraceSpan> Spans() const;
+  std::vector<StrategyRewrite> Rewrites() const;
+
+  /// Human-readable rendering (indented by span depth).
+  std::string RenderText() const;
+  /// Machine-readable rendering: {"script", "total_micros", "strategies",
+  /// "steps": [...]}.
+  Json ToJson() const;
+
+ private:
+  StepTraceSpan* InnermostOpenLocked();
+
+  TraceClock* clock_;
+  mutable std::mutex mutex_;
+  std::string script_;
+  uint64_t total_micros_ = 0;
+  std::vector<StrategyRewrite> rewrites_;
+  std::deque<StepTraceSpan> spans_;       // deque: stable element addresses
+  std::vector<uint64_t> span_starts_;     // per span, begin micros
+  std::vector<int> open_;                 // stack of open span ids
+};
+
+/// The trace installed on this thread; nullptr when the current query is
+/// untraced (the common case).
+QueryTrace* CurrentTrace();
+
+/// RAII installer; saves and restores the previous thread-local trace, so
+/// fan-out workers (and nested graphQuery interpreters) compose.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(QueryTrace* trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  QueryTrace* previous_;
+};
+
+/// Ring buffer of queries whose wall time crossed the slow-query
+/// threshold, each captured with its full trace. The threshold comes from
+/// the DB2G_SLOW_QUERY_MS environment variable (read once at first use;
+/// 0 or unset = disabled) and can be overridden programmatically. While
+/// the threshold is nonzero, queries run traced so the offender's trace
+/// is available when the threshold trips.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string script;
+    uint64_t elapsed_micros = 0;
+    std::string trace_json;
+  };
+
+  static constexpr size_t kCapacity = 64;
+
+  static SlowQueryLog& Global();
+
+  int64_t threshold_ms() const {
+    return threshold_ms_.load(std::memory_order_relaxed);
+  }
+  void SetThresholdMs(int64_t ms) {
+    threshold_ms_.store(ms, std::memory_order_relaxed);
+  }
+
+  void Record(Entry entry);
+  std::vector<Entry> Entries() const;
+  void Clear();
+
+ private:
+  SlowQueryLog();
+
+  std::atomic<int64_t> threshold_ms_{0};
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace db2graph
+
+#endif  // DB2GRAPH_COMMON_TRACE_H_

@@ -40,10 +40,174 @@ Result<Script> Db2Graph::Compile(const std::string& script_text) const {
 
 Result<std::vector<Traverser>> Db2Graph::Execute(
     const std::string& script_text) {
-  Result<Script> script = Compile(script_text);
+  return Run(script_text, nullptr);
+}
+
+Result<std::vector<Traverser>> Db2Graph::Run(const std::string& script_text,
+                                             gremlin::Environment* env) {
+  Result<Script> script = gremlin::ParseGremlin(script_text);
   if (!script.ok()) return script.status();
+  bool profile = false;
+  for (const gremlin::ScriptStatement& stmt : script->statements) {
+    profile |= stmt.terminal_profile;
+  }
+  int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
+  if (!profile && slow_ms <= 0) {
+    // Untraced hot path: no QueryTrace exists, so every record site below
+    // is a thread-local null check and nothing more.
+    ApplyStrategies(&*script, options_.strategies);
+    gremlin::Interpreter interpreter(provider_.get());
+    return interpreter.RunScript(*script, env);
+  }
+  QueryTrace trace(trace_clock_);
+  trace.SetScript(script_text);
+  uint64_t start = trace_clock_->NowMicros();
   gremlin::Interpreter interpreter(provider_.get());
-  return interpreter.RunScript(*script);
+  Result<std::vector<Traverser>> out =
+      [&]() -> Result<std::vector<Traverser>> {
+    ScopedTrace scoped(&trace);
+    // Strategies run inside the trace so each rewrite is recorded.
+    ApplyStrategies(&*script, options_.strategies);
+    return interpreter.RunScript(*script, env);
+  }();
+  uint64_t elapsed = trace_clock_->NowMicros() - start;
+  trace.Finish(elapsed);
+  if (slow_ms > 0 && elapsed >= static_cast<uint64_t>(slow_ms) * 1000) {
+    SlowQueryLog::Entry entry;
+    entry.script = script_text;
+    entry.elapsed_micros = elapsed;
+    entry.trace_json = trace.ToJson().Dump(2);
+    SlowQueryLog::Global().Record(std::move(entry));
+  }
+  if (!out.ok()) return out.status();
+  if (profile) {
+    std::vector<Traverser> result;
+    result.push_back(Traverser::OfValue(Value(trace.ToJson().Dump(2))));
+    return result;
+  }
+  return out;
+}
+
+Result<std::vector<Traverser>> Db2Graph::ExecuteTraced(
+    const std::string& script_text, QueryTrace* trace) {
+  Result<Script> script = gremlin::ParseGremlin(script_text);
+  if (!script.ok()) return script.status();
+  trace->SetScript(script_text);
+  uint64_t start = trace->clock()->NowMicros();
+  gremlin::Interpreter interpreter(provider_.get());
+  Result<std::vector<Traverser>> out =
+      [&]() -> Result<std::vector<Traverser>> {
+    ScopedTrace scoped(trace);
+    ApplyStrategies(&*script, options_.strategies);
+    return interpreter.RunScript(*script);
+  }();
+  trace->Finish(trace->clock()->NowMicros() - start);
+  return out;
+}
+
+namespace {
+
+using gremlin::GremlinArg;
+using gremlin::LookupSpec;
+using gremlin::Step;
+
+// Files one provider plan preview into the trace's innermost open span.
+void AddPreviews(QueryTrace* trace,
+                 const std::vector<Db2GraphProvider::SqlPreview>& previews) {
+  for (const Db2GraphProvider::SqlPreview& p : previews) {
+    if (p.pruned) {
+      trace->AddTablePruned(p.table);
+      continue;
+    }
+    trace->AddTableConsulted(p.table);
+    SqlTraceRecord record;
+    record.table = p.table;
+    record.sql = p.sql;
+    record.access_path = p.access_path;
+    record.rows_estimated = p.estimated_rows;
+    trace->RecordSql(std::move(record));
+  }
+}
+
+// Opens a span per step and previews the SQL each GSA step would issue.
+// Anchor sets are unknown at compile time, so VertexStep previews show
+// the per-table plans the spec alone determines (label/property pruning);
+// script-variable id arguments stay unresolved.
+Status ExplainSteps(const Db2GraphProvider* provider,
+                    const std::vector<Step>& steps, QueryTrace* trace) {
+  for (const Step& step : steps) {
+    int span = trace->BeginStep(gremlin::StepKindName(step.kind),
+                                step.ToString(), 0);
+    Status st = Status::OK();
+    std::vector<Db2GraphProvider::SqlPreview> previews;
+    if (step.kind == StepKind::kGraph) {
+      LookupSpec spec = step.spec;
+      for (const GremlinArg& a : step.start_ids) {
+        if (!a.is_var()) spec.ids.push_back(a.literal);
+      }
+      for (const GremlinArg& a : step.src_id_args) {
+        if (!a.is_var()) spec.src_ids.push_back(a.literal);
+      }
+      for (const GremlinArg& a : step.dst_id_args) {
+        if (!a.is_var()) spec.dst_ids.push_back(a.literal);
+      }
+      st = step.graph_emits_edges ? provider->ExplainEdges(spec, &previews)
+                                  : provider->ExplainVertices(spec, &previews);
+      if (st.ok()) AddPreviews(trace, previews);
+    } else if (step.kind == StepKind::kVertex) {
+      // Mirror the interpreter's edge spec: labels always constrain the
+      // edge fetch; pushdown payload applies to edges only for outE/inE.
+      LookupSpec edge_spec;
+      edge_spec.labels = step.edge_labels;
+      if (!step.to_vertex) {
+        edge_spec.predicates = step.spec.predicates;
+        edge_spec.projection = step.spec.projection;
+        edge_spec.has_projection = step.spec.has_projection;
+      }
+      st = provider->ExplainEdges(edge_spec, &previews);
+      if (st.ok() && step.to_vertex) {
+        AddPreviews(trace, previews);
+        previews.clear();
+        st = provider->ExplainVertices(step.spec, &previews);
+      }
+      if (st.ok()) AddPreviews(trace, previews);
+    } else if (step.kind == StepKind::kEdgeVertex) {
+      st = provider->ExplainVertices(step.spec, &previews);
+      if (st.ok()) AddPreviews(trace, previews);
+    }
+    if (st.ok() && !step.body.empty()) {
+      st = ExplainSteps(provider, step.body, trace);
+    }
+    for (const auto& branch : step.branches) {
+      if (!st.ok()) break;
+      st = ExplainSteps(provider, branch, trace);
+    }
+    trace->EndStep(span, 0);
+    DB2G_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Db2Graph::ExplainResult> Db2Graph::Explain(
+    const std::string& script_text) {
+  Result<Script> script = gremlin::ParseGremlin(script_text);
+  if (!script.ok()) return script.status();
+  QueryTrace trace(trace_clock_);
+  trace.SetScript(script_text);
+  {
+    ScopedTrace scoped(&trace);
+    ApplyStrategies(&*script, options_.strategies);
+    for (const gremlin::ScriptStatement& stmt : script->statements) {
+      DB2G_RETURN_NOT_OK(
+          ExplainSteps(provider_.get(), stmt.traversal.steps, &trace));
+    }
+  }
+  ExplainResult result;
+  result.text = trace.RenderText();
+  result.json = trace.ToJson();
+  return result;
 }
 
 Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {

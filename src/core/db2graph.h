@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/graph_structure.h"
 #include "core/sql_dialect.h"
 #include "core/strategies.h"
@@ -49,12 +50,39 @@ class Db2Graph {
   /// Compiles (parse + strategy mutation) and runs a Gremlin script.
   Result<std::vector<gremlin::Traverser>> Execute(const std::string& script);
 
+  /// Execute() with script-variable bindings shared across calls (the
+  /// session path GremlinService routes through). Also the tracing entry
+  /// point: a trailing .profile() terminal, or a nonzero slow-query
+  /// threshold, runs the query traced. profile() replaces the result with
+  /// one traverser holding the trace rendered as JSON text.
+  Result<std::vector<gremlin::Traverser>> Run(const std::string& script,
+                                              gremlin::Environment* env);
+
+  /// Compiles and runs `script` with `trace` installed for its duration
+  /// (spans, rewrites, SQL records land in it; Finish() is stamped).
+  Result<std::vector<gremlin::Traverser>> ExecuteTraced(
+      const std::string& script, QueryTrace* trace);
+
   /// Runs an already-parsed script (strategies applied to a copy).
   Result<std::vector<gremlin::Traverser>> ExecuteScript(
       const gremlin::Script& script);
 
   /// Compiles a script without executing (plan inspection / tests).
   Result<gremlin::Script> Compile(const std::string& script) const;
+
+  /// Compile-time EXPLAIN: parses, applies strategies (recording each
+  /// rewrite), then walks the plan previewing the SQL every
+  /// Graph-Structure-Accessing step would generate — which tables prune,
+  /// the predicted access path, and the table-cardinality row estimate.
+  /// No data is read.
+  struct ExplainResult {
+    std::string text;  // human-readable rendering
+    Json json;         // machine-readable rendering
+  };
+  Result<ExplainResult> Explain(const std::string& script);
+
+  /// Clock used for traced executions (tests inject a fake).
+  void SetTraceClockForTesting(TraceClock* clock) { trace_clock_ = clock; }
 
   /// Registers the `graphQuery` polymorphic table function on the
   /// database: TABLE (graphQuery('gremlin', '<script>')) AS t (cols...).
@@ -81,6 +109,7 @@ class Db2Graph {
   sql::Database* db_;
   Options options_;
   uint64_t ddl_version_at_open_ = 0;
+  TraceClock* trace_clock_ = TraceClock::Default();
   std::unique_ptr<SqlDialect> dialect_;
   std::unique_ptr<Db2GraphProvider> provider_;
 };

@@ -6,6 +6,7 @@
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace db2graph::core {
 
@@ -324,6 +325,18 @@ void Db2GraphProvider::ExecuteJobs(size_t n,
       !dialect_->db()->ReadLockHeldByThisThread()) {
     stats_.parallel_batches.fetch_add(1, std::memory_order_relaxed);
     stats_.parallel_tasks.fetch_add(n, std::memory_order_relaxed);
+    QueryTrace* trace = CurrentTrace();
+    if (trace != nullptr) {
+      // Pool workers have no thread-local trace; install this query's
+      // trace for the duration of each job so per-table SQL lands in the
+      // right trace (and never in a concurrent query's).
+      trace->AddFanout(1, n);
+      ThreadPool::Shared().RunBatch(n, [&fn, trace](size_t i) {
+        ScopedTrace scoped(trace);
+        fn(i);
+      });
+      return;
+    }
     ThreadPool::Shared().RunBatch(n, fn);
     return;
   }
@@ -592,27 +605,32 @@ Status Db2GraphProvider::Vertices(const LookupSpec& spec,
     std::vector<VertexPtr> cached;
     if (cache_->Get(spec.ids[0], epoch, &cached)) {
       stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (QueryTrace* trace = CurrentTrace()) trace->AddCacheHit();
       for (VertexPtr& v : cached) {
         if (gremlin::MatchesSpec(*v, spec)) out->push_back(std::move(v));
       }
       return Status::OK();
     }
     stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    if (QueryTrace* trace = CurrentTrace()) trace->AddCacheMiss();
   }
 
   struct Job {
     int table_index;
     VertexPlan plan;
   };
+  QueryTrace* trace = CurrentTrace();
   std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
-    VertexPlan plan =
-        PlanVertexTable(topology_.vertex_tables()[ti], spec, options_);
+    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
+    VertexPlan plan = PlanVertexTable(t, spec, options_);
     if (plan.skip) {
       stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
       continue;
     }
     stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->AddTableConsulted(t.conf.table_name);
     jobs.push_back(Job{static_cast<int>(ti), std::move(plan)});
   }
 
@@ -652,6 +670,7 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
     VertexPlan plan;
     std::string select;
   };
+  QueryTrace* trace = CurrentTrace();
   std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
     const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
@@ -662,6 +681,7 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
     }
     if (plan.skip) {
       stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
       continue;
     }
     // Locate the aggregated property column (count(*) needs none).
@@ -678,6 +698,7 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
       if (!found) continue;  // table contributes nothing
     }
     stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->AddTableConsulted(t.conf.table_name);
     std::string select;
     switch (spec.agg) {
       case AggOp::kCount:
@@ -1076,6 +1097,7 @@ Status Db2GraphProvider::EdgesOnTables(const LookupSpec& spec,
     int table_index;
     EdgePlan plan;
   };
+  QueryTrace* trace = CurrentTrace();
   std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
     if (!tables.empty() &&
@@ -1083,12 +1105,15 @@ Status Db2GraphProvider::EdgesOnTables(const LookupSpec& spec,
             tables.end()) {
       continue;
     }
-    EdgePlan plan = PlanEdgeTable(topology_.edge_tables()[ti], spec, options_);
+    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
+    EdgePlan plan = PlanEdgeTable(t, spec, options_);
     if (plan.skip) {
       stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
       continue;
     }
     stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->AddTableConsulted(t.conf.table_name);
     jobs.push_back(Job{static_cast<int>(ti), std::move(plan)});
   }
 
@@ -1124,6 +1149,7 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
     EdgePlan plan;
     std::string select;
   };
+  QueryTrace* trace = CurrentTrace();
   std::vector<Job> jobs;
   for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
     if (!tables.empty() &&
@@ -1138,6 +1164,7 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
     }
     if (plan.skip) {
       stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
       continue;
     }
     std::string agg_column;
@@ -1153,6 +1180,7 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
       if (!found) continue;
     }
     stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->AddTableConsulted(t.conf.table_name);
     std::string select;
     switch (spec.agg) {
       case AggOp::kCount:
@@ -1277,6 +1305,7 @@ Status Db2GraphProvider::AdjacentEdges(const std::vector<VertexPtr>& from,
   // Candidate edge tables: drop those whose declared endpoint vertex table
   // cannot contain any anchor (Section 6.3 "Using Source/Destination
   // Vertex Tables").
+  QueryTrace* trace = CurrentTrace();
   std::vector<int> candidates;
   for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
     const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
@@ -1296,6 +1325,7 @@ Status Db2GraphProvider::AdjacentEdges(const std::vector<VertexPtr>& from,
       }
       if (!possible) {
         stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
         continue;
       }
     }
@@ -1366,6 +1396,9 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
             out->push_back(std::move(v));
           }
           stats_.shortcut_vertices.fetch_add(1, std::memory_order_relaxed);
+          if (QueryTrace* trace = CurrentTrace()) {
+            trace->AddShortcutVertices(1);
+          }
           return true;
         }
       }
@@ -1374,6 +1407,7 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
       std::vector<VertexPtr> cached;
       if (cache_->Get(id, epoch, &cached)) {
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        if (QueryTrace* trace = CurrentTrace()) trace->AddCacheHit();
         for (VertexPtr& v : cached) {
           if (gremlin::MatchesSpec(*v, cached_check)) {
             out->push_back(std::move(v));
@@ -1382,6 +1416,7 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
         return true;
       }
       stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+      if (QueryTrace* trace = CurrentTrace()) trace->AddCacheMiss();
     }
     if (vertex_table >= 0) {
       pinned[vertex_table].push_back(id);
@@ -1420,9 +1455,15 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
     VertexPlan plan = PlanVertexTable(t, vertex_spec, options_);
     if (plan.skip) {
       stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (QueryTrace* trace = CurrentTrace()) {
+        trace->AddTablePruned(t.conf.table_name);
+      }
       continue;
     }
     stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (QueryTrace* trace = CurrentTrace()) {
+      trace->AddTableConsulted(t.conf.table_name);
+    }
     jobs.push_back(Job{vertex_table, std::move(vertex_spec), std::move(plan)});
   }
 
@@ -1444,6 +1485,108 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
     LookupSpec vertex_spec = spec;
     vertex_spec.ids = std::move(unpinned);
     DB2G_RETURN_NOT_OK(Vertices(vertex_spec, out));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// Compile-time plan previews (Explain)
+// ----------------------------------------------------------------------
+
+namespace {
+
+// Predicts the access path the executor would pick for `conds` against
+// `table` from index availability: an equality/IN conjunct backed by an
+// index probes it, an ordered comparison backed by an index range-scans
+// it, anything else falls back to a table scan (with residual filtering
+// when conditions exist).
+std::string PredictAccessPath(const sql::Database* db,
+                              const std::string& table,
+                              const QueryConds& conds) {
+  const sql::Table* base = db->GetTable(table);
+  bool has_conds = !conds.conjuncts.empty() || !conds.or_groups.empty();
+  if (base != nullptr) {
+    for (const SqlCond& cond : conds.conjuncts) {
+      auto idx = base->schema().ColumnIndex(cond.column);
+      if (!idx || base->FindIndexOn({*idx}) == nullptr) continue;
+      if (cond.op == "=" || cond.op == "IN") return "index probe";
+      if (cond.op == "<" || cond.op == "<=" || cond.op == ">" ||
+          cond.op == ">=") {
+        return "range scan";
+      }
+    }
+  }
+  return has_conds ? "full scan+filter" : "full scan";
+}
+
+}  // namespace
+
+Status Db2GraphProvider::ExplainVertices(const LookupSpec& spec,
+                                         std::vector<SqlPreview>* out) const {
+  for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
+    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
+    VertexPlan plan = PlanVertexTable(t, spec, options_);
+    SqlPreview preview;
+    preview.table = t.conf.table_name;
+    const sql::Table* base = dialect_->db()->GetTable(t.conf.table_name);
+    preview.estimated_rows = base != nullptr ? base->row_count() : 0;
+    if (plan.skip) {
+      preview.pruned = true;
+      preview.access_path = "pruned";
+      out->push_back(std::move(preview));
+      continue;
+    }
+    const sql::TableSchema& schema = *t.schema;
+    std::vector<size_t> cols;
+    if (plan.client_filter) {
+      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+    } else {
+      cols = VertexFetchColumns(t, spec);
+    }
+    FetchLayout layout = MakeLayout(schema, std::move(cols));
+    std::vector<Value> params;
+    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+    std::string sql = BuildSql(t.conf.table_name,
+                               SelectListFor(schema, layout), conds, &params);
+    preview.sql = SqlDialect::RenderSql(sql, params);
+    preview.access_path =
+        PredictAccessPath(dialect_->db(), t.conf.table_name, conds);
+    out->push_back(std::move(preview));
+  }
+  return Status::OK();
+}
+
+Status Db2GraphProvider::ExplainEdges(const LookupSpec& spec,
+                                      std::vector<SqlPreview>* out) const {
+  for (size_t ti = 0; ti < topology_.edge_tables().size(); ++ti) {
+    const ResolvedEdgeTable& t = topology_.edge_tables()[ti];
+    EdgePlan plan = PlanEdgeTable(t, spec, options_);
+    SqlPreview preview;
+    preview.table = t.conf.table_name;
+    const sql::Table* base = dialect_->db()->GetTable(t.conf.table_name);
+    preview.estimated_rows = base != nullptr ? base->row_count() : 0;
+    if (plan.skip) {
+      preview.pruned = true;
+      preview.access_path = "pruned";
+      out->push_back(std::move(preview));
+      continue;
+    }
+    const sql::TableSchema& schema = *t.schema;
+    std::vector<size_t> cols;
+    if (plan.client_filter) {
+      for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+    } else {
+      cols = EdgeFetchColumns(t, spec);
+    }
+    FetchLayout layout = MakeLayout(schema, std::move(cols));
+    std::vector<Value> params;
+    QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+    std::string sql = BuildSql(t.conf.table_name,
+                               SelectListFor(schema, layout), conds, &params);
+    preview.sql = SqlDialect::RenderSql(sql, params);
+    preview.access_path =
+        PredictAccessPath(dialect_->db(), t.conf.table_name, conds);
+    out->push_back(std::move(preview));
   }
   return Status::OK();
 }

@@ -91,17 +91,46 @@ class Db2GraphProvider : public gremlin::GraphProvider {
   const RuntimeOptions& options() const { return options_; }
   SqlDialect* dialect() const { return dialect_; }
 
-  /// Optimization-visible counters for tests and ablations.
+  /// Optimization-visible counters for tests and ablations. Readers
+  /// should take a Snapshot() for assertions/reporting rather than load
+  /// the live counters field by field.
   struct Stats {
-    std::atomic<uint64_t> vertex_tables_queried{0};
-    std::atomic<uint64_t> vertex_tables_pruned{0};
-    std::atomic<uint64_t> edge_tables_queried{0};
-    std::atomic<uint64_t> edge_tables_pruned{0};
-    std::atomic<uint64_t> shortcut_vertices{0};  // built from edge rows
-    std::atomic<uint64_t> parallel_batches{0};   // fan-outs dispatched
-    std::atomic<uint64_t> parallel_tasks{0};     // per-table jobs in them
-    std::atomic<uint64_t> cache_hits{0};         // vertex-cache hits
-    std::atomic<uint64_t> cache_misses{0};       // vertex-cache misses
+    metrics::Counter vertex_tables_queried;
+    metrics::Counter vertex_tables_pruned;
+    metrics::Counter edge_tables_queried;
+    metrics::Counter edge_tables_pruned;
+    metrics::Counter shortcut_vertices;  // built from edge rows
+    metrics::Counter parallel_batches;   // fan-outs dispatched
+    metrics::Counter parallel_tasks;     // per-table jobs in them
+    metrics::Counter cache_hits;         // vertex-cache hits
+    metrics::Counter cache_misses;       // vertex-cache misses
+
+    /// Plain-value copy of every counter.
+    struct Counts {
+      uint64_t vertex_tables_queried = 0;
+      uint64_t vertex_tables_pruned = 0;
+      uint64_t edge_tables_queried = 0;
+      uint64_t edge_tables_pruned = 0;
+      uint64_t shortcut_vertices = 0;
+      uint64_t parallel_batches = 0;
+      uint64_t parallel_tasks = 0;
+      uint64_t cache_hits = 0;
+      uint64_t cache_misses = 0;
+    };
+
+    Counts Snapshot() const {
+      Counts c;
+      c.vertex_tables_queried = vertex_tables_queried.load();
+      c.vertex_tables_pruned = vertex_tables_pruned.load();
+      c.edge_tables_queried = edge_tables_queried.load();
+      c.edge_tables_pruned = edge_tables_pruned.load();
+      c.shortcut_vertices = shortcut_vertices.load();
+      c.parallel_batches = parallel_batches.load();
+      c.parallel_tasks = parallel_tasks.load();
+      c.cache_hits = cache_hits.load();
+      c.cache_misses = cache_misses.load();
+      return c;
+    }
 
     void Reset() {
       vertex_tables_queried = 0;
@@ -117,6 +146,27 @@ class Db2GraphProvider : public gremlin::GraphProvider {
   };
   const Stats& stats() const { return stats_; }
   Stats& stats() { return stats_; }
+
+  /// One per-table entry of a compile-time plan preview (Explain): the SQL
+  /// a lookup spec would generate against this table, the access path the
+  /// executor is predicted to choose (from index availability), and the
+  /// table cardinality as a row-count upper bound. Pruned tables appear
+  /// with pruned=true and no SQL.
+  struct SqlPreview {
+    std::string table;
+    std::string sql;
+    std::string access_path;  // "index probe" | "full scan" | "full scan+filter" | "pruned"
+    uint64_t estimated_rows = 0;
+    bool pruned = false;
+  };
+
+  /// Plan previews for a vertex/edge lookup, without touching any data.
+  /// Previews run the same per-table planner as execution, so they show
+  /// exactly which tables pruning would skip.
+  Status ExplainVertices(const gremlin::LookupSpec& spec,
+                         std::vector<SqlPreview>* out) const;
+  Status ExplainEdges(const gremlin::LookupSpec& spec,
+                      std::vector<SqlPreview>* out) const;
 
  private:
   /// Edges() restricted to a subset of edge-table indexes (used by

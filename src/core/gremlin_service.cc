@@ -1,11 +1,16 @@
 #include "core/gremlin_service.h"
 
-#include "gremlin/parser.h"
+#include "common/trace.h"
 
 namespace db2graph::core {
 
 GremlinService::GremlinService(Db2Graph* graph, int workers)
     : graph_(graph) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  queue_depth_gauge_ = registry.GetGauge(kQueueDepthGauge);
+  request_latency_ = registry.GetHistogram(kRequestLatencyHistogram);
+  requests_total_ = registry.GetCounter(kRequestsCounter);
+  sessions_opened_ = registry.GetCounter(kSessionsCounter);
   if (workers < 1) workers = 1;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -13,17 +18,23 @@ GremlinService::GremlinService(Db2Graph* graph, int workers)
   }
 }
 
-GremlinService::~GremlinService() {
+GremlinService::~GremlinService() { Shutdown(); }
+
+void GremlinService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // already shut down
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
   // Fail any requests still queued.
   for (Request& r : queue_) {
-    r.promise.set_value(Status::Internal("service shut down"));
+    r.promise.set_value(Status::Unavailable("service shut down"));
   }
+  queue_.clear();
+  queue_depth_gauge_->Set(0);
 }
 
 std::future<GremlinService::Response> GremlinService::Submit(
@@ -31,9 +42,15 @@ std::future<GremlinService::Response> GremlinService::Submit(
   Request request;
   request.script = std::move(script);
   std::future<Response> future = request.promise.get_future();
+  requests_total_->fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      request.promise.set_value(Status::Unavailable("service shut down"));
+      return future;
+    }
     queue_.push_back(std::move(request));
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -44,12 +61,21 @@ std::future<GremlinService::Response> GremlinService::SubmitSession(
   Request request;
   request.script = std::move(script);
   std::future<Response> future = request.promise.get_future();
+  requests_total_->fetch_add(1);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      request.promise.set_value(Status::Unavailable("service shut down"));
+      return future;
+    }
     std::shared_ptr<Session>& session = sessions_[session_id];
-    if (session == nullptr) session = std::make_shared<Session>();
+    if (session == nullptr) {
+      session = std::make_shared<Session>();
+      sessions_opened_->fetch_add(1);
+    }
     request.session = session;
     queue_.push_back(std::move(request));
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return future;
@@ -72,25 +98,23 @@ void GremlinService::WorkerLoop() {
       }
       request = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
 
-    Result<gremlin::Script> script = graph_->Compile(request.script);
-    if (!script.ok()) {
-      // Count before fulfilling the promise: a client that synchronizes
-      // on the future must observe its own request in completed().
-      completed_.fetch_add(1, std::memory_order_release);
-      request.promise.set_value(script.status());
-      continue;
-    }
-    gremlin::Interpreter interpreter(graph_->provider());
+    // Route through Db2Graph::Run so service requests pick up tracing
+    // (profile() terminals, the slow-query log) exactly like direct calls.
+    uint64_t start = TraceClock::Default()->NowMicros();
     Response response = Status::Internal("unset");
     if (request.session != nullptr) {
       // Per-session serialization + persistent bindings.
       std::lock_guard<std::mutex> session_lock(request.session->mutex);
-      response = interpreter.RunScript(*script, &request.session->env);
+      response = graph_->Run(request.script, &request.session->env);
     } else {
-      response = interpreter.RunScript(*script);
+      response = graph_->Run(request.script, nullptr);
     }
+    request_latency_->Observe(TraceClock::Default()->NowMicros() - start);
+    // Count before fulfilling the promise: a client that synchronizes on
+    // the future must observe its own request in completed().
     completed_.fetch_add(1, std::memory_order_release);
     request.promise.set_value(std::move(response));
   }

@@ -7,6 +7,11 @@
 // pool executing submitted scripts against one Db2 Graph, with TinkerPop-
 // style *sessions* — a sessioned client keeps its script variables alive
 // across requests, a sessionless request runs with a fresh environment.
+//
+// Observability: the service keeps its queue depth in a registry gauge,
+// per-request latency in a registry histogram, and request/session counts
+// in registry counters (names below), so a process exporter sees them
+// alongside every other subsystem.
 
 #ifndef DB2GRAPH_CORE_GREMLIN_SERVICE_H_
 #define DB2GRAPH_CORE_GREMLIN_SERVICE_H_
@@ -22,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/db2graph.h"
 #include "gremlin/interpreter.h"
 
@@ -30,6 +36,16 @@ namespace db2graph::core {
 class GremlinService {
  public:
   using Response = Result<std::vector<gremlin::Traverser>>;
+
+  /// Registry metric names the service maintains.
+  static constexpr const char* kQueueDepthGauge =
+      "gremlin_service.queue_depth";
+  static constexpr const char* kRequestLatencyHistogram =
+      "gremlin_service.request_micros";
+  static constexpr const char* kRequestsCounter =
+      "gremlin_service.requests";
+  static constexpr const char* kSessionsCounter =
+      "gremlin_service.sessions_opened";
 
   /// Starts `workers` executor threads over `graph` (not owned; must
   /// outlive the service).
@@ -40,7 +56,8 @@ class GremlinService {
   GremlinService& operator=(const GremlinService&) = delete;
 
   /// Submits a sessionless request: the script runs with an empty
-  /// variable environment.
+  /// variable environment. After Shutdown() the future fails immediately
+  /// with Status::Unavailable.
   std::future<Response> Submit(std::string script);
 
   /// Submits within a session: the session's variable bindings persist
@@ -52,8 +69,19 @@ class GremlinService {
   /// Drops a session and its bindings.
   void CloseSession(const std::string& session_id);
 
+  /// Stops accepting requests, drains the workers, and fails anything
+  /// still queued with Status::Unavailable. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
   /// Requests executed so far.
   uint64_t completed() const { return completed_.load(); }
+
+  /// Requests accepted but not yet picked up by a worker.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
 
  private:
   struct Session {
@@ -72,8 +100,12 @@ class GremlinService {
 
   Db2Graph* graph_;
   std::atomic<uint64_t> completed_{0};
+  metrics::Gauge* queue_depth_gauge_;
+  metrics::Histogram* request_latency_;
+  metrics::Counter* requests_total_;
+  metrics::Counter* sessions_opened_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;

@@ -3,14 +3,27 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace db2graph::core {
 
 namespace {
 
-// Substitutes '?' placeholders with rendered literals, for the trace.
-std::string RenderSql(const std::string& sql,
-                      const std::vector<Value>& params) {
+// Table name between FROM "..." for trace attribution; the graph layer
+// only ever generates single-table statements of that shape.
+std::string TableFromSql(const std::string& sql) {
+  size_t from = sql.find(" FROM \"");
+  if (from == std::string::npos) return "";
+  size_t begin = from + 7;
+  size_t end = sql.find('"', begin);
+  if (end == std::string::npos) return "";
+  return sql.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string SqlDialect::RenderSql(const std::string& sql,
+                                  const std::vector<Value>& params) {
   std::string out;
   size_t next = 0;
   for (char c : sql) {
@@ -23,8 +36,6 @@ std::string RenderSql(const std::string& sql,
   return out;
 }
 
-}  // namespace
-
 Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
                                          const std::vector<Value>& params) {
   queries_issued_.fetch_add(1, std::memory_order_relaxed);
@@ -32,6 +43,30 @@ Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
     std::lock_guard<std::mutex> lock(mutex_);
     if (trace_enabled_) trace_.push_back(RenderSql(sql, params));
   }
+  QueryTrace* query_trace = CurrentTrace();
+  uint64_t start = query_trace != nullptr
+                       ? query_trace->clock()->NowMicros()
+                       : 0;
+  Result<sql::ResultSet> result = QueryUntraced(sql, params);
+  if (query_trace != nullptr) {
+    SqlTraceRecord record;
+    record.table = TableFromSql(sql);
+    record.sql = RenderSql(sql, params);
+    record.micros = query_trace->clock()->NowMicros() - start;
+    if (result.ok()) {
+      record.access_path = result->exec.AccessPath();
+      record.rows_scanned = result->exec.rows_scanned;
+      record.rows_returned = result->rows.size();
+    } else {
+      record.access_path = "error: " + result.status().ToString();
+    }
+    query_trace->RecordSql(std::move(record));
+  }
+  return result;
+}
+
+Result<sql::ResultSet> SqlDialect::QueryUntraced(
+    const std::string& sql, const std::vector<Value>& params) {
   // Fast path: reuse a compiled template.
   {
     std::lock_guard<std::mutex> lock(mutex_);

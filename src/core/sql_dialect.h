@@ -44,6 +44,11 @@ class SqlDialect {
   void RecordPattern(const std::string& table,
                      std::vector<std::string> predicate_columns);
 
+  /// Renders a parameterized statement with '?' placeholders substituted
+  /// by SQL literals (trace/EXPLAIN display; never executed).
+  static std::string RenderSql(const std::string& sql,
+                               const std::vector<Value>& params);
+
   /// Index advisor output: frequent patterns that have no backing index.
   struct IndexSuggestion {
     std::string table;
@@ -80,6 +85,10 @@ class SqlDialect {
   }
 
  private:
+  /// Query() minus the per-statement trace bookkeeping.
+  Result<sql::ResultSet> QueryUntraced(const std::string& sql,
+                                       const std::vector<Value>& params);
+
   sql::Database* db_;
   Options options_;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace db2graph::core {
 
 using gremlin::AggOp;
@@ -252,7 +254,36 @@ void ApplyToSteps(std::vector<Step>* steps, const StrategyOptions& options) {
 
 void ApplyStrategies(gremlin::Traversal* traversal,
                      const StrategyOptions& options) {
-  ApplyToSteps(&traversal->steps, options);
+  QueryTrace* trace = CurrentTrace();
+  if (trace == nullptr) {
+    ApplyToSteps(&traversal->steps, options);
+    return;
+  }
+  // Traced compilation runs the passes one at a time (same paper order
+  // ApplyToSteps uses) so each rewrite is attributed to the strategy that
+  // made it. The end state is identical to the combined application.
+  struct Pass {
+    const char* name;
+    bool StrategyOptions::*flag;
+  };
+  static constexpr Pass kPasses[] = {
+      {"GraphStepVertexStepMutation",
+       &StrategyOptions::graphstep_vertexstep_mutation},
+      {"PredicatePushdown", &StrategyOptions::predicate_pushdown},
+      {"ProjectionPushdown", &StrategyOptions::projection_pushdown},
+      {"AggregatePushdown", &StrategyOptions::aggregate_pushdown},
+  };
+  for (const Pass& pass : kPasses) {
+    if (!(options.*(pass.flag))) continue;
+    std::string before = traversal->ToString();
+    StrategyOptions single = StrategyOptions::AllOff();
+    single.*(pass.flag) = true;
+    ApplyToSteps(&traversal->steps, single);
+    std::string after = traversal->ToString();
+    if (after != before) {
+      trace->AddRewrite(pass.name, std::move(before), std::move(after));
+    }
+  }
 }
 
 void ApplyStrategies(gremlin::Script* script,

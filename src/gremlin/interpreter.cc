@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/trace.h"
+
 namespace db2graph::gremlin {
 
 Traverser Traverser::OfVertex(VertexPtr v) {
@@ -149,9 +151,18 @@ Status Interpreter::Execute(const std::vector<Step>& steps,
                             std::vector<Traverser> input, ExecState* state,
                             std::vector<Traverser>* out) {
   std::vector<Traverser> stream = std::move(input);
+  QueryTrace* trace = CurrentTrace();
   for (const Step& step : steps) {
     std::vector<Traverser> next;
-    DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
+    if (trace != nullptr) {
+      int span = trace->BeginStep(StepKindName(step.kind), step.ToString(),
+                                  stream.size());
+      Status st = ApplyStep(step, std::move(stream), state, &next);
+      trace->EndStep(span, next.size());
+      DB2G_RETURN_NOT_OK(st);
+    } else {
+      DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
+    }
     stream = std::move(next);
   }
   *out = std::move(stream);

@@ -222,11 +222,13 @@ class GremlinParser {
       return Error("expected a traversal starting with 'g'");
     }
     Advance();  // g
-    return ParseChain(&out->traversal.steps, &out->terminal_next);
+    return ParseChain(&out->traversal.steps, out);
   }
 
-  // Parses ".step(...).step(...)" until the chain ends.
-  Status ParseChain(std::vector<Step>* steps, bool* terminal_next) {
+  // Parses ".step(...).step(...)" until the chain ends. `stmt` is the
+  // enclosing statement for terminal flags, nullptr in sub-traversals
+  // (where terminals are illegal).
+  Status ParseChain(std::vector<Step>* steps, ScriptStatement* stmt) {
     while (ConsumePunct(".")) {
       if (Peek().type != TokType::kIdent) {
         return Error("expected a step name after '.'");
@@ -245,10 +247,17 @@ class GremlinParser {
       DB2G_RETURN_NOT_OK(ExpectPunct(")"));
       // Terminals end the chain.
       if (name == "next") {
-        if (terminal_next == nullptr) {
+        if (stmt == nullptr) {
           return Error(".next() not allowed inside a sub-traversal");
         }
-        *terminal_next = true;
+        stmt->terminal_next = true;
+        break;
+      }
+      if (name == "profile") {
+        if (stmt == nullptr) {
+          return Error(".profile() not allowed inside a sub-traversal");
+        }
+        stmt->terminal_profile = true;
         break;
       }
       if (name == "toList" || name == "iterate") break;

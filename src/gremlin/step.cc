@@ -128,6 +128,7 @@ std::string Step::ToString() const {
                                                : (to_vertex ? "both" : "bothE"));
       for (const std::string& l : edge_labels) os << " " << l;
       if (!spec.predicates.empty()) os << " preds=" << spec.predicates.size();
+      if (spec.has_projection) os << " proj=" << spec.projection.size();
       if (spec.agg != AggOp::kNone) os << " agg=" << AggName(spec.agg);
       os << ")";
       break;
@@ -136,8 +137,10 @@ std::string Step::ToString() const {
       os << "("
          << (direction == Direction::kOut
                  ? "outV"
-                 : direction == Direction::kIn ? "inV" : "bothV")
-         << ")";
+                 : direction == Direction::kIn ? "inV" : "bothV");
+      if (!spec.predicates.empty()) os << " preds=" << spec.predicates.size();
+      if (spec.has_projection) os << " proj=" << spec.projection.size();
+      os << ")";
       break;
     case StepKind::kHas: {
       os << "(";

@@ -134,6 +134,9 @@ struct ScriptStatement {
   std::string assign_to;  // empty = no assignment
   Traversal traversal;
   bool terminal_next = false;  // .next() — take the first result
+  /// .profile() — execute traced and return the trace as the result (one
+  /// traverser holding the JSON rendering).
+  bool terminal_profile = false;
 };
 
 /// A parsed Gremlin script (';'-separated statements).

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sql/ast.h"
 #include "sql/result_set.h"
@@ -29,15 +30,42 @@
 namespace db2graph::sql {
 
 /// Cumulative execution counters, used by tests to assert that the graph
-/// layer's optimizations actually change the access paths.
+/// layer's optimizations actually change the access paths. Readers should
+/// take a Snapshot() rather than load the live atomics field by field —
+/// a snapshot is one coherent point-in-time view for assertions and
+/// reporting, while field-by-field loads can interleave with concurrent
+/// statements.
 struct ExecStats {
-  std::atomic<uint64_t> selects{0};
-  std::atomic<uint64_t> rows_scanned{0};    // rows examined by scans/probes
-  std::atomic<uint64_t> index_probes{0};    // index point/IN lookups
-  std::atomic<uint64_t> range_scans{0};     // ordered-index range lookups
-  std::atomic<uint64_t> full_scans{0};      // table scans
-  std::atomic<uint64_t> rows_returned{0};
-  std::atomic<uint64_t> writes{0};          // write-path statements executed
+  metrics::Counter selects;
+  metrics::Counter rows_scanned;    // rows examined by scans/probes
+  metrics::Counter index_probes;    // index point/IN lookups
+  metrics::Counter range_scans;     // ordered-index range lookups
+  metrics::Counter full_scans;      // table scans
+  metrics::Counter rows_returned;
+  metrics::Counter writes;          // write-path statements executed
+
+  /// Plain-value copy of every counter.
+  struct Counts {
+    uint64_t selects = 0;
+    uint64_t rows_scanned = 0;
+    uint64_t index_probes = 0;
+    uint64_t range_scans = 0;
+    uint64_t full_scans = 0;
+    uint64_t rows_returned = 0;
+    uint64_t writes = 0;
+  };
+
+  Counts Snapshot() const {
+    Counts c;
+    c.selects = selects.load();
+    c.rows_scanned = rows_scanned.load();
+    c.index_probes = index_probes.load();
+    c.range_scans = range_scans.load();
+    c.full_scans = full_scans.load();
+    c.rows_returned = rows_returned.load();
+    c.writes = writes.load();
+    return c;
+  }
 
   void Reset() {
     selects = 0;

@@ -224,6 +224,9 @@ std::string OutputName(const SelectItem& item) {
 
 Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
   db_->stats().selects.fetch_add(1, std::memory_order_relaxed);
+  // Per-statement access-path attribution, mirrored into the global
+  // ExecStats at each increment site and returned on the ResultSet.
+  ExecInfo exec_info;
 
   // 1. Resolve all FROM-clause relations, in order.
   struct Stage {
@@ -569,6 +572,8 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         }
         stats.index_probes.fetch_add(keys.size(), std::memory_order_relaxed);
         stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
+        exec_info.index_probes += keys.size();
+        exec_info.rows_scanned += rids.size();
         for (RowId rid : rids) {
           matched |= emit_if_match(outer, table->GetRow(rid));
         }
@@ -584,6 +589,8 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
                                  range_hi_excl, &rids);
         stats.range_scans.fetch_add(1, std::memory_order_relaxed);
         stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
+        exec_info.range_scans += 1;
+        exec_info.rows_scanned += rids.size();
         for (RowId rid : rids) {
           matched |= emit_if_match(outer, table->GetRow(rid));
         }
@@ -591,8 +598,10 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         Value key = EvalExpr(*hash_term_storage.values[0], outer, params_);
         auto [begin, end] = hash_join.equal_range(key);
         stats.index_probes.fetch_add(1, std::memory_order_relaxed);
+        exec_info.index_probes += 1;
         for (auto it = begin; it != end; ++it) {
           stats.rows_scanned.fetch_add(1, std::memory_order_relaxed);
+          exec_info.rows_scanned += 1;
           const Row& inner = stage.relation.materialized()
                                  ? stage.relation.rows[it->second]
                                  : table->GetRow(it->second);
@@ -602,6 +611,8 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         stats.full_scans.fetch_add(1, std::memory_order_relaxed);
         stats.rows_scanned.fetch_add(table->row_count(),
                                      std::memory_order_relaxed);
+        exec_info.full_scans += 1;
+        exec_info.rows_scanned += table->row_count();
         for (RowId rid = 0; rid < table->slot_count(); ++rid) {
           if (!table->IsLive(rid)) continue;
           matched |= emit_if_match(outer, table->GetRow(rid));
@@ -609,6 +620,7 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
       } else {
         stats.rows_scanned.fetch_add(stage.relation.rows.size(),
                                      std::memory_order_relaxed);
+        exec_info.rows_scanned += stage.relation.rows.size();
         for (const Row& inner : stage.relation.rows) {
           matched |= emit_if_match(outer, inner);
         }
@@ -639,6 +651,7 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
   }
 
   ResultSet result;
+  result.exec = exec_info;
   std::vector<const Expr*> item_exprs;
   std::vector<std::vector<size_t>> star_expansion;  // per item (kStar only)
   for (const SelectItem& item : stmt.items) {

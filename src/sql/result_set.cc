@@ -7,6 +7,16 @@
 
 namespace db2graph::sql {
 
+const char* ExecInfo::AccessPath() const {
+  int kinds = (index_probes > 0 ? 1 : 0) + (range_scans > 0 ? 1 : 0) +
+              (full_scans > 0 ? 1 : 0);
+  if (kinds == 0) return "none";
+  if (kinds > 1) return "mixed";
+  if (index_probes > 0) return "index";
+  if (range_scans > 0) return "range";
+  return "scan";
+}
+
 int ResultSet::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
     if (EqualsIgnoreCase(columns[i], name)) return static_cast<int>(i);

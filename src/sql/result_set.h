@@ -11,10 +11,28 @@
 
 namespace db2graph::sql {
 
+/// Per-statement access-path attribution, filled by the executor for
+/// SELECTs. Unlike the database-wide ExecStats atomics, these belong to
+/// exactly one statement, so a traced query can attribute its own access
+/// paths without racing against concurrent statements.
+struct ExecInfo {
+  uint64_t index_probes = 0;
+  uint64_t range_scans = 0;
+  uint64_t full_scans = 0;
+  uint64_t rows_scanned = 0;
+
+  /// Dominant access path label: "index", "range", "scan", "mixed", or
+  /// "none" (no table touched, e.g. SELECT over a materialized relation).
+  const char* AccessPath() const;
+};
+
 /// A fully materialized query result.
 struct ResultSet {
   std::vector<std::string> columns;
   std::vector<Row> rows;
+
+  /// Access paths this statement's execution chose.
+  ExecInfo exec;
 
   /// Rows affected, for DML statements (rows empty then).
   int64_t affected = 0;

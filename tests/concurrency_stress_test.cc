@@ -63,17 +63,17 @@ TEST_F(ConcurrencyStressTest, FanOutAndCacheCountersFire) {
   ASSERT_EQ(first->size(), 1u);
   EXPECT_EQ((*first)[0].vertex->id, Value(int64_t{17}));
   // Cold cache: the lookup missed, then fanned out over all 10 tables.
-  EXPECT_GT(stats.cache_misses.load(), 0u);
-  EXPECT_EQ(stats.cache_hits.load(), 0u);
-  EXPECT_GT(stats.parallel_batches.load(), 0u);
-  EXPECT_GE(stats.parallel_tasks.load(), 10u);
+  EXPECT_GT(stats.Snapshot().cache_misses, 0u);
+  EXPECT_EQ(stats.Snapshot().cache_hits, 0u);
+  EXPECT_GT(stats.Snapshot().parallel_batches, 0u);
+  EXPECT_GE(stats.Snapshot().parallel_tasks, 10u);
 
   uint64_t queries_before = graph_->dialect()->queries_issued();
   Result<std::vector<Traverser>> second = Run("g.V(17)");
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   ASSERT_EQ(second->size(), 1u);
   EXPECT_EQ((*second)[0].vertex->id, Value(int64_t{17}));
-  EXPECT_GT(stats.cache_hits.load(), 0u);
+  EXPECT_GT(stats.Snapshot().cache_hits, 0u);
   // The repeat was served entirely from the cache — no SQL at all.
   EXPECT_EQ(graph_->dialect()->queries_issued(), queries_before);
 }
@@ -102,8 +102,8 @@ TEST_F(ConcurrencyStressTest, ConcurrentSubmitsReturnCorrectResults) {
     EXPECT_EQ((*response)[0].vertex->id, Value(expected_ids[i]));
   }
   EXPECT_EQ(service.completed(), static_cast<uint64_t>(kRequests));
-  EXPECT_GT(stats.parallel_batches.load(), 0u);
-  EXPECT_GT(stats.cache_hits.load(), 0u);
+  EXPECT_GT(stats.Snapshot().parallel_batches, 0u);
+  EXPECT_GT(stats.Snapshot().cache_hits, 0u);
 }
 
 TEST_F(ConcurrencyStressTest, WriteInvalidatesCachedVertex) {
@@ -143,6 +143,53 @@ TEST_F(ConcurrencyStressTest, WriteInvalidatesCachedNegativeLookup) {
   ASSERT_EQ(after->size(), 1u)
       << "insert did not flush the cached negative entry";
   EXPECT_EQ((*after)[0].vertex->id, Value(int64_t{99999}));
+}
+
+TEST_F(ConcurrencyStressTest, ConcurrentTracedQueriesDoNotInterleaveSpans) {
+  // Each thread runs its own traced query against a distinct vertex id;
+  // the installed traces are per-thread (and per-fan-out-job via
+  // ScopedTrace), so every SQL record must mention only that thread's id.
+  // Primary TSan target for the tracing layer.
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 25;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        // Distinct id per thread per iteration; ids do not overlap across
+        // threads, so a cross-trace leak is detectable in the SQL text.
+        int64_t id = 1 + t * 500 + i;
+        std::string script = "g.V(" + std::to_string(id) + ")";
+        QueryTrace trace;
+        Result<std::vector<Traverser>> out =
+            graph_->ExecuteTraced(script, &trace);
+        if (!out.ok() || out->size() != 1) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Point lookups render as `"id" IN (<id>)`.
+        std::string expect = "(" + std::to_string(id) + ")";
+        for (const StepTraceSpan& span : trace.Spans()) {
+          for (const SqlTraceRecord& record : span.statements) {
+            if (record.sql.find(expect) == std::string::npos) {
+              failures.fetch_add(1);
+            }
+          }
+        }
+        // The fan-out consulted multiple tables; all must land here.
+        bool saw_sql = false;
+        for (const StepTraceSpan& span : trace.Spans()) {
+          saw_sql |= !span.statements.empty();
+        }
+        if (!saw_sql) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST_F(ConcurrencyStressTest, ConcurrentReadersAndWriter) {

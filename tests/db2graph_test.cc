@@ -329,23 +329,23 @@ TEST_F(Db2GraphTest, StrategiesPreserveResults) {
 TEST_F(Db2GraphTest, FixedLabelPruningSkipsNonMatchingTables) {
   graph_->provider()->stats().Reset();
   Run("g.V().hasLabel('patient')");
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_queried.load(), 1u);
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_pruned.load(), 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_queried, 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_pruned, 1u);
 }
 
 TEST_F(Db2GraphTest, PrefixedIdPinsExactTable) {
   graph_->provider()->stats().Reset();
   Run("g.V('patient::1')");
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_queried.load(), 1u);
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_pruned.load(), 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_queried, 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_pruned, 1u);
 }
 
 TEST_F(Db2GraphTest, PropertyNamePruningSkipsTablesWithoutTheProperty) {
   graph_->provider()->stats().Reset();
   Run("g.V().has('conceptCode', 'D10')");
   // Only Disease has conceptCode.
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_queried.load(), 1u);
-  EXPECT_EQ(graph_->provider()->stats().vertex_tables_pruned.load(), 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_queried, 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().vertex_tables_pruned, 1u);
 }
 
 TEST_F(Db2GraphTest, ImplicitEdgeIdNarrowsByEncodedLabel) {
@@ -353,22 +353,22 @@ TEST_F(Db2GraphTest, ImplicitEdgeIdNarrowsByEncodedLabel) {
   Run("g.E('patient::1::hasDisease::11')");
   // The ontology table is pruned: its explicit-id definition cannot
   // produce this id.
-  EXPECT_EQ(graph_->provider()->stats().edge_tables_queried.load(), 1u);
-  EXPECT_EQ(graph_->provider()->stats().edge_tables_pruned.load(), 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().edge_tables_queried, 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().edge_tables_pruned, 1u);
 }
 
 TEST_F(Db2GraphTest, EndpointTablePruningOnAdjacency) {
   graph_->provider()->stats().Reset();
   // Patient vertices: only HasDisease can have them as sources.
   Run("g.V('patient::1').out('hasDisease')");
-  EXPECT_EQ(graph_->provider()->stats().edge_tables_queried.load(), 1u);
+  EXPECT_EQ(graph_->provider()->stats().Snapshot().edge_tables_queried, 1u);
 }
 
 TEST_F(Db2GraphTest, SrcIdDecompositionUsesIndexProbes) {
   db_.stats().Reset();
   Run("g.V('patient::1').outE('hasDisease')");
-  EXPECT_GE(db_.stats().index_probes.load(), 1u);
-  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+  EXPECT_GE(db_.stats().Snapshot().index_probes, 1u);
+  EXPECT_EQ(db_.stats().Snapshot().full_scans, 0u);
 }
 
 TEST_F(Db2GraphTest, RuntimeOptimizationsPreserveResults) {
@@ -594,9 +594,9 @@ TEST_F(Db2GraphTest, VertexFromEdgeShortcutAvoidsSql) {
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_EQ(out->size(), 1u);
   EXPECT_EQ((*out)[0].value, Value("checkup"));
-  EXPECT_GE((*graph)->provider()->stats().shortcut_vertices.load(), 1u);
+  EXPECT_GE((*graph)->provider()->stats().Snapshot().shortcut_vertices, 1u);
   // Exactly one SQL (the edge fetch); the vertex came from the same row.
-  EXPECT_EQ(db_.stats().selects.load(), 1u);
+  EXPECT_EQ(db_.stats().Snapshot().selects, 1u);
 
   // With the shortcut disabled the same query needs a second SELECT.
   Db2Graph::Options no_shortcut;
@@ -610,7 +610,7 @@ TEST_F(Db2GraphTest, VertexFromEdgeShortcutAvoidsSql) {
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->size(), 1u);
   EXPECT_EQ((*out)[0].value, Value("checkup"));
-  EXPECT_EQ(db_.stats().selects.load(), 2u);
+  EXPECT_EQ(db_.stats().Snapshot().selects, 2u);
 }
 
 // The AutoOverlay-catalog integration the paper lists as future work:

@@ -176,8 +176,8 @@ TEST_F(LinkBenchSystemsTest, CountLinksUsesAggregatePushdown) {
   Result<std::vector<Traverser>> out = graph_->Execute(q);
   ASSERT_TRUE(out.ok());
   // One SQL SELECT (COUNT pushed down), zero rows materialized client-side.
-  EXPECT_EQ(db_.stats().selects.load(), 1u);
-  EXPECT_EQ(db_.stats().rows_returned.load(), 1u);
+  EXPECT_EQ(db_.stats().Snapshot().selects, 1u);
+  EXPECT_EQ(db_.stats().Snapshot().rows_returned, 1u);
 }
 
 TEST_F(LinkBenchSystemsTest, Db2GraphDiskIsSmallerThanBaselines) {

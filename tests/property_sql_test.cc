@@ -184,7 +184,7 @@ TEST_P(TransactionAtomicityTest, RollbackRestoresExactState) {
   auto rs = db.Execute("SELECT v FROM T WHERE id = 25");
   ASSERT_TRUE(rs.ok());
   ASSERT_EQ(rs->rows.size(), 1u);
-  EXPECT_GE(db.stats().index_probes.load(), 1u);
+  EXPECT_GE(db.stats().Snapshot().index_probes, 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransactionAtomicityTest,

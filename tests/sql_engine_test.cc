@@ -72,23 +72,23 @@ TEST_F(SqlEngineTest, WhereEqualityFilters) {
 TEST_F(SqlEngineTest, WhereUsesPrimaryKeyIndex) {
   db_.stats().Reset();
   Query("SELECT name FROM Patient WHERE patientID = 2");
-  EXPECT_GE(db_.stats().index_probes.load(), 1u);
-  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+  EXPECT_GE(db_.stats().Snapshot().index_probes, 1u);
+  EXPECT_EQ(db_.stats().Snapshot().full_scans, 0u);
 }
 
 TEST_F(SqlEngineTest, InListProbesIndexPerValue) {
   db_.stats().Reset();
   ResultSet rs = Query("SELECT name FROM Patient WHERE patientID IN (1, 3)");
   EXPECT_EQ(rs.rows.size(), 2u);
-  EXPECT_GE(db_.stats().index_probes.load(), 2u);
-  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+  EXPECT_GE(db_.stats().Snapshot().index_probes, 2u);
+  EXPECT_EQ(db_.stats().Snapshot().full_scans, 0u);
 }
 
 TEST_F(SqlEngineTest, NonIndexedPredicateFallsBackToScan) {
   db_.stats().Reset();
   ResultSet rs = Query("SELECT * FROM Patient WHERE name = 'Alice'");
   EXPECT_EQ(rs.rows.size(), 1u);
-  EXPECT_GE(db_.stats().full_scans.load(), 1u);
+  EXPECT_GE(db_.stats().Snapshot().full_scans, 1u);
 }
 
 TEST_F(SqlEngineTest, SecondaryIndexIsUsedAfterCreation) {
@@ -97,8 +97,8 @@ TEST_F(SqlEngineTest, SecondaryIndexIsUsedAfterCreation) {
   db_.stats().Reset();
   ResultSet rs = Query("SELECT * FROM Patient WHERE name = 'Alice'");
   EXPECT_EQ(rs.rows.size(), 1u);
-  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
-  EXPECT_GE(db_.stats().index_probes.load(), 1u);
+  EXPECT_EQ(db_.stats().Snapshot().full_scans, 0u);
+  EXPECT_GE(db_.stats().Snapshot().index_probes, 1u);
 }
 
 TEST_F(SqlEngineTest, JoinOnForeignKey) {
@@ -349,7 +349,7 @@ TEST_F(SqlEngineTest, RollbackRestoresIndexConsistency) {
   ResultSet rs = Query("SELECT name FROM Patient WHERE patientID = 2");
   ASSERT_EQ(rs.rows.size(), 1u);
   EXPECT_EQ(rs.rows[0][0], Value("Bob"));
-  EXPECT_GE(db_.stats().index_probes.load(), 1u);  // found via restored index
+  EXPECT_GE(db_.stats().Snapshot().index_probes, 1u);  // found via restored index
 }
 
 TEST_F(SqlEngineTest, BetweenPredicate) {

@@ -44,8 +44,8 @@ TEST_F(SqlExtendedTest, RangePredicateUsesOrderedIndex) {
   db_.stats().Reset();
   ResultSet rs =
       Query("SELECT COUNT(*) FROM Measurements WHERE reading > 90");
-  EXPECT_GE(db_.stats().range_scans.load(), 1u);
-  EXPECT_EQ(db_.stats().full_scans.load(), 0u);
+  EXPECT_GE(db_.stats().Snapshot().range_scans, 1u);
+  EXPECT_EQ(db_.stats().Snapshot().full_scans, 0u);
   // Reference: full scan on an unindexed predicate path gives the same.
   ResultSet ref =
       Query("SELECT COUNT(*) FROM Measurements WHERE reading + 0 > 90");
@@ -56,7 +56,7 @@ TEST_F(SqlExtendedTest, BetweenUsesBothBounds) {
   db_.stats().Reset();
   ResultSet rs = Query(
       "SELECT COUNT(*) FROM Measurements WHERE reading BETWEEN 10 AND 20");
-  EXPECT_GE(db_.stats().range_scans.load(), 1u);
+  EXPECT_GE(db_.stats().Snapshot().range_scans, 1u);
   ResultSet ref = Query(
       "SELECT COUNT(*) FROM Measurements WHERE reading + 0 >= 10 AND "
       "reading + 0 <= 20");
@@ -69,7 +69,7 @@ TEST_F(SqlExtendedTest, RangeScanSurvivesDeletesAndUpdates) {
   db_.stats().Reset();
   ResultSet rs =
       Query("SELECT COUNT(*) FROM Measurements WHERE reading >= 99");
-  EXPECT_GE(db_.stats().range_scans.load(), 1u);
+  EXPECT_GE(db_.stats().Snapshot().range_scans, 1u);
   EXPECT_EQ(rs.rows[0][0], Value(int64_t{1}));
 }
 
