@@ -24,6 +24,16 @@ void QueryTrace::SetScript(std::string script) {
   script_ = std::move(script);
 }
 
+void QueryTrace::SetPlanSource(std::string source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_source_ = std::move(source);
+}
+
+std::string QueryTrace::plan_source() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_source_;
+}
+
 StepTraceSpan* QueryTrace::InnermostOpenLocked() {
   if (open_.empty()) return nullptr;
   return &spans_[open_.back()];
@@ -131,6 +141,7 @@ std::string QueryTrace::RenderText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   if (!script_.empty()) out += "query: " + script_ + "\n";
+  if (!plan_source_.empty()) out += "plan: " + plan_source_ + "\n";
   if (!rewrites_.empty()) {
     out += "strategies:\n";
     for (const StrategyRewrite& r : rewrites_) {
@@ -192,6 +203,7 @@ Json QueryTrace::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Json out = Json::Object();
   out.Set("script", Json::Str(script_));
+  if (!plan_source_.empty()) out.Set("plan", Json::Str(plan_source_));
   out.Set("total_micros", Json::Number(static_cast<double>(total_micros_)));
   Json strategies = Json::Array();
   for (const StrategyRewrite& r : rewrites_) {

@@ -92,6 +92,12 @@ class QueryTrace {
   void SetScript(std::string script);
   const std::string& script() const { return script_; }
 
+  /// Where the executed plan came from: "cached" (plan-cache hit) or
+  /// "compiled" (parsed + optimized for this execution). Rendered as the
+  /// `plan:` line of RenderText() and the "plan" field of ToJson().
+  void SetPlanSource(std::string source);
+  std::string plan_source() const;
+
   /// Opens a step span (interpreter thread only); returns its id for
   /// EndStep. Spans nest: records arriving from lower layers attach to the
   /// most recently opened, still-open span.
@@ -132,6 +138,7 @@ class QueryTrace {
   TraceClock* clock_;
   mutable std::mutex mutex_;
   std::string script_;
+  std::string plan_source_;
   uint64_t total_micros_ = 0;
   std::vector<StrategyRewrite> rewrites_;
   std::deque<StepTraceSpan> spans_;       // deque: stable element addresses

@@ -6,6 +6,7 @@
 
 namespace db2graph::core {
 
+using gremlin::Environment;
 using gremlin::Script;
 using gremlin::StepKind;
 using gremlin::Traverser;
@@ -20,6 +21,16 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
   graph->dialect_ = std::make_unique<SqlDialect>(db);
   graph->provider_ = std::make_unique<Db2GraphProvider>(
       graph->dialect_.get(), std::move(*topology), options.runtime);
+  graph->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_entries);
+  // Strategy toggles change what a script compiles to, so they join the
+  // cache key (the cache is per-graph, but Options could someday be
+  // per-execution; cheap insurance).
+  const StrategyOptions& s = options.strategies;
+  graph->plan_key_prefix_ =
+      std::string("s") + (s.predicate_pushdown ? '1' : '0') +
+      (s.projection_pushdown ? '1' : '0') +
+      (s.aggregate_pushdown ? '1' : '0') +
+      (s.graphstep_vertexstep_mutation ? '1' : '0') + '\x01';
   return graph;
 }
 
@@ -38,71 +49,235 @@ Result<Script> Db2Graph::Compile(const std::string& script_text) const {
   return script;
 }
 
-Result<std::vector<Traverser>> Db2Graph::Execute(
-    const std::string& script_text) {
-  return Run(script_text, nullptr);
-}
-
-Result<std::vector<Traverser>> Db2Graph::Run(const std::string& script_text,
-                                             gremlin::Environment* env) {
+Result<std::shared_ptr<const CompiledPlan>> Db2Graph::GetOrCompile(
+    const std::string& script_text, bool use_cache, bool* was_cached) {
+  // The catalog version is read before compiling: DDL racing the compile
+  // makes the plan stale (conservatively), never silently current.
+  uint64_t ddl_version = db_->ddl_version();
+  const std::string key = plan_key_prefix_ + script_text;
+  if (use_cache) {
+    if (std::shared_ptr<const CompiledPlan> hit =
+            plan_cache_->Lookup(key, ddl_version)) {
+      *was_cached = true;
+      return hit;
+    }
+  }
+  *was_cached = false;
   Result<Script> script = gremlin::ParseGremlin(script_text);
   if (!script.ok()) return script.status();
-  bool profile = false;
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->script_text = script_text;
+  plan->ddl_version = ddl_version;
   for (const gremlin::ScriptStatement& stmt : script->statements) {
-    profile |= stmt.terminal_profile;
+    plan->has_profile |= stmt.terminal_profile;
   }
-  int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
-  if (!profile && slow_ms <= 0) {
+  {
+    // Strategies run once, at compile time, inside a scratch trace so the
+    // rewrites they make are captured on the plan (traced executions
+    // replay them instead of re-running the passes).
+    QueryTrace compile_trace(trace_clock_);
+    ScopedTrace scoped(&compile_trace);
+    ApplyStrategies(&*script, options_.strategies);
+    plan->rewrites = compile_trace.Rewrites();
+  }
+  plan->script = std::move(*script);
+  plan->binds = CollectBindSlots(plan->script);
+  if (use_cache) plan_cache_->Insert(key, plan);
+  return std::shared_ptr<const CompiledPlan>(std::move(plan));
+}
+
+namespace {
+
+const std::vector<Value>* FindBinding(const ExecOptions& options,
+                                      const std::string& name) {
+  auto it = options.bindings.find(name);
+  if (it != options.bindings.end()) return &it->second;
+  if (options.session_env != nullptr) {
+    auto sit = options.session_env->find(name);
+    if (sit != options.session_env->end()) return &sit->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status Db2Graph::ValidateBindings(const CompiledPlan& plan,
+                                  const ExecOptions& options) const {
+  for (const CompiledPlan::BindSlot& slot : plan.binds) {
+    const std::vector<Value>* values = FindBinding(options, slot.name);
+    if (values == nullptr) {
+      return Status::NotFound("Gremlin: unbound variable '" + slot.name +
+                              "'");
+    }
+    if (slot.use == CompiledPlan::BindSlot::Use::kId) {
+      for (const Value& v : *values) {
+        if (!v.is_int() && !v.is_string()) {
+          return Status::InvalidArgument(
+              "Gremlin: bind variable '" + slot.name + "' has type " +
+              ValueTypeName(v.type()) +
+              " where an element id (BIGINT or VARCHAR) is required");
+        }
+      }
+    } else {
+      const bool scalar_op =
+          slot.op != gremlin::PropPredicate::Op::kWithin &&
+          slot.op != gremlin::PropPredicate::Op::kWithout;
+      if (scalar_op && values->size() != 1) {
+        return Status::InvalidArgument(
+            "Gremlin: bind variable '" + slot.name + "' supplies " +
+            std::to_string(values->size()) +
+            " values; a scalar comparison needs exactly one");
+      }
+      for (const Value& v : *values) {
+        if (v.is_null()) {
+          return Status::InvalidArgument("Gremlin: bind variable '" +
+                                         slot.name +
+                                         "' is NULL; predicates need a "
+                                         "comparable value");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
+    std::shared_ptr<const CompiledPlan> plan, const ExecOptions& options,
+    bool plan_cached) {
+  // A PreparedQuery outliving DDL recompiles transparently — the same
+  // staleness rule the cache itself enforces.
+  if (plan->ddl_version != db_->ddl_version()) {
+    Result<std::shared_ptr<const CompiledPlan>> fresh =
+        GetOrCompile(plan->script_text, options.use_plan_cache, &plan_cached);
+    if (!fresh.ok()) return fresh.status();
+    plan = std::move(*fresh);
+  }
+  DB2G_RETURN_NOT_OK(ValidateBindings(*plan, options));
+
+  // Bindings land in the session environment when one is given (they
+  // persist like assignments); otherwise they seed a per-execution one.
+  Environment local_env;
+  Environment* env = options.session_env;
+  if (env != nullptr) {
+    for (const auto& [name, values] : options.bindings) {
+      (*env)[name] = values;
+    }
+  } else {
+    local_env = options.bindings;
+    env = &local_env;
+  }
+
+  gremlin::Interpreter interpreter(provider_.get());
+  const int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
+  const bool traced =
+      options.trace != nullptr || plan->has_profile || slow_ms > 0;
+  if (!traced) {
     // Untraced hot path: no QueryTrace exists, so every record site below
     // is a thread-local null check and nothing more.
-    ApplyStrategies(&*script, options_.strategies);
-    gremlin::Interpreter interpreter(provider_.get());
-    return interpreter.RunScript(*script, env);
+    return interpreter.RunScript(plan->script, env);
   }
-  QueryTrace trace(trace_clock_);
-  trace.SetScript(script_text);
-  uint64_t start = trace_clock_->NowMicros();
-  gremlin::Interpreter interpreter(provider_.get());
+
+  QueryTrace local_trace(trace_clock_);
+  QueryTrace* trace = options.trace != nullptr ? options.trace : &local_trace;
+  trace->SetScript(plan->script_text);
+  trace->SetPlanSource(plan_cached ? "cached" : "compiled");
+  // Strategies already ran at compile time; replay their rewrites so a
+  // cached plan's trace still explains how the plan came to be.
+  for (const StrategyRewrite& r : plan->rewrites) {
+    trace->AddRewrite(r.strategy, r.before, r.after);
+  }
+  uint64_t start = trace->clock()->NowMicros();
   Result<std::vector<Traverser>> out =
       [&]() -> Result<std::vector<Traverser>> {
-    ScopedTrace scoped(&trace);
-    // Strategies run inside the trace so each rewrite is recorded.
-    ApplyStrategies(&*script, options_.strategies);
-    return interpreter.RunScript(*script, env);
+    ScopedTrace scoped(trace);
+    return interpreter.RunScript(plan->script, env);
   }();
-  uint64_t elapsed = trace_clock_->NowMicros() - start;
-  trace.Finish(elapsed);
+  uint64_t elapsed = trace->clock()->NowMicros() - start;
+  trace->Finish(elapsed);
   if (slow_ms > 0 && elapsed >= static_cast<uint64_t>(slow_ms) * 1000) {
     SlowQueryLog::Entry entry;
-    entry.script = script_text;
+    entry.script = plan->script_text;
     entry.elapsed_micros = elapsed;
-    entry.trace_json = trace.ToJson().Dump(2);
+    entry.trace_json = trace->ToJson().Dump(2);
     SlowQueryLog::Global().Record(std::move(entry));
   }
   if (!out.ok()) return out.status();
-  if (profile) {
+  if (plan->has_profile) {
     std::vector<Traverser> result;
-    result.push_back(Traverser::OfValue(Value(trace.ToJson().Dump(2))));
+    result.push_back(Traverser::OfValue(Value(trace->ToJson().Dump(2))));
     return result;
   }
   return out;
 }
 
+Result<std::vector<Traverser>> Db2Graph::Execute(
+    const std::string& script_text, const ExecOptions& options) {
+  bool was_cached = false;
+  Result<std::shared_ptr<const CompiledPlan>> plan =
+      GetOrCompile(script_text, options.use_plan_cache, &was_cached);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(std::move(*plan), options, was_cached);
+}
+
+Result<std::vector<Traverser>> Db2Graph::Execute(
+    const std::string& script_text) {
+  return Execute(script_text, ExecOptions{});
+}
+
+Result<PreparedQuery> Db2Graph::Prepare(const std::string& script_text) {
+  bool was_cached = false;
+  Result<std::shared_ptr<const CompiledPlan>> plan =
+      GetOrCompile(script_text, /*use_cache=*/true, &was_cached);
+  if (!plan.ok()) return plan.status();
+  return PreparedQuery(this, std::move(*plan));
+}
+
+Result<std::vector<Traverser>> Db2Graph::Run(const std::string& script_text,
+                                             gremlin::Environment* env) {
+  ExecOptions options;
+  options.session_env = env;
+  return Execute(script_text, options);
+}
+
 Result<std::vector<Traverser>> Db2Graph::ExecuteTraced(
     const std::string& script_text, QueryTrace* trace) {
-  Result<Script> script = gremlin::ParseGremlin(script_text);
-  if (!script.ok()) return script.status();
-  trace->SetScript(script_text);
-  uint64_t start = trace->clock()->NowMicros();
+  ExecOptions options;
+  options.trace = trace;
+  return Execute(script_text, options);
+}
+
+Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {
   gremlin::Interpreter interpreter(provider_.get());
-  Result<std::vector<Traverser>> out =
-      [&]() -> Result<std::vector<Traverser>> {
-    ScopedTrace scoped(trace);
-    ApplyStrategies(&*script, options_.strategies);
-    return interpreter.RunScript(*script);
-  }();
-  trace->Finish(trace->clock()->NowMicros() - start);
-  return out;
+  return interpreter.RunScript(script);
+}
+
+Result<std::vector<Traverser>> PreparedQuery::Execute(
+    const gremlin::Environment& bindings) const {
+  ExecOptions options;
+  options.bindings = bindings;
+  return Execute(options);
+}
+
+Result<std::vector<Traverser>> PreparedQuery::Execute(
+    const ExecOptions& options) const {
+  if (graph_ == nullptr || plan_ == nullptr) {
+    return Status::InvalidArgument("PreparedQuery: not prepared");
+  }
+  return graph_->ExecutePlan(plan_, options, /*plan_cached=*/true);
+}
+
+std::vector<std::string> PreparedQuery::unbound_variables() const {
+  std::vector<std::string> names;
+  if (plan_ == nullptr) return names;
+  for (const CompiledPlan::BindSlot& slot : plan_->binds) {
+    names.push_back(slot.name);
+  }
+  return names;
+}
+
+bool PreparedQuery::IsStale() const {
+  return graph_ != nullptr && plan_ != nullptr &&
+         plan_->ddl_version != graph_->db_->ddl_version();
 }
 
 namespace {
@@ -192,14 +367,19 @@ Status ExplainSteps(const Db2GraphProvider* provider,
 
 Result<Db2Graph::ExplainResult> Db2Graph::Explain(
     const std::string& script_text) {
-  Result<Script> script = gremlin::ParseGremlin(script_text);
-  if (!script.ok()) return script.status();
+  bool was_cached = false;
+  Result<std::shared_ptr<const CompiledPlan>> plan =
+      GetOrCompile(script_text, /*use_cache=*/true, &was_cached);
+  if (!plan.ok()) return plan.status();
   QueryTrace trace(trace_clock_);
   trace.SetScript(script_text);
+  trace.SetPlanSource(was_cached ? "cached" : "compiled");
+  for (const StrategyRewrite& r : (*plan)->rewrites) {
+    trace.AddRewrite(r.strategy, r.before, r.after);
+  }
   {
     ScopedTrace scoped(&trace);
-    ApplyStrategies(&*script, options_.strategies);
-    for (const gremlin::ScriptStatement& stmt : script->statements) {
+    for (const gremlin::ScriptStatement& stmt : (*plan)->script.statements) {
       DB2G_RETURN_NOT_OK(
           ExplainSteps(provider_.get(), stmt.traversal.steps, &trace));
     }
@@ -208,11 +388,6 @@ Result<Db2Graph::ExplainResult> Db2Graph::Explain(
   result.text = trace.RenderText();
   result.json = trace.ToJson();
   return result;
-}
-
-Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {
-  gremlin::Interpreter interpreter(provider_.get());
-  return interpreter.RunScript(script);
 }
 
 Status Db2Graph::RegisterGraphQueryFunction() {
@@ -228,13 +403,19 @@ Status Db2Graph::RegisterGraphQueryFunction() {
         if (!EqualsIgnoreCase(args[0].as_string(), "gremlin")) {
           return Status::Unsupported("graphQuery language must be 'gremlin'");
         }
-        Result<Script> script = self->Compile(args[1].as_string());
-        if (!script.ok()) return script.status();
+        // Compile through the plan cache: a graphQuery embedded in a
+        // repeatedly-executed SQL statement parses its script once.
+        bool was_cached = false;
+        Result<std::shared_ptr<const CompiledPlan>> plan =
+            self->GetOrCompile(args[1].as_string(), /*use_cache=*/true,
+                               &was_cached);
+        if (!plan.ok()) return plan.status();
+        const Script& script = (*plan)->script;
         // Row arity: a trailing values(k1..kn) yields n columns; anything
         // else yields single-column rows (element ids / scalar values).
         size_t arity = 1;
-        if (!script->statements.empty()) {
-          const auto& steps = script->statements.back().traversal.steps;
+        if (!script.statements.empty()) {
+          const auto& steps = script.statements.back().traversal.steps;
           for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
             if (it->kind == StepKind::kValues && !it->keys.empty()) {
               arity = it->keys.size();
@@ -249,7 +430,11 @@ Status Db2Graph::RegisterGraphQueryFunction() {
             }
           }
         }
-        Result<std::vector<Traverser>> out = self->ExecuteScript(*script);
+        // Run the plan directly (not ExecutePlan): a graphQuery inside a
+        // traced outer query must keep recording into the caller's
+        // thread-local trace, not open one of its own.
+        gremlin::Interpreter interpreter(self->provider());
+        Result<std::vector<Traverser>> out = interpreter.RunScript(script);
         if (!out.ok()) return out.status();
         Result<std::vector<Row>> rows =
             gremlin::TraversersToRows(*out, arity);
@@ -288,11 +473,15 @@ Result<Db2Graph*> AutoGraph::Get() {
   return graph_.get();
 }
 
+Result<std::vector<Traverser>> AutoGraph::Execute(const std::string& script) {
+  return Execute(script, ExecOptions{});
+}
+
 Result<std::vector<Traverser>> AutoGraph::Execute(
-    const std::string& script) {
+    const std::string& script, const ExecOptions& options) {
   Result<Db2Graph*> graph = Get();
   if (!graph.ok()) return graph.status();
-  return (*graph)->Execute(script);
+  return (*graph)->Execute(script, options);
 }
 
 }  // namespace db2graph::core

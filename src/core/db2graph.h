@@ -5,6 +5,13 @@
 // queries, and executes them through the Graph Structure module. Also
 // registers the graphQuery polymorphic table function so graph queries
 // can be embedded inside SQL (paper Section 4).
+//
+// Execution API: one core entry point, Execute(script, ExecOptions),
+// carrying bind variables, the session environment, and trace settings.
+// Every path — text, PreparedQuery, GremlinService, AutoGraph, graphQuery
+// — funnels through the same compiled-plan cache, so repeated query
+// shapes parse and optimize once (Gremlin Server's parameterized-script
+// compilation cache, brought inside the RDBMS).
 
 #ifndef DB2GRAPH_CORE_DB2GRAPH_H_
 #define DB2GRAPH_CORE_DB2GRAPH_H_
@@ -15,6 +22,7 @@
 
 #include "common/trace.h"
 #include "core/graph_structure.h"
+#include "core/plan_cache.h"
 #include "core/sql_dialect.h"
 #include "core/strategies.h"
 #include "gremlin/interpreter.h"
@@ -23,6 +31,59 @@
 #include "sql/database.h"
 
 namespace db2graph::core {
+
+class Db2Graph;
+
+/// Everything one execution can carry beyond the script itself.
+struct ExecOptions {
+  /// Bind-variable values for the script's placeholders (g.V(vid) with
+  /// bindings {"vid": [5]}). With a session environment, bindings are
+  /// installed into it (and persist like assignments); otherwise they
+  /// seed a per-execution environment.
+  gremlin::Environment bindings;
+  /// Session-scoped variables shared across calls (the GremlinService
+  /// session path); assignments in the script persist into it. The caller
+  /// must serialize access — one execution per environment at a time.
+  gremlin::Environment* session_env = nullptr;
+  /// When set, the execution runs traced and spans/rewrites/SQL records
+  /// land here (Finish() is stamped). Otherwise tracing is decided by the
+  /// script (.profile() terminal) and the slow-query threshold.
+  QueryTrace* trace = nullptr;
+  /// Consult/fill the compiled-plan cache. Disabled by benchmarks to
+  /// measure the re-parsing text path.
+  bool use_plan_cache = true;
+};
+
+/// A handle to a compiled plan, cheap to copy and safe to execute from
+/// many threads at once. The plan is immutable; if DDL runs after
+/// Prepare(), Execute() transparently recompiles through the cache (same
+/// staleness rule as Db2Graph::OverlayMayBeStale).
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  /// Executes with per-call bind-variable values.
+  Result<std::vector<gremlin::Traverser>> Execute(
+      const gremlin::Environment& bindings = {}) const;
+  /// Full-control execution (trace, session environment, ...).
+  Result<std::vector<gremlin::Traverser>> Execute(
+      const ExecOptions& options) const;
+
+  const std::string& script_text() const { return plan_->script_text; }
+  /// Names of the bind placeholders executions must supply.
+  std::vector<std::string> unbound_variables() const;
+  /// True when DDL ran after this plan was compiled (the next Execute()
+  /// recompiles transparently).
+  bool IsStale() const;
+
+ private:
+  friend class Db2Graph;
+  PreparedQuery(Db2Graph* graph, std::shared_ptr<const CompiledPlan> plan)
+      : graph_(graph), plan_(std::move(plan)) {}
+
+  Db2Graph* graph_ = nullptr;
+  std::shared_ptr<const CompiledPlan> plan_;
+};
 
 /// A property graph opened over relational tables. Thread-safe for
 /// concurrent Execute() calls (mirroring Gremlin Server handling many
@@ -34,47 +95,64 @@ class Db2Graph {
     StrategyOptions strategies;
     /// The Section 6.3 data-dependent runtime optimizations.
     RuntimeOptions runtime;
+    /// Compiled-plan cache sizing (entries across all shards).
+    size_t plan_cache_entries;
+    // Member-init-list constructor rather than a default member
+    // initializer: an NSDMI here would break the in-class `= Options()`
+    // default arguments of Open() (GCC PR88165).
+    Options() : plan_cache_entries(1024) {}
   };
 
   /// Opens the graph: resolves the overlay against the catalog (this is
   /// the seconds-scale "Open Graph" step of Table 3 — no data is copied).
   static Result<std::unique_ptr<Db2Graph>> Open(
       sql::Database* db, const overlay::OverlayConfig& config,
-      Options options = {});
+      Options options = Options());
 
   /// Same, with the configuration given as JSON text.
-  static Result<std::unique_ptr<Db2Graph>> Open(sql::Database* db,
-                                                const std::string& config_json,
-                                                Options options = {});
+  static Result<std::unique_ptr<Db2Graph>> Open(
+      sql::Database* db, const std::string& config_json,
+      Options options = Options());
 
-  /// Compiles (parse + strategy mutation) and runs a Gremlin script.
+  /// THE execution entry point: compiles `script` (through the plan
+  /// cache), validates and applies bindings, and runs it. A .profile()
+  /// terminal, an options.trace, or a nonzero slow-query threshold runs
+  /// the query traced; profile() replaces the result with one traverser
+  /// holding the trace rendered as JSON text.
+  Result<std::vector<gremlin::Traverser>> Execute(const std::string& script,
+                                                  const ExecOptions& options);
+
+  /// Convenience: Execute(script, {}).
   Result<std::vector<gremlin::Traverser>> Execute(const std::string& script);
 
-  /// Execute() with script-variable bindings shared across calls (the
-  /// session path GremlinService routes through). Also the tracing entry
-  /// point: a trailing .profile() terminal, or a nonzero slow-query
-  /// threshold, runs the query traced. profile() replaces the result with
-  /// one traverser holding the trace rendered as JSON text.
+  /// Compiles `script` once (through the plan cache) and returns a
+  /// shareable handle for repeated execution with different bindings.
+  Result<PreparedQuery> Prepare(const std::string& script);
+
+  /// Deprecated: use Execute(script, {.session_env = env}).
+  [[deprecated("use Execute(script, ExecOptions)")]]
   Result<std::vector<gremlin::Traverser>> Run(const std::string& script,
                                               gremlin::Environment* env);
 
-  /// Compiles and runs `script` with `trace` installed for its duration
-  /// (spans, rewrites, SQL records land in it; Finish() is stamped).
+  /// Deprecated: use Execute(script, {.trace = trace}).
+  [[deprecated("use Execute(script, ExecOptions)")]]
   Result<std::vector<gremlin::Traverser>> ExecuteTraced(
       const std::string& script, QueryTrace* trace);
 
-  /// Runs an already-parsed script (strategies applied to a copy).
+  /// Deprecated: prefer Prepare()/Execute(); runs an already-parsed
+  /// script with strategies applied to a copy.
+  [[deprecated("use Prepare()/Execute(script, ExecOptions)")]]
   Result<std::vector<gremlin::Traverser>> ExecuteScript(
       const gremlin::Script& script);
 
   /// Compiles a script without executing (plan inspection / tests).
   Result<gremlin::Script> Compile(const std::string& script) const;
 
-  /// Compile-time EXPLAIN: parses, applies strategies (recording each
-  /// rewrite), then walks the plan previewing the SQL every
-  /// Graph-Structure-Accessing step would generate — which tables prune,
-  /// the predicted access path, and the table-cardinality row estimate.
-  /// No data is read.
+  /// Compile-time EXPLAIN: compiles through the plan cache (recording
+  /// whether the plan was cached), then walks the plan previewing the SQL
+  /// every Graph-Structure-Accessing step would generate — which tables
+  /// prune, the predicted access path, and the table-cardinality row
+  /// estimate. No data is read.
   struct ExplainResult {
     std::string text;  // human-readable rendering
     Json json;         // machine-readable rendering
@@ -101,10 +179,29 @@ class Db2Graph {
   SqlDialect* dialect() { return dialect_.get(); }
   sql::Database* db() { return db_; }
   const Options& options() const { return options_; }
+  PlanCache* plan_cache() { return plan_cache_.get(); }
 
  private:
+  friend class PreparedQuery;
+
   Db2Graph(sql::Database* db, Options options)
       : db_(db), options_(options) {}
+
+  /// Plan-cache lookup (keyed on options fingerprint + script text,
+  /// ddl-version checked) or compile-and-insert. `was_cached` reports
+  /// which happened.
+  Result<std::shared_ptr<const CompiledPlan>> GetOrCompile(
+      const std::string& script_text, bool use_cache, bool* was_cached);
+
+  /// The execution core every public path funnels into.
+  Result<std::vector<gremlin::Traverser>> ExecutePlan(
+      std::shared_ptr<const CompiledPlan> plan, const ExecOptions& options,
+      bool plan_cached);
+
+  /// Bind validation: every slot supplied (NotFound otherwise) with a
+  /// usable type/shape (InvalidArgument otherwise).
+  Status ValidateBindings(const CompiledPlan& plan,
+                          const ExecOptions& options) const;
 
   sql::Database* db_;
   Options options_;
@@ -112,6 +209,9 @@ class Db2Graph {
   TraceClock* trace_clock_ = TraceClock::Default();
   std::unique_ptr<SqlDialect> dialect_;
   std::unique_ptr<Db2GraphProvider> provider_;
+  std::unique_ptr<PlanCache> plan_cache_;
+  /// Options part of the cache key (strategy toggles change the plan).
+  std::string plan_key_prefix_;
 };
 
 /// A self-refreshing AutoOverlay graph: the overlay is derived from the
@@ -120,13 +220,16 @@ class Db2Graph {
 class AutoGraph {
  public:
   static Result<AutoGraph> Open(sql::Database* db,
-                                Db2Graph::Options options = {});
+                                Db2Graph::Options options = Db2Graph::Options());
 
   /// The current graph, regenerating the overlay first when stale.
   Result<Db2Graph*> Get();
 
-  /// Convenience: refresh-if-needed, then execute.
+  /// Convenience: refresh-if-needed, then execute through the unified
+  /// path (profile(), the slow-query log, and the plan cache all apply).
   Result<std::vector<gremlin::Traverser>> Execute(const std::string& script);
+  Result<std::vector<gremlin::Traverser>> Execute(const std::string& script,
+                                                  const ExecOptions& options);
 
  private:
   AutoGraph(sql::Database* db, Db2Graph::Options options)

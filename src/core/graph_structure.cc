@@ -92,6 +92,54 @@ std::string BuildSql(const std::string& table, const std::string& select,
   return sql;
 }
 
+// Extracts the parameter values of `conds` in exactly the order
+// BuildSql/RenderCond would push them (NOTNULL contributes none, IN all of
+// its values, a scalar comparison its first) — so a cached SQL skeleton
+// can execute with fresh values and no string assembly.
+void CollectParams(const QueryConds& conds, std::vector<Value>* params) {
+  auto one = [params](const SqlCond& cond) {
+    if (cond.op == "NOTNULL") return;
+    if (cond.op == "IN") {
+      for (const Value& v : cond.params) params->push_back(v);
+      return;
+    }
+    params->push_back(cond.params[0]);
+  };
+  for (const SqlCond& cond : conds.conjuncts) one(cond);
+  for (const auto& group : conds.or_groups) {
+    for (const auto& conjunction : group) {
+      for (const SqlCond& cond : conjunction) one(cond);
+    }
+  }
+}
+
+// A key that uniquely determines the SQL text BuildSql would produce:
+// table, select list, and the structure (columns, operators, IN arities)
+// of the conditions — everything except the parameter values.
+std::string ShapeKey(const std::string& table, const std::string& select,
+                     const QueryConds& conds) {
+  std::string key = table + "\x01" + select;
+  auto one = [&key](const SqlCond& cond) {
+    key += "\x04";
+    key += cond.column;
+    key += "\x05";
+    key += cond.op;
+    if (cond.op == "IN") key += std::to_string(cond.params.size());
+  };
+  for (const SqlCond& cond : conds.conjuncts) {
+    key += "\x02";
+    one(cond);
+  }
+  for (const auto& group : conds.or_groups) {
+    key += "\x03";
+    for (const auto& conjunction : group) {
+      key += "\x02";
+      for (const SqlCond& cond : conjunction) one(cond);
+    }
+  }
+  return key;
+}
+
 const char* SqlOpFor(PropPredicate::Op op) {
   switch (op) {
     case PropPredicate::Op::kEq:
@@ -575,12 +623,18 @@ Status FetchVertexTable(SqlDialect* dialect, const ResolvedVertexTable& t,
   }
   FetchLayout layout = MakeLayout(schema, std::move(cols));
 
-  std::vector<Value> params;
   QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
-  std::string sql = BuildSql(t.conf.table_name, SelectListFor(schema, layout),
-                             conds, &params);
+  std::string select = SelectListFor(schema, layout);
+  std::vector<Value> params;
+  CollectParams(conds, &params);
   dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
-  Result<sql::ResultSet> rs = dialect->Query(sql, params);
+  Result<sql::ResultSet> rs = dialect->QueryShaped(
+      ShapeKey(t.conf.table_name, select, conds),
+      [&] {
+        std::vector<Value> ignored;
+        return BuildSql(t.conf.table_name, select, conds, &ignored);
+      },
+      params);
   if (!rs.ok()) return rs.status();
 
   for (Row& row : rs->rows) {
@@ -732,11 +786,16 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
     const ResolvedVertexTable& t =
         topology_.vertex_tables()[jobs[j].table_index];
     std::vector<Value> params;
-    std::string sql =
-        BuildSql(t.conf.table_name, jobs[j].select, jobs[j].plan.conds,
-                 &params);
+    CollectParams(jobs[j].plan.conds, &params);
     dialect_->RecordPattern(t.conf.table_name, jobs[j].plan.predicate_columns);
-    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    Result<sql::ResultSet> rs = dialect_->QueryShaped(
+        ShapeKey(t.conf.table_name, jobs[j].select, jobs[j].plan.conds),
+        [&] {
+          std::vector<Value> ignored;
+          return BuildSql(t.conf.table_name, jobs[j].select,
+                          jobs[j].plan.conds, &ignored);
+        },
+        params);
     if (!rs.ok()) {
       partials[j].status = rs.status();
       return;
@@ -1044,12 +1103,18 @@ Status FetchEdgeTable(SqlDialect* dialect, const ResolvedEdgeTable& t,
   }
   FetchLayout layout = MakeLayout(schema, std::move(cols));
 
-  std::vector<Value> params;
   QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
-  std::string sql = BuildSql(t.conf.table_name, SelectListFor(schema, layout),
-                             conds, &params);
+  std::string select = SelectListFor(schema, layout);
+  std::vector<Value> params;
+  CollectParams(conds, &params);
   dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
-  Result<sql::ResultSet> rs = dialect->Query(sql, params);
+  Result<sql::ResultSet> rs = dialect->QueryShaped(
+      ShapeKey(t.conf.table_name, select, conds),
+      [&] {
+        std::vector<Value> ignored;
+        return BuildSql(t.conf.table_name, select, conds, &ignored);
+      },
+      params);
   if (!rs.ok()) return rs.status();
 
   for (Row& row : rs->rows) {
@@ -1213,11 +1278,16 @@ Result<Value> Db2GraphProvider::AggregateEdgesOnTables(
   ExecuteJobs(jobs.size(), [&](size_t j) {
     const ResolvedEdgeTable& t = topology_.edge_tables()[jobs[j].table_index];
     std::vector<Value> params;
-    std::string sql =
-        BuildSql(t.conf.table_name, jobs[j].select, jobs[j].plan.conds,
-                 &params);
+    CollectParams(jobs[j].plan.conds, &params);
     dialect_->RecordPattern(t.conf.table_name, jobs[j].plan.predicate_columns);
-    Result<sql::ResultSet> rs = dialect_->Query(sql, params);
+    Result<sql::ResultSet> rs = dialect_->QueryShaped(
+        ShapeKey(t.conf.table_name, jobs[j].select, jobs[j].plan.conds),
+        [&] {
+          std::vector<Value> ignored;
+          return BuildSql(t.conf.table_name, jobs[j].select,
+                          jobs[j].plan.conds, &ignored);
+        },
+        params);
     if (!rs.ok()) {
       partials[j].status = rs.status();
       return;

@@ -20,6 +20,14 @@ GremlinService::GremlinService(Db2Graph* graph, int workers)
 
 GremlinService::~GremlinService() { Shutdown(); }
 
+void GremlinService::FailPendingLocked(Session* session) {
+  for (Request& r : session->pending) {
+    r.promise.set_value(Status::Unavailable("session closed"));
+  }
+  pending_count_ -= session->pending.size();
+  session->pending.clear();
+}
+
 void GremlinService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -29,18 +37,29 @@ void GremlinService::Shutdown() {
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
-  // Fail any requests still queued.
+  // The workers drained the queue (including promoted session requests)
+  // before exiting; fail anything that still made it in, then any session
+  // requests that never got their turn.
   for (Request& r : queue_) {
     r.promise.set_value(Status::Unavailable("service shut down"));
   }
   queue_.clear();
+  for (auto& [id, session] : sessions_) {
+    FailPendingLocked(session.get());
+  }
   queue_depth_gauge_->Set(0);
 }
 
 std::future<GremlinService::Response> GremlinService::Submit(
     std::string script) {
+  return Submit(std::move(script), gremlin::Environment{});
+}
+
+std::future<GremlinService::Response> GremlinService::Submit(
+    std::string script, gremlin::Environment bindings) {
   Request request;
   request.script = std::move(script);
+  request.bindings = std::move(bindings);
   std::future<Response> future = request.promise.get_future();
   requests_total_->fetch_add(1);
   {
@@ -50,7 +69,8 @@ std::future<GremlinService::Response> GremlinService::Submit(
       return future;
     }
     queue_.push_back(std::move(request));
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    queue_depth_gauge_->Set(
+        static_cast<int64_t>(queue_.size() + pending_count_));
   }
   cv_.notify_one();
   return future;
@@ -58,8 +78,16 @@ std::future<GremlinService::Response> GremlinService::Submit(
 
 std::future<GremlinService::Response> GremlinService::SubmitSession(
     const std::string& session_id, std::string script) {
+  return SubmitSession(session_id, std::move(script),
+                       gremlin::Environment{});
+}
+
+std::future<GremlinService::Response> GremlinService::SubmitSession(
+    const std::string& session_id, std::string script,
+    gremlin::Environment bindings) {
   Request request;
   request.script = std::move(script);
+  request.bindings = std::move(bindings);
   std::future<Response> future = request.promise.get_future();
   requests_total_->fetch_add(1);
   {
@@ -73,9 +101,18 @@ std::future<GremlinService::Response> GremlinService::SubmitSession(
       session = std::make_shared<Session>();
       sessions_opened_->fetch_add(1);
     }
-    request.session = session;
-    queue_.push_back(std::move(request));
-    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+    if (session->active) {
+      // The session already has a request queued or executing; park this
+      // one (session pointer stays null until promotion).
+      session->pending.push_back(std::move(request));
+      ++pending_count_;
+    } else {
+      session->active = true;
+      request.session = session;
+      queue_.push_back(std::move(request));
+    }
+    queue_depth_gauge_->Set(
+        static_cast<int64_t>(queue_.size() + pending_count_));
   }
   cv_.notify_one();
   return future;
@@ -83,7 +120,15 @@ std::future<GremlinService::Response> GremlinService::SubmitSession(
 
 void GremlinService::CloseSession(const std::string& session_id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  sessions_.erase(session_id);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  // An in-flight request keeps the Session object alive through its own
+  // shared_ptr and completes normally; its completion finds no pending
+  // work and simply deactivates the orphaned session.
+  FailPendingLocked(it->second.get());
+  sessions_.erase(it);
+  queue_depth_gauge_->Set(
+      static_cast<int64_t>(queue_.size() + pending_count_));
 }
 
 void GremlinService::WorkerLoop() {
@@ -98,21 +143,42 @@ void GremlinService::WorkerLoop() {
       }
       request = std::move(queue_.front());
       queue_.pop_front();
-      queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      queue_depth_gauge_->Set(
+          static_cast<int64_t>(queue_.size() + pending_count_));
     }
 
-    // Route through Db2Graph::Run so service requests pick up tracing
-    // (profile() terminals, the slow-query log) exactly like direct calls.
+    // Route through the unified Execute so service requests pick up the
+    // plan cache and tracing (profile() terminals, the slow-query log)
+    // exactly like direct calls. A sessioned request has exclusive use of
+    // its session's environment — the session admits one request at a
+    // time — so no lock is held during execution.
     uint64_t start = TraceClock::Default()->NowMicros();
-    Response response = Status::Internal("unset");
+    ExecOptions options;
+    options.bindings = std::move(request.bindings);
     if (request.session != nullptr) {
-      // Per-session serialization + persistent bindings.
-      std::lock_guard<std::mutex> session_lock(request.session->mutex);
-      response = graph_->Run(request.script, &request.session->env);
-    } else {
-      response = graph_->Run(request.script, nullptr);
+      options.session_env = &request.session->env;
     }
+    Response response = graph_->Execute(request.script, options);
     request_latency_->Observe(TraceClock::Default()->NowMicros() - start);
+
+    if (request.session != nullptr) {
+      // Promote the session's next pending request, if any.
+      std::lock_guard<std::mutex> lock(mutex_);
+      Session* session = request.session.get();
+      if (!session->pending.empty()) {
+        Request next = std::move(session->pending.front());
+        session->pending.pop_front();
+        --pending_count_;
+        next.session = request.session;
+        queue_.push_back(std::move(next));
+        queue_depth_gauge_->Set(
+            static_cast<int64_t>(queue_.size() + pending_count_));
+        cv_.notify_one();
+      } else {
+        session->active = false;
+      }
+    }
+
     // Count before fulfilling the promise: a client that synchronizes on
     // the future must observe its own request in completed().
     completed_.fetch_add(1, std::memory_order_release);

@@ -8,6 +8,17 @@
 // style *sessions* — a sessioned client keeps its script variables alive
 // across requests, a sessionless request runs with a fresh environment.
 //
+// Requests may carry bind-variable values (Gremlin Server's parameterized
+// scripts): the script text stays constant across requests, so it hits
+// the graph's compiled-plan cache, and the bindings supply the ids.
+//
+// Session serialization is queue-based, not lock-based: a session admits
+// one request into the worker queue at a time and parks the rest on the
+// session's pending queue; completion promotes the next. Workers
+// therefore never block holding a session lock — a slow session occupies
+// at most the one worker actually executing its request, instead of
+// pinning every worker that happened to pop one of its requests.
+//
 // Observability: the service keeps its queue depth in a registry gauge,
 // per-request latency in a registry histogram, and request/session counts
 // in registry counters (names below), so a process exporter sees them
@@ -56,17 +67,25 @@ class GremlinService {
   GremlinService& operator=(const GremlinService&) = delete;
 
   /// Submits a sessionless request: the script runs with an empty
-  /// variable environment. After Shutdown() the future fails immediately
-  /// with Status::Unavailable.
+  /// variable environment (plus `bindings`, when given). After Shutdown()
+  /// the future fails immediately with Status::Unavailable.
   std::future<Response> Submit(std::string script);
+  std::future<Response> Submit(std::string script,
+                               gremlin::Environment bindings);
 
   /// Submits within a session: the session's variable bindings persist
   /// across requests (created on first use). Requests of one session are
-  /// serialized in submission order, as Gremlin Server guarantees.
+  /// serialized in submission order, as Gremlin Server guarantees; bind
+  /// values are installed into the session environment before the script
+  /// runs.
   std::future<Response> SubmitSession(const std::string& session_id,
                                       std::string script);
+  std::future<Response> SubmitSession(const std::string& session_id,
+                                      std::string script,
+                                      gremlin::Environment bindings);
 
-  /// Drops a session and its bindings.
+  /// Drops a session and its bindings; requests of the session still
+  /// awaiting their turn fail with Status::Unavailable.
   void CloseSession(const std::string& session_id);
 
   /// Stops accepting requests, drains the workers, and fails anything
@@ -77,26 +96,38 @@ class GremlinService {
   /// Requests executed so far.
   uint64_t completed() const { return completed_.load(); }
 
-  /// Requests accepted but not yet picked up by a worker.
+  /// Requests accepted but not yet picked up by a worker (including
+  /// sessioned requests awaiting their turn).
   size_t queue_depth() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return queue_.size() + pending_count_;
   }
 
  private:
-  struct Session {
-    gremlin::Environment env;
-    // Serialization of requests within one session.
-    std::mutex mutex;
-  };
+  struct Session;
 
   struct Request {
     std::string script;
-    std::shared_ptr<Session> session;  // nullptr = sessionless
+    gremlin::Environment bindings;
+    /// Set when the request is admitted to the worker queue; null while
+    /// it waits on its session's pending queue (the session owns that
+    /// queue — a self-reference there would leak the session).
+    std::shared_ptr<Session> session;
     std::promise<Response> promise;
   };
 
+  struct Session {
+    gremlin::Environment env;
+    /// Requests awaiting their turn; the head is promoted into the worker
+    /// queue when the in-flight request completes.
+    std::deque<Request> pending;
+    /// A request of this session is queued or executing. While true, the
+    /// executing worker has exclusive use of `env` — no lock needed.
+    bool active = false;
+  };
+
   void WorkerLoop();
+  void FailPendingLocked(Session* session);
 
   Db2Graph* graph_;
   std::atomic<uint64_t> completed_{0};
@@ -108,6 +139,7 @@ class GremlinService {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Request> queue_;
+  size_t pending_count_ = 0;  // across all sessions
   bool stopping_ = false;
   std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
   std::vector<std::thread> workers_;

@@ -65,6 +65,29 @@ Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
   return result;
 }
 
+Result<sql::ResultSet> SqlDialect::QueryShaped(
+    const std::string& shape_key,
+    const std::function<std::string()>& build_sql,
+    const std::vector<Value>& params) {
+  std::string sql;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = skeletons_.find(shape_key);
+    if (it != skeletons_.end()) sql = it->second;
+  }
+  if (sql.empty()) {
+    skeleton_misses_.fetch_add(1, std::memory_order_relaxed);
+    registry_skeleton_misses_->fetch_add(1);
+    sql = build_sql();
+    std::lock_guard<std::mutex> lock(mutex_);
+    skeletons_.emplace(shape_key, sql);
+  } else {
+    skeleton_hits_.fetch_add(1, std::memory_order_relaxed);
+    registry_skeleton_hits_->fetch_add(1);
+  }
+  return Query(sql, params);
+}
+
 Result<sql::ResultSet> SqlDialect::QueryUntraced(
     const std::string& sql, const std::vector<Value>& params) {
   // Fast path: reuse a compiled template.

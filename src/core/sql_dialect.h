@@ -9,12 +9,14 @@
 #define DB2GRAPH_CORE_SQL_DIALECT_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sql/database.h"
 
 namespace db2graph::core {
@@ -28,9 +30,21 @@ class SqlDialect {
     uint64_t frequent_pattern_threshold = 16;
   };
 
+  /// Registry metric names for the SQL-skeleton cache.
+  static constexpr const char* kSkeletonHitsCounter =
+      "sql_dialect.skeleton_hits";
+  static constexpr const char* kSkeletonMissesCounter =
+      "sql_dialect.skeleton_misses";
+
   explicit SqlDialect(sql::Database* db) : SqlDialect(db, Options()) {}
   SqlDialect(sql::Database* db, Options options)
-      : db_(db), options_(options) {}
+      : db_(db),
+        options_(options),
+        registry_skeleton_hits_(metrics::MetricsRegistry::Global().GetCounter(
+            kSkeletonHitsCounter)),
+        registry_skeleton_misses_(
+            metrics::MetricsRegistry::Global().GetCounter(
+                kSkeletonMissesCounter)) {}
 
   sql::Database* db() const { return db_; }
 
@@ -39,6 +53,18 @@ class SqlDialect {
   /// template cache of Section 6.1).
   Result<sql::ResultSet> Query(const std::string& sql,
                                const std::vector<Value>& params);
+
+  /// Executes a query identified by its *shape*: `build_sql` runs only
+  /// the first time `shape_key` is seen and the produced SQL text is
+  /// cached, so steady-state execution of a repeated query shape skips
+  /// string assembly entirely — per-execution values arrive through
+  /// `params`. The cached text then flows through Query(), reusing its
+  /// compiled statement template as well. Callers must guarantee the key
+  /// uniquely determines the text `build_sql` would produce.
+  Result<sql::ResultSet> QueryShaped(
+      const std::string& shape_key,
+      const std::function<std::string()>& build_sql,
+      const std::vector<Value>& params);
 
   /// Records that a query against `table` constrained these columns.
   void RecordPattern(const std::string& table,
@@ -78,10 +104,14 @@ class SqlDialect {
   uint64_t queries_issued() const { return queries_issued_.load(); }
   uint64_t template_cache_hits() const { return cache_hits_.load(); }
   uint64_t template_cache_misses() const { return cache_misses_.load(); }
+  uint64_t skeleton_cache_hits() const { return skeleton_hits_.load(); }
+  uint64_t skeleton_cache_misses() const { return skeleton_misses_.load(); }
   void ResetCounters() {
     queries_issued_ = 0;
     cache_hits_ = 0;
     cache_misses_ = 0;
+    skeleton_hits_ = 0;
+    skeleton_misses_ = 0;
   }
 
  private:
@@ -94,12 +124,18 @@ class SqlDialect {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, sql::PreparedStatement> templates_;
+  /// shape key -> generated SQL text (the skeleton).
+  std::unordered_map<std::string, std::string> skeletons_;
   std::map<std::pair<std::string, std::vector<std::string>>, uint64_t>
       pattern_counts_;
 
   std::atomic<uint64_t> queries_issued_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> skeleton_hits_{0};
+  std::atomic<uint64_t> skeleton_misses_{0};
+  metrics::Counter* registry_skeleton_hits_;
+  metrics::Counter* registry_skeleton_misses_;
 
   bool trace_enabled_ = false;
   std::vector<std::string> trace_;

@@ -97,6 +97,12 @@ bool FoldFilterInto(Step* gsa, const Step& filter) {
       }
       return false;
     }
+    // Bind placeholders have no values until execution; folding one into
+    // a LookupSpec would generate SQL with a dangling '?'. Leave the whole
+    // filter step client-side (the interpreter resolves it per execution).
+    for (const PropPredicate& pred : filter.predicates) {
+      if (!pred.var.empty()) return false;
+    }
     // hasLabel: fold into the spec's (or adjacency step's) label list.
     for (const PropPredicate& pred : filter.predicates) {
       if (pred.key == gremlin::kLabelKey &&

@@ -80,6 +80,11 @@ struct PropPredicate {
   std::string key;
   Op op = Op::kEq;
   std::vector<Value> values;  // 1 value for scalar ops, n for within/without
+  /// Bind placeholder: when non-empty, `values` is unset at compile time
+  /// and the interpreter resolves the variable from the execution
+  /// environment (has('age', gt(threshold))). Predicates with a pending
+  /// variable are never pushed down to providers.
+  std::string var;
 
   bool Matches(const Value& v) const;
   /// Evaluates against an element ("~id" and "~label" address the id and

@@ -512,6 +512,35 @@ Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
         if (!resolved.ok()) return resolved.status();
         ids = std::move(*resolved);
       }
+      // Resolve bind-placeholder predicates (has(key, gt(var))) from the
+      // environment; scalar comparisons need exactly one bound value.
+      std::vector<PropPredicate> resolved_preds;
+      const std::vector<PropPredicate>* preds = &step.predicates;
+      bool any_var = false;
+      for (const PropPredicate& pred : step.predicates) {
+        any_var |= !pred.var.empty();
+      }
+      if (any_var) {
+        resolved_preds = step.predicates;
+        for (PropPredicate& pred : resolved_preds) {
+          if (pred.var.empty()) continue;
+          auto it = state->env->find(pred.var);
+          if (it == state->env->end()) {
+            return Status::NotFound("Gremlin: unbound variable '" + pred.var +
+                                    "'");
+          }
+          bool scalar = pred.op != PropPredicate::Op::kWithin &&
+                        pred.op != PropPredicate::Op::kWithout;
+          if (scalar && it->second.size() != 1) {
+            return Status::InvalidArgument(
+                "Gremlin: bind variable '" + pred.var + "' supplies " +
+                std::to_string(it->second.size()) +
+                " values; a scalar comparison needs exactly one");
+          }
+          pred.values = it->second;
+        }
+        preds = &resolved_preds;
+      }
       for (Traverser& t : input) {
         const Element* e = t.element();
         if (e == nullptr) continue;  // has() on values drops nothing? drop:
@@ -520,7 +549,7 @@ Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
             std::find(ids.begin(), ids.end(), e->id) == ids.end()) {
           keep = false;
         }
-        for (const PropPredicate& pred : step.predicates) {
+        for (const PropPredicate& pred : *preds) {
           if (!pred.Matches(*e)) {
             keep = false;
             break;

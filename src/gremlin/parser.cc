@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace db2graph::gremlin {
@@ -160,6 +161,7 @@ struct Arg {
   std::string var;
   PropPredicate::Op pred_op = PropPredicate::Op::kEq;
   std::vector<Value> pred_values;
+  std::string pred_var;  // gt(threshold): bind placeholder, no literals
   std::vector<Step> traversal;
 };
 
@@ -288,8 +290,27 @@ class GremlinParser {
           out->pred_op = PredicateOp(name);
           while (!IsPunct(")")) {
             const Tok& v = Peek();
+            // A single bare identifier makes the whole predicate a bind
+            // placeholder, resolved per execution: gt(threshold).
+            if (v.type == TokType::kIdent && v.text != "true" &&
+                v.text != "false") {
+              if (!out->pred_values.empty() || !out->pred_var.empty()) {
+                return Error(
+                    "a predicate binds either literals or one variable");
+              }
+              out->pred_var = Advance().text;
+              if (ConsumePunct(",")) {
+                return Error(
+                    "a predicate binds either literals or one variable");
+              }
+              break;
+            }
             if (v.type != TokType::kString && v.type != TokType::kNumber) {
               return Error("predicate arguments must be literals");
+            }
+            if (!out->pred_var.empty()) {
+              return Error(
+                  "a predicate binds either literals or one variable");
             }
             out->pred_values.push_back(Advance().value);
             if (!ConsumePunct(",")) break;
@@ -428,9 +449,14 @@ class GremlinParser {
         if (args[1].kind == Arg::Kind::kLiteral) {
           pred.op = PropPredicate::Op::kEq;
           pred.values.push_back(args[1].literal);
+        } else if (args[1].kind == Arg::Kind::kVar) {
+          // has(key, var): equality against a per-execution binding.
+          pred.op = PropPredicate::Op::kEq;
+          pred.var = args[1].var;
         } else if (args[1].kind == Arg::Kind::kPredicate) {
           pred.op = args[1].pred_op;
           pred.values = args[1].pred_values;
+          pred.var = args[1].pred_var;
         } else {
           return Status::InvalidArgument(
               "has() expects a literal or a P predicate");
@@ -651,6 +677,12 @@ class GremlinParser {
 }  // namespace
 
 Result<Script> ParseGremlin(const std::string& text) {
+  // Registry counter proving the plan cache's compile-once contract: a
+  // cached execution must not move it (tests and the prepared-query bench
+  // assert a zero delta).
+  static metrics::Counter* parse_calls =
+      metrics::MetricsRegistry::Global().GetCounter(kParseCallsCounter);
+  parse_calls->fetch_add(1);
   Result<std::vector<Tok>> toks = Lex(text);
   if (!toks.ok()) return toks.status();
   return GremlinParser(std::move(*toks)).ParseScript();

@@ -17,6 +17,11 @@
 
 namespace db2graph::gremlin {
 
+/// Registry counter name bumped by every ParseGremlin() call. The plan
+/// cache's compile-once contract is asserted against it: executing a
+/// cached plan performs zero parses.
+inline constexpr const char kParseCallsCounter[] = "gremlin.parse_calls";
+
 /// Parses a full script (';'-separated statements).
 Result<Script> ParseGremlin(const std::string& text);
 

@@ -147,7 +147,11 @@ std::string Step::ToString() const {
       for (size_t i = 0; i < predicates.size(); ++i) {
         if (i > 0) os << ",";
         os << predicates[i].key << ":";
-        AppendValueList(predicates[i].values, os);
+        if (!predicates[i].var.empty()) {
+          os << "$" << predicates[i].var;
+        } else {
+          AppendValueList(predicates[i].values, os);
+        }
       }
       os << ")";
       break;

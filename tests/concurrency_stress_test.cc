@@ -161,11 +161,14 @@ TEST_F(ConcurrencyStressTest, ConcurrentTracedQueriesDoNotInterleaveSpans) {
       for (int i = 0; i < kQueriesPerThread; ++i) {
         // Distinct id per thread per iteration; ids do not overlap across
         // threads, so a cross-trace leak is detectable in the SQL text.
+        // One shared script with a per-execution binding: every thread
+        // executes the same cached plan concurrently.
         int64_t id = 1 + t * 500 + i;
-        std::string script = "g.V(" + std::to_string(id) + ")";
         QueryTrace trace;
-        Result<std::vector<Traverser>> out =
-            graph_->ExecuteTraced(script, &trace);
+        ExecOptions opts;
+        opts.trace = &trace;
+        opts.bindings = {{"vid", {Value(id)}}};
+        Result<std::vector<Traverser>> out = graph_->Execute("g.V(vid)", opts);
         if (!out.ok() || out->size() != 1) {
           failures.fetch_add(1);
           continue;

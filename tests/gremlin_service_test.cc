@@ -120,5 +120,96 @@ TEST_F(GremlinServiceTest, ShutdownWithPendingWorkIsClean) {
   }
 }
 
+TEST_F(GremlinServiceTest, SessionlessRequestsCarryBindings) {
+  GremlinService service(graph_.get(), 2);
+  auto out = service
+                 .Submit("g.V(vid).values('score')",
+                         {{"vid", {Value(int64_t{2})}}})
+                 .get();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, Value(int64_t{20}));
+}
+
+TEST_F(GremlinServiceTest, SessionBindingsPersistLikeAssignments) {
+  GremlinService service(graph_.get(), 2);
+  auto first = service
+                   .SubmitSession("s", "g.V(vid).out('e').count()",
+                                  {{"vid", {Value(int64_t{1})}}})
+                   .get();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ((*first)[0].value, Value(int64_t{2}));
+  // The binding installed by the first request is still visible.
+  auto second = service.SubmitSession("s", "g.V(vid).id()").get();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ((*second)[0].value, Value(int64_t{1}));
+}
+
+TEST_F(GremlinServiceTest, SessionRequestsExecuteInSubmissionOrder) {
+  // Fire a burst of assignments into one session without waiting between
+  // them; serialization in submission order means the last assignment
+  // wins, whatever worker executed each request.
+  GremlinService service(graph_.get(), 4);
+  std::vector<std::future<GremlinService::Response>> futures;
+  for (int i = 1; i <= 3; ++i) {
+    for (int round = 0; round < 10; ++round) {
+      futures.push_back(service.SubmitSession(
+          "s", "last = g.V(" + std::to_string(i) + ").id()"));
+    }
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+  auto out = service.SubmitSession("s", "g.V(last).values('score')").get();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, Value(int64_t{30}));
+}
+
+TEST_F(GremlinServiceTest, OneSlowSessionDoesNotPinEveryWorker) {
+  // A burst on one session may occupy at most one worker at a time; with
+  // two workers, interleaved sessionless requests and a second session
+  // must all complete even while session "hog" has a deep backlog.
+  GremlinService service(graph_.get(), 2);
+  std::vector<std::future<GremlinService::Response>> hog;
+  for (int i = 0; i < 50; ++i) {
+    hog.push_back(service.SubmitSession("hog", "g.V().count()"));
+  }
+  std::vector<std::future<GremlinService::Response>> others;
+  for (int i = 0; i < 25; ++i) {
+    others.push_back(service.Submit("g.V(1).count()"));
+    others.push_back(service.SubmitSession("other", "g.V(2).count()"));
+  }
+  for (auto& f : hog) ASSERT_TRUE(f.get().ok());
+  for (auto& f : others) ASSERT_TRUE(f.get().ok());
+  EXPECT_EQ(service.completed(), 100u);
+  EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST_F(GremlinServiceTest, CloseSessionFailsRequestsAwaitingTheirTurn) {
+  // With a single worker and a queue full of sessionless work, sessioned
+  // requests past the first sit on the session's pending queue; closing
+  // the session fails them with Unavailable.
+  GremlinService service(graph_.get(), 1);
+  std::vector<std::future<GremlinService::Response>> filler;
+  for (int i = 0; i < 30; ++i) {
+    filler.push_back(service.Submit("g.V().count()"));
+  }
+  auto first = service.SubmitSession("s", "g.V().count()");
+  auto second = service.SubmitSession("s", "g.V().count()");
+  auto third = service.SubmitSession("s", "g.V().count()");
+  service.CloseSession("s");
+  for (auto& f : filler) ASSERT_TRUE(f.get().ok());
+  // The first request was already admitted to the worker queue and runs;
+  // later ones either ran (if the worker got to them before the close) or
+  // failed with Unavailable — never hang.
+  ASSERT_TRUE(first.get().ok());
+  for (auto* f : {&second, &third}) {
+    auto r = f->get();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace db2graph::core

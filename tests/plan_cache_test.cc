@@ -1,0 +1,420 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// The compile-once/execute-many surface: Prepare()/PreparedQuery with bind
+// variables, the transparent plan cache behind the text Execute() path
+// (zero ParseGremlin calls on a hit, counter-verified), DDL staleness
+// invalidation, binding validation statuses, plan provenance in
+// Explain()/profile(), the deprecated wrapper shims, and a concurrent
+// Prepare/Execute/DDL stress (TSan target).
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "core/db2graph.h"
+#include "core/plan_cache.h"
+#include "gremlin/parser.h"
+
+namespace db2graph::core {
+namespace {
+
+using gremlin::Traverser;
+
+uint64_t ParseCalls() {
+  return metrics::MetricsRegistry::Global()
+      .GetCounter(gremlin::kParseCallsCounter)
+      ->load();
+}
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE N (id BIGINT PRIMARY KEY, score BIGINT);
+      CREATE TABLE E2 (eid BIGINT PRIMARY KEY, src BIGINT, dst BIGINT);
+      CREATE INDEX idx_src ON E2 (src);
+      INSERT INTO N VALUES (1, 10), (2, 20), (3, 30);
+      INSERT INTO E2 VALUES (100, 1, 2), (101, 2, 3), (102, 1, 3);
+    )sql")
+                    .ok());
+    auto graph = Db2Graph::Open(&db_, R"json({
+      "v_tables": [{"table_name": "N", "id": "id", "fix_label": true,
+                    "label": "'n'", "properties": ["score"]}],
+      "e_tables": [{"table_name": "E2", "src_v_table": "N", "src_v": "src",
+                    "dst_v_table": "N", "dst_v": "dst",
+                    "implicit_edge_id": true, "fix_label": true,
+                    "label": "'e'"}]
+    })json");
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    graph_ = std::move(*graph);
+  }
+
+  // Bumps the catalog ddl_version without touching the overlay's tables.
+  void BumpDdl() {
+    static std::atomic<int> n{0};
+    std::string name = "DdlBump" + std::to_string(n.fetch_add(1));
+    ASSERT_TRUE(
+        db_.Execute("CREATE TABLE " + name + " (id BIGINT PRIMARY KEY)")
+            .ok());
+  }
+
+  sql::Database db_;
+  std::unique_ptr<Db2Graph> graph_;
+};
+
+// ----------------------------------------------------------------------
+// Prepared execution with bindings
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, PreparedQueryExecutesWithDifferentBindings) {
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(vid).out('e').id()");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->unbound_variables(),
+            std::vector<std::string>{"vid"});
+
+  auto r1 = prepared->Execute({{"vid", {Value(int64_t{1})}}});
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1->size(), 2u);  // 1 -> 2, 1 -> 3
+
+  auto r2 = prepared->Execute({{"vid", {Value(int64_t{2})}}});
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->size(), 1u);  // 2 -> 3
+  EXPECT_EQ((*r2)[0].value, Value(int64_t{3}));
+
+  // A bind slot may supply several ids at once.
+  auto r3 = prepared->Execute(
+      {{"vid", {Value(int64_t{1}), Value(int64_t{2})}}});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->size(), 3u);
+}
+
+TEST_F(PlanCacheTest, PredicateBindingsFilterPerExecution) {
+  Result<PreparedQuery> prepared =
+      graph_->Prepare("g.V().has('score', gt(threshold)).id()");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  auto over15 = prepared->Execute({{"threshold", {Value(int64_t{15})}}});
+  ASSERT_TRUE(over15.ok()) << over15.status().ToString();
+  EXPECT_EQ(over15->size(), 2u);  // scores 20, 30
+
+  auto over25 = prepared->Execute({{"threshold", {Value(int64_t{25})}}});
+  ASSERT_TRUE(over25.ok());
+  ASSERT_EQ(over25->size(), 1u);
+  EXPECT_EQ((*over25)[0].value, Value(int64_t{3}));
+}
+
+TEST_F(PlanCacheTest, PreparedExecutionNeverReparsesTheScript) {
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(vid).out('e').id()");
+  ASSERT_TRUE(prepared.ok());
+  uint64_t parses_before = ParseCalls();
+  for (int i = 1; i <= 3; ++i) {
+    auto out = prepared->Execute({{"vid", {Value(int64_t{i})}}});
+    ASSERT_TRUE(out.ok());
+  }
+  EXPECT_EQ(ParseCalls(), parses_before)
+      << "prepared executions must not call ParseGremlin";
+}
+
+// ----------------------------------------------------------------------
+// Transparent text-path caching
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, RepeatedTextExecutionHitsCacheWithZeroParses) {
+  const std::string script = "g.V(1).out('e').id()";
+  auto first = graph_->Execute(script);
+  ASSERT_TRUE(first.ok());
+  PlanCache::Counts after_first = graph_->plan_cache()->Snapshot();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  uint64_t parses_before = ParseCalls();
+  auto second = graph_->Execute(script);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), first->size());
+  EXPECT_EQ(ParseCalls(), parses_before)
+      << "a cached plan must execute with zero ParseGremlin calls";
+  PlanCache::Counts after_second = graph_->plan_cache()->Snapshot();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+}
+
+TEST_F(PlanCacheTest, CacheCountersLandInMetricsRegistry) {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  uint64_t hits_before =
+      registry.GetCounter(PlanCache::kHitsCounter)->load();
+  uint64_t misses_before =
+      registry.GetCounter(PlanCache::kMissesCounter)->load();
+  ASSERT_TRUE(graph_->Execute("g.V(2).id()").ok());
+  ASSERT_TRUE(graph_->Execute("g.V(2).id()").ok());
+  EXPECT_EQ(registry.GetCounter(PlanCache::kMissesCounter)->load(),
+            misses_before + 1);
+  EXPECT_EQ(registry.GetCounter(PlanCache::kHitsCounter)->load(),
+            hits_before + 1);
+}
+
+TEST_F(PlanCacheTest, OptingOutOfTheCacheReparsesEveryTime) {
+  ExecOptions no_cache;
+  no_cache.use_plan_cache = false;
+  ASSERT_TRUE(graph_->Execute("g.V(1).id()", no_cache).ok());
+  uint64_t parses_before = ParseCalls();
+  ASSERT_TRUE(graph_->Execute("g.V(1).id()", no_cache).ok());
+  EXPECT_EQ(ParseCalls(), parses_before + 1);
+  EXPECT_EQ(graph_->plan_cache()->size(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// DDL staleness
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, DdlInvalidatesCachedPlans) {
+  const std::string script = "g.V(1).out('e').id()";
+  ASSERT_TRUE(graph_->Execute(script).ok());
+  BumpDdl();
+  uint64_t parses_before = ParseCalls();
+  auto after = graph_->Execute(script);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);
+  EXPECT_EQ(ParseCalls(), parses_before + 1)
+      << "a plan compiled before DDL must not be served afterwards";
+  PlanCache::Counts counts = graph_->plan_cache()->Snapshot();
+  EXPECT_EQ(counts.invalidations, 1u);
+  EXPECT_EQ(counts.hits, 0u);
+}
+
+TEST_F(PlanCacheTest, StalePreparedQueryRecompilesTransparently) {
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(vid).out('e').id()");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->IsStale());
+  BumpDdl();
+  EXPECT_TRUE(prepared->IsStale());
+  // Execution still works: the handle recompiles through the cache.
+  auto out = prepared->Execute({{"vid", {Value(int64_t{1})}}});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 2u);
+}
+
+// ----------------------------------------------------------------------
+// Binding validation
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, MissingBindingIsNotFound) {
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(vid).id()");
+  ASSERT_TRUE(prepared.ok());
+  auto out = prepared->Execute();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(out.status().ToString().find("vid"), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, IdBindingTypeMismatchIsInvalidArgument) {
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(vid).id()");
+  ASSERT_TRUE(prepared.ok());
+  auto out = prepared->Execute({{"vid", {Value(1.5)}}});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().ToString().find("DOUBLE"), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, ScalarPredicateBindingRejectsValueLists) {
+  Result<PreparedQuery> prepared =
+      graph_->Prepare("g.V().has('score', gt(threshold))");
+  ASSERT_TRUE(prepared.ok());
+  auto out = prepared->Execute(
+      {{"threshold", {Value(int64_t{1}), Value(int64_t{2})}}});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------------
+// Plan provenance in Explain / profile()
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, ExplainReportsWhetherThePlanWasCached) {
+  auto cold = graph_->Explain("g.V(1).out('e')");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_NE(cold->text.find("plan: compiled"), std::string::npos)
+      << cold->text;
+  auto warm = graph_->Explain("g.V(1).out('e')");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->text.find("plan: cached"), std::string::npos)
+      << warm->text;
+  // The machine-readable rendering carries the same field, and the cached
+  // plan still explains the rewrites recorded at compile time.
+  const Json* plan = warm->json.Find("plan");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->as_string(), "cached");
+  const Json* strategies = warm->json.Find("strategies");
+  ASSERT_NE(strategies, nullptr);
+  EXPECT_FALSE(strategies->items().empty());
+}
+
+TEST_F(PlanCacheTest, ProfileReportsWhetherThePlanWasCached) {
+  auto cold = graph_->Execute("g.V(1).out('e').profile()");
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->size(), 1u);
+  EXPECT_NE((*cold)[0].value.ToString().find("\"plan\": \"compiled\""),
+            std::string::npos);
+  auto warm = graph_->Execute("g.V(1).out('e').profile()");
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->size(), 1u);
+  EXPECT_NE((*warm)[0].value.ToString().find("\"plan\": \"cached\""),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// AutoGraph routes through the unified path
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, AutoGraphProfileProducesATrace) {
+  Result<AutoGraph> auto_graph = AutoGraph::Open(&db_);
+  ASSERT_TRUE(auto_graph.ok()) << auto_graph.status().ToString();
+  auto out = auto_graph->Execute("g.V(1).profile()");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  std::string trace_json = (*out)[0].value.ToString();
+  EXPECT_NE(trace_json.find("\"steps\""), std::string::npos)
+      << "profile() through AutoGraph must produce a trace";
+  EXPECT_NE(trace_json.find("\"plan\""), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, AutoGraphAcceptsBindings) {
+  Result<AutoGraph> auto_graph = AutoGraph::Open(&db_);
+  ASSERT_TRUE(auto_graph.ok());
+  // AutoOverlay derives prefixed ids: '<Table>::<pk>'.
+  ExecOptions options;
+  options.bindings = {{"vid", {Value("N::1")}}};
+  auto out = auto_graph->Execute("g.V(vid).count()", options);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, Value(int64_t{1}));
+}
+
+// ----------------------------------------------------------------------
+// Deprecated wrappers still function
+// ----------------------------------------------------------------------
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(PlanCacheTest, DeprecatedWrappersRouteThroughTheUnifiedPath) {
+  gremlin::Environment env;
+  auto assigned = graph_->Run("ids = g.V(1).out('e').id()", &env);
+  ASSERT_TRUE(assigned.ok());
+  ASSERT_EQ(env.count("ids"), 1u);
+  EXPECT_EQ(env["ids"].size(), 2u);
+
+  QueryTrace trace;
+  auto traced = graph_->ExecuteTraced("g.V(1)", &trace);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_FALSE(trace.Spans().empty());
+  EXPECT_FALSE(trace.plan_source().empty());
+
+  Result<gremlin::Script> compiled = graph_->Compile("g.V(1).id()");
+  ASSERT_TRUE(compiled.ok());
+  auto direct = graph_->ExecuteScript(*compiled);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->size(), 1u);
+}
+#pragma GCC diagnostic pop
+
+// ----------------------------------------------------------------------
+// Concurrency (TSan target)
+// ----------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, ConcurrentPrepareExecuteAndDdlStress) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  // Query threads mix text executions (shared cache entries), prepared
+  // executions, and per-thread scripts.
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      Result<PreparedQuery> prepared =
+          graph_->Prepare("g.V(vid).out('e').count()");
+      if (!prepared.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kIterations; ++i) {
+        int64_t vid = 1 + (t + i) % 3;
+        auto via_text = graph_->Execute("g.V(" + std::to_string(vid) +
+                                        ").id()");
+        if (!via_text.ok()) failures.fetch_add(1);
+        auto via_prepared = prepared->Execute({{"vid", {Value(vid)}}});
+        if (!via_prepared.ok()) failures.fetch_add(1);
+        auto shared = graph_->Execute("g.V().count()");
+        if (!shared.ok() || (*shared)[0].value != Value(int64_t{3})) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // DDL thread: keeps invalidating every cached plan.
+  threads.emplace_back([this] {
+    for (int i = 0; i < kIterations / 2; ++i) {
+      std::string name = "Stress" + std::to_string(i);
+      (void)db_.Execute("CREATE TABLE " + name +
+                        " (id BIGINT PRIMARY KEY)");
+      (void)db_.Execute("DROP TABLE " + name);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ----------------------------------------------------------------------
+// PlanCache unit behavior
+// ----------------------------------------------------------------------
+
+TEST(PlanCacheUnitTest, EvictsLeastRecentlyUsedWithinShard) {
+  PlanCache cache(/*capacity=*/2, /*shards=*/1);
+  auto plan = [](const std::string& text) {
+    auto p = std::make_shared<CompiledPlan>();
+    p->script_text = text;
+    return p;
+  };
+  cache.Insert("a", plan("a"));
+  cache.Insert("b", plan("b"));
+  ASSERT_NE(cache.Lookup("a", 0), nullptr);  // a is now most recent
+  cache.Insert("c", plan("c"));              // evicts b
+  EXPECT_NE(cache.Lookup("a", 0), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 0), nullptr);
+  EXPECT_NE(cache.Lookup("c", 0), nullptr);
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
+}
+
+TEST(PlanCacheUnitTest, StaleEntryIsInvalidatedOnLookup) {
+  PlanCache cache(8, 1);
+  auto p = std::make_shared<CompiledPlan>();
+  p->ddl_version = 1;
+  cache.Insert("k", p);
+  EXPECT_NE(cache.Lookup("k", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("k", 2), nullptr);  // stale: erased + counted
+  EXPECT_EQ(cache.size(), 0u);
+  PlanCache::Counts counts = cache.Snapshot();
+  EXPECT_EQ(counts.invalidations, 1u);
+  EXPECT_EQ(counts.hits, 1u);
+  EXPECT_EQ(counts.misses, 1u);
+}
+
+TEST(PlanCacheUnitTest, CollectBindSlotsSkipsAssignedVariables) {
+  Result<gremlin::Script> script = gremlin::ParseGremlin(
+      "xs = g.V(seed).out('e').id(); g.V(xs).has('score', gt(cut))");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  std::vector<CompiledPlan::BindSlot> slots = CollectBindSlots(*script);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].name, "seed");
+  EXPECT_EQ(slots[0].use, CompiledPlan::BindSlot::Use::kId);
+  EXPECT_EQ(slots[1].name, "cut");
+  EXPECT_EQ(slots[1].use, CompiledPlan::BindSlot::Use::kPredicate);
+  EXPECT_EQ(slots[1].op, gremlin::PropPredicate::Op::kGt);
+}
+
+}  // namespace
+}  // namespace db2graph::core

@@ -373,8 +373,9 @@ TEST_F(PartitionedTraceTest, TraceShowsTablesConsultedAndCacheTransitions) {
   // partitions, recording one SQL statement per partition, and misses the
   // cold cache.
   QueryTrace cold;
-  Result<std::vector<Traverser>> first = graph_->ExecuteTraced("g.V(17)",
-                                                               &cold);
+  ExecOptions cold_opts;
+  cold_opts.trace = &cold;
+  Result<std::vector<Traverser>> first = graph_->Execute("g.V(17)", cold_opts);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   ASSERT_EQ(first->size(), 1u);
   std::vector<StepTraceSpan> spans = cold.Spans();
@@ -389,8 +390,9 @@ TEST_F(PartitionedTraceTest, TraceShowsTablesConsultedAndCacheTransitions) {
 
   // Warm repeat: served from the cache, no SQL at all.
   QueryTrace warm;
-  Result<std::vector<Traverser>> second = graph_->ExecuteTraced("g.V(17)",
-                                                                &warm);
+  ExecOptions warm_opts;
+  warm_opts.trace = &warm;
+  Result<std::vector<Traverser>> second = graph_->Execute("g.V(17)", warm_opts);
   ASSERT_TRUE(second.ok());
   spans = warm.Spans();
   ASSERT_FALSE(spans.empty());
@@ -439,8 +441,10 @@ TEST_F(PartitionedTraceTest, PrefixPinnedLookupTracesPrunedTables) {
   ASSERT_TRUE(graph.ok()) << graph.status().ToString();
 
   QueryTrace trace;
+  ExecOptions trace_opts;
+  trace_opts.trace = &trace;
   Result<std::vector<Traverser>> out =
-      (*graph)->ExecuteTraced("g.V('patient::1')", &trace);
+      (*graph)->Execute("g.V('patient::1')", trace_opts);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   ASSERT_EQ(out->size(), 1u);
   std::vector<StepTraceSpan> spans = trace.Spans();
