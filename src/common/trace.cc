@@ -50,6 +50,7 @@ int QueryTrace::BeginStep(std::string step, std::string detail,
   span.in_count = in_count;
   spans_.push_back(std::move(span));
   span_starts_.push_back(clock_->NowMicros());
+  span_paused_.push_back(false);
   open_.push_back(spans_.back().index);
   return spans_.back().index;
 }
@@ -59,9 +60,42 @@ void QueryTrace::EndStep(int span_id, uint64_t out_count) {
   if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
   StepTraceSpan& span = spans_[span_id];
   span.out_count = out_count;
-  span.micros = clock_->NowMicros() - span_starts_[span_id];
+  // Accumulate (not assign): a streamed span already banked the micros of
+  // its earlier Resume/Pause windows.
+  if (!span_paused_[span_id]) {
+    span.micros += clock_->NowMicros() - span_starts_[span_id];
+  }
   // Close this span (and, defensively, anything opened after it).
   while (!open_.empty() && open_.back() >= span_id) open_.pop_back();
+}
+
+void QueryTrace::PauseStep(int span_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  if (span_paused_[span_id]) return;
+  spans_[span_id].micros += clock_->NowMicros() - span_starts_[span_id];
+  span_paused_[span_id] = true;
+  while (!open_.empty() && open_.back() >= span_id) open_.pop_back();
+}
+
+void QueryTrace::ResumeStep(int span_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  if (!span_paused_[span_id]) return;
+  span_starts_[span_id] = clock_->NowMicros();
+  span_paused_[span_id] = false;
+  open_.push_back(span_id);
+}
+
+void QueryTrace::AddBlocks(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (StepTraceSpan* span = InnermostOpenLocked()) span->blocks += n;
+}
+
+void QueryTrace::AddStepInput(int span_id, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (span_id < 0 || span_id >= static_cast<int>(spans_.size())) return;
+  spans_[span_id].in_count += n;
 }
 
 void QueryTrace::AddRewrite(std::string strategy, std::string before,
@@ -137,6 +171,18 @@ std::vector<StrategyRewrite> QueryTrace::Rewrites() const {
   return rewrites_;
 }
 
+QueryTrace::RowTotals QueryTrace::SqlRowTotals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RowTotals totals;
+  for (const StepTraceSpan& span : spans_) {
+    for (const SqlTraceRecord& rec : span.statements) {
+      totals.rows_scanned += rec.rows_scanned;
+      totals.rows_emitted += rec.rows_emitted;
+    }
+  }
+  return totals;
+}
+
 std::string QueryTrace::RenderText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -157,6 +203,9 @@ std::string QueryTrace::RenderText() const {
            std::to_string(span.in_count) + " -> " +
            std::to_string(span.out_count) + " traversers, " +
            std::to_string(span.micros) + "us]\n";
+    if (span.blocks > 0) {
+      out += pad + "  blocks=" + std::to_string(span.blocks) + "\n";
+    }
     if (!span.tables_consulted.empty() || !span.tables_pruned.empty()) {
       out += pad + "  tables: consulted=" +
              std::to_string(span.tables_consulted.size()) + " pruned=" +
@@ -189,6 +238,9 @@ std::string QueryTrace::RenderText() const {
              rec.sql + "\n";
       out += pad + "    rows: scanned=" + std::to_string(rec.rows_scanned) +
              " returned=" + std::to_string(rec.rows_returned);
+      if (rec.rows_emitted != rec.rows_returned) {
+        out += " emitted=" + std::to_string(rec.rows_emitted);
+      }
       if (rec.rows_estimated > 0) {
         out += " estimated<=" + std::to_string(rec.rows_estimated);
       }
@@ -224,6 +276,7 @@ Json QueryTrace::ToJson() const {
     one.Set("in", Json::Number(static_cast<double>(span.in_count)));
     one.Set("out", Json::Number(static_cast<double>(span.out_count)));
     one.Set("micros", Json::Number(static_cast<double>(span.micros)));
+    one.Set("blocks", Json::Number(static_cast<double>(span.blocks)));
     Json consulted = Json::Array();
     for (const std::string& t : span.tables_consulted) {
       consulted.Append(Json::Str(t));
@@ -253,6 +306,8 @@ Json QueryTrace::ToJson() const {
                Json::Number(static_cast<double>(rec.rows_scanned)));
       stmt.Set("rows_returned",
                Json::Number(static_cast<double>(rec.rows_returned)));
+      stmt.Set("rows_emitted",
+               Json::Number(static_cast<double>(rec.rows_emitted)));
       stmt.Set("rows_estimated",
                Json::Number(static_cast<double>(rec.rows_estimated)));
       stmt.Set("micros", Json::Number(static_cast<double>(rec.micros)));

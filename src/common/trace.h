@@ -46,8 +46,12 @@ struct SqlTraceRecord {
   /// runtime; "index probe" / "full scan" / "full scan+filter" predictions
   /// from EXPLAIN.
   std::string access_path;
+  /// Rows the statement actually pulled from storage (post-short-circuit:
+  /// a pushed-down LIMIT stops the scan early and this reflects that).
   uint64_t rows_scanned = 0;
   uint64_t rows_returned = 0;
+  /// Rows the statement emitted to its consumer (ExecInfo::rows_emitted).
+  uint64_t rows_emitted = 0;
   /// EXPLAIN only: table cardinality bound on the rows the statement may
   /// touch (0 when unknown).
   uint64_t rows_estimated = 0;
@@ -70,7 +74,12 @@ struct StepTraceSpan {
   std::string detail;  // Step::ToString()
   uint64_t in_count = 0;
   uint64_t out_count = 0;
+  /// Active (non-paused) time only; a streaming step accumulates across
+  /// its Resume/Pause windows.
   uint64_t micros = 0;
+  /// Blocks this step pulled/processed in streaming execution (0 when the
+  /// step ran in one materialized pass).
+  uint64_t blocks = 0;
   std::vector<std::string> tables_consulted;
   std::vector<std::string> tables_pruned;
   uint64_t cache_hits = 0;
@@ -104,6 +113,24 @@ class QueryTrace {
   int BeginStep(std::string step, std::string detail, uint64_t in_count);
   void EndStep(int span_id, uint64_t out_count);
 
+  /// Streaming execution processes a step one block at a time, interleaved
+  /// with other steps of the same segment. Pause closes the span's timing
+  /// window and pops it from the open stack (so records from other steps
+  /// don't attach to it); Resume reopens it and restarts the clock. A
+  /// paused span's micros accumulate over its active windows only. EndStep
+  /// works on both paused and running spans.
+  void PauseStep(int span_id);
+  void ResumeStep(int span_id);
+
+  /// Attributes `n` processed blocks to the innermost open span.
+  void AddBlocks(uint64_t n);
+
+  /// Adds to a span's input-traverser count. Streaming steps learn their
+  /// input size one block at a time, so BeginStep opens them with 0 and
+  /// this accumulates per block (materialized steps pass the full count to
+  /// BeginStep and never call it).
+  void AddStepInput(int span_id, uint64_t n);
+
   void AddRewrite(std::string strategy, std::string before,
                   std::string after);
 
@@ -126,6 +153,14 @@ class QueryTrace {
   std::vector<StepTraceSpan> Spans() const;
   std::vector<StrategyRewrite> Rewrites() const;
 
+  /// Sums of rows_scanned / rows_emitted over every SQL statement in the
+  /// trace (used by the slow-query log's summary fields).
+  struct RowTotals {
+    uint64_t rows_scanned = 0;
+    uint64_t rows_emitted = 0;
+  };
+  RowTotals SqlRowTotals() const;
+
   /// Human-readable rendering (indented by span depth).
   std::string RenderText() const;
   /// Machine-readable rendering: {"script", "total_micros", "strategies",
@@ -142,7 +177,8 @@ class QueryTrace {
   uint64_t total_micros_ = 0;
   std::vector<StrategyRewrite> rewrites_;
   std::deque<StepTraceSpan> spans_;       // deque: stable element addresses
-  std::vector<uint64_t> span_starts_;     // per span, begin micros
+  std::vector<uint64_t> span_starts_;     // per span, current window start
+  std::vector<bool> span_paused_;         // per span, paused right now?
   std::vector<int> open_;                 // stack of open span ids
 };
 
@@ -174,6 +210,9 @@ class SlowQueryLog {
   struct Entry {
     std::string script;
     uint64_t elapsed_micros = 0;
+    /// Rows the query's SQL statements pulled / emitted (trace totals).
+    uint64_t rows_scanned = 0;
+    uint64_t rows_emitted = 0;
     std::string trace_json;
   };
 

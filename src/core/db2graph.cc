@@ -30,9 +30,24 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
       std::string("s") + (s.predicate_pushdown ? '1' : '0') +
       (s.projection_pushdown ? '1' : '0') +
       (s.aggregate_pushdown ? '1' : '0') +
-      (s.graphstep_vertexstep_mutation ? '1' : '0') + '\x01';
+      (s.graphstep_vertexstep_mutation ? '1' : '0') +
+      (s.limit_pushdown ? '1' : '0') + '\x01';
   return graph;
 }
+
+namespace {
+
+// The interpreter's execution knobs, derived from the graph's runtime
+// options so every execution path (Execute, ExecuteScript, graphQuery)
+// runs the same pipeline shape.
+gremlin::Interpreter::Options InterpreterOptions(const RuntimeOptions& r) {
+  gremlin::Interpreter::Options o;
+  o.streaming = r.streaming_execution;
+  o.block_size = r.streaming_block_rows;
+  return o;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
     sql::Database* db, const std::string& config_json, Options options) {
@@ -167,7 +182,8 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     env = &local_env;
   }
 
-  gremlin::Interpreter interpreter(provider_.get());
+  gremlin::Interpreter interpreter(provider_.get(),
+                                   InterpreterOptions(options_.runtime));
   const int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
   const bool traced =
       options.trace != nullptr || plan->has_profile || slow_ms > 0;
@@ -198,6 +214,9 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     SlowQueryLog::Entry entry;
     entry.script = plan->script_text;
     entry.elapsed_micros = elapsed;
+    QueryTrace::RowTotals totals = trace->SqlRowTotals();
+    entry.rows_scanned = totals.rows_scanned;
+    entry.rows_emitted = totals.rows_emitted;
     entry.trace_json = trace->ToJson().Dump(2);
     SlowQueryLog::Global().Record(std::move(entry));
   }
@@ -247,7 +266,8 @@ Result<std::vector<Traverser>> Db2Graph::ExecuteTraced(
 }
 
 Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {
-  gremlin::Interpreter interpreter(provider_.get());
+  gremlin::Interpreter interpreter(provider_.get(),
+                                   InterpreterOptions(options_.runtime));
   return interpreter.RunScript(script);
 }
 
@@ -433,7 +453,8 @@ Status Db2Graph::RegisterGraphQueryFunction() {
         // Run the plan directly (not ExecutePlan): a graphQuery inside a
         // traced outer query must keep recording into the caller's
         // thread-local trace, not open one of its own.
-        gremlin::Interpreter interpreter(self->provider());
+        gremlin::Interpreter interpreter(
+            self->provider(), InterpreterOptions(self->options().runtime));
         Result<std::vector<Traverser>> out = interpreter.RunScript(script);
         if (!out.ok()) return out.status();
         Result<std::vector<Row>> rows =

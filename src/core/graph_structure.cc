@@ -1,6 +1,11 @@
 #include "core/graph_structure.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -62,9 +67,13 @@ void RenderCond(const SqlCond& cond, std::string* sql,
   params->push_back(cond.params[0]);
 }
 
-// Renders "SELECT <select> FROM <table> WHERE ..." with parameters.
+// Renders "SELECT <select> FROM <table> WHERE ... [LIMIT n]" with
+// parameters. A non-negative `limit` is the LookupSpec's per-table row
+// budget; rendering it lets the SQL executor's streaming scan stop after
+// `limit` matching rows instead of draining the table.
 std::string BuildSql(const std::string& table, const std::string& select,
-                     const QueryConds& conds, std::vector<Value>* params) {
+                     const QueryConds& conds, std::vector<Value>* params,
+                     int64_t limit = -1) {
   std::string sql = "SELECT " + select + " FROM \"" + table + "\"";
   std::vector<std::string> where_parts;
   for (const SqlCond& cond : conds.conjuncts) {
@@ -88,6 +97,9 @@ std::string BuildSql(const std::string& table, const std::string& select,
   }
   if (!where_parts.empty()) {
     sql += " WHERE " + Join(where_parts, " AND ");
+  }
+  if (limit >= 0) {
+    sql += " LIMIT " + std::to_string(limit);
   }
   return sql;
 }
@@ -114,11 +126,17 @@ void CollectParams(const QueryConds& conds, std::vector<Value>* params) {
 }
 
 // A key that uniquely determines the SQL text BuildSql would produce:
-// table, select list, and the structure (columns, operators, IN arities)
-// of the conditions — everything except the parameter values.
+// table, select list, the structure (columns, operators, IN arities) of
+// the conditions, and the LIMIT value — everything except the parameter
+// values. (LIMIT is part of the key, not a parameter: it is rendered as a
+// literal into the cached skeleton.)
 std::string ShapeKey(const std::string& table, const std::string& select,
-                     const QueryConds& conds) {
+                     const QueryConds& conds, int64_t limit = -1) {
   std::string key = table + "\x01" + select;
+  if (limit >= 0) {
+    key += "\x06";
+    key += std::to_string(limit);
+  }
   auto one = [&key](const SqlCond& cond) {
     key += "\x04";
     key += cond.column;
@@ -406,8 +424,9 @@ bool Db2GraphProvider::CacheFillEligible(const LookupSpec& spec) const {
   // makes the fetched set a subset of "all vertices with this id", which
   // is what a cache entry must hold. (Id-type pinning is fine — a table
   // skipped because the id cannot decompose into its key columns cannot
-  // contain the vertex at all.)
-  return spec.labels.empty() && spec.predicates.empty();
+  // contain the vertex at all.) A limit truncates the fetch, so a limited
+  // lookup can never populate an entry either.
+  return spec.labels.empty() && spec.predicates.empty() && spec.limit < 0;
 }
 
 VertexPtr Db2GraphProvider::MaterializeVertex(int table_index,
@@ -624,15 +643,18 @@ Status FetchVertexTable(SqlDialect* dialect, const ResolvedVertexTable& t,
   FetchLayout layout = MakeLayout(schema, std::move(cols));
 
   QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+  // The per-table row budget holds only when SQL sees every filter; a
+  // client-filtered fetch must not be truncated before filtering.
+  int64_t limit = plan.client_filter ? -1 : spec.limit;
   std::string select = SelectListFor(schema, layout);
   std::vector<Value> params;
   CollectParams(conds, &params);
   dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
   Result<sql::ResultSet> rs = dialect->QueryShaped(
-      ShapeKey(t.conf.table_name, select, conds),
+      ShapeKey(t.conf.table_name, select, conds, limit),
       [&] {
         std::vector<Value> ignored;
-        return BuildSql(t.conf.table_name, select, conds, &ignored);
+        return BuildSql(t.conf.table_name, select, conds, &ignored, limit);
       },
       params);
   if (!rs.ok()) return rs.status();
@@ -645,6 +667,301 @@ Status FetchVertexTable(SqlDialect* dialect, const ResolvedVertexTable& t,
   }
   return Status::OK();
 }
+
+// One surviving table of a streaming vertex lookup.
+struct VertexJob {
+  int table_index;
+  VertexPlan plan;
+};
+
+// Opens the per-table SQL stream FetchVertexTable would have executed
+// materialized. `layout` receives the fetched-column layout the caller
+// needs to build vertices from the stream's rows.
+Result<std::unique_ptr<DialectRowStream>> OpenVertexTableStream(
+    SqlDialect* dialect, const ResolvedVertexTable& t, const LookupSpec& spec,
+    const VertexPlan& plan, FetchLayout* layout) {
+  const sql::TableSchema& schema = *t.schema;
+  std::vector<size_t> cols;
+  if (plan.client_filter) {
+    for (size_t i = 0; i < schema.columns.size(); ++i) cols.push_back(i);
+  } else {
+    cols = VertexFetchColumns(t, spec);
+  }
+  *layout = MakeLayout(schema, std::move(cols));
+  QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+  int64_t limit = plan.client_filter ? -1 : spec.limit;
+  std::string select = SelectListFor(schema, *layout);
+  std::vector<Value> params;
+  CollectParams(conds, &params);
+  dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
+  return dialect->QueryShapedStreaming(
+      ShapeKey(t.conf.table_name, select, conds, limit),
+      [&] {
+        std::vector<Value> ignored;
+        return BuildSql(t.conf.table_name, select, conds, &ignored, limit);
+      },
+      params);
+}
+
+// Bounded handoff of vertex blocks from one per-table producer to the
+// consuming stream: producers block when their queue is full (backpressure
+// instead of materializing the table), the consumer blocks until the
+// producer delivers or finishes, and cancellation wakes both sides.
+class VertexBlockQueue {
+ public:
+  explicit VertexBlockQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Producer side. False = the consumer cancelled; stop fetching.
+  bool Push(std::vector<VertexPtr> block) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return cancelled_ || blocks_.size() < capacity_;
+    });
+    if (cancelled_) return false;
+    blocks_.push_back(std::move(block));
+    not_empty_.notify_one();
+    return true;
+  }
+  void MarkDone(Status status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_ = true;
+    status_ = std::move(status);
+    not_empty_.notify_all();
+  }
+
+  // Consumer side. False = producer finished; check TakeStatus().
+  bool Pop(std::vector<VertexPtr>* block) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return done_ || !blocks_.empty(); });
+    if (blocks_.empty()) return false;
+    *block = std::move(blocks_.front());
+    blocks_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+  Status TakeStatus() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return status_;
+  }
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<std::vector<VertexPtr>> blocks_;
+  bool done_ = false;
+  bool cancelled_ = false;
+  Status status_ = Status::OK();
+};
+
+// Live streaming vertex lookup over the surviving tables.
+//
+// Serial mode keeps at most one per-table SQL stream open and pulls
+// exactly the vertices the consumer asks for. Parallel mode (fan-out
+// eligible) starts a coordinator thread that fans the per-table producers
+// out on the shared pool; each producer streams its table into a bounded
+// VertexBlockQueue and the consumer drains the queues in table order, so
+// results match the materialized table-major merge exactly. Close()
+// cancels: producers stop at their next push, and ones that have not
+// started observe the flag and never open their SQL stream.
+class Db2VertexStream : public gremlin::VertexStream {
+ public:
+  static constexpr size_t kQueueBlocks = 4;  // per-table backpressure bound
+
+  Db2VertexStream(SqlDialect* dialect, const overlay::Topology* topology,
+                  LookupSpec spec, std::vector<VertexJob> jobs, bool parallel)
+      : dialect_(dialect),
+        topology_(topology),
+        spec_(std::move(spec)),
+        jobs_(std::move(jobs)) {
+    if (parallel && jobs_.size() > 1) StartParallel();
+  }
+
+  ~Db2VertexStream() override { Close(); }
+
+  bool Next(std::vector<VertexPtr>* out, size_t max) override {
+    out->clear();
+    if (closed_ || !status_.ok()) return false;
+    if (max == 0) max = 1;
+    return parallel_mode_ ? NextParallel(out, max) : NextSerial(out, max);
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    if (serial_stream_ != nullptr) {
+      serial_stream_->Close();
+      serial_stream_.reset();
+    }
+    if (parallel_mode_) {
+      cancel_.store(true, std::memory_order_release);
+      for (auto& q : queues_) q->Cancel();
+      if (coordinator_.joinable()) coordinator_.join();
+    }
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  // -- serial: lazy per-table SQL streams, opened in table order ----------
+  bool NextSerial(std::vector<VertexPtr>* out, size_t max) {
+    while (true) {
+      if (serial_stream_ == nullptr) {
+        if (job_pos_ >= jobs_.size()) return false;
+        Result<std::unique_ptr<DialectRowStream>> stream =
+            OpenVertexTableStream(
+                dialect_, topology_->vertex_tables()[jobs_[job_pos_].table_index],
+                spec_, jobs_[job_pos_].plan, &layout_);
+        if (!stream.ok()) {
+          status_ = stream.status();
+          return false;
+        }
+        serial_stream_ = std::move(*stream);
+      }
+      block_.capacity = max;
+      if (!serial_stream_->Next(&block_)) {
+        status_ = serial_stream_->status();
+        serial_stream_->Close();
+        serial_stream_.reset();
+        if (!status_.ok()) return false;
+        ++job_pos_;
+        continue;
+      }
+      const VertexJob& job = jobs_[job_pos_];
+      const ResolvedVertexTable& t =
+          topology_->vertex_tables()[job.table_index];
+      for (Row& row : block_.rows) {
+        VertexPtr v = BuildVertexFromFetched(t, job.table_index, layout_,
+                                             std::move(row));
+        if (job.plan.client_filter && !gremlin::MatchesSpec(*v, spec_)) {
+          continue;
+        }
+        out->push_back(std::move(v));
+      }
+      if (!out->empty()) return true;  // all-filtered block: keep pulling
+    }
+  }
+
+  // -- parallel: bounded queues fed by pool workers -----------------------
+  void StartParallel() {
+    parallel_mode_ = true;
+    queues_.reserve(jobs_.size());
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      queues_.push_back(std::make_unique<VertexBlockQueue>(kQueueBlocks));
+    }
+    QueryTrace* trace = CurrentTrace();
+    if (trace != nullptr) trace->AddFanout(1, jobs_.size());
+    // RunBatch blocks its caller until every task finished, which must not
+    // be the consumer: a dedicated coordinator submits the batch and is
+    // joined on Close(). The consumer only ever waits on queue pops.
+    coordinator_ = std::thread([this, trace] {
+      ThreadPool::Shared().RunBatch(jobs_.size(), [this, trace](size_t j) {
+        ScopedTrace scoped(trace);
+        ProduceTable(j);
+      });
+    });
+  }
+
+  void ProduceTable(size_t j) {
+    VertexBlockQueue& queue = *queues_[j];
+    // Early termination: a task that has not opened its SQL stream when
+    // the consumer closes never runs it at all.
+    if (cancel_.load(std::memory_order_acquire)) {
+      queue.MarkDone(Status::OK());
+      return;
+    }
+    const VertexJob& job = jobs_[j];
+    const ResolvedVertexTable& t = topology_->vertex_tables()[job.table_index];
+    FetchLayout layout;
+    Result<std::unique_ptr<DialectRowStream>> stream =
+        OpenVertexTableStream(dialect_, t, spec_, job.plan, &layout);
+    if (!stream.ok()) {
+      queue.MarkDone(stream.status());
+      return;
+    }
+    Status final_status = Status::OK();
+    sql::RowBlock block;
+    while (!cancel_.load(std::memory_order_acquire)) {
+      block.capacity = sql::kDefaultBlockRows;
+      if (!(*stream)->Next(&block)) {
+        final_status = (*stream)->status();
+        break;
+      }
+      std::vector<VertexPtr> vertices;
+      vertices.reserve(block.rows.size());
+      for (Row& row : block.rows) {
+        VertexPtr v = BuildVertexFromFetched(t, job.table_index, layout,
+                                             std::move(row));
+        if (job.plan.client_filter && !gremlin::MatchesSpec(*v, spec_)) {
+          continue;
+        }
+        vertices.push_back(std::move(v));
+      }
+      if (!vertices.empty() && !queue.Push(std::move(vertices))) break;
+    }
+    (*stream)->Close();
+    queue.MarkDone(std::move(final_status));
+  }
+
+  bool NextParallel(std::vector<VertexPtr>* out, size_t max) {
+    while (true) {
+      if (pending_pos_ < pending_.size()) {
+        size_t n = std::min(max, pending_.size() - pending_pos_);
+        for (size_t i = 0; i < n; ++i) {
+          out->push_back(std::move(pending_[pending_pos_ + i]));
+        }
+        pending_pos_ += n;
+        if (pending_pos_ >= pending_.size()) {
+          pending_.clear();
+          pending_pos_ = 0;
+        }
+        return true;
+      }
+      if (queue_pos_ >= queues_.size()) return false;
+      std::vector<VertexPtr> block;
+      if (!queues_[queue_pos_]->Pop(&block)) {
+        Status st = queues_[queue_pos_]->TakeStatus();
+        if (!st.ok()) {
+          status_ = std::move(st);
+          return false;
+        }
+        ++queue_pos_;  // table drained; move to the next in order
+        continue;
+      }
+      pending_ = std::move(block);
+      pending_pos_ = 0;
+    }
+  }
+
+  SqlDialect* dialect_;
+  const overlay::Topology* topology_;
+  LookupSpec spec_;
+  std::vector<VertexJob> jobs_;
+  Status status_ = Status::OK();
+  bool closed_ = false;
+
+  // Serial state.
+  size_t job_pos_ = 0;
+  std::unique_ptr<DialectRowStream> serial_stream_;
+  FetchLayout layout_;
+  sql::RowBlock block_;
+
+  // Parallel state.
+  bool parallel_mode_ = false;
+  std::atomic<bool> cancel_{false};
+  std::vector<std::unique_ptr<VertexBlockQueue>> queues_;
+  std::thread coordinator_;
+  size_t queue_pos_ = 0;
+  std::vector<VertexPtr> pending_;
+  size_t pending_pos_ = 0;
+};
 
 }  // namespace
 
@@ -713,6 +1030,42 @@ Status Db2GraphProvider::Vertices(const LookupSpec& spec,
   }
   for (VertexPtr& v : fetched) out->push_back(std::move(v));
   return Status::OK();
+}
+
+Result<std::unique_ptr<gremlin::VertexStream>>
+Db2GraphProvider::VerticesStreaming(const LookupSpec& spec) {
+  // Aggregates produce no element stream, and cache-eligible point
+  // lookups answer from (and fill) the vertex cache only on the
+  // materialized path — both fall back to materialize-and-chunk.
+  if (spec.agg != AggOp::kNone || CacheUsable(spec)) {
+    return GraphProvider::VerticesStreaming(spec);
+  }
+
+  QueryTrace* trace = CurrentTrace();
+  std::vector<VertexJob> jobs;
+  for (size_t ti = 0; ti < topology_.vertex_tables().size(); ++ti) {
+    const ResolvedVertexTable& t = topology_.vertex_tables()[ti];
+    VertexPlan plan = PlanVertexTable(t, spec, options_);
+    if (plan.skip) {
+      stats_.vertex_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(t.conf.table_name);
+      continue;
+    }
+    stats_.vertex_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) trace->AddTableConsulted(t.conf.table_name);
+    jobs.push_back(VertexJob{static_cast<int>(ti), std::move(plan)});
+  }
+
+  // Same fan-out eligibility rule as ExecuteJobs: never spawn workers
+  // when this thread already holds the database read lock.
+  bool parallel = jobs.size() > 1 && options_.parallel_fanout &&
+                  !dialect_->db()->ReadLockHeldByThisThread();
+  if (parallel) {
+    stats_.parallel_batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.parallel_tasks.fetch_add(jobs.size(), std::memory_order_relaxed);
+  }
+  return std::unique_ptr<gremlin::VertexStream>(new Db2VertexStream(
+      dialect_, &topology_, spec, std::move(jobs), parallel));
 }
 
 Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
@@ -1104,15 +1457,16 @@ Status FetchEdgeTable(SqlDialect* dialect, const ResolvedEdgeTable& t,
   FetchLayout layout = MakeLayout(schema, std::move(cols));
 
   QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
+  int64_t limit = plan.client_filter ? -1 : spec.limit;
   std::string select = SelectListFor(schema, layout);
   std::vector<Value> params;
   CollectParams(conds, &params);
   dialect->RecordPattern(t.conf.table_name, plan.predicate_columns);
   Result<sql::ResultSet> rs = dialect->QueryShaped(
-      ShapeKey(t.conf.table_name, select, conds),
+      ShapeKey(t.conf.table_name, select, conds, limit),
       [&] {
         std::vector<Value> ignored;
-        return BuildSql(t.conf.table_name, select, conds, &ignored);
+        return BuildSql(t.conf.table_name, select, conds, &ignored, limit);
       },
       params);
   if (!rs.ok()) return rs.status();
@@ -1617,7 +1971,8 @@ Status Db2GraphProvider::ExplainVertices(const LookupSpec& spec,
     std::vector<Value> params;
     QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
     std::string sql = BuildSql(t.conf.table_name,
-                               SelectListFor(schema, layout), conds, &params);
+                               SelectListFor(schema, layout), conds, &params,
+                               plan.client_filter ? -1 : spec.limit);
     preview.sql = SqlDialect::RenderSql(sql, params);
     preview.access_path =
         PredictAccessPath(dialect_->db(), t.conf.table_name, conds);
@@ -1652,7 +2007,8 @@ Status Db2GraphProvider::ExplainEdges(const LookupSpec& spec,
     std::vector<Value> params;
     QueryConds conds = plan.client_filter ? QueryConds{} : plan.conds;
     std::string sql = BuildSql(t.conf.table_name,
-                               SelectListFor(schema, layout), conds, &params);
+                               SelectListFor(schema, layout), conds, &params,
+                               plan.client_filter ? -1 : spec.limit);
     preview.sql = SqlDialect::RenderSql(sql, params);
     preview.access_path =
         PredictAccessPath(dialect_->db(), t.conf.table_name, conds);

@@ -53,12 +53,20 @@ struct RuntimeOptions {
   bool vertex_cache = true;
   size_t vertex_cache_entries = 65536;
 
+  /// Streaming Gremlin execution: linear step chains run block-at-a-time
+  /// under a pull cursor, so a saturated limit()/range() stops issuing
+  /// per-table SQL (see Interpreter::Options). Off = one materialized
+  /// pass per step, the pre-streaming behavior.
+  bool streaming_execution = true;
+  /// Traversers per block in streaming segments.
+  size_t streaming_block_rows = 256;
+
   static RuntimeOptions AllOff() {
     RuntimeOptions o;
     o.label_pruning = o.prefixed_id_pinning = o.property_pruning =
         o.endpoint_table_pruning = o.vertex_from_edge_shortcut =
             o.implicit_edge_id_decomposition = o.parallel_fanout =
-                o.vertex_cache = false;
+                o.vertex_cache = o.streaming_execution = false;
     return o;
   }
 };
@@ -76,6 +84,17 @@ class Db2GraphProvider : public gremlin::GraphProvider {
                   std::vector<gremlin::VertexPtr>* out) override;
   Status Edges(const gremlin::LookupSpec& spec,
                std::vector<gremlin::EdgePtr>* out) override;
+
+  /// True streaming vertex lookup: per-table SQL runs block-at-a-time, so
+  /// a consumer that stops pulling (a downstream limit) never pays for the
+  /// tables — or table suffixes — it did not reach. Single-table lookups
+  /// stream lazily in table order; when the parallel fan-out applies, the
+  /// per-table producers feed bounded block queues that the stream drains
+  /// in deterministic table order, and Close() cancels producers that have
+  /// not started yet. Point lookups eligible for the vertex cache fall
+  /// back to the materialized path so cache semantics are preserved.
+  Result<std::unique_ptr<gremlin::VertexStream>> VerticesStreaming(
+      const gremlin::LookupSpec& spec) override;
   Status AdjacentEdges(const std::vector<gremlin::VertexPtr>& from,
                        gremlin::Direction dir,
                        const gremlin::LookupSpec& spec,

@@ -57,6 +57,7 @@ Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
       record.access_path = result->exec.AccessPath();
       record.rows_scanned = result->exec.rows_scanned;
       record.rows_returned = result->rows.size();
+      record.rows_emitted = result->exec.rows_emitted;
     } else {
       record.access_path = "error: " + result.status().ToString();
     }
@@ -88,19 +89,14 @@ Result<sql::ResultSet> SqlDialect::QueryShaped(
   return Query(sql, params);
 }
 
-Result<sql::ResultSet> SqlDialect::QueryUntraced(
-    const std::string& sql, const std::vector<Value>& params) {
-  // Fast path: reuse a compiled template.
+Result<sql::PreparedStatement> SqlDialect::PrepareCached(
+    const std::string& sql) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = templates_.find(sql);
     if (it != templates_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      sql::PreparedStatement stmt = it->second;  // copy out of the lock
-      // Unlock before executing: statement execution takes database locks
-      // and may run long.
-      // (PreparedStatement is a cheap shared handle.)
-      return stmt.Execute(params);
+      return it->second;  // copy out of the lock: cheap shared handle
     }
   }
   cache_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -110,7 +106,115 @@ Result<sql::ResultSet> SqlDialect::QueryUntraced(
     std::lock_guard<std::mutex> lock(mutex_);
     templates_.emplace(sql, *prepared);
   }
-  return prepared->Execute(params);
+  return prepared;
+}
+
+Result<sql::ResultSet> SqlDialect::QueryUntraced(
+    const std::string& sql, const std::vector<Value>& params) {
+  Result<sql::PreparedStatement> stmt = PrepareCached(sql);
+  if (!stmt.ok()) return stmt.status();
+  // Execute outside the cache lock: statement execution takes database
+  // locks and may run long.
+  return stmt->Execute(params);
+}
+
+DialectRowStream::DialectRowStream(std::unique_ptr<sql::RowStream> stream,
+                                   QueryTrace* trace, SqlTraceRecord record,
+                                   uint64_t start_micros)
+    : stream_(std::move(stream)),
+      trace_(trace),
+      record_(std::move(record)),
+      start_micros_(start_micros) {}
+
+DialectRowStream::~DialectRowStream() { Close(); }
+
+bool DialectRowStream::Next(sql::RowBlock* out) {
+  bool ok = stream_->Next(out);
+  if (ok) {
+    rows_seen_ += out->rows.size();
+  } else {
+    FileRecord();  // exhausted (or failed): final counters are in
+  }
+  return ok;
+}
+
+void DialectRowStream::Close() {
+  FileRecord();  // file *before* releasing: Close wipes the stream's plan
+  stream_->Close();
+}
+
+void DialectRowStream::FileRecord() {
+  if (trace_ == nullptr || filed_) return;
+  filed_ = true;
+  const sql::ExecInfo& exec = stream_->exec();
+  record_.micros = trace_->clock()->NowMicros() - start_micros_;
+  if (stream_->status().ok()) {
+    record_.access_path = exec.AccessPath();
+    record_.rows_scanned = exec.rows_scanned;
+    record_.rows_returned = rows_seen_;
+    record_.rows_emitted = exec.rows_emitted;
+  } else {
+    record_.access_path = "error: " + stream_->status().ToString();
+  }
+  trace_->RecordSql(std::move(record_));
+}
+
+Result<std::unique_ptr<DialectRowStream>> SqlDialect::QueryStreaming(
+    const std::string& sql, const std::vector<Value>& params,
+    size_t block_rows) {
+  queries_issued_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (trace_enabled_) trace_.push_back(RenderSql(sql, params));
+  }
+  QueryTrace* query_trace = CurrentTrace();
+  uint64_t start =
+      query_trace != nullptr ? query_trace->clock()->NowMicros() : 0;
+  Result<sql::PreparedStatement> stmt = PrepareCached(sql);
+  if (!stmt.ok()) return stmt.status();
+  Result<std::unique_ptr<sql::RowStream>> stream =
+      stmt->ExecuteStreaming(params, block_rows);
+  if (!stream.ok()) {
+    if (query_trace != nullptr) {
+      SqlTraceRecord record;
+      record.table = TableFromSql(sql);
+      record.sql = RenderSql(sql, params);
+      record.access_path = "error: " + stream.status().ToString();
+      record.micros = query_trace->clock()->NowMicros() - start;
+      query_trace->RecordSql(std::move(record));
+    }
+    return stream.status();
+  }
+  SqlTraceRecord record;
+  if (query_trace != nullptr) {
+    record.table = TableFromSql(sql);
+    record.sql = RenderSql(sql, params);
+  }
+  return std::unique_ptr<DialectRowStream>(new DialectRowStream(
+      std::move(*stream), query_trace, std::move(record), start));
+}
+
+Result<std::unique_ptr<DialectRowStream>> SqlDialect::QueryShapedStreaming(
+    const std::string& shape_key,
+    const std::function<std::string()>& build_sql,
+    const std::vector<Value>& params, size_t block_rows) {
+  std::string sql;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = skeletons_.find(shape_key);
+    if (it != skeletons_.end()) sql = it->second;
+  }
+  if (sql.empty()) {
+    skeleton_misses_.fetch_add(1, std::memory_order_relaxed);
+    registry_skeleton_misses_->fetch_add(1);
+    sql = build_sql();
+    std::lock_guard<std::mutex> lock(mutex_);
+    skeletons_.emplace(shape_key, sql);
+  } else {
+    skeleton_hits_.fetch_add(1, std::memory_order_relaxed);
+    registry_skeleton_hits_->fetch_add(1);
+  }
+  return QueryStreaming(sql, params, block_rows);
 }
 
 void SqlDialect::RecordPattern(const std::string& table,

@@ -17,9 +17,43 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "sql/database.h"
 
 namespace db2graph::core {
+
+class SqlDialect;
+
+/// A live streaming query handed out by SqlDialect::QueryStreaming: wraps
+/// the database RowStream and, when a QueryTrace is installed, files the
+/// statement's SqlTraceRecord once — when the stream is exhausted or
+/// closed — so a short-circuited query reports the rows it actually
+/// scanned, not the full materialized cost.
+class DialectRowStream : public sql::RowSource {
+ public:
+  ~DialectRowStream() override;
+  bool Next(sql::RowBlock* out) override;
+  void Close() override;
+
+  const std::vector<std::string>& columns() const {
+    return stream_->columns();
+  }
+  const Status& status() const { return stream_->status(); }
+  const sql::ExecInfo& exec() const { return stream_->exec(); }
+
+ private:
+  friend class SqlDialect;
+  DialectRowStream(std::unique_ptr<sql::RowStream> stream, QueryTrace* trace,
+                   SqlTraceRecord record, uint64_t start_micros);
+  void FileRecord();
+
+  std::unique_ptr<sql::RowStream> stream_;
+  QueryTrace* trace_;  // nullptr when untraced
+  SqlTraceRecord record_;
+  uint64_t start_micros_;
+  uint64_t rows_seen_ = 0;
+  bool filed_ = false;
+};
 
 class SqlDialect {
  public:
@@ -65,6 +99,20 @@ class SqlDialect {
       const std::string& shape_key,
       const std::function<std::string()>& build_sql,
       const std::vector<Value>& params);
+
+  /// Streaming variant of Query(): compiles (reusing the statement
+  /// template cache) and returns a live block stream instead of a
+  /// materialized result. See sql::RowStream for lock/lifetime rules.
+  Result<std::unique_ptr<DialectRowStream>> QueryStreaming(
+      const std::string& sql, const std::vector<Value>& params,
+      size_t block_rows = sql::kDefaultBlockRows);
+
+  /// Streaming variant of QueryShaped().
+  Result<std::unique_ptr<DialectRowStream>> QueryShapedStreaming(
+      const std::string& shape_key,
+      const std::function<std::string()>& build_sql,
+      const std::vector<Value>& params,
+      size_t block_rows = sql::kDefaultBlockRows);
 
   /// Records that a query against `table` constrained these columns.
   void RecordPattern(const std::string& table,
@@ -118,6 +166,9 @@ class SqlDialect {
   /// Query() minus the per-statement trace bookkeeping.
   Result<sql::ResultSet> QueryUntraced(const std::string& sql,
                                        const std::vector<Value>& params);
+
+  /// Looks the statement up in (or inserts it into) the template cache.
+  Result<sql::PreparedStatement> PrepareCached(const std::string& sql);
 
   sql::Database* db_;
   Options options_;

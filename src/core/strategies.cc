@@ -222,6 +222,31 @@ void ApplyAggregatePushdown(std::vector<Step>* steps) {
   }
 }
 
+// ---- Strategy 5: limit pushdown -----------------------------------------
+
+// A GraphStep immediately followed by limit(n) / range(lo, hi) needs at
+// most `high` elements from each consulted table: nothing between them can
+// drop rows, so every fetched element reaches the limit and each table's
+// SQL may stop after `high` matching rows (rendered as LIMIT by the
+// provider). The limit step is kept — LookupSpec::limit is a per-table
+// fetch budget, not the cross-table bound the step enforces. Adjacency
+// (kVertex) steps are excluded: their output interleaves per-source-vertex
+// groups, and a per-table truncation could drop edges of one source while
+// keeping a later source's, changing which elements survive the limit.
+void ApplyLimitPushdown(std::vector<Step>* steps) {
+  for (size_t i = 0; i + 1 < steps->size(); ++i) {
+    Step& gsa = (*steps)[i];
+    if (gsa.kind != StepKind::kGraph) continue;
+    if (gsa.spec.agg != AggOp::kNone || gsa.spec.limit >= 0) continue;
+    const Step& next = (*steps)[i + 1];
+    if (next.kind != StepKind::kLimit && next.kind != StepKind::kRange) {
+      continue;
+    }
+    if (next.high < 0) continue;  // unbounded range: nothing to push
+    gsa.spec.limit = next.high;
+  }
+}
+
 // path()/simplePath() read the traverser history; the
 // GraphStep::VertexStep mutation changes that history (the skipped vertex
 // no longer appears), so it must not run in path-observing traversals.
@@ -254,6 +279,7 @@ void ApplyToSteps(std::vector<Step>* steps, const StrategyOptions& options) {
   if (options.predicate_pushdown) ApplyPredicatePushdown(steps);
   if (options.projection_pushdown) ApplyProjectionPushdown(steps);
   if (options.aggregate_pushdown) ApplyAggregatePushdown(steps);
+  if (options.limit_pushdown) ApplyLimitPushdown(steps);
 }
 
 }  // namespace
@@ -278,6 +304,7 @@ void ApplyStrategies(gremlin::Traversal* traversal,
       {"PredicatePushdown", &StrategyOptions::predicate_pushdown},
       {"ProjectionPushdown", &StrategyOptions::projection_pushdown},
       {"AggregatePushdown", &StrategyOptions::aggregate_pushdown},
+      {"LimitPushdown", &StrategyOptions::limit_pushdown},
   };
   for (const Pass& pass : kPasses) {
     if (!(options.*(pass.flag))) continue;

@@ -15,6 +15,10 @@
 //  4. GraphStep::VertexStep mutation — g.V(ids).outE() skips the vertex
 //     fetch and becomes an edge GraphStep constrained by src ids;
 //     g.V(ids).out() additionally appends an EdgeVertexStep.
+//  5. Limit pushdown — a GraphStep immediately followed by limit(n) /
+//     range(lo, hi) carries the bound as a per-table row budget
+//     (LookupSpec::limit -> SQL LIMIT); the limit step itself stays, as
+//     it still enforces the exact cross-table bound.
 
 #ifndef DB2GRAPH_CORE_STRATEGIES_H_
 #define DB2GRAPH_CORE_STRATEGIES_H_
@@ -28,11 +32,12 @@ struct StrategyOptions {
   bool projection_pushdown = true;
   bool aggregate_pushdown = true;
   bool graphstep_vertexstep_mutation = true;
+  bool limit_pushdown = true;
 
   static StrategyOptions AllOff() {
     StrategyOptions o;
     o.predicate_pushdown = o.projection_pushdown = o.aggregate_pushdown =
-        o.graphstep_vertexstep_mutation = false;
+        o.graphstep_vertexstep_mutation = o.limit_pushdown = false;
     return o;
   }
 };

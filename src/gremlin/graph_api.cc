@@ -104,6 +104,60 @@ Status GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
   return Vertices(vertex_spec, out);
 }
 
+namespace {
+
+// Materialize-and-chunk adapter behind the default streaming lookups:
+// serves a pre-fetched element vector block by block.
+template <typename Ptr, typename Base>
+class ChunkedStream : public Base {
+ public:
+  explicit ChunkedStream(std::vector<Ptr> items) : items_(std::move(items)) {}
+
+  bool Next(std::vector<Ptr>* out, size_t max) override {
+    out->clear();
+    if (closed_ || pos_ >= items_.size()) return false;
+    size_t n = std::min(std::max<size_t>(max, 1), items_.size() - pos_);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_[pos_ + i]));
+    }
+    pos_ += n;
+    return true;
+  }
+
+  void Close() override {
+    closed_ = true;
+    items_.clear();
+  }
+
+  const Status& status() const override { return status_; }
+
+ private:
+  std::vector<Ptr> items_;
+  size_t pos_ = 0;
+  bool closed_ = false;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
+Result<std::unique_ptr<VertexStream>> GraphProvider::VerticesStreaming(
+    const LookupSpec& spec) {
+  std::vector<VertexPtr> all;
+  Status s = Vertices(spec, &all);
+  if (!s.ok()) return s;
+  return std::unique_ptr<VertexStream>(
+      new ChunkedStream<VertexPtr, VertexStream>(std::move(all)));
+}
+
+Result<std::unique_ptr<EdgeStream>> GraphProvider::EdgesStreaming(
+    const LookupSpec& spec) {
+  std::vector<EdgePtr> all;
+  Status s = Edges(spec, &all);
+  if (!s.ok()) return s;
+  return std::unique_ptr<EdgeStream>(
+      new ChunkedStream<EdgePtr, EdgeStream>(std::move(all)));
+}
+
 Result<Value> GraphProvider::AggregateVertices(const LookupSpec&) {
   return Status::Unsupported("no aggregate pushdown");
 }

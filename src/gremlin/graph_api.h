@@ -120,7 +120,46 @@ struct LookupSpec {
   AggOp agg = AggOp::kNone;
   std::string agg_key;  // property for sum/mean/min/max
 
+  // Limit pushdown: when >= 0, the traversal consumes at most this many
+  // elements from *each* consulted table (a trailing limit(n)/range(lo,hi)
+  // with no row-dropping step in between). Providers may render it as a
+  // SQL LIMIT so the per-table scan short-circuits; it is a budget, not a
+  // semantic bound — the interpreter keeps enforcing the exact cross-table
+  // limit client-side.
+  int64_t limit = -1;
+
   bool HasIdConstraint() const { return !ids.empty(); }
+};
+
+/// Pull cursor over a vertex lookup: the streaming counterpart of
+/// GraphProvider::Vertices. Blocks arrive in the same deterministic order
+/// the materialized call would produce, so a consumer that stops pulling
+/// early sees a prefix of the materialized result.
+class VertexStream {
+ public:
+  virtual ~VertexStream() = default;
+
+  /// Clears `out` and appends up to `max` vertices (at least 1 when any
+  /// remain). Returns true iff vertices were delivered; false means the
+  /// stream is exhausted — or failed, which status() distinguishes.
+  virtual bool Next(std::vector<VertexPtr>* out, size_t max) = 0;
+
+  /// Stops the stream and releases its resources (idempotent; also run by
+  /// the destructor). A provider backed by parallel per-table fetches
+  /// cancels work that has not started yet.
+  virtual void Close() = 0;
+
+  virtual const Status& status() const = 0;
+};
+
+/// Pull cursor over an edge lookup (streaming Edges()); same contract as
+/// VertexStream.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+  virtual bool Next(std::vector<EdgePtr>* out, size_t max) = 0;
+  virtual void Close() = 0;
+  virtual const Status& status() const = 0;
 };
 
 /// Abstract graph back end. All methods are thread-safe for concurrent
@@ -152,6 +191,16 @@ class GraphProvider {
   virtual Status EdgeEndpoints(const std::vector<EdgePtr>& edges,
                                Direction endpoint, const LookupSpec& spec,
                                std::vector<VertexPtr>* out);
+
+  /// Streaming variants: same element set and order as the materialized
+  /// calls, delivered block-at-a-time so a downstream limit can stop the
+  /// lookup before every table is drained. Defaults materialize through
+  /// Vertices()/Edges() and chunk the result — correct for any provider;
+  /// ones that can stream natively override.
+  virtual Result<std::unique_ptr<VertexStream>> VerticesStreaming(
+      const LookupSpec& spec);
+  virtual Result<std::unique_ptr<EdgeStream>> EdgesStreaming(
+      const LookupSpec& spec);
 
   /// Aggregate pushdown. Providers that can compute spec.agg natively
   /// (e.g. SELECT COUNT(*)) return the value; default is Unsupported and

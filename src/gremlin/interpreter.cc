@@ -45,6 +45,170 @@ Traverser Derive(const Traverser& parent, Traverser child,
   return child;
 }
 
+// True for steps a streaming segment can apply one block at a time with
+// results identical to a materialized pass: per-traverser transforms and
+// filters, plus the cumulative-counter steps (limit/range, handled inline
+// by the segment runner) and the steps whose cross-block state already
+// lives in ExecState (dedup's seen-set, store's side-effect list).
+bool IsStreamableStep(const Step& step) {
+  switch (step.kind) {
+    case StepKind::kVertex:
+      // Adjacency with a folded aggregate collapses the whole stream to
+      // one value — a barrier. both()/bothE() is also a barrier: the
+      // provider reports an edge once per endpoint present in the *call's*
+      // source set, so splitting the sources across blocks would change
+      // the multiplicity an all-sources call produces. out()/in() key
+      // each edge by the queried endpoint alone and stream safely.
+      return step.spec.agg == AggOp::kNone &&
+             step.direction != Direction::kBoth;
+    case StepKind::kEdgeVertex:
+    case StepKind::kHas:
+    case StepKind::kValues:
+    case StepKind::kValueMap:
+    case StepKind::kId:
+    case StepKind::kLabel:
+    case StepKind::kIs:
+    case StepKind::kWhere:
+    case StepKind::kNot:
+    case StepKind::kDedup:
+    case StepKind::kLimit:
+    case StepKind::kRange:
+    case StepKind::kStore:
+    case StepKind::kPath:
+    case StepKind::kSimplePath:
+    case StepKind::kUnion:
+    case StepKind::kCoalesce:
+      return true;
+    default:
+      // kGraph restarts the stream (it is a segment *source*, never a
+      // chain member); kOrder, kTail, kGroupCount, kCap, kRepeat and
+      // kAggregate are barriers that need the whole input at once.
+      return false;
+  }
+}
+
+// True when the step (or a sub-traversal inside it) mutates state that
+// outlives this pass over the stream: store() appends to a side-effect
+// list and dedup() keeps its seen-set across repeat() iterations. A
+// saturated limit may only cancel the upstream pull when no such step
+// sits between the source and the limit — otherwise traversers that were
+// never pulled would silently vanish from those side effects, diverging
+// from materialized execution.
+bool HasCrossPassEffects(const Step& step) {
+  if (step.kind == StepKind::kStore || step.kind == StepKind::kDedup) {
+    return true;
+  }
+  for (const Step& s : step.body) {
+    if (HasCrossPassEffects(s)) return true;
+  }
+  for (const auto& branch : step.branches) {
+    for (const Step& s : branch) {
+      if (HasCrossPassEffects(s)) return true;
+    }
+  }
+  return false;
+}
+
+// Pull source feeding a streaming segment one traverser block at a time.
+class TraverserBlockSource {
+ public:
+  virtual ~TraverserBlockSource() = default;
+  /// Fills `out` (cleared first) with up to `max` traversers. Returns
+  /// false when exhausted or failed (see status()); true with an empty
+  /// block means "pulled a block, nothing survived the recheck — keep
+  /// pulling".
+  virtual bool Next(std::vector<Traverser>* out, size_t max) = 0;
+  /// Stops the source early; cancels provider work not yet started.
+  virtual void Close() {}
+  virtual Status status() const { return Status::OK(); }
+};
+
+// Chunks an already-materialized traverser stream (the carried output of
+// the previous segment or barrier step).
+class VectorBlockSource : public TraverserBlockSource {
+ public:
+  explicit VectorBlockSource(std::vector<Traverser> input)
+      : input_(std::move(input)) {}
+
+  bool Next(std::vector<Traverser>* out, size_t max) override {
+    out->clear();
+    if (pos_ >= input_.size()) return false;
+    size_t n = std::min(max, input_.size() - pos_);
+    out->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(input_[pos_ + i]));
+    }
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::vector<Traverser> input_;
+  size_t pos_ = 0;
+};
+
+// Adapts a provider VertexStream: applies the non-pushdown recheck and
+// seeds each traverser's path with the element id — the block-at-a-time
+// equivalent of ApplyGraphStep's emission loop.
+class VertexStreamSource : public TraverserBlockSource {
+ public:
+  VertexStreamSource(std::unique_ptr<VertexStream> stream, LookupSpec spec,
+                     bool recheck)
+      : stream_(std::move(stream)),
+        spec_(std::move(spec)),
+        recheck_(recheck) {}
+
+  bool Next(std::vector<Traverser>* out, size_t max) override {
+    out->clear();
+    if (!stream_->Next(&buffer_, max)) return false;
+    for (VertexPtr& v : buffer_) {
+      if (recheck_ && !MatchesSpec(*v, spec_)) continue;
+      Traverser t = Traverser::OfVertex(std::move(v));
+      t.path.push_back(t.vertex->id);
+      out->push_back(std::move(t));
+    }
+    return true;
+  }
+  void Close() override { stream_->Close(); }
+  Status status() const override { return stream_->status(); }
+
+ private:
+  std::unique_ptr<VertexStream> stream_;
+  LookupSpec spec_;
+  bool recheck_;
+  std::vector<VertexPtr> buffer_;
+};
+
+// Same for edges (g.E() and the strategy-mutated g.V(ids).outE() shape).
+class EdgeStreamSource : public TraverserBlockSource {
+ public:
+  EdgeStreamSource(std::unique_ptr<EdgeStream> stream, LookupSpec spec,
+                   bool recheck)
+      : stream_(std::move(stream)),
+        spec_(std::move(spec)),
+        recheck_(recheck) {}
+
+  bool Next(std::vector<Traverser>* out, size_t max) override {
+    out->clear();
+    if (!stream_->Next(&buffer_, max)) return false;
+    for (EdgePtr& e : buffer_) {
+      if (recheck_ && !MatchesSpec(*e, spec_)) continue;
+      Traverser t = Traverser::OfEdge(std::move(e));
+      t.path.push_back(t.edge->id);
+      out->push_back(std::move(t));
+    }
+    return true;
+  }
+  void Close() override { stream_->Close(); }
+  Status status() const override { return stream_->status(); }
+
+ private:
+  std::unique_ptr<EdgeStream> stream_;
+  LookupSpec spec_;
+  bool recheck_;
+  std::vector<EdgePtr> buffer_;
+};
+
 }  // namespace
 
 const Element* Traverser::element() const {
@@ -150,6 +314,53 @@ Result<std::vector<Traverser>> Interpreter::RunScript(const Script& script,
 Status Interpreter::Execute(const std::vector<Step>& steps,
                             std::vector<Traverser> input, ExecState* state,
                             std::vector<Traverser>* out) {
+  if (!options_.streaming) {
+    return ExecuteMaterialized(steps, std::move(input), state, out);
+  }
+  // Carve the plan into maximal streaming segments: a GraphStep (no folded
+  // aggregate) opens a provider element stream; any run of streamable
+  // steps pulls from it — or from the previous barrier's materialized
+  // output — one block at a time. Barrier steps run as a materialized
+  // pass in between.
+  QueryTrace* trace = CurrentTrace();
+  std::vector<Traverser> stream = std::move(input);
+  size_t pos = 0;
+  while (pos < steps.size()) {
+    const Step& step = steps[pos];
+    const bool graph_source =
+        step.kind == StepKind::kGraph && step.spec.agg == AggOp::kNone;
+    if (graph_source || IsStreamableStep(step)) {
+      size_t end = graph_source ? pos + 1 : pos;
+      while (end < steps.size() && IsStreamableStep(steps[end])) ++end;
+      std::vector<Traverser> next;
+      DB2G_RETURN_NOT_OK(RunSegment(steps, pos, end, graph_source,
+                                    std::move(stream), state, &next));
+      stream = std::move(next);
+      pos = end;
+      continue;
+    }
+    // Barrier (or aggregate GraphStep): one materialized pass.
+    std::vector<Traverser> next;
+    if (trace != nullptr) {
+      int span = trace->BeginStep(StepKindName(step.kind), step.ToString(),
+                                  stream.size());
+      Status st = ApplyStep(step, std::move(stream), state, &next);
+      trace->EndStep(span, next.size());
+      DB2G_RETURN_NOT_OK(st);
+    } else {
+      DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
+    }
+    stream = std::move(next);
+    ++pos;
+  }
+  *out = std::move(stream);
+  return Status::OK();
+}
+
+Status Interpreter::ExecuteMaterialized(const std::vector<Step>& steps,
+                                        std::vector<Traverser> input,
+                                        ExecState* state,
+                                        std::vector<Traverser>* out) {
   std::vector<Traverser> stream = std::move(input);
   QueryTrace* trace = CurrentTrace();
   for (const Step& step : steps) {
@@ -167,6 +378,198 @@ Status Interpreter::Execute(const std::vector<Step>& steps,
   }
   *out = std::move(stream);
   return Status::OK();
+}
+
+Status Interpreter::RunSegment(const std::vector<Step>& steps, size_t begin,
+                               size_t end, bool graph_source,
+                               std::vector<Traverser> carried,
+                               ExecState* state,
+                               std::vector<Traverser>* out) {
+  QueryTrace* trace = CurrentTrace();
+  const size_t chain_begin = graph_source ? begin + 1 : begin;
+
+  // Open the source: a provider element stream for a GraphStep, the
+  // carried stream chunked into blocks otherwise. The GraphStep gets a
+  // trace span like any other step; it stays open across the provider
+  // call so table-consulted/pruned records attach to it, then pauses
+  // between blocks.
+  std::unique_ptr<TraverserBlockSource> source;
+  int source_span = -1;
+  if (graph_source) {
+    const Step& g = steps[begin];
+    if (trace != nullptr) {
+      source_span = trace->BeginStep(StepKindName(g.kind), g.ToString(),
+                                     carried.size());
+    }
+    Result<LookupSpec> spec = BuildGraphSpec(g, *state);
+    Status open_status = spec.ok() ? Status::OK() : spec.status();
+    if (open_status.ok()) {
+      const bool recheck = !provider_->SupportsPushdown();
+      if (g.graph_emits_edges) {
+        Result<std::unique_ptr<EdgeStream>> stream =
+            provider_->EdgesStreaming(*spec);
+        if (stream.ok()) {
+          source = std::make_unique<EdgeStreamSource>(
+              std::move(*stream), std::move(*spec), recheck);
+        } else {
+          open_status = stream.status();
+        }
+      } else {
+        Result<std::unique_ptr<VertexStream>> stream =
+            provider_->VerticesStreaming(*spec);
+        if (stream.ok()) {
+          source = std::make_unique<VertexStreamSource>(
+              std::move(*stream), std::move(*spec), recheck);
+        } else {
+          open_status = stream.status();
+        }
+      }
+    }
+    if (!open_status.ok()) {
+      if (trace != nullptr) trace->EndStep(source_span, 0);
+      return open_status;
+    }
+    if (trace != nullptr) trace->PauseStep(source_span);
+  } else {
+    source = std::make_unique<VectorBlockSource>(std::move(carried));
+  }
+
+  // Per-chain-step runtime state. Spans open up front (in step order, so
+  // the trace reads like the plan) and start paused; each step's clock
+  // only runs while one of its blocks is being processed.
+  struct ChainStep {
+    const Step* step = nullptr;
+    int span = -1;
+    int64_t seen = 0;     // traversers that reached this step
+    int64_t emitted = 0;  // traversers it let through
+    bool may_cancel_pull = false;
+  };
+  std::vector<ChainStep> chain;
+  chain.reserve(end - chain_begin);
+  bool clean_upstream = true;
+  for (size_t j = chain_begin; j < end; ++j) {
+    ChainStep cs;
+    cs.step = &steps[j];
+    if (trace != nullptr) {
+      cs.span = trace->BeginStep(StepKindName(cs.step->kind),
+                                 cs.step->ToString(), 0);
+      trace->PauseStep(cs.span);
+    }
+    if (cs.step->kind == StepKind::kLimit ||
+        cs.step->kind == StepKind::kRange) {
+      cs.may_cancel_pull = clean_upstream;
+    }
+    if (HasCrossPassEffects(*cs.step)) clean_upstream = false;
+    chain.push_back(cs);
+  }
+
+  // A saturated limit()/range() stops the pull — the whole point of the
+  // streaming pipeline — unless a store()/dedup() upstream still needs to
+  // observe the rest of the stream.
+  auto saturated = [&chain]() {
+    for (const ChainStep& cs : chain) {
+      if (!cs.may_cancel_pull) continue;
+      if (cs.step->kind == StepKind::kLimit && cs.emitted >= cs.step->high) {
+        return true;
+      }
+      if (cs.step->kind == StepKind::kRange && cs.seen >= cs.step->high) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  uint64_t source_rows = 0;
+  Status status;
+  std::vector<Traverser> block;
+  while (!saturated()) {
+    // Ask the source for no more than the leading limit/range still
+    // accepts: with the usual strategy-rewritten shape (filters folded
+    // into the GraphStep spec, limit directly after it) the final pull
+    // fetches exactly the rows the query needs. A filter in between
+    // decouples input from output counts, so the hint stops there —
+    // under-pulling would stay correct but cost extra round trips.
+    size_t pull = options_.block_size > 0 ? options_.block_size : size_t{1};
+    for (const ChainStep& cs : chain) {
+      if (cs.step->kind == StepKind::kLimit) {
+        int64_t left = std::max<int64_t>(cs.step->high - cs.emitted, 0);
+        pull = std::min(pull, static_cast<size_t>(left));
+      } else if (cs.step->kind == StepKind::kRange) {
+        int64_t left = std::max<int64_t>(cs.step->high - cs.seen, 0);
+        pull = std::min(pull, static_cast<size_t>(left));
+      } else {
+        break;
+      }
+    }
+    if (pull == 0) pull = 1;  // unreachable once saturated() gates the loop
+
+    if (trace != nullptr && source_span >= 0) trace->ResumeStep(source_span);
+    bool got = source->Next(&block, pull);
+    if (trace != nullptr && source_span >= 0) {
+      if (got) trace->AddBlocks(1);
+      trace->PauseStep(source_span);
+    }
+    if (!got) {
+      status = source->status();
+      break;
+    }
+    source_rows += block.size();
+
+    for (ChainStep& cs : chain) {
+      if (block.empty()) break;  // nothing survived; pull the next block
+      cs.seen += static_cast<int64_t>(block.size());
+      if (trace != nullptr && cs.span >= 0) {
+        trace->ResumeStep(cs.span);
+        trace->AddStepInput(cs.span, block.size());
+        trace->AddBlocks(1);
+      }
+      std::vector<Traverser> next;
+      Status st;
+      if (cs.step->kind == StepKind::kLimit) {
+        // Cumulative across blocks — ApplyStep's per-call counter would
+        // restart at every block.
+        int64_t left = std::max<int64_t>(cs.step->high - cs.emitted, 0);
+        size_t take = std::min(static_cast<size_t>(left), block.size());
+        next.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          next.push_back(std::move(block[i]));
+        }
+      } else if (cs.step->kind == StepKind::kRange) {
+        // Each traverser's position in the whole stream, not the block.
+        int64_t first = cs.seen - static_cast<int64_t>(block.size());
+        for (size_t i = 0; i < block.size(); ++i) {
+          int64_t idx = first + static_cast<int64_t>(i);
+          if (idx >= cs.step->low && idx < cs.step->high) {
+            next.push_back(std::move(block[i]));
+          }
+        }
+      } else {
+        st = ApplyStep(*cs.step, std::move(block), state, &next);
+      }
+      cs.emitted += static_cast<int64_t>(next.size());
+      if (trace != nullptr && cs.span >= 0) trace->PauseStep(cs.span);
+      if (!st.ok()) {
+        status = st;
+        break;
+      }
+      block = std::move(next);
+    }
+    if (!status.ok()) break;
+    for (Traverser& t : block) out->push_back(std::move(t));
+  }
+
+  // Close before the spans end so early-termination cancellation is
+  // attributed to the segment. Idempotent when the source ran dry.
+  source->Close();
+  if (trace != nullptr) {
+    if (source_span >= 0) trace->EndStep(source_span, source_rows);
+    for (const ChainStep& cs : chain) {
+      if (cs.span >= 0) {
+        trace->EndStep(cs.span, static_cast<uint64_t>(cs.emitted));
+      }
+    }
+  }
+  return status;
 }
 
 namespace {
@@ -217,19 +620,16 @@ Value AggregateStream(const std::vector<Traverser>& stream, AggOp op) {
 
 }  // namespace
 
-Status Interpreter::ApplyGraphStep(const Step& step,
-                                   std::vector<Traverser> input,
-                                   ExecState* state,
-                                   std::vector<Traverser>* out) {
-  (void)input;  // GraphStep restarts the stream
+Result<LookupSpec> Interpreter::BuildGraphSpec(const Step& step,
+                                               const ExecState& state) const {
   LookupSpec spec = step.spec;
-  Result<std::vector<Value>> ids = ResolveIds(step.start_ids, *state);
+  Result<std::vector<Value>> ids = ResolveIds(step.start_ids, state);
   if (!ids.ok()) return ids.status();
   for (Value& v : *ids) spec.ids.push_back(std::move(v));
-  Result<std::vector<Value>> src_ids = ResolveIds(step.src_id_args, *state);
+  Result<std::vector<Value>> src_ids = ResolveIds(step.src_id_args, state);
   if (!src_ids.ok()) return src_ids.status();
   for (Value& v : *src_ids) spec.src_ids.push_back(std::move(v));
-  Result<std::vector<Value>> dst_ids = ResolveIds(step.dst_id_args, *state);
+  Result<std::vector<Value>> dst_ids = ResolveIds(step.dst_id_args, state);
   if (!dst_ids.ok()) return dst_ids.status();
   for (Value& v : *dst_ids) spec.dst_ids.push_back(std::move(v));
   // Id lists carry set semantics (Db2 Graph turns them into SQL IN lists;
@@ -245,6 +645,17 @@ Status Interpreter::ApplyGraphStep(const Step& step,
   dedupe(&spec.ids);
   dedupe(&spec.src_ids);
   dedupe(&spec.dst_ids);
+  return spec;
+}
+
+Status Interpreter::ApplyGraphStep(const Step& step,
+                                   std::vector<Traverser> input,
+                                   ExecState* state,
+                                   std::vector<Traverser>* out) {
+  (void)input;  // GraphStep restarts the stream
+  Result<LookupSpec> built = BuildGraphSpec(step, *state);
+  if (!built.ok()) return built.status();
+  LookupSpec spec = std::move(*built);
 
   // Aggregate pushdown: ask the provider first; fall back to client-side.
   if (spec.agg != AggOp::kNone) {

@@ -56,7 +56,25 @@ using Environment = std::unordered_map<std::string, std::vector<Value>>;
 /// Executes traversals and scripts against a provider.
 class Interpreter {
  public:
+  /// Execution tuning. With streaming on, linear step chains run one
+  /// traverser block at a time under a pull cursor: a downstream limit()
+  /// or range() that saturates stops pulling, so upstream graph lookups
+  /// stop issuing SQL. Barrier steps — order(), tail(), groupCount(),
+  /// cap(), repeat(), fold-style aggregates — drain their input first.
+  /// Results and ordering are identical in both modes; only the access
+  /// pattern (and the per-step trace block counts) differ.
+  struct Options {
+    bool streaming = true;
+    /// Traversers per block in streaming segments; also the block size
+    /// requested from provider element streams.
+    size_t block_size = 256;
+  };
+
   explicit Interpreter(GraphProvider* provider) : provider_(provider) {}
+  Interpreter(GraphProvider* provider, Options options)
+      : provider_(provider), options_(options) {}
+
+  const Options& options() const { return options_; }
 
   /// Runs one traversal with variable bindings.
   Result<std::vector<Traverser>> Run(const Traversal& traversal,
@@ -80,6 +98,19 @@ class Interpreter {
   Status Execute(const std::vector<Step>& steps,
                  std::vector<Traverser> input, ExecState* state,
                  std::vector<Traverser>* out);
+  /// The pre-streaming execution model: one fully-materialized pass per
+  /// step. Used when options_.streaming is off, and by the streaming path
+  /// for barrier steps.
+  Status ExecuteMaterialized(const std::vector<Step>& steps,
+                             std::vector<Traverser> input, ExecState* state,
+                             std::vector<Traverser>* out);
+  /// Streaming execution of one segment: steps [begin, end) applied block
+  /// by block over either a provider element stream (graph_source — the
+  /// step at `begin` is the GraphStep source) or the carried materialized
+  /// stream chunked into blocks. Appends the segment's output to `out`.
+  Status RunSegment(const std::vector<Step>& steps, size_t begin, size_t end,
+                    bool graph_source, std::vector<Traverser> carried,
+                    ExecState* state, std::vector<Traverser>* out);
   Status ApplyStep(const Step& step, std::vector<Traverser> input,
                    ExecState* state, std::vector<Traverser>* out);
 
@@ -92,8 +123,13 @@ class Interpreter {
 
   Result<std::vector<Value>> ResolveIds(const std::vector<GremlinArg>& args,
                                         const ExecState& state) const;
+  /// The GraphStep's effective lookup spec: step.spec with start/src/dst
+  /// id arguments resolved against the environment and deduplicated.
+  Result<LookupSpec> BuildGraphSpec(const Step& step,
+                                    const ExecState& state) const;
 
   GraphProvider* provider_;
+  Options options_;
 };
 
 /// Converts a final traverser stream into value rows of width `arity`

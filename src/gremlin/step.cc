@@ -117,6 +117,7 @@ std::string Step::ToString() const {
       if (!dst_id_args.empty() || !spec.dst_ids.empty()) os << " by-dst";
       if (spec.has_projection) os << " proj=" << spec.projection.size();
       if (spec.agg != AggOp::kNone) os << " agg=" << AggName(spec.agg);
+      if (spec.limit >= 0) os << " limit=" << spec.limit;
       os << ")";
       break;
     }

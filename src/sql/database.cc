@@ -58,6 +58,72 @@ bool IsReadOnly(const Statement& stmt) {
 Database::Database() = default;
 Database::~Database() = default;
 
+// ---------------------------------------------------------------------
+// Streaming execution
+// ---------------------------------------------------------------------
+
+// Member order matters: the read lock is declared first so it is destroyed
+// last, after the plan (which touches table storage) is gone.
+struct RowStream::Impl {
+  ReadLock lock;
+  std::shared_ptr<Statement> stmt;  // keeps bound expressions alive
+  std::vector<Value> params;        // the plan points at this copy
+  std::unique_ptr<SelectPlan> plan;
+
+  Impl(const Database* db, std::shared_mutex* mutex,
+       std::shared_ptr<Statement> stmt_in, std::vector<Value> params_in)
+      : lock(db, mutex),
+        stmt(std::move(stmt_in)),
+        params(std::move(params_in)) {}
+};
+
+RowStream::RowStream(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {
+  columns_ = impl_->plan->columns();
+}
+
+RowStream::~RowStream() { Close(); }
+
+bool RowStream::Next(RowBlock* out) {
+  if (impl_ == nullptr) return false;
+  bool ok = impl_->plan->Next(out);
+  status_ = impl_->plan->status();
+  exec_ = impl_->plan->exec();
+  return ok;
+}
+
+void RowStream::Close() {
+  if (impl_ == nullptr) return;
+  impl_->plan->Close();
+  status_ = impl_->plan->status();
+  exec_ = impl_->plan->exec();
+  impl_.reset();  // releases the plan, the AST, and the read lock
+}
+
+Result<std::unique_ptr<RowStream>> Database::ExecuteStreaming(
+    const std::string& sql, size_t block_rows) {
+  Result<std::unique_ptr<Statement>> stmt = ParseSql(sql);
+  if (!stmt.ok()) return stmt.status();
+  return ExecuteStatementStreaming(
+      std::shared_ptr<Statement>(std::move(*stmt)), {}, block_rows);
+}
+
+Result<std::unique_ptr<RowStream>> Database::ExecuteStatementStreaming(
+    std::shared_ptr<Statement> stmt, const std::vector<Value>& params,
+    size_t block_rows) {
+  if (stmt == nullptr || stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument(
+        "streaming execution supports SELECT statements only");
+  }
+  auto impl = std::make_unique<RowStream::Impl>(this, &mutex_,
+                                                std::move(stmt), params);
+  Executor executor(this, &impl->params);
+  Result<std::unique_ptr<SelectPlan>> plan =
+      executor.Compile(*impl->stmt->select, block_rows);
+  if (!plan.ok()) return plan.status();  // Impl dtor releases the lock
+  impl->plan = std::move(*plan);
+  return std::unique_ptr<RowStream>(new RowStream(std::move(impl)));
+}
+
 Result<ResultSet> PreparedStatement::Execute(
     const std::vector<Value>& params) const {
   if (static_cast<int>(params.size()) != param_count_) {
@@ -66,6 +132,16 @@ Result<ResultSet> PreparedStatement::Execute(
         " parameter(s), got " + std::to_string(params.size()));
   }
   return db_->ExecuteStatement(*stmt_, params);
+}
+
+Result<std::unique_ptr<RowStream>> PreparedStatement::ExecuteStreaming(
+    const std::vector<Value>& params, size_t block_rows) const {
+  if (static_cast<int>(params.size()) != param_count_) {
+    return Status::InvalidArgument(
+        "prepared statement expects " + std::to_string(param_count_) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  return db_->ExecuteStatementStreaming(stmt_, params, block_rows);
 }
 
 Result<ResultSet> Database::Execute(const std::string& sql) {

@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "sql/ast.h"
 #include "sql/result_set.h"
+#include "sql/row_source.h"
 #include "sql/table.h"
 
 namespace db2graph::sql {
@@ -80,6 +81,41 @@ struct ExecStats {
 
 class Database;
 
+/// A live streaming SELECT: pull blocks with Next() until exhaustion, then
+/// check status(). The stream holds the database's shared (read) lock and
+/// the compiled plan for its whole lifetime, so:
+///  - consume and Close() it on the thread that created it;
+///  - do not issue write statements on that thread while it is open (the
+///    reentrant read lock would self-deadlock behind the writer);
+///  - Close() (or destruction) releases the plan and the lock eagerly —
+///    that is the early-termination signal that cancels pending work.
+class RowStream : public RowSource {
+ public:
+  ~RowStream() override;
+  RowStream(RowStream&&) = delete;
+  RowStream& operator=(RowStream&&) = delete;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  bool Next(RowBlock* out) override;
+  void Close() override;
+
+  /// OK unless execution failed mid-stream.
+  const Status& status() const { return status_; }
+  /// Access-path counters so far (complete after exhaustion or Close()).
+  const ExecInfo& exec() const { return exec_; }
+
+ private:
+  friend class Database;
+  struct Impl;
+  explicit RowStream(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::string> columns_;
+  Status status_ = Status::OK();
+  ExecInfo exec_;
+};
+
 /// A parsed statement bound to a database, executable repeatedly with
 /// different '?' parameter vectors. This is what the SQL Dialect module's
 /// pre-compiled template cache hands out.
@@ -92,6 +128,11 @@ class PreparedStatement {
   int param_count() const { return param_count_; }
 
   Result<ResultSet> Execute(const std::vector<Value>& params) const;
+
+  /// Streaming variant (SELECT statements only).
+  Result<std::unique_ptr<RowStream>> ExecuteStreaming(
+      const std::vector<Value>& params,
+      size_t block_rows = kDefaultBlockRows) const;
 
  private:
   Database* db_;
@@ -120,6 +161,17 @@ class Database {
   /// Executes an already-parsed statement with parameters.
   Result<ResultSet> ExecuteStatement(const Statement& stmt,
                                      const std::vector<Value>& params);
+
+  /// Parses and compiles one SELECT into a pull-based block stream instead
+  /// of materializing the result. See RowStream for lifetime rules.
+  Result<std::unique_ptr<RowStream>> ExecuteStreaming(
+      const std::string& sql, size_t block_rows = kDefaultBlockRows);
+
+  /// Streaming execution of an already-parsed SELECT. The shared_ptr keeps
+  /// the AST alive for the stream's lifetime; params are copied in.
+  Result<std::unique_ptr<RowStream>> ExecuteStatementStreaming(
+      std::shared_ptr<Statement> stmt, const std::vector<Value>& params,
+      size_t block_rows = kDefaultBlockRows);
 
   // -- catalog ----------------------------------------------------------
   /// Names of base tables (not views).

@@ -1,6 +1,7 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -219,32 +220,850 @@ std::string OutputName(const SelectItem& item) {
 }  // namespace
 
 // ---------------------------------------------------------------------
-// SELECT execution
+// Operator tree
+// ---------------------------------------------------------------------
+//
+// Compile() turns a SELECT into a chain of pull operators:
+//
+//   Seed -> JoinStage* -> Filter? -> (Aggregate | SortProject | Project)
+//        -> Distinct? -> Limit?
+//
+// Every operator obeys the RowSource block contract. JoinStage covers both
+// the scan of the first FROM relation (its upstream is the one-empty-row
+// Seed) and each subsequent join, with the same access-path selection as
+// the materialized executor had: index probe, then (for materialized or
+// unindexed relations with >1 outer row) a transient hash join, then an
+// ordered-index range scan, then a full scan. Counters are incremented per
+// row actually visited, so early termination is visible in ExecInfo.
+
+namespace exec_ops {
+
+struct PlanContext {
+  Database* db = nullptr;
+  const std::vector<Value>* params = nullptr;
+  size_t block_rows = kDefaultBlockRows;
+  ExecInfo exec;
+  Status error = Status::OK();
+};
+
+class Op {
+ public:
+  explicit Op(PlanContext* ctx) : ctx_(ctx) {}
+  virtual ~Op() = default;
+  virtual bool Next(RowBlock* out) = 0;
+  virtual void Close() = 0;
+
+ protected:
+  PlanContext* ctx_;
+};
+
+// Emits a single empty row: the seed the first join stage crosses with.
+class SeedOp : public Op {
+ public:
+  using Op::Op;
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (done_) return false;
+    done_ = true;
+    out->rows.emplace_back();
+    return true;
+  }
+  void Close() override { done_ = true; }
+
+ private:
+  bool done_ = false;
+};
+
+// The relation a join stage reads (mirror of Executor::Relation, moved in
+// so the operator owns materialized rows).
+struct PlanRelation {
+  std::string alias;
+  std::vector<std::string> columns;
+  const Table* table = nullptr;
+  std::vector<Row> rows;
+  bool materialized() const { return table == nullptr; }
+};
+
+struct StageConfig {
+  PlanRelation relation;
+  std::vector<const Expr*> preds;  // ON + eligible WHERE conjuncts
+  bool left = false;
+
+  // Index-probe access path.
+  const Index* index = nullptr;
+  std::vector<ProbeTerm> probe_terms;
+
+  // Hash-join candidate (used when no index and >1 outer row).
+  bool has_hash = false;
+  size_t hash_column = 0;          // inner column
+  const Expr* hash_key = nullptr;  // outer-side expression
+
+  // Ordered-index range access path.
+  const OrderedIndex* range_index = nullptr;
+  const Expr* range_lo = nullptr;
+  const Expr* range_hi = nullptr;
+  bool range_lo_excl = false;
+  bool range_hi_excl = false;
+};
+
+class JoinStageOp : public Op {
+ public:
+  JoinStageOp(PlanContext* ctx, std::unique_ptr<Op> child, StageConfig cfg)
+      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    pull_cap_ = std::min(ctx_->block_rows, std::max<size_t>(out->capacity, 1));
+    EnsureDecided();
+    while (out->rows.size() < out->capacity) {
+      if (phase_ == Phase::kNeedOuter) {
+        if (!FetchNextOuter()) break;
+        StartCursor();
+        matched_ = false;
+        phase_ = Phase::kDraining;
+      } else if (phase_ == Phase::kDraining) {
+        const Row* inner = CursorNextRow();
+        if (inner == nullptr) {
+          phase_ = (!matched_ && cfg_.left) ? Phase::kPendingLeft
+                                            : Phase::kNeedOuter;
+          continue;
+        }
+        EmitIfMatch(*inner, out);
+      } else {  // kPendingLeft: null-extend the unmatched outer row
+        Row joined = outer_;
+        joined.resize(joined.size() + cfg_.relation.columns.size());
+        out->rows.push_back(std::move(joined));
+        phase_ = Phase::kNeedOuter;
+      }
+    }
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    child_->Close();
+    hash_table_.clear();
+    outer_buffer_.clear();
+    rids_.clear();
+  }
+
+ private:
+  enum class Phase { kNeedOuter, kDraining, kPendingLeft };
+  enum class CursorKind { kRids, kHash, kScan, kRows };
+
+  void PullChild() {
+    child_block_.capacity = pull_cap_;
+    if (child_->Next(&child_block_)) {
+      for (Row& r : child_block_.rows) outer_buffer_.push_back(std::move(r));
+    } else {
+      child_eof_ = true;
+    }
+  }
+
+  // Decides nested-loop vs hash once, mirroring the materialized rule
+  // "hash only with more than one outer row": buffer outer rows until two
+  // arrive (or upstream ends), then build the table if they did.
+  void EnsureDecided() {
+    if (decided_) return;
+    decided_ = true;
+    if (cfg_.index != nullptr || !cfg_.has_hash) return;
+    while (outer_buffer_.size() < 2 && !child_eof_) PullChild();
+    if (outer_buffer_.size() < 2) return;
+    hash_mode_ = true;
+    const PlanRelation& rel = cfg_.relation;
+    if (rel.materialized()) {
+      for (size_t r = 0; r < rel.rows.size(); ++r) {
+        hash_table_.emplace(rel.rows[r][cfg_.hash_column], r);
+      }
+    } else {
+      for (RowId rid = 0; rid < rel.table->slot_count(); ++rid) {
+        if (!rel.table->IsLive(rid)) continue;
+        hash_table_.emplace(rel.table->GetRow(rid)[cfg_.hash_column], rid);
+      }
+    }
+  }
+
+  bool FetchNextOuter() {
+    while (outer_buffer_.empty() && !child_eof_) PullChild();
+    if (outer_buffer_.empty()) return false;
+    outer_ = std::move(outer_buffer_.front());
+    outer_buffer_.pop_front();
+    return true;
+  }
+
+  void StartCursor() {
+    const PlanRelation& rel = cfg_.relation;
+    rids_.clear();
+    rid_pos_ = 0;
+    if (cfg_.index != nullptr) {
+      cursor_ = CursorKind::kRids;
+      // Index probe: enumerate the cartesian product of probe values
+      // (IN-lists contribute several keys).
+      std::vector<Row> keys;
+      keys.emplace_back();
+      for (size_t c : cfg_.index->column_indexes()) {
+        const ProbeTerm* term = nullptr;
+        for (const ProbeTerm& t : cfg_.probe_terms) {
+          if (t.column_index == c) {
+            term = &t;
+            break;
+          }
+        }
+        std::vector<Row> expanded;
+        for (const Row& partial : keys) {
+          for (const Expr* value_expr : term->values) {
+            Row key = partial;
+            key.push_back(EvalExpr(*value_expr, outer_, ctx_->params));
+            expanded.push_back(std::move(key));
+          }
+        }
+        keys = std::move(expanded);
+      }
+      // Duplicate IN-list values must not duplicate result rows.
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      for (const Row& key : keys) {
+        cfg_.index->Lookup(key, &rids_);
+      }
+      ctx_->exec.index_probes += keys.size();
+      return;
+    }
+    if (hash_mode_) {
+      cursor_ = CursorKind::kHash;
+      Value key = EvalExpr(*cfg_.hash_key, outer_, ctx_->params);
+      auto range = hash_table_.equal_range(key);
+      hash_it_ = range.first;
+      hash_end_ = range.second;
+      ctx_->exec.index_probes += 1;
+      return;
+    }
+    if (cfg_.range_index != nullptr) {
+      cursor_ = CursorKind::kRids;
+      Value lo_value;
+      Value hi_value;
+      if (cfg_.range_lo != nullptr) {
+        lo_value = EvalExpr(*cfg_.range_lo, outer_, ctx_->params);
+      }
+      if (cfg_.range_hi != nullptr) {
+        hi_value = EvalExpr(*cfg_.range_hi, outer_, ctx_->params);
+      }
+      cfg_.range_index->RangeLookup(
+          cfg_.range_lo != nullptr ? &lo_value : nullptr, cfg_.range_lo_excl,
+          cfg_.range_hi != nullptr ? &hi_value : nullptr, cfg_.range_hi_excl,
+          &rids_);
+      ctx_->exec.range_scans += 1;
+      return;
+    }
+    if (rel.table != nullptr) {
+      cursor_ = CursorKind::kScan;
+      scan_rid_ = 0;
+      ctx_->exec.full_scans += 1;
+      return;
+    }
+    cursor_ = CursorKind::kRows;
+    rows_pos_ = 0;
+  }
+
+  // Yields the next inner row of the current cursor (nullptr at the end),
+  // counting each visited row.
+  const Row* CursorNextRow() {
+    const PlanRelation& rel = cfg_.relation;
+    switch (cursor_) {
+      case CursorKind::kRids:
+        if (rid_pos_ >= rids_.size()) return nullptr;
+        ctx_->exec.rows_scanned += 1;
+        return &rel.table->GetRow(rids_[rid_pos_++]);
+      case CursorKind::kHash: {
+        if (hash_it_ == hash_end_) return nullptr;
+        ctx_->exec.rows_scanned += 1;
+        size_t slot = hash_it_->second;
+        ++hash_it_;
+        return rel.materialized() ? &rel.rows[slot]
+                                  : &rel.table->GetRow(slot);
+      }
+      case CursorKind::kScan:
+        while (scan_rid_ < rel.table->slot_count() &&
+               !rel.table->IsLive(scan_rid_)) {
+          ++scan_rid_;
+        }
+        if (scan_rid_ >= rel.table->slot_count()) return nullptr;
+        ctx_->exec.rows_scanned += 1;
+        return &rel.table->GetRow(scan_rid_++);
+      case CursorKind::kRows:
+        if (rows_pos_ >= rel.rows.size()) return nullptr;
+        ctx_->exec.rows_scanned += 1;
+        return &rel.rows[rows_pos_++];
+    }
+    return nullptr;
+  }
+
+  void EmitIfMatch(const Row& inner, RowBlock* out) {
+    Row joined;
+    joined.reserve(outer_.size() + inner.size());
+    joined.insert(joined.end(), outer_.begin(), outer_.end());
+    joined.insert(joined.end(), inner.begin(), inner.end());
+    for (const Expr* pred : cfg_.preds) {
+      Value v = EvalExpr(*pred, joined, ctx_->params);
+      if (v.is_null() || !v.Truthy()) return;
+    }
+    out->rows.push_back(std::move(joined));
+    matched_ = true;
+  }
+
+  std::unique_ptr<Op> child_;
+  StageConfig cfg_;
+
+  bool decided_ = false;
+  bool hash_mode_ = false;
+  std::unordered_multimap<Value, size_t, ValueHash> hash_table_;
+
+  RowBlock child_block_;
+  std::deque<Row> outer_buffer_;
+  bool child_eof_ = false;
+  bool closed_ = false;
+  size_t pull_cap_ = kDefaultBlockRows;
+
+  Phase phase_ = Phase::kNeedOuter;
+  Row outer_;
+  bool matched_ = false;
+
+  CursorKind cursor_ = CursorKind::kRows;
+  std::vector<RowId> rids_;
+  size_t rid_pos_ = 0;
+  std::unordered_multimap<Value, size_t, ValueHash>::const_iterator hash_it_;
+  std::unordered_multimap<Value, size_t, ValueHash>::const_iterator hash_end_;
+  RowId scan_rid_ = 0;
+  size_t rows_pos_ = 0;
+};
+
+// Residual WHERE (needed with LEFT JOINs; idempotent otherwise).
+class FilterOp : public Op {
+ public:
+  FilterOp(PlanContext* ctx, std::unique_ptr<Op> child, const Expr* where)
+      : Op(ctx), child_(std::move(child)), where_(where) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    in_.capacity = std::max<size_t>(out->capacity, 1);
+    while (child_->Next(&in_)) {
+      for (Row& row : in_.rows) {
+        Value v = EvalExpr(*where_, row, ctx_->params);
+        if (!v.is_null() && v.Truthy()) out->rows.push_back(std::move(row));
+      }
+      if (!out->rows.empty()) return true;
+    }
+    return false;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<Op> child_;
+  const Expr* where_;
+  RowBlock in_;
+  bool closed_ = false;
+};
+
+// Select-list shape shared by the projection operators.
+struct Projection {
+  std::vector<const Expr*> item_exprs;
+  std::vector<std::vector<size_t>> star_expansion;  // per item (kStar only)
+
+  Row Apply(const Row& row, const std::vector<Value>* params) const {
+    Row out;
+    for (size_t i = 0; i < item_exprs.size(); ++i) {
+      if (item_exprs[i]->kind == ExprKind::kStar) {
+        for (size_t offset : star_expansion[i]) {
+          out.push_back(row[offset]);
+        }
+      } else {
+        out.push_back(EvalExpr(*item_exprs[i], row, params));
+      }
+    }
+    return out;
+  }
+};
+
+// Streaming projection (no ORDER BY).
+class ProjectOp : public Op {
+ public:
+  ProjectOp(PlanContext* ctx, std::unique_ptr<Op> child, Projection proj)
+      : Op(ctx), child_(std::move(child)), proj_(std::move(proj)) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    in_.capacity = std::max<size_t>(out->capacity, 1);
+    if (!child_->Next(&in_)) return false;
+    for (const Row& row : in_.rows) {
+      out->rows.push_back(proj_.Apply(row, ctx_->params));
+    }
+    return true;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<Op> child_;
+  Projection proj_;
+  RowBlock in_;
+  bool closed_ = false;
+};
+
+// Barrier: drains its input, projects with sort keys, stable-sorts, then
+// emits blocks.
+class SortProjectOp : public Op {
+ public:
+  SortProjectOp(PlanContext* ctx, std::unique_ptr<Op> child, Projection proj,
+                std::vector<const Expr*> order_exprs,
+                std::vector<bool> descending)
+      : Op(ctx),
+        child_(std::move(child)),
+        proj_(std::move(proj)),
+        order_exprs_(std::move(order_exprs)),
+        descending_(std::move(descending)) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    if (!drained_) Drain();
+    while (pos_ < sorted_.size() && out->rows.size() < out->capacity) {
+      out->rows.push_back(std::move(sorted_[pos_].out));
+      ++pos_;
+    }
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+    sorted_.clear();
+  }
+
+ private:
+  struct Projected {
+    Row out;
+    Row sort_keys;
+  };
+
+  void Drain() {
+    drained_ = true;
+    RowBlock block;
+    block.capacity = ctx_->block_rows;
+    while (child_->Next(&block)) {
+      for (const Row& row : block.rows) {
+        Projected p;
+        p.out = proj_.Apply(row, ctx_->params);
+        for (const Expr* expr : order_exprs_) {
+          p.sort_keys.push_back(EvalExpr(*expr, row, ctx_->params));
+        }
+        sorted_.push_back(std::move(p));
+      }
+    }
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [&](const Projected& a, const Projected& b) {
+                       for (size_t i = 0; i < order_exprs_.size(); ++i) {
+                         int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+                         if (c != 0) return descending_[i] ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+
+  std::unique_ptr<Op> child_;
+  Projection proj_;
+  std::vector<const Expr*> order_exprs_;
+  std::vector<bool> descending_;
+  std::vector<Projected> sorted_;
+  bool drained_ = false;
+  size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+// Barrier: accumulates aggregate state block by block, then emits the
+// grouped (or global) output. HAVING, the SELECT-*-with-aggregation check,
+// and ORDER-BY-over-aggregates resolution run at finish time, with the
+// same data-dependent semantics the materialized executor had.
+class AggregateOp : public Op {
+ public:
+  struct Config {
+    Projection proj;
+    bool simple = false;
+    // Simple path ("SELECT AGG(..), AGG(..)" with no grouping):
+    std::vector<std::string> ops;
+    std::vector<const Expr*> args;  // nullptr = COUNT(*)
+    // General grouped path:
+    std::vector<const Expr*> group_exprs;
+    bool has_group_by = false;
+    const Expr* having = nullptr;
+    std::vector<AggSpec> agg_specs;
+    const std::vector<OrderItem>* order_by = nullptr;  // may be empty
+    const std::vector<std::string>* columns = nullptr;  // output names
+  };
+
+  AggregateOp(PlanContext* ctx, std::unique_ptr<Op> child, Config cfg)
+      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    if (!finished_) {
+      Status st = DrainAndFinish();
+      if (!st.ok()) {
+        ctx_->error = st;
+        Close();
+        return false;
+      }
+    }
+    while (pos_ < output_.size() && out->rows.size() < out->capacity) {
+      out->rows.push_back(std::move(output_[pos_]));
+      ++pos_;
+    }
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+    groups_.clear();
+    output_.clear();
+  }
+
+ private:
+  struct Group {
+    Row sample;
+    std::vector<AggState> states;
+  };
+
+  Status DrainAndFinish() {
+    finished_ = true;
+    RowBlock block;
+    block.capacity = ctx_->block_rows;
+    if (cfg_.simple) {
+      std::vector<AggState> states(cfg_.args.size());
+      while (child_->Next(&block)) {
+        for (const Row& row : block.rows) {
+          for (size_t i = 0; i < states.size(); ++i) {
+            if (cfg_.args[i] == nullptr) {
+              ++states[i].count;
+            } else {
+              states[i].Accumulate(EvalExpr(*cfg_.args[i], row, ctx_->params));
+            }
+          }
+        }
+      }
+      Row out;
+      out.reserve(states.size());
+      for (size_t i = 0; i < states.size(); ++i) {
+        out.push_back(states[i].Finish(cfg_.ops[i]));
+      }
+      output_.push_back(std::move(out));
+      return Status::OK();
+    }
+
+    while (child_->Next(&block)) {
+      for (const Row& row : block.rows) {
+        Row key;
+        key.reserve(cfg_.group_exprs.size());
+        for (const Expr* g : cfg_.group_exprs) {
+          key.push_back(EvalExpr(*g, row, ctx_->params));
+        }
+        Group& group = groups_[key];
+        if (group.states.empty()) {
+          group.states.resize(cfg_.agg_specs.size());
+          group.sample = row;
+        }
+        for (size_t a = 0; a < cfg_.agg_specs.size(); ++a) {
+          if (cfg_.agg_specs[a].arg == nullptr) {
+            ++group.states[a].count;  // COUNT(*)
+          } else {
+            group.states[a].Accumulate(
+                EvalExpr(*cfg_.agg_specs[a].arg, row, ctx_->params));
+          }
+        }
+      }
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if (groups_.empty() && !cfg_.has_group_by) {
+      Group& group = groups_[Row()];
+      group.states.resize(cfg_.agg_specs.size());
+    }
+    for (auto& [key, group] : groups_) {
+      (void)key;
+      std::unordered_map<const Expr*, Value> agg_values;
+      for (size_t a = 0; a < cfg_.agg_specs.size(); ++a) {
+        agg_values[cfg_.agg_specs[a].node] =
+            group.states[a].Finish(cfg_.agg_specs[a].op);
+      }
+      if (cfg_.having != nullptr) {
+        Value keep = EvalWithAggregates(*cfg_.having, group.sample,
+                                        ctx_->params, agg_values);
+        if (keep.is_null() || !keep.Truthy()) continue;
+      }
+      Row out;
+      for (const Expr* expr : cfg_.proj.item_exprs) {
+        if (expr->kind == ExprKind::kStar) {
+          return Status::Unsupported("SELECT * with aggregation");
+        }
+        out.push_back(EvalWithAggregates(*expr, group.sample, ctx_->params,
+                                         agg_values));
+      }
+      output_.push_back(std::move(out));
+    }
+    // ORDER BY over aggregated output: match items by name or position.
+    if (cfg_.order_by != nullptr && !cfg_.order_by->empty()) {
+      std::vector<std::pair<int, bool>> keys;
+      for (const OrderItem& item : *cfg_.order_by) {
+        int idx = -1;
+        if (item.expr->kind == ExprKind::kColumnRef) {
+          idx = ColumnIndexOf(item.expr->column);
+        } else if (item.expr->kind == ExprKind::kLiteral &&
+                   item.expr->literal.is_int()) {
+          idx = static_cast<int>(item.expr->literal.as_int()) - 1;
+        }
+        if (idx < 0 || idx >= static_cast<int>(cfg_.columns->size())) {
+          return Status::Unsupported(
+              "ORDER BY with aggregation must name an output column");
+        }
+        keys.emplace_back(idx, item.descending);
+      }
+      std::stable_sort(output_.begin(), output_.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (auto [idx, desc] : keys) {
+                           int c = a[idx].Compare(b[idx]);
+                           if (c != 0) return desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+    return Status::OK();
+  }
+
+  int ColumnIndexOf(const std::string& name) const {
+    for (size_t i = 0; i < cfg_.columns->size(); ++i) {
+      if (EqualsIgnoreCase((*cfg_.columns)[i], name)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  std::unique_ptr<Op> child_;
+  Config cfg_;
+  std::map<Row, Group> groups_;  // ordered for deterministic output
+  std::vector<Row> output_;
+  bool finished_ = false;
+  size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+// Streaming DISTINCT: keeps first occurrences.
+class DistinctOp : public Op {
+ public:
+  DistinctOp(PlanContext* ctx, std::unique_ptr<Op> child)
+      : Op(ctx), child_(std::move(child)) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    in_.capacity = std::max<size_t>(out->capacity, 1);
+    while (child_->Next(&in_)) {
+      for (Row& row : in_.rows) {
+        if (seen_.insert(row).second) out->rows.push_back(std::move(row));
+      }
+      if (!out->rows.empty()) return true;
+    }
+    return false;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+    seen_.clear();
+  }
+
+ private:
+  std::unique_ptr<Op> child_;
+  std::unordered_set<Row, RowHash> seen_;
+  RowBlock in_;
+  bool closed_ = false;
+};
+
+// Caps total output; shrinks the requested capacity so upstream scans
+// stop at the budget, and closes the child as soon as it is met — the
+// early-termination signal the whole pipeline is built around.
+class LimitOp : public Op {
+ public:
+  LimitOp(PlanContext* ctx, std::unique_ptr<Op> child, uint64_t limit)
+      : Op(ctx), child_(std::move(child)), remaining_(limit) {}
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_ || remaining_ == 0) {
+      CloseChild();
+      return false;
+    }
+    size_t saved = out->capacity;
+    out->capacity = static_cast<size_t>(
+        std::min<uint64_t>(std::max<size_t>(saved, 1), remaining_));
+    bool ok = child_->Next(out);
+    out->capacity = saved;
+    if (!ok) return false;
+    if (out->rows.size() > remaining_) out->rows.resize(remaining_);
+    remaining_ -= out->rows.size();
+    if (remaining_ == 0) CloseChild();
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    CloseChild();
+  }
+
+ private:
+  void CloseChild() {
+    if (child_closed_) return;
+    child_closed_ = true;
+    child_->Close();
+  }
+
+  std::unique_ptr<Op> child_;
+  uint64_t remaining_;
+  bool closed_ = false;
+  bool child_closed_ = false;
+};
+
+}  // namespace exec_ops
+
+// ---------------------------------------------------------------------
+// SelectPlan
 // ---------------------------------------------------------------------
 
-Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
+struct SelectPlan::State {
+  exec_ops::PlanContext ctx;
+  std::vector<std::unique_ptr<Expr>> owned;  // bound expression clones
+  std::vector<std::string> columns;
+  std::unique_ptr<exec_ops::Op> root;
+  ExecInfo flushed;  // portion already mirrored into Database::stats()
+  bool closed = false;
+
+  void FlushStats() {
+    ExecStats& stats = ctx.db->stats();
+    const ExecInfo& cur = ctx.exec;
+    auto add = [](metrics::Counter& counter, uint64_t now, uint64_t before) {
+      if (now > before) {
+        counter.fetch_add(now - before, std::memory_order_relaxed);
+      }
+    };
+    add(stats.index_probes, cur.index_probes, flushed.index_probes);
+    add(stats.range_scans, cur.range_scans, flushed.range_scans);
+    add(stats.full_scans, cur.full_scans, flushed.full_scans);
+    add(stats.rows_scanned, cur.rows_scanned, flushed.rows_scanned);
+    add(stats.rows_returned, cur.rows_emitted, flushed.rows_emitted);
+    flushed = cur;
+  }
+};
+
+SelectPlan::SelectPlan(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+SelectPlan::~SelectPlan() { Close(); }
+
+const std::vector<std::string>& SelectPlan::columns() const {
+  return state_->columns;
+}
+
+const Status& SelectPlan::status() const { return state_->ctx.error; }
+
+const ExecInfo& SelectPlan::exec() const { return state_->ctx.exec; }
+
+bool SelectPlan::Next(RowBlock* out) {
+  State* s = state_.get();
+  if (s->closed || !s->ctx.error.ok()) return false;
+  if (out->capacity == 0) out->capacity = s->ctx.block_rows;
+  bool ok = s->root->Next(out);
+  if (!s->ctx.error.ok()) {
+    s->FlushStats();
+    return false;
+  }
+  if (ok) s->ctx.exec.rows_emitted += out->rows.size();
+  s->FlushStats();
+  return ok;
+}
+
+void SelectPlan::Close() {
+  State* s = state_.get();
+  if (s == nullptr || s->closed) return;
+  s->closed = true;
+  s->root->Close();
+  s->FlushStats();
+}
+
+Result<ResultSet> SelectPlan::Drain() {
+  ResultSet result;
+  result.columns = state_->columns;
+  RowBlock block;
+  block.capacity = state_->ctx.block_rows;
+  while (Next(&block)) {
+    for (Row& row : block.rows) result.rows.push_back(std::move(row));
+  }
+  if (!state_->ctx.error.ok()) return state_->ctx.error;
+  result.exec = state_->ctx.exec;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// SELECT compilation
+// ---------------------------------------------------------------------
+
+Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
+                                                      size_t block_rows) {
+  using exec_ops::JoinStageOp;
+  using exec_ops::Op;
+  using exec_ops::PlanRelation;
+  using exec_ops::Projection;
+  using exec_ops::StageConfig;
+
   db_->stats().selects.fetch_add(1, std::memory_order_relaxed);
-  // Per-statement access-path attribution, mirrored into the global
-  // ExecStats at each increment site and returned on the ResultSet.
-  ExecInfo exec_info;
+  auto state = std::make_unique<SelectPlan::State>();
+  state->ctx.db = db_;
+  state->ctx.params = params_;
+  state->ctx.block_rows = std::max<size_t>(block_rows, 1);
 
   // 1. Resolve all FROM-clause relations, in order.
-  struct Stage {
-    Relation relation;
+  struct StageInput {
+    PlanRelation relation;
     const Expr* on = nullptr;  // join condition (nullptr for FROM list)
     bool left = false;
   };
-  std::vector<Stage> stages;
-  for (const TableRef& ref : stmt.from) {
+  std::vector<StageInput> stages;
+  auto add_stage = [&](const TableRef& ref, const Expr* on,
+                       bool left) -> Status {
     Result<Relation> rel = ResolveRef(ref);
     if (!rel.ok()) return rel.status();
-    stages.push_back({std::move(*rel), nullptr, false});
+    PlanRelation plan_rel;
+    plan_rel.alias = std::move(rel->alias);
+    plan_rel.columns = std::move(rel->columns);
+    plan_rel.table = rel->table;
+    plan_rel.rows = std::move(rel->rows);
+    stages.push_back({std::move(plan_rel), on, left});
+    return Status::OK();
+  };
+  for (const TableRef& ref : stmt.from) {
+    DB2G_RETURN_NOT_OK(add_stage(ref, nullptr, false));
   }
   for (const JoinClause& join : stmt.joins) {
-    Result<Relation> rel = ResolveRef(join.table);
-    if (!rel.ok()) return rel.status();
-    stages.push_back({std::move(*rel), join.on.get(),
-                      join.kind == JoinClause::Kind::kLeft});
+    DB2G_RETURN_NOT_OK(add_stage(join.table, join.on.get(),
+                                 join.kind == JoinClause::Kind::kLeft));
   }
 
   // 2. Build the full scope. Prebound statements carry resolved column
@@ -253,13 +1072,13 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
   // prefix-stage row shares the offsets of its prefix, so evaluating a
   // conjunct early is safe whenever its columns resolve in the prefix.
   Scope scope;
-  for (const Stage& stage : stages) {
+  for (const StageInput& stage : stages) {
     scope.AddTable(stage.relation.alias, stage.relation.columns);
   }
   bool any_left = false;
-  for (const Stage& stage : stages) any_left |= stage.left;
+  for (const StageInput& stage : stages) any_left |= stage.left;
 
-  std::vector<std::unique_ptr<Expr>> owned;  // keeps per-call clones alive
+  std::vector<std::unique_ptr<Expr>>& owned = state->owned;
   auto borrow = [&](const std::unique_ptr<Expr>& source)
       -> Result<const Expr*> {
     if (stmt.prebound) return source.get();
@@ -283,7 +1102,6 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
   std::vector<const Expr*> stage_on(stages.size(), nullptr);
   for (size_t k = 0; k < stages.size(); ++k) {
     if (stages[k].on == nullptr) continue;
-    // stages[k].on points into stmt; bind/borrow like where.
     if (stmt.prebound) {
       stage_on[k] = stages[k].on;
     } else {
@@ -294,37 +1112,37 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
     }
   }
 
-  // 3. Iteratively join stages, probing indexes where possible.
-  std::vector<Row> acc;
-  acc.emplace_back();  // one empty row seeds the pipeline
+  // 3. Chain join-stage operators, probing indexes where possible.
+  std::unique_ptr<Op> source =
+      std::make_unique<exec_ops::SeedOp>(&state->ctx);
   Scope partial_scope;
   bool no_from = stages.empty();
 
   for (size_t k = 0; k < stages.size(); ++k) {
-    Stage& stage = stages[k];
+    StageInput& stage = stages[k];
     Scope before = partial_scope;
     partial_scope.AddTable(stage.relation.alias, stage.relation.columns);
 
+    StageConfig cfg;
+    cfg.left = stage.left;
+
     // Collect predicates applicable at this stage (borrowed pointers into
     // the already-bound where / on expressions).
-    std::vector<const Expr*> stage_preds;
-    if (stage_on[k] != nullptr) stage_preds.push_back(stage_on[k]);
+    if (stage_on[k] != nullptr) cfg.preds.push_back(stage_on[k]);
     if (!any_left) {
       for (const Expr* conjunct : where_conjuncts) {
         if (BindsIn(*conjunct, partial_scope) &&
             !BindsIn(*conjunct, before)) {
-          stage_preds.push_back(conjunct);
+          cfg.preds.push_back(conjunct);
         }
       }
     }
 
     // Probe-term extraction against the inner relation's base table index.
     const Table* table = stage.relation.table;
-    const Index* index = nullptr;
-    std::vector<ProbeTerm> probe_terms;
     if (table != nullptr) {
       std::vector<const Expr*> conjuncts;
-      for (const Expr* pred : stage_preds) {
+      for (const Expr* pred : cfg.preds) {
         SplitConjuncts(pred, &conjuncts);
       }
       const TableSchema& schema = table->schema();
@@ -382,43 +1200,37 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         if (term.values.size() == 1) eq_columns.push_back(term.column_index);
       }
       if (!eq_columns.empty()) {
-        index = table->FindIndexOn(eq_columns);
-        if (index != nullptr) {
-          for (size_t col : index->column_indexes()) {
+        cfg.index = table->FindIndexOn(eq_columns);
+        if (cfg.index != nullptr) {
+          for (size_t col : cfg.index->column_indexes()) {
             for (const ProbeTerm& term : candidates) {
               if (term.values.size() == 1 && term.column_index == col) {
-                probe_terms.push_back(term);
+                cfg.probe_terms.push_back(term);
                 break;
               }
             }
           }
         }
       }
-      if (index == nullptr) {
+      if (cfg.index == nullptr) {
         for (const ProbeTerm& term : candidates) {
           const Index* single = table->FindIndexOn({term.column_index});
           if (single != nullptr) {
-            index = single;
-            probe_terms.push_back(term);
+            cfg.index = single;
+            cfg.probe_terms.push_back(term);
             break;
           }
         }
       }
     }
 
-    // Hash-join fallback: when there is an equality term but no backing
-    // index (materialized relations — subqueries, views, table functions —
-    // or unindexed base tables) and several outer rows, build a transient
-    // hash table over the inner side instead of rescanning it per row.
-    ProbeTerm hash_term_storage;
-    bool use_hash_join = false;
-    std::unordered_multimap<Value, size_t, ValueHash> hash_join;
-    if (index == nullptr && acc.size() > 1) {
+    // Hash-join candidate: an equality term with no backing index
+    // (materialized relations — subqueries, views, table functions — or
+    // unindexed base tables). Whether the hash table is actually built is
+    // decided at runtime, once the stage has seen more than one outer row.
+    if (cfg.index == nullptr) {
       std::vector<const Expr*> conjuncts;
-      for (const Expr* pred : stage_preds) SplitConjuncts(pred, &conjuncts);
-      // Recompute candidates for the materialized case (the block above
-      // only ran for base tables).
-      std::vector<ProbeTerm> candidates;
+      for (const Expr* pred : cfg.preds) SplitConjuncts(pred, &conjuncts);
       for (const Expr* conjunct : conjuncts) {
         if (conjunct->kind != ExprKind::kBinary || conjunct->op != "=") {
           continue;
@@ -441,43 +1253,28 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         };
         int col = inner_col(lhs);
         if (col >= 0 && BindsIn(*rhs, before)) {
-          candidates.push_back(
-              {static_cast<size_t>(col), {rhs}});
-        } else {
-          col = inner_col(rhs);
-          if (col >= 0 && BindsIn(*lhs, before)) {
-            candidates.push_back({static_cast<size_t>(col), {lhs}});
-          }
+          cfg.has_hash = true;
+          cfg.hash_column = static_cast<size_t>(col);
+          cfg.hash_key = rhs;
+          break;
         }
-      }
-      if (!candidates.empty()) {
-        hash_term_storage = candidates[0];
-        use_hash_join = true;
-        if (stage.relation.materialized()) {
-          for (size_t r = 0; r < stage.relation.rows.size(); ++r) {
-            hash_join.emplace(
-                stage.relation.rows[r][hash_term_storage.column_index], r);
-          }
-        } else {
-          for (RowId rid = 0; rid < table->slot_count(); ++rid) {
-            if (!table->IsLive(rid)) continue;
-            hash_join.emplace(
-                table->GetRow(rid)[hash_term_storage.column_index], rid);
-          }
+        col = inner_col(rhs);
+        if (col >= 0 && BindsIn(*lhs, before)) {
+          cfg.has_hash = true;
+          cfg.hash_column = static_cast<size_t>(col);
+          cfg.hash_key = lhs;
+          break;
         }
       }
     }
 
     // Ordered-index range path: a range conjunct (col < / <= / > / >= v)
     // on a column with an ORDERED INDEX scans only the matching key range.
-    const OrderedIndex* range_index = nullptr;
-    const Expr* range_lo = nullptr;
-    const Expr* range_hi = nullptr;
-    bool range_lo_excl = false;
-    bool range_hi_excl = false;
-    if (index == nullptr && !use_hash_join && table != nullptr) {
+    // Used at runtime only when neither the index probe nor the hash join
+    // applies.
+    if (cfg.index == nullptr && table != nullptr) {
       std::vector<const Expr*> conjuncts;
-      for (const Expr* pred : stage_preds) SplitConjuncts(pred, &conjuncts);
+      for (const Expr* pred : cfg.preds) SplitConjuncts(pred, &conjuncts);
       const TableSchema& schema = table->schema();
       for (const Expr* conjunct : conjuncts) {
         if (conjunct->kind != ExprKind::kBinary) continue;
@@ -508,140 +1305,33 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
         size_t col = *schema.ColumnIndex(column_side->column);
         const OrderedIndex* candidate = table->FindOrderedIndexOn(col);
         if (candidate == nullptr) continue;
-        if (range_index != nullptr && candidate != range_index) continue;
-        range_index = candidate;
+        if (cfg.range_index != nullptr && candidate != cfg.range_index) {
+          continue;
+        }
+        cfg.range_index = candidate;
         bool exclusive = op == "<" || op == ">";
         if (upper) {
-          range_hi = value_side;
-          range_hi_excl = exclusive;
+          cfg.range_hi = value_side;
+          cfg.range_hi_excl = exclusive;
         } else {
-          range_lo = value_side;
-          range_lo_excl = exclusive;
+          cfg.range_lo = value_side;
+          cfg.range_lo_excl = exclusive;
         }
       }
-      if (range_lo == nullptr && range_hi == nullptr) range_index = nullptr;
-    }
-
-    std::vector<Row> next;
-    const size_t inner_width = stage.relation.columns.size();
-    auto emit_if_match = [&](const Row& outer, const Row& inner) -> bool {
-      Row joined;
-      joined.reserve(outer.size() + inner.size());
-      joined.insert(joined.end(), outer.begin(), outer.end());
-      joined.insert(joined.end(), inner.begin(), inner.end());
-      for (const Expr* pred : stage_preds) {
-        Value v = EvalExpr(*pred, joined, params_);
-        if (v.is_null() || !v.Truthy()) return false;
-      }
-      next.push_back(std::move(joined));
-      return true;
-    };
-
-    auto& stats = db_->stats();
-    for (const Row& outer : acc) {
-      bool matched = false;
-      if (table != nullptr && index != nullptr) {
-        // Index probe: enumerate the cartesian product of probe values
-        // (IN-lists contribute several keys).
-        std::vector<Row> keys;
-        keys.emplace_back();
-        for (size_t c : index->column_indexes()) {
-          const ProbeTerm* term = nullptr;
-          for (const ProbeTerm& t : probe_terms) {
-            if (t.column_index == c) {
-              term = &t;
-              break;
-            }
-          }
-          std::vector<Row> expanded;
-          for (const Row& partial : keys) {
-            for (const Expr* value_expr : term->values) {
-              Row key = partial;
-              key.push_back(EvalExpr(*value_expr, outer, params_));
-              expanded.push_back(std::move(key));
-            }
-          }
-          keys = std::move(expanded);
-        }
-        // Duplicate IN-list values must not duplicate result rows.
-        std::sort(keys.begin(), keys.end());
-        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-        std::vector<RowId> rids;
-        for (const Row& key : keys) {
-          index->Lookup(key, &rids);
-        }
-        stats.index_probes.fetch_add(keys.size(), std::memory_order_relaxed);
-        stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
-        exec_info.index_probes += keys.size();
-        exec_info.rows_scanned += rids.size();
-        for (RowId rid : rids) {
-          matched |= emit_if_match(outer, table->GetRow(rid));
-        }
-      } else if (range_index != nullptr) {
-        Value lo_value;
-        Value hi_value;
-        if (range_lo != nullptr) lo_value = EvalExpr(*range_lo, outer, params_);
-        if (range_hi != nullptr) hi_value = EvalExpr(*range_hi, outer, params_);
-        std::vector<RowId> rids;
-        range_index->RangeLookup(range_lo != nullptr ? &lo_value : nullptr,
-                                 range_lo_excl,
-                                 range_hi != nullptr ? &hi_value : nullptr,
-                                 range_hi_excl, &rids);
-        stats.range_scans.fetch_add(1, std::memory_order_relaxed);
-        stats.rows_scanned.fetch_add(rids.size(), std::memory_order_relaxed);
-        exec_info.range_scans += 1;
-        exec_info.rows_scanned += rids.size();
-        for (RowId rid : rids) {
-          matched |= emit_if_match(outer, table->GetRow(rid));
-        }
-      } else if (use_hash_join) {
-        Value key = EvalExpr(*hash_term_storage.values[0], outer, params_);
-        auto [begin, end] = hash_join.equal_range(key);
-        stats.index_probes.fetch_add(1, std::memory_order_relaxed);
-        exec_info.index_probes += 1;
-        for (auto it = begin; it != end; ++it) {
-          stats.rows_scanned.fetch_add(1, std::memory_order_relaxed);
-          exec_info.rows_scanned += 1;
-          const Row& inner = stage.relation.materialized()
-                                 ? stage.relation.rows[it->second]
-                                 : table->GetRow(it->second);
-          matched |= emit_if_match(outer, inner);
-        }
-      } else if (table != nullptr) {
-        stats.full_scans.fetch_add(1, std::memory_order_relaxed);
-        stats.rows_scanned.fetch_add(table->row_count(),
-                                     std::memory_order_relaxed);
-        exec_info.full_scans += 1;
-        exec_info.rows_scanned += table->row_count();
-        for (RowId rid = 0; rid < table->slot_count(); ++rid) {
-          if (!table->IsLive(rid)) continue;
-          matched |= emit_if_match(outer, table->GetRow(rid));
-        }
-      } else {
-        stats.rows_scanned.fetch_add(stage.relation.rows.size(),
-                                     std::memory_order_relaxed);
-        exec_info.rows_scanned += stage.relation.rows.size();
-        for (const Row& inner : stage.relation.rows) {
-          matched |= emit_if_match(outer, inner);
-        }
-      }
-      if (!matched && stage.left) {
-        Row joined = outer;
-        joined.resize(joined.size() + inner_width);  // null extension
-        next.push_back(std::move(joined));
+      if (cfg.range_lo == nullptr && cfg.range_hi == nullptr) {
+        cfg.range_index = nullptr;
       }
     }
-    acc = std::move(next);
+
+    cfg.relation = std::move(stage.relation);
+    source = std::make_unique<JoinStageOp>(&state->ctx, std::move(source),
+                                           std::move(cfg));
   }
 
   // 4. Residual WHERE (needed with LEFT JOINs; idempotent otherwise).
   if (where != nullptr && (any_left || no_from)) {
-    std::vector<Row> filtered;
-    for (Row& row : acc) {
-      Value v = EvalExpr(*where, row, params_);
-      if (!v.is_null() && v.Truthy()) filtered.push_back(std::move(row));
-    }
-    acc = std::move(filtered);
+    source = std::make_unique<exec_ops::FilterOp>(&state->ctx,
+                                                  std::move(source), where);
   }
 
   // 5. Projection / aggregation.
@@ -650,10 +1340,7 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
     has_aggregate |= ContainsAggregate(*item.expr);
   }
 
-  ResultSet result;
-  result.exec = exec_info;
-  std::vector<const Expr*> item_exprs;
-  std::vector<std::vector<size_t>> star_expansion;  // per item (kStar only)
+  Projection proj;
   for (const SelectItem& item : stmt.items) {
     if (item.expr->kind == ExprKind::kStar) {
       std::vector<size_t> offsets =
@@ -663,160 +1350,70 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
                                 item.expr->table_alias + ".*");
       }
       for (size_t offset : offsets) {
-        result.columns.push_back(scope.NameAt(offset));
+        state->columns.push_back(scope.NameAt(offset));
       }
-      star_expansion.push_back(std::move(offsets));
-      item_exprs.push_back(item.expr.get());
+      proj.star_expansion.push_back(std::move(offsets));
+      proj.item_exprs.push_back(item.expr.get());
       continue;
     }
     Result<const Expr*> bound = borrow(item.expr);
     if (!bound.ok()) return bound.status();
-    result.columns.push_back(OutputName(item));
-    star_expansion.emplace_back();
-    item_exprs.push_back(*bound);
+    state->columns.push_back(OutputName(item));
+    proj.star_expansion.emplace_back();
+    proj.item_exprs.push_back(*bound);
   }
 
   if (has_aggregate) {
+    exec_ops::AggregateOp::Config agg;
     // Fast path for the pushdown shape "SELECT AGG(..), AGG(..) FROM ..."
     // with no grouping: single pass, no hash map, no tree rewriting.
     bool simple = stmt.group_by.empty() && !stmt.distinct &&
                   stmt.order_by.empty() && stmt.having == nullptr;
     if (simple) {
-      for (const Expr* expr : item_exprs) {
+      for (const Expr* expr : proj.item_exprs) {
         simple &= expr->kind == ExprKind::kFuncCall &&
                   IsAggregateName(expr->op);
       }
     }
+    agg.simple = simple;
     if (simple) {
-      std::vector<AggState> states(item_exprs.size());
-      std::vector<const Expr*> args(item_exprs.size(), nullptr);
-      std::vector<std::string> ops(item_exprs.size());
-      for (size_t i = 0; i < item_exprs.size(); ++i) {
-        ops[i] = ToUpper(item_exprs[i]->op);
-        if (!item_exprs[i]->children.empty() &&
-            item_exprs[i]->children[0]->kind != ExprKind::kStar) {
-          args[i] = item_exprs[i]->children[0].get();
-        }
+      for (const Expr* expr : proj.item_exprs) {
+        agg.ops.push_back(ToUpper(expr->op));
+        agg.args.push_back(!expr->children.empty() &&
+                                   expr->children[0]->kind != ExprKind::kStar
+                               ? expr->children[0].get()
+                               : nullptr);
       }
-      for (const Row& row : acc) {
-        for (size_t i = 0; i < states.size(); ++i) {
-          if (args[i] == nullptr) {
-            ++states[i].count;
-          } else {
-            states[i].Accumulate(EvalExpr(*args[i], row, params_));
-          }
-        }
+    } else {
+      for (const auto& g : stmt.group_by) {
+        Result<const Expr*> bound = borrow(g);
+        if (!bound.ok()) return bound.status();
+        agg.group_exprs.push_back(*bound);
       }
-      Row out;
-      out.reserve(states.size());
-      for (size_t i = 0; i < states.size(); ++i) {
-        out.push_back(states[i].Finish(ops[i]));
+      agg.has_group_by = !stmt.group_by.empty();
+      if (stmt.having) {
+        Result<const Expr*> bound = borrow(stmt.having);
+        if (!bound.ok()) return bound.status();
+        agg.having = *bound;
       }
-      result.rows.push_back(std::move(out));
-      db_->stats().rows_returned.fetch_add(1, std::memory_order_relaxed);
-      return result;
+      for (const Expr* expr : proj.item_exprs) {
+        CollectAggregates(expr, &agg.agg_specs);
+      }
+      if (agg.having != nullptr) {
+        CollectAggregates(agg.having, &agg.agg_specs);
+      }
+      agg.order_by = &stmt.order_by;
+      agg.columns = &state->columns;
     }
-
-    // General grouped aggregation.
-    std::vector<const Expr*> group_exprs;
-    for (const auto& g : stmt.group_by) {
-      Result<const Expr*> bound = borrow(g);
-      if (!bound.ok()) return bound.status();
-      group_exprs.push_back(*bound);
-    }
-    const Expr* having = nullptr;
-    if (stmt.having) {
-      Result<const Expr*> bound = borrow(stmt.having);
-      if (!bound.ok()) return bound.status();
-      having = *bound;
-    }
-    std::vector<AggSpec> agg_specs;
-    for (const Expr* expr : item_exprs) {
-      CollectAggregates(expr, &agg_specs);
-    }
-    if (having != nullptr) CollectAggregates(having, &agg_specs);
-    struct Group {
-      Row sample;
-      std::vector<AggState> states;
-    };
-    std::map<Row, Group> groups;  // ordered for deterministic output
-    for (const Row& row : acc) {
-      Row key;
-      key.reserve(group_exprs.size());
-      for (const Expr* g : group_exprs) {
-        key.push_back(EvalExpr(*g, row, params_));
-      }
-      Group& group = groups[key];
-      if (group.states.empty()) {
-        group.states.resize(agg_specs.size());
-        group.sample = row;
-      }
-      for (size_t a = 0; a < agg_specs.size(); ++a) {
-        if (agg_specs[a].arg == nullptr) {
-          ++group.states[a].count;  // COUNT(*)
-        } else {
-          group.states[a].Accumulate(
-              EvalExpr(*agg_specs[a].arg, row, params_));
-        }
-      }
-    }
-    // A global aggregate over zero rows still yields one output row.
-    if (groups.empty() && stmt.group_by.empty()) {
-      Group& group = groups[Row()];
-      group.states.resize(agg_specs.size());
-    }
-    for (auto& [key, group] : groups) {
-      (void)key;
-      std::unordered_map<const Expr*, Value> agg_values;
-      for (size_t a = 0; a < agg_specs.size(); ++a) {
-        agg_values[agg_specs[a].node] =
-            group.states[a].Finish(agg_specs[a].op);
-      }
-      if (having != nullptr) {
-        Value keep =
-            EvalWithAggregates(*having, group.sample, params_, agg_values);
-        if (keep.is_null() || !keep.Truthy()) continue;
-      }
-      Row out;
-      for (const Expr* expr : item_exprs) {
-        if (expr->kind == ExprKind::kStar) {
-          return Status::Unsupported("SELECT * with aggregation");
-        }
-        out.push_back(
-            EvalWithAggregates(*expr, group.sample, params_, agg_values));
-      }
-      result.rows.push_back(std::move(out));
-    }
-    // ORDER BY over aggregated output: match items by name or position.
-    if (!stmt.order_by.empty()) {
-      std::vector<std::pair<int, bool>> keys;
-      for (const OrderItem& item : stmt.order_by) {
-        int idx = -1;
-        if (item.expr->kind == ExprKind::kColumnRef) {
-          idx = result.ColumnIndex(item.expr->column);
-        } else if (item.expr->kind == ExprKind::kLiteral &&
-                   item.expr->literal.is_int()) {
-          idx = static_cast<int>(item.expr->literal.as_int()) - 1;
-        }
-        if (idx < 0 || idx >= static_cast<int>(result.columns.size())) {
-          return Status::Unsupported(
-              "ORDER BY with aggregation must name an output column");
-        }
-        keys.emplace_back(idx, item.descending);
-      }
-      std::stable_sort(result.rows.begin(), result.rows.end(),
-                       [&](const Row& a, const Row& b) {
-                         for (auto [idx, desc] : keys) {
-                           int c = a[idx].Compare(b[idx]);
-                           if (c != 0) return desc ? c > 0 : c < 0;
-                         }
-                         return false;
-                       });
-    }
+    agg.proj = std::move(proj);
+    source = std::make_unique<exec_ops::AggregateOp>(
+        &state->ctx, std::move(source), std::move(agg));
   } else {
     // Plain projection, with optional ORDER BY over source rows.
     std::vector<const Expr*> order_exprs;
+    std::vector<bool> order_desc;
     for (const OrderItem& item : stmt.order_by) {
+      order_desc.push_back(item.descending);
       if (stmt.prebound) {
         order_exprs.push_back(item.expr.get());
         continue;
@@ -827,7 +1424,7 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
       if (expr->kind == ExprKind::kColumnRef && expr->table_alias.empty()) {
         for (size_t i = 0; i < stmt.items.size(); ++i) {
           if (EqualsIgnoreCase(stmt.items[i].alias, expr->column)) {
-            order_exprs.push_back(item_exprs[i]);
+            order_exprs.push_back(proj.item_exprs[i]);
             rebound = true;
             break;
           }
@@ -838,68 +1435,34 @@ Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
       owned.push_back(std::move(expr));
       order_exprs.push_back(owned.back().get());
     }
-    struct Projected {
-      Row out;
-      Row sort_keys;
-    };
-    std::vector<Projected> projected;
-    projected.reserve(acc.size());
-    for (const Row& row : acc) {
-      Projected p;
-      for (size_t i = 0; i < item_exprs.size(); ++i) {
-        if (item_exprs[i]->kind == ExprKind::kStar) {
-          for (size_t offset : star_expansion[i]) {
-            p.out.push_back(row[offset]);
-          }
-        } else {
-          p.out.push_back(EvalExpr(*item_exprs[i], row, params_));
-        }
-      }
-      for (const Expr* expr : order_exprs) {
-        p.sort_keys.push_back(EvalExpr(*expr, row, params_));
-      }
-      projected.push_back(std::move(p));
-      // Fast-path limit when no sorting/distinct is requested.
-      if (stmt.limit >= 0 && !stmt.distinct && order_exprs.empty() &&
-          projected.size() >= static_cast<size_t>(stmt.limit)) {
-        break;
-      }
-    }
     if (!order_exprs.empty()) {
-      std::stable_sort(projected.begin(), projected.end(),
-                       [&](const Projected& a, const Projected& b) {
-                         for (size_t i = 0; i < order_exprs.size(); ++i) {
-                           int c = a.sort_keys[i].Compare(b.sort_keys[i]);
-                           if (c != 0) {
-                             return stmt.order_by[i].descending ? c > 0
-                                                                : c < 0;
-                           }
-                         }
-                         return false;
-                       });
-    }
-    for (Projected& p : projected) {
-      result.rows.push_back(std::move(p.out));
+      source = std::make_unique<exec_ops::SortProjectOp>(
+          &state->ctx, std::move(source), std::move(proj),
+          std::move(order_exprs), std::move(order_desc));
+    } else {
+      source = std::make_unique<exec_ops::ProjectOp>(
+          &state->ctx, std::move(source), std::move(proj));
     }
   }
 
   // 6. DISTINCT, LIMIT.
   if (stmt.distinct) {
-    std::unordered_set<Row, RowHash> seen;
-    std::vector<Row> unique;
-    for (Row& row : result.rows) {
-      if (seen.insert(row).second) unique.push_back(std::move(row));
-    }
-    result.rows = std::move(unique);
+    source = std::make_unique<exec_ops::DistinctOp>(&state->ctx,
+                                                    std::move(source));
   }
-  if (stmt.limit >= 0 &&
-      result.rows.size() > static_cast<size_t>(stmt.limit)) {
-    result.rows.resize(stmt.limit);
+  if (stmt.limit >= 0) {
+    source = std::make_unique<exec_ops::LimitOp>(
+        &state->ctx, std::move(source), static_cast<uint64_t>(stmt.limit));
   }
 
-  db_->stats().rows_returned.fetch_add(result.rows.size(),
-                                       std::memory_order_relaxed);
-  return result;
+  state->root = std::move(source);
+  return std::unique_ptr<SelectPlan>(new SelectPlan(std::move(state)));
+}
+
+Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
+  Result<std::unique_ptr<SelectPlan>> plan = Compile(stmt);
+  if (!plan.ok()) return plan.status();
+  return (*plan)->Drain();
 }
 
 // ---------------------------------------------------------------------

@@ -5,6 +5,13 @@
 // DISTINCT, ORDER BY and LIMIT. Simple by design, but with the access-path
 // behaviours the paper's optimizations rely on: equality and IN predicates
 // on indexed columns become index probes instead of scans.
+//
+// Execution is organized as a pull-based operator tree over RowBlocks
+// (scan -> filter -> join -> project -> aggregate/sort -> limit). Compile()
+// builds the tree; Next() streams blocks from the root, with LIMIT
+// shrinking upstream block capacities so scans stop at the row budget;
+// Select() is the materializing Compile()+Drain() convenience that existing
+// callers use.
 
 #ifndef DB2GRAPH_SQL_EXECUTOR_H_
 #define DB2GRAPH_SQL_EXECUTOR_H_
@@ -16,10 +23,48 @@
 #include "common/status.h"
 #include "sql/ast.h"
 #include "sql/result_set.h"
+#include "sql/row_source.h"
 
 namespace db2graph::sql {
 
 class Database;
+
+/// A compiled SELECT: the operator tree plus everything it borrows
+/// (bound expression clones, materialized FROM relations). Pull blocks
+/// with Next() or materialize everything with Drain(). The caller must
+/// hold the database read lock for the plan's whole lifetime and keep the
+/// source SelectStmt alive (bound expressions point into it).
+class SelectPlan : public RowSource {
+ public:
+  ~SelectPlan() override;
+  SelectPlan(SelectPlan&&) = delete;
+  SelectPlan& operator=(SelectPlan&&) = delete;
+
+  const std::vector<std::string>& columns() const;
+
+  /// Pulls the next block from the root operator. Returns false on
+  /// exhaustion or error; check status() to distinguish.
+  bool Next(RowBlock* out) override;
+
+  /// Releases operator state eagerly (idempotent; also run by the dtor).
+  void Close() override;
+
+  /// OK unless execution failed mid-stream.
+  const Status& status() const;
+
+  /// Access-path counters accumulated so far (complete after exhaustion).
+  const ExecInfo& exec() const;
+
+  /// Pulls everything and returns the materialized result — the
+  /// compatibility adapter Database::Execute sits on.
+  Result<ResultSet> Drain();
+
+ private:
+  friend class Executor;
+  struct State;
+  explicit SelectPlan(std::unique_ptr<State> state);
+  std::unique_ptr<State> state_;
+};
 
 /// Executes one SELECT against a database. The caller must already hold the
 /// database lock (Database::Execute does).
@@ -31,6 +76,12 @@ class Executor {
   /// View expansion runs with definer's rights: a grant on the view is
   /// enough, so the inner executor skips per-table checks.
   void set_skip_access_checks(bool skip) { skip_access_checks_ = skip; }
+
+  /// Builds the streaming operator tree for `stmt`. The returned plan
+  /// captures db and params pointers; both must outlive it.
+  Result<std::unique_ptr<SelectPlan>> Compile(const SelectStmt& stmt,
+                                              size_t block_rows =
+                                                  kDefaultBlockRows);
 
   Result<ResultSet> Select(const SelectStmt& stmt);
 

@@ -60,7 +60,8 @@ std::string ResultSet::ToString(size_t max_rows) const {
   }
   rule();
   if (rows.size() > shown) {
-    os << "... (" << rows.size() << " rows total)\n";
+    os << "... (" << rows.size() - shown << " more rows, " << rows.size()
+       << " total)\n";
   } else {
     os << rows.size() << " row(s)\n";
   }

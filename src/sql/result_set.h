@@ -19,7 +19,12 @@ struct ExecInfo {
   uint64_t index_probes = 0;
   uint64_t range_scans = 0;
   uint64_t full_scans = 0;
+  /// Rows actually pulled from base tables / materialized relations.
+  /// Counted per row visited, so a LIMIT that short-circuits a scan is
+  /// reflected here (not the table's total row count).
   uint64_t rows_scanned = 0;
+  /// Rows the statement emitted to its consumer.
+  uint64_t rows_emitted = 0;
 
   /// Dominant access path label: "index", "range", "scan", "mixed", or
   /// "none" (no table touched, e.g. SELECT over a materialized relation).

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Block-at-a-time execution interface. Operators produce rows in blocks
+// (default 1024) pulled lazily from the root: the consumer asks for the
+// next block, the operator fills it from its own upstream, and a LIMIT
+// at the root shrinks the requested capacity so upstream scans stop as
+// soon as the budget is met.
+
+#ifndef DB2GRAPH_SQL_ROW_SOURCE_H_
+#define DB2GRAPH_SQL_ROW_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/value.h"
+
+namespace db2graph::sql {
+
+/// Default number of rows per block.
+inline constexpr size_t kDefaultBlockRows = 1024;
+
+/// One batch of rows flowing between operators. The *puller* sets
+/// `capacity` before calling Next(); the producer fills at most that many
+/// rows. Shrinking the capacity is how LIMIT propagates a row budget
+/// upstream without a dedicated control channel.
+struct RowBlock {
+  std::vector<Row> rows;
+  size_t capacity = kDefaultBlockRows;
+
+  void Clear() { rows.clear(); }
+  bool full() const { return rows.size() >= capacity; }
+};
+
+/// Pull-based operator interface.
+///
+/// Contract: Next() clears `out->rows` and appends up to `out->capacity`
+/// rows. It returns true iff at least one row was produced (operators
+/// loop internally rather than returning an empty block), false when the
+/// source is exhausted or failed — the error, if any, is reported through
+/// the owning plan/stream's status(). After Close() (idempotent), Next()
+/// returns false; Close() releases upstream resources eagerly, which is
+/// what cancels still-pending work under early termination.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  virtual bool Next(RowBlock* out) = 0;
+  virtual void Close() = 0;
+};
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_ROW_SOURCE_H_

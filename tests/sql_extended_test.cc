@@ -157,5 +157,30 @@ TEST_P(RangeEquivalenceTest, OrderedIndexMatchesFullScan) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeEquivalenceTest, ::testing::Range(1, 7));
 
+TEST(ResultSetToStringTest, TruncationReportsHiddenAndTotalRows) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE T (id BIGINT PRIMARY KEY)").ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO T VALUES (" + std::to_string(i) + ")").ok());
+  }
+  Result<ResultSet> rs = db.Execute("SELECT id FROM T ORDER BY id");
+  ASSERT_TRUE(rs.ok());
+
+  std::string truncated = rs->ToString(/*max_rows=*/5);
+  EXPECT_NE(truncated.find("... (7 more rows, 12 total)"), std::string::npos)
+      << truncated;
+  // The hidden rows really are hidden.
+  EXPECT_EQ(truncated.find("| 11"), std::string::npos) << truncated;
+
+  std::string full = rs->ToString();
+  EXPECT_NE(full.find("12 row(s)"), std::string::npos) << full;
+  EXPECT_EQ(full.find("more rows"), std::string::npos) << full;
+
+  // Exactly-at-the-cap is not truncation.
+  std::string exact = rs->ToString(/*max_rows=*/12);
+  EXPECT_NE(exact.find("12 row(s)"), std::string::npos) << exact;
+}
+
 }  // namespace
 }  // namespace db2graph::sql
