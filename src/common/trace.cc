@@ -244,6 +244,9 @@ std::string QueryTrace::RenderText() const {
       if (rec.rows_estimated > 0) {
         out += " estimated<=" + std::to_string(rec.rows_estimated);
       }
+      if (!rec.exec_mode.empty()) {
+        out += " mode=" + rec.exec_mode;
+      }
       out += " (" + std::to_string(rec.micros) + "us)\n";
     }
   }
@@ -302,6 +305,7 @@ Json QueryTrace::ToJson() const {
       stmt.Set("table", Json::Str(rec.table));
       stmt.Set("sql", Json::Str(rec.sql));
       stmt.Set("access_path", Json::Str(rec.access_path));
+      stmt.Set("exec_mode", Json::Str(rec.exec_mode));
       stmt.Set("rows_scanned",
                Json::Number(static_cast<double>(rec.rows_scanned)));
       stmt.Set("rows_returned",

@@ -46,6 +46,9 @@ struct SqlTraceRecord {
   /// runtime; "index probe" / "full scan" / "full scan+filter" predictions
   /// from EXPLAIN.
   std::string access_path;
+  /// Execution mode attribution: "vectorized", "scalar", "mixed", or
+  /// "none" (ExecInfo::ExecMode). Empty for EXPLAIN predictions.
+  std::string exec_mode;
   /// Rows the statement actually pulled from storage (post-short-circuit:
   /// a pushed-down LIMIT stops the scan early and this reflects that).
   uint64_t rows_scanned = 0;

@@ -16,6 +16,9 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
     Options options) {
   Result<overlay::Topology> topology = overlay::Topology::Build(*db, config);
   if (!topology.ok()) return topology.status();
+  // The SQL layer cannot see RuntimeOptions, so the vectorized-execution
+  // knob is pushed down onto the database itself.
+  db->set_vectorized_execution(options.runtime.vectorized_execution);
   std::unique_ptr<Db2Graph> graph(new Db2Graph(db, options));
   graph->ddl_version_at_open_ = db->ddl_version();
   graph->dialect_ = std::make_unique<SqlDialect>(db);

@@ -61,12 +61,18 @@ struct RuntimeOptions {
   /// Traversers per block in streaming segments.
   size_t streaming_block_rows = 256;
 
+  /// Column-at-a-time SQL execution for eligible single-table scans
+  /// (Database::set_vectorized_execution). Off = every SELECT runs on the
+  /// row-at-a-time operators.
+  bool vectorized_execution = true;
+
   static RuntimeOptions AllOff() {
     RuntimeOptions o;
     o.label_pruning = o.prefixed_id_pinning = o.property_pruning =
         o.endpoint_table_pruning = o.vertex_from_edge_shortcut =
             o.implicit_edge_id_decomposition = o.parallel_fanout =
-                o.vertex_cache = o.streaming_execution = false;
+                o.vertex_cache = o.streaming_execution =
+                    o.vectorized_execution = false;
     return o;
   }
 };

@@ -55,6 +55,7 @@ Result<sql::ResultSet> SqlDialect::Query(const std::string& sql,
     record.micros = query_trace->clock()->NowMicros() - start;
     if (result.ok()) {
       record.access_path = result->exec.AccessPath();
+      record.exec_mode = result->exec.ExecMode();
       record.rows_scanned = result->exec.rows_scanned;
       record.rows_returned = result->rows.size();
       record.rows_emitted = result->exec.rows_emitted;
@@ -150,6 +151,7 @@ void DialectRowStream::FileRecord() {
   record_.micros = trace_->clock()->NowMicros() - start_micros_;
   if (stream_->status().ok()) {
     record_.access_path = exec.AccessPath();
+    record_.exec_mode = exec.ExecMode();
     record_.rows_scanned = exec.rows_scanned;
     record_.rows_returned = rows_seen_;
     record_.rows_emitted = exec.rows_emitted;

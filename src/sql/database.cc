@@ -484,6 +484,7 @@ Result<ResultSet> Database::ExecuteInsert(const InsertStmt& stmt,
     }
     ++result.affected;
   }
+  table->PublishColumnStats();
   return result;
 }
 
@@ -536,6 +537,7 @@ Result<ResultSet> Database::ExecuteUpdate(const UpdateStmt& stmt,
     }
     ++result.affected;
   }
+  table->PublishColumnStats();
   return result;
 }
 
@@ -573,6 +575,7 @@ Result<ResultSet> Database::ExecuteDelete(const DeleteStmt& stmt,
     }
     ++result.affected;
   }
+  table->PublishColumnStats();
   return result;
 }
 

@@ -204,6 +204,18 @@ class Database {
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
 
+  /// Toggles the column-at-a-time execution path (on by default).
+  /// Eligible single-table full scans then run as ColumnScan ->
+  /// ColumnFilter kernels with late materialization; when off — or for
+  /// plan shapes without a vectorized lowering — everything runs on the
+  /// classic row-at-a-time operators. Results are identical either way.
+  void set_vectorized_execution(bool on) {
+    vectorized_execution_.store(on, std::memory_order_relaxed);
+  }
+  bool vectorized_execution() const {
+    return vectorized_execution_.load(std::memory_order_relaxed);
+  }
+
   /// True while a BEGIN..COMMIT/ROLLBACK transaction is open.
   bool InTransaction() const { return in_transaction_; }
 
@@ -299,6 +311,7 @@ class Database {
 
   std::atomic<uint64_t> ddl_version_{0};
   std::atomic<uint64_t> write_epoch_{0};
+  std::atomic<bool> vectorized_execution_{true};
   bool access_control_ = false;
   std::string current_user_;  // "" = superuser
   struct Privilege {

@@ -309,7 +309,9 @@ struct StageConfig {
 class JoinStageOp : public Op {
  public:
   JoinStageOp(PlanContext* ctx, std::unique_ptr<Op> child, StageConfig cfg)
-      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {}
+      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {
+    ctx_->exec.scalar_ops += 1;
+  }
 
   bool Next(RowBlock* out) override {
     out->Clear();
@@ -323,13 +325,12 @@ class JoinStageOp : public Op {
         matched_ = false;
         phase_ = Phase::kDraining;
       } else if (phase_ == Phase::kDraining) {
-        const Row* inner = CursorNextRow();
-        if (inner == nullptr) {
+        if (!NextJoined()) {
           phase_ = (!matched_ && cfg_.left) ? Phase::kPendingLeft
                                             : Phase::kNeedOuter;
           continue;
         }
-        EmitIfMatch(*inner, out);
+        EmitIfMatch(out);
       } else {  // kPendingLeft: null-extend the unmatched outer row
         Row joined = outer_;
         joined.resize(joined.size() + cfg_.relation.columns.size());
@@ -380,7 +381,7 @@ class JoinStageOp : public Op {
     } else {
       for (RowId rid = 0; rid < rel.table->slot_count(); ++rid) {
         if (!rel.table->IsLive(rid)) continue;
-        hash_table_.emplace(rel.table->GetRow(rid)[cfg_.hash_column], rid);
+        hash_table_.emplace(rel.table->ValueAt(rid, cfg_.hash_column), rid);
       }
     }
   }
@@ -466,49 +467,68 @@ class JoinStageOp : public Op {
     rows_pos_ = 0;
   }
 
-  // Yields the next inner row of the current cursor (nullptr at the end),
-  // counting each visited row.
-  const Row* CursorNextRow() {
+  // Starts the joined scratch row with a copy of the outer row; the inner
+  // side is appended straight from column storage (base tables) or from
+  // the materialized rows, with no intermediate Row.
+  void StartJoined(size_t inner_width) {
+    joined_.clear();
+    joined_.reserve(outer_.size() + inner_width);
+    joined_.insert(joined_.end(), outer_.begin(), outer_.end());
+  }
+
+  // Builds the next joined (outer + inner) row of the current cursor into
+  // joined_; false at cursor end. Counts each visited row.
+  bool NextJoined() {
     const PlanRelation& rel = cfg_.relation;
     switch (cursor_) {
       case CursorKind::kRids:
-        if (rid_pos_ >= rids_.size()) return nullptr;
+        if (rid_pos_ >= rids_.size()) return false;
         ctx_->exec.rows_scanned += 1;
-        return &rel.table->GetRow(rids_[rid_pos_++]);
+        StartJoined(rel.columns.size());
+        rel.table->AppendRow(rids_[rid_pos_++], &joined_);
+        return true;
       case CursorKind::kHash: {
-        if (hash_it_ == hash_end_) return nullptr;
+        if (hash_it_ == hash_end_) return false;
         ctx_->exec.rows_scanned += 1;
         size_t slot = hash_it_->second;
         ++hash_it_;
-        return rel.materialized() ? &rel.rows[slot]
-                                  : &rel.table->GetRow(slot);
+        StartJoined(rel.columns.size());
+        if (rel.materialized()) {
+          const Row& inner = rel.rows[slot];
+          joined_.insert(joined_.end(), inner.begin(), inner.end());
+        } else {
+          rel.table->AppendRow(slot, &joined_);
+        }
+        return true;
       }
       case CursorKind::kScan:
         while (scan_rid_ < rel.table->slot_count() &&
                !rel.table->IsLive(scan_rid_)) {
           ++scan_rid_;
         }
-        if (scan_rid_ >= rel.table->slot_count()) return nullptr;
+        if (scan_rid_ >= rel.table->slot_count()) return false;
         ctx_->exec.rows_scanned += 1;
-        return &rel.table->GetRow(scan_rid_++);
-      case CursorKind::kRows:
-        if (rows_pos_ >= rel.rows.size()) return nullptr;
+        StartJoined(rel.columns.size());
+        rel.table->AppendRow(scan_rid_++, &joined_);
+        return true;
+      case CursorKind::kRows: {
+        if (rows_pos_ >= rel.rows.size()) return false;
         ctx_->exec.rows_scanned += 1;
-        return &rel.rows[rows_pos_++];
+        StartJoined(rel.columns.size());
+        const Row& inner = rel.rows[rows_pos_++];
+        joined_.insert(joined_.end(), inner.begin(), inner.end());
+        return true;
+      }
     }
-    return nullptr;
+    return false;
   }
 
-  void EmitIfMatch(const Row& inner, RowBlock* out) {
-    Row joined;
-    joined.reserve(outer_.size() + inner.size());
-    joined.insert(joined.end(), outer_.begin(), outer_.end());
-    joined.insert(joined.end(), inner.begin(), inner.end());
+  void EmitIfMatch(RowBlock* out) {
     for (const Expr* pred : cfg_.preds) {
-      Value v = EvalExpr(*pred, joined, ctx_->params);
+      Value v = EvalExpr(*pred, joined_, ctx_->params);
       if (v.is_null() || !v.Truthy()) return;
     }
-    out->rows.push_back(std::move(joined));
+    out->rows.push_back(std::move(joined_));
     matched_ = true;
   }
 
@@ -527,6 +547,7 @@ class JoinStageOp : public Op {
 
   Phase phase_ = Phase::kNeedOuter;
   Row outer_;
+  Row joined_;  // scratch outer+inner row built by NextJoined()
   bool matched_ = false;
 
   CursorKind cursor_ = CursorKind::kRows;
@@ -542,7 +563,9 @@ class JoinStageOp : public Op {
 class FilterOp : public Op {
  public:
   FilterOp(PlanContext* ctx, std::unique_ptr<Op> child, const Expr* where)
-      : Op(ctx), child_(std::move(child)), where_(where) {}
+      : Op(ctx), child_(std::move(child)), where_(where) {
+    ctx_->exec.scalar_ops += 1;
+  }
 
   bool Next(RowBlock* out) override {
     out->Clear();
@@ -594,7 +617,9 @@ struct Projection {
 class ProjectOp : public Op {
  public:
   ProjectOp(PlanContext* ctx, std::unique_ptr<Op> child, Projection proj)
-      : Op(ctx), child_(std::move(child)), proj_(std::move(proj)) {}
+      : Op(ctx), child_(std::move(child)), proj_(std::move(proj)) {
+    ctx_->exec.scalar_ops += 1;
+  }
 
   bool Next(RowBlock* out) override {
     out->Clear();
@@ -630,7 +655,9 @@ class SortProjectOp : public Op {
         child_(std::move(child)),
         proj_(std::move(proj)),
         order_exprs_(std::move(order_exprs)),
-        descending_(std::move(descending)) {}
+        descending_(std::move(descending)) {
+    ctx_->exec.scalar_ops += 1;
+  }
 
   bool Next(RowBlock* out) override {
     out->Clear();
@@ -711,7 +738,9 @@ class AggregateOp : public Op {
   };
 
   AggregateOp(PlanContext* ctx, std::unique_ptr<Op> child, Config cfg)
-      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {}
+      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {
+    ctx_->exec.scalar_ops += 1;
+  }
 
   bool Next(RowBlock* out) override {
     out->Clear();
@@ -942,7 +971,689 @@ class LimitOp : public Op {
   bool child_closed_ = false;
 };
 
+// ---------------------------------------------------------------------
+// Vectorized (column-at-a-time) operators
+// ---------------------------------------------------------------------
+//
+// These run below the row tree for single-table full scans when
+// Database::vectorized_execution() is on:
+//
+//   ColumnScan -> ColumnFilter? -> (ColumnAggregate | ColumnProject
+//                                   | ColumnToRow -> <row operators>)
+//
+// Blocks are selection vectors over the base table's column vectors; no
+// row is materialized until the top of the column section. Filter
+// conjuncts compile to fused compare+select kernels when they have the
+// shape `col <op> const` (or IS [NOT] NULL); anything else falls back to
+// per-row materialization + EvalExpr, counted in scalar_fallback_rows so
+// profile() shows how much of the block actually ran scalar.
+
+// Pull interface for the column section (ColumnBlock analogue of Op).
+class ColOp {
+ public:
+  explicit ColOp(PlanContext* ctx) : ctx_(ctx) {}
+  virtual ~ColOp() = default;
+  virtual bool Next(ColumnBlock* out) = 0;
+  virtual void Close() = 0;
+
+ protected:
+  PlanContext* ctx_;
+};
+
+// Emits the live slots of a base table in ascending order.
+class ColumnScanOp : public ColOp {
+ public:
+  ColumnScanOp(PlanContext* ctx, const Table* table)
+      : ColOp(ctx), table_(table) {
+    ctx_->exec.vectorized_ops += 1;
+  }
+
+  bool Next(ColumnBlock* out) override {
+    out->Clear();
+    out->table = table_;
+    if (closed_) return false;
+    if (!started_) {
+      started_ = true;
+      ctx_->exec.full_scans += 1;
+    }
+    size_t cap = std::max<size_t>(out->capacity, 1);
+    while (rid_ < table_->slot_count() && out->sel.size() < cap) {
+      if (table_->IsLive(rid_)) out->sel.push_back(rid_);
+      ++rid_;
+    }
+    ctx_->exec.rows_scanned += out->sel.size();
+    ctx_->exec.vectorized_rows += out->sel.size();
+    return !out->sel.empty();
+  }
+
+  void Close() override { closed_ = true; }
+
+ private:
+  const Table* table_;
+  RowId rid_ = 0;
+  bool started_ = false;
+  bool closed_ = false;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// One compiled WHERE conjunct. kCompare/kIsNull run as typed kernels over
+// the column vectors; kFallback materializes each still-selected row and
+// calls the scalar evaluator.
+struct FilterKernel {
+  enum class Kind { kCompare, kIsNull, kFallback };
+  Kind kind = Kind::kFallback;
+  size_t col = 0;                    // kCompare / kIsNull
+  CmpOp cmp = CmpOp::kEq;            // kCompare
+  const Expr* const_expr = nullptr;  // kCompare: constant operand
+  bool negated = false;              // kIsNull: IS NOT NULL
+  const Expr* expr = nullptr;        // kFallback: whole conjunct
+};
+
+inline bool CmpMatches(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+// Constant operand a compare kernel may evaluate once per execution:
+// literals and '?' parameters.
+inline bool IsConstExpr(const Expr& e) {
+  return e.kind == ExprKind::kLiteral || e.kind == ExprKind::kParam;
+}
+
+inline bool IsBoundColumn(const Expr* e) {
+  return e != nullptr && e->kind == ExprKind::kColumnRef &&
+         e->bound_index >= 0;
+}
+
+inline CmpOp MirrorCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // = and <> are symmetric
+  }
+}
+
+// Compiles one conjunct into a kernel; unsupported shapes become the
+// scalar fallback.
+inline FilterKernel CompileFilterKernel(const Expr* conjunct) {
+  FilterKernel k;
+  k.expr = conjunct;
+  if (conjunct->kind == ExprKind::kIsNull &&
+      IsBoundColumn(conjunct->children[0].get())) {
+    k.kind = FilterKernel::Kind::kIsNull;
+    k.col = static_cast<size_t>(conjunct->children[0]->bound_index);
+    k.negated = conjunct->negated;
+    return k;
+  }
+  if (conjunct->kind == ExprKind::kBinary) {
+    CmpOp cmp;
+    const std::string& op = conjunct->op;
+    if (op == "=") {
+      cmp = CmpOp::kEq;
+    } else if (op == "<>" || op == "!=") {
+      cmp = CmpOp::kNe;
+    } else if (op == "<") {
+      cmp = CmpOp::kLt;
+    } else if (op == "<=") {
+      cmp = CmpOp::kLe;
+    } else if (op == ">") {
+      cmp = CmpOp::kGt;
+    } else if (op == ">=") {
+      cmp = CmpOp::kGe;
+    } else {
+      return k;
+    }
+    const Expr* lhs = conjunct->children[0].get();
+    const Expr* rhs = conjunct->children[1].get();
+    if (IsBoundColumn(lhs) && IsConstExpr(*rhs)) {
+      k.kind = FilterKernel::Kind::kCompare;
+      k.col = static_cast<size_t>(lhs->bound_index);
+      k.cmp = cmp;
+      k.const_expr = rhs;
+    } else if (IsBoundColumn(rhs) && IsConstExpr(*lhs)) {
+      k.kind = FilterKernel::Kind::kCompare;
+      k.col = static_cast<size_t>(rhs->bound_index);
+      k.cmp = MirrorCmp(cmp);  // keep the column on the left
+      k.const_expr = lhs;
+    }
+  }
+  return k;
+}
+
+// Applies compiled kernels to each block, narrowing the selection vector
+// in place. Kernelized conjuncts run before fallbacks so the expensive
+// per-row path sees as few rows as possible (AND conjuncts are
+// side-effect free, so reordering preserves the result set).
+class ColumnFilterOp : public ColOp {
+ public:
+  ColumnFilterOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
+                 const std::vector<const Expr*>& conjuncts)
+      : ColOp(ctx), child_(std::move(child)) {
+    ctx_->exec.vectorized_ops += 1;
+    std::vector<FilterKernel> fallbacks;
+    for (const Expr* conjunct : conjuncts) {
+      FilterKernel k = CompileFilterKernel(conjunct);
+      if (k.kind == FilterKernel::Kind::kFallback) {
+        fallbacks.push_back(k);
+      } else {
+        kernels_.push_back(k);
+      }
+    }
+    kernels_.insert(kernels_.end(), fallbacks.begin(), fallbacks.end());
+  }
+
+  bool Next(ColumnBlock* out) override {
+    if (closed_) {
+      out->Clear();
+      return false;
+    }
+    while (child_->Next(out)) {
+      for (const FilterKernel& k : kernels_) {
+        if (out->sel.empty()) break;
+        Apply(k, out);
+      }
+      if (!out->sel.empty()) return true;
+    }
+    out->Clear();
+    return false;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  void Apply(const FilterKernel& k, ColumnBlock* block) {
+    switch (k.kind) {
+      case FilterKernel::Kind::kCompare:
+        ApplyCompare(k, block);
+        return;
+      case FilterKernel::Kind::kIsNull:
+        ApplyIsNull(k, block);
+        return;
+      case FilterKernel::Kind::kFallback:
+        ApplyFallback(k, block);
+        return;
+    }
+  }
+
+  void ApplyIsNull(const FilterKernel& k, ColumnBlock* block) {
+    const Column& col = block->table->column(k.col);
+    auto& sel = block->sel;
+    size_t w = 0;
+    for (uint64_t rid : sel) {
+      if (col.IsNull(rid) != k.negated) sel[w++] = rid;
+    }
+    sel.resize(w);
+  }
+
+  // Fused compare + select. NULL cells never match (the scalar evaluator
+  // returns NULL for comparisons with a NULL operand, and filters treat
+  // NULL as false); a NULL constant rejects the whole block.
+  void ApplyCompare(const FilterKernel& k, ColumnBlock* block) {
+    const Value& constant = ConstantFor(k);
+    auto& sel = block->sel;
+    if (constant.is_null()) {
+      sel.clear();
+      return;
+    }
+    const Column& col = block->table->column(k.col);
+    size_t w = 0;
+    switch (col.value_type()) {
+      case ValueType::kInt:
+        if (constant.is_int()) {
+          const int64_t* data = col.ints();
+          int64_t rhs = constant.as_int();
+          for (uint64_t rid : sel) {
+            if (col.IsNull(rid)) continue;
+            int64_t x = data[rid];
+            int c = x < rhs ? -1 : (x > rhs ? 1 : 0);
+            if (CmpMatches(k.cmp, c)) sel[w++] = rid;
+          }
+          sel.resize(w);
+          return;
+        }
+        if (constant.is_double()) {
+          const int64_t* data = col.ints();
+          double rhs = constant.as_double();
+          for (uint64_t rid : sel) {
+            if (col.IsNull(rid)) continue;
+            double x = static_cast<double>(data[rid]);
+            int c = x < rhs ? -1 : (x > rhs ? 1 : 0);
+            if (CmpMatches(k.cmp, c)) sel[w++] = rid;
+          }
+          sel.resize(w);
+          return;
+        }
+        break;
+      case ValueType::kDouble:
+        if (constant.is_numeric()) {
+          const double* data = col.doubles();
+          double rhs = constant.NumericValue();
+          for (uint64_t rid : sel) {
+            if (col.IsNull(rid)) continue;
+            double x = data[rid];
+            int c = x < rhs ? -1 : (x > rhs ? 1 : 0);
+            if (CmpMatches(k.cmp, c)) sel[w++] = rid;
+          }
+          sel.resize(w);
+          return;
+        }
+        break;
+      case ValueType::kString:
+        if (constant.is_string()) {
+          const std::string* data = col.strings();
+          const std::string& rhs = constant.as_string();
+          for (uint64_t rid : sel) {
+            if (col.IsNull(rid)) continue;
+            int c = data[rid].compare(rhs);
+            if (CmpMatches(k.cmp, c)) sel[w++] = rid;
+          }
+          sel.resize(w);
+          return;
+        }
+        break;
+      case ValueType::kBool:
+        if (constant.is_bool()) {
+          const uint8_t* data = col.bools();
+          int rhs = constant.as_bool() ? 1 : 0;
+          for (uint64_t rid : sel) {
+            if (col.IsNull(rid)) continue;
+            int c = static_cast<int>(data[rid]) - rhs;
+            if (CmpMatches(k.cmp, c)) sel[w++] = rid;
+          }
+          sel.resize(w);
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    // Cross-type-class comparison (e.g. int column vs string constant):
+    // still in-kernel, per-cell Value::Compare, no row materialization.
+    for (uint64_t rid : sel) {
+      if (col.IsNull(rid)) continue;
+      if (CmpMatches(k.cmp, col.Get(rid).Compare(constant))) sel[w++] = rid;
+    }
+    sel.resize(w);
+  }
+
+  void ApplyFallback(const FilterKernel& k, ColumnBlock* block) {
+    auto& sel = block->sel;
+    ctx_->exec.scalar_fallback_rows += sel.size();
+    size_t w = 0;
+    for (uint64_t rid : sel) {
+      block->table->MaterializeRow(rid, &scratch_);
+      Value v = EvalExpr(*k.expr, scratch_, ctx_->params);
+      if (!v.is_null() && v.Truthy()) sel[w++] = rid;
+    }
+    sel.resize(w);
+  }
+
+  const Value& ConstantFor(const FilterKernel& k) {
+    auto it = constants_.find(k.const_expr);
+    if (it == constants_.end()) {
+      Row empty;
+      it = constants_
+               .emplace(k.const_expr,
+                        EvalExpr(*k.const_expr, empty, ctx_->params))
+               .first;
+    }
+    return it->second;
+  }
+
+  std::unique_ptr<ColOp> child_;
+  std::vector<FilterKernel> kernels_;
+  std::unordered_map<const Expr*, Value> constants_;
+  Row scratch_;
+  bool closed_ = false;
+};
+
+// Column pruning at the top of the column section: materializes only the
+// projected columns, straight from the column vectors (late
+// materialization — rows filtered out upstream never touch these
+// columns). Eligible when every select item is a bound column reference
+// or a star.
+class ColumnProjectOp : public Op {
+ public:
+  ColumnProjectOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
+                  std::vector<size_t> out_cols)
+      : Op(ctx), child_(std::move(child)), out_cols_(std::move(out_cols)) {
+    ctx_->exec.vectorized_ops += 1;
+  }
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    in_.capacity = std::max<size_t>(out->capacity, 1);
+    if (!child_->Next(&in_)) return false;
+    out->rows.reserve(std::min(out->capacity, in_.sel.size()));
+    for (uint64_t rid : in_.sel) {
+      Row& row = out->rows.emplace_back();
+      row.reserve(out_cols_.size());
+      for (size_t c : out_cols_) {
+        row.push_back(in_.table->column(c).Get(rid));
+      }
+    }
+    return true;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<ColOp> child_;
+  std::vector<size_t> out_cols_;
+  ColumnBlock in_;
+  bool closed_ = false;
+};
+
+// Row-materialization adapter at the boundary between the column section
+// and the classic row operators: turns each selected slot into a full
+// row, so everything above (sort, distinct, scalar aggregation, the
+// RowStream API) is unchanged.
+class ColumnToRowOp : public Op {
+ public:
+  ColumnToRowOp(PlanContext* ctx, std::unique_ptr<ColOp> child)
+      : Op(ctx), child_(std::move(child)) {
+    ctx_->exec.vectorized_ops += 1;
+  }
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    in_.capacity = std::max<size_t>(out->capacity, 1);
+    if (!child_->Next(&in_)) return false;
+    out->rows.reserve(std::min(out->capacity, in_.sel.size()));
+    for (uint64_t rid : in_.sel) {
+      in_.table->AppendRow(rid, &out->rows.emplace_back());
+    }
+    return true;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<ColOp> child_;
+  ColumnBlock in_;
+  bool closed_ = false;
+};
+
+// Vectorized aggregation barrier. Two shapes, mirroring AggregateOp:
+// the "simple" global-aggregate list (SELECT AGG(col), ...), accumulated
+// with typed per-column loops, and GROUP BY over plain columns with
+// aggregate-or-group-key select items. Anything else stays on the scalar
+// AggregateOp behind the ColumnToRow adapter.
+class ColumnAggregateOp : public Op {
+ public:
+  struct Config {
+    bool simple = false;
+    std::vector<std::string> ops;  // per aggregate, upper-cased
+    std::vector<int> arg_cols;     // per aggregate; -1 = COUNT(*)
+    // Grouped shape:
+    std::vector<size_t> group_cols;
+    struct Item {
+      bool is_group = false;  // true: group key, false: aggregate
+      size_t index = 0;       // into group_cols / ops+arg_cols
+    };
+    std::vector<Item> items;  // grouped shape only
+  };
+
+  ColumnAggregateOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
+                    Config cfg)
+      : Op(ctx), child_(std::move(child)), cfg_(std::move(cfg)) {
+    ctx_->exec.vectorized_ops += 1;
+  }
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    if (!finished_) DrainAndFinish();
+    while (pos_ < output_.size() && out->rows.size() < out->capacity) {
+      out->rows.push_back(std::move(output_[pos_]));
+      ++pos_;
+    }
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+    groups_.clear();
+    output_.clear();
+  }
+
+ private:
+  void DrainAndFinish() {
+    finished_ = true;
+    ColumnBlock block;
+    block.capacity = ctx_->block_rows;
+    if (cfg_.simple) {
+      std::vector<AggState> states(cfg_.ops.size());
+      while (child_->Next(&block)) {
+        for (size_t a = 0; a < states.size(); ++a) {
+          AccumulateColumn(block, cfg_.arg_cols[a], cfg_.ops[a],
+                           &states[a]);
+        }
+      }
+      Row out;
+      out.reserve(states.size());
+      for (size_t a = 0; a < states.size(); ++a) {
+        out.push_back(states[a].Finish(cfg_.ops[a]));
+      }
+      output_.push_back(std::move(out));
+      return;
+    }
+
+    while (child_->Next(&block)) {
+      for (uint64_t rid : block.sel) {
+        Row key;
+        key.reserve(cfg_.group_cols.size());
+        for (size_t c : cfg_.group_cols) {
+          key.push_back(block.table->column(c).Get(rid));
+        }
+        std::vector<AggState>& states = groups_[key];
+        if (states.empty()) states.resize(cfg_.ops.size());
+        for (size_t a = 0; a < states.size(); ++a) {
+          int ci = cfg_.arg_cols[a];
+          if (ci < 0) {
+            ++states[a].count;  // COUNT(*)
+          } else {
+            states[a].Accumulate(block.table->column(ci).Get(rid));
+          }
+        }
+      }
+    }
+    for (auto& [key, states] : groups_) {
+      Row out;
+      out.reserve(cfg_.items.size());
+      for (const Config::Item& item : cfg_.items) {
+        if (item.is_group) {
+          out.push_back(key[item.index]);
+        } else {
+          out.push_back(states[item.index].Finish(cfg_.ops[item.index]));
+        }
+      }
+      output_.push_back(std::move(out));
+    }
+  }
+
+  // Typed accumulation of one aggregate over one block. Mirrors
+  // AggState::Accumulate exactly (including elementwise double-sum
+  // rounding, so AVG matches the scalar path bit for bit); min/max are
+  // only tracked when the op needs them.
+  void AccumulateColumn(const ColumnBlock& block, int arg_col,
+                        const std::string& op, AggState* st) {
+    if (arg_col < 0) {
+      st->count += static_cast<int64_t>(block.sel.size());  // COUNT(*)
+      return;
+    }
+    const Column& col = block.table->column(arg_col);
+    bool want_minmax = op == "MIN" || op == "MAX";
+    switch (col.value_type()) {
+      case ValueType::kInt: {
+        const int64_t* data = col.ints();
+        for (uint64_t rid : block.sel) {
+          if (col.IsNull(rid)) continue;
+          int64_t x = data[rid];
+          ++st->count;
+          st->isum += x;
+          st->sum += static_cast<double>(x);
+          if (want_minmax) {
+            if (st->min.is_null() || x < st->min.as_int()) st->min = Value(x);
+            if (st->max.is_null() || x > st->max.as_int()) st->max = Value(x);
+          }
+        }
+        return;
+      }
+      case ValueType::kDouble: {
+        const double* data = col.doubles();
+        for (uint64_t rid : block.sel) {
+          if (col.IsNull(rid)) continue;
+          double x = data[rid];
+          ++st->count;
+          st->sum += x;
+          st->sum_is_int = false;
+          if (want_minmax) {
+            if (st->min.is_null() || x < st->min.as_double()) {
+              st->min = Value(x);
+            }
+            if (st->max.is_null() || x > st->max.as_double()) {
+              st->max = Value(x);
+            }
+          }
+        }
+        return;
+      }
+      default:
+        for (uint64_t rid : block.sel) {
+          if (!col.IsNull(rid)) st->Accumulate(col.Get(rid));
+        }
+        return;
+    }
+  }
+
+  std::unique_ptr<ColOp> child_;
+  Config cfg_;
+  std::map<Row, std::vector<AggState>> groups_;  // deterministic output
+  std::vector<Row> output_;
+  bool finished_ = false;
+  size_t pos_ = 0;
+  bool closed_ = false;
+};
+
 }  // namespace exec_ops
+
+namespace {
+
+// Tries to lower an aggregate configuration onto the column path: the
+// simple global-aggregate list with plain-column (or *) arguments, or
+// GROUP BY over plain columns where every select item is a group key or a
+// bare aggregate over a plain column, with no HAVING and no ORDER BY.
+bool LowerVectorizedAggregate(const exec_ops::AggregateOp::Config& agg,
+                              const exec_ops::Projection& proj,
+                              const SelectStmt& stmt,
+                              exec_ops::ColumnAggregateOp::Config* out) {
+  auto bound_col = [](const Expr* e) {
+    return e != nullptr && e->kind == ExprKind::kColumnRef &&
+           e->bound_index >= 0;
+  };
+  if (agg.simple) {
+    out->simple = true;
+    out->ops = agg.ops;
+    for (const Expr* arg : agg.args) {
+      if (arg == nullptr) {
+        out->arg_cols.push_back(-1);
+      } else if (bound_col(arg)) {
+        out->arg_cols.push_back(arg->bound_index);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (!agg.has_group_by || agg.having != nullptr || !stmt.order_by.empty()) {
+    return false;
+  }
+  for (const Expr* g : agg.group_exprs) {
+    if (!bound_col(g)) return false;
+    out->group_cols.push_back(static_cast<size_t>(g->bound_index));
+  }
+  for (const AggSpec& spec : agg.agg_specs) {
+    out->ops.push_back(spec.op);
+    if (spec.arg == nullptr) {
+      out->arg_cols.push_back(-1);
+    } else if (bound_col(spec.arg)) {
+      out->arg_cols.push_back(spec.arg->bound_index);
+    } else {
+      return false;
+    }
+  }
+  for (const Expr* item : proj.item_exprs) {
+    exec_ops::ColumnAggregateOp::Config::Item lowered;
+    bool found = false;
+    if (bound_col(item)) {
+      // A bare column must be one of the group keys; anything else is
+      // evaluated from a data-dependent sample row on the scalar path.
+      for (size_t g = 0; g < agg.group_exprs.size(); ++g) {
+        if (agg.group_exprs[g]->bound_index == item->bound_index) {
+          lowered.is_group = true;
+          lowered.index = g;
+          found = true;
+          break;
+        }
+      }
+    } else {
+      for (size_t a = 0; a < agg.agg_specs.size(); ++a) {
+        if (agg.agg_specs[a].node == item) {
+          lowered.index = a;
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) return false;
+    out->items.push_back(lowered);
+  }
+  return true;
+}
+
+// Projection is pure column pruning when every item is a bound column
+// reference or a star; `out_cols` receives the flat column offsets.
+bool LowerVectorizedProjection(const exec_ops::Projection& proj,
+                               std::vector<size_t>* out_cols) {
+  for (size_t i = 0; i < proj.item_exprs.size(); ++i) {
+    const Expr* e = proj.item_exprs[i];
+    if (e->kind == ExprKind::kStar) {
+      for (size_t offset : proj.star_expansion[i]) {
+        out_cols->push_back(offset);
+      }
+    } else if (e->kind == ExprKind::kColumnRef && e->bound_index >= 0) {
+      out_cols->push_back(static_cast<size_t>(e->bound_index));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // SelectPlan
@@ -1112,9 +1823,12 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     }
   }
 
-  // 3. Chain join-stage operators, probing indexes where possible.
+  // 3. Chain join-stage operators, probing indexes where possible. A
+  // single-stage base-table full scan may instead become the column
+  // section of the tree (ColumnScan -> ColumnFilter), consumed in step 5.
   std::unique_ptr<Op> source =
       std::make_unique<exec_ops::SeedOp>(&state->ctx);
+  std::unique_ptr<exec_ops::ColOp> col_source;
   Scope partial_scope;
   bool no_from = stages.empty();
 
@@ -1323,6 +2037,22 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
       }
     }
 
+    // Vectorized path: a single-stage full scan over a base table — no
+    // index probe, no range scan (the transient hash join never builds
+    // against the one-row seed, so it would full-scan too) — runs
+    // column-at-a-time, with the WHERE conjuncts compiled to kernels.
+    if (k == 0 && stages.size() == 1 && !cfg.left &&
+        stage.relation.table != nullptr && cfg.index == nullptr &&
+        cfg.range_index == nullptr && db_->vectorized_execution()) {
+      col_source = std::make_unique<exec_ops::ColumnScanOp>(
+          &state->ctx, stage.relation.table);
+      if (!cfg.preds.empty()) {
+        col_source = std::make_unique<exec_ops::ColumnFilterOp>(
+            &state->ctx, std::move(col_source), cfg.preds);
+      }
+      continue;
+    }
+
     cfg.relation = std::move(stage.relation);
     source = std::make_unique<JoinStageOp>(&state->ctx, std::move(source),
                                            std::move(cfg));
@@ -1405,9 +2135,25 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
       agg.order_by = &stmt.order_by;
       agg.columns = &state->columns;
     }
-    agg.proj = std::move(proj);
-    source = std::make_unique<exec_ops::AggregateOp>(
-        &state->ctx, std::move(source), std::move(agg));
+    bool lowered = false;
+    if (col_source != nullptr) {
+      exec_ops::ColumnAggregateOp::Config vagg;
+      if (LowerVectorizedAggregate(agg, proj, stmt, &vagg)) {
+        source = std::make_unique<exec_ops::ColumnAggregateOp>(
+            &state->ctx, std::move(col_source), std::move(vagg));
+        lowered = true;
+      } else {
+        // Aggregate shape without a vectorized lowering: materialize rows
+        // and keep the scalar barrier ("mixed" mode in profile()).
+        source = std::make_unique<exec_ops::ColumnToRowOp>(
+            &state->ctx, std::move(col_source));
+      }
+    }
+    if (!lowered) {
+      agg.proj = std::move(proj);
+      source = std::make_unique<exec_ops::AggregateOp>(
+          &state->ctx, std::move(source), std::move(agg));
+    }
   } else {
     // Plain projection, with optional ORDER BY over source rows.
     std::vector<const Expr*> order_exprs;
@@ -1435,13 +2181,28 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
       owned.push_back(std::move(expr));
       order_exprs.push_back(owned.back().get());
     }
-    if (!order_exprs.empty()) {
-      source = std::make_unique<exec_ops::SortProjectOp>(
-          &state->ctx, std::move(source), std::move(proj),
-          std::move(order_exprs), std::move(order_desc));
-    } else {
-      source = std::make_unique<exec_ops::ProjectOp>(
-          &state->ctx, std::move(source), std::move(proj));
+    bool lowered = false;
+    std::vector<size_t> out_cols;
+    if (col_source != nullptr && order_exprs.empty() &&
+        LowerVectorizedProjection(proj, &out_cols)) {
+      source = std::make_unique<exec_ops::ColumnProjectOp>(
+          &state->ctx, std::move(col_source), std::move(out_cols));
+      lowered = true;
+    } else if (col_source != nullptr) {
+      // Computed select items or ORDER BY: materialize rows and keep the
+      // scalar projection/sort ("mixed" mode in profile()).
+      source = std::make_unique<exec_ops::ColumnToRowOp>(
+          &state->ctx, std::move(col_source));
+    }
+    if (!lowered) {
+      if (!order_exprs.empty()) {
+        source = std::make_unique<exec_ops::SortProjectOp>(
+            &state->ctx, std::move(source), std::move(proj),
+            std::move(order_exprs), std::move(order_desc));
+      } else {
+        source = std::make_unique<exec_ops::ProjectOp>(
+            &state->ctx, std::move(source), std::move(proj));
+      }
     }
   }
 

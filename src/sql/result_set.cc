@@ -17,6 +17,13 @@ const char* ExecInfo::AccessPath() const {
   return "scan";
 }
 
+const char* ExecInfo::ExecMode() const {
+  if (vectorized_ops > 0 && scalar_ops > 0) return "mixed";
+  if (vectorized_ops > 0) return "vectorized";
+  if (scalar_ops > 0) return "scalar";
+  return "none";
+}
+
 int ResultSet::ColumnIndex(const std::string& name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
     if (EqualsIgnoreCase(columns[i], name)) return static_cast<int>(i);

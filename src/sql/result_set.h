@@ -26,9 +26,27 @@ struct ExecInfo {
   /// Rows the statement emitted to its consumer.
   uint64_t rows_emitted = 0;
 
+  /// Vectorized/scalar operator attribution. Operators register at plan
+  /// construction: column-at-a-time operators (scan, filter kernels,
+  /// column projection/aggregation, the row-materialization adapter)
+  /// count as vectorized; the classic row-at-a-time operators (join
+  /// stages, filter, projection, aggregation) count as scalar. Distinct
+  /// and limit are mode-neutral.
+  uint64_t vectorized_ops = 0;
+  uint64_t scalar_ops = 0;
+  /// Rows that flowed through vector kernels.
+  uint64_t vectorized_rows = 0;
+  /// Rows a vectorized filter had to materialize and hand to the scalar
+  /// expression evaluator (predicate shapes without kernels).
+  uint64_t scalar_fallback_rows = 0;
+
   /// Dominant access path label: "index", "range", "scan", "mixed", or
   /// "none" (no table touched, e.g. SELECT over a materialized relation).
   const char* AccessPath() const;
+
+  /// Execution-mode label: "vectorized", "scalar", "mixed" (both kinds of
+  /// operators in one plan), or "none" (no attributed operators).
+  const char* ExecMode() const;
 };
 
 /// A fully materialized query result.

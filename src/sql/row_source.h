@@ -31,6 +31,25 @@ struct RowBlock {
   bool full() const { return rows.size() >= capacity; }
 };
 
+class Table;
+
+/// One batch of the vectorized execution path: a selection vector of slot
+/// numbers over a single base table. Operators on this path never touch
+/// rows — a scan emits the live slots, a filter kernel narrows `sel`, and
+/// values are fetched late, straight from the table's column vectors, by
+/// whatever sits at the top (projection, aggregation, or the
+/// row-materialization adapter that feeds the classic RowBlock tree).
+/// Same capacity contract as RowBlock: the puller sets `capacity`, the
+/// producer fills at most that many selected slots.
+struct ColumnBlock {
+  const Table* table = nullptr;
+  std::vector<uint64_t> sel;  // selected slot numbers, ascending
+  size_t capacity = kDefaultBlockRows;
+
+  void Clear() { sel.clear(); }
+  bool full() const { return sel.size() >= capacity; }
+};
+
 /// Pull-based operator interface.
 ///
 /// Contract: Next() clears `out->rows` and appends up to `out->capacity`

@@ -2,9 +2,101 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace db2graph::sql {
+
+// ---------------------------------------------------------------------
+// Column
+// ---------------------------------------------------------------------
+
+void Column::EnsureSize(size_t n) {
+  if (n <= size_) return;
+  switch (type_) {
+    case ColumnType::kBool:
+      bools_.resize(n, 0);
+      break;
+    case ColumnType::kInt:
+      ints_.resize(n, 0);
+      break;
+    case ColumnType::kDouble:
+      doubles_.resize(n, 0.0);
+      break;
+    case ColumnType::kString:
+      strings_.resize(n);
+      break;
+  }
+  valid_.resize((n + 63) / 64, 0);
+  size_ = n;
+}
+
+void Column::Set(RowId rid, const Value& v) {
+  if (v.is_null()) {
+    SetNull(rid);
+    return;
+  }
+  switch (type_) {
+    case ColumnType::kBool:
+      bools_[rid] = v.as_bool() ? 1 : 0;
+      break;
+    case ColumnType::kInt:
+      ints_[rid] = v.as_int();
+      break;
+    case ColumnType::kDouble:
+      doubles_[rid] = v.as_double();
+      break;
+    case ColumnType::kString:
+      strings_[rid] = v.as_string();
+      break;
+  }
+  SetValid(rid, true);
+}
+
+void Column::SetMove(RowId rid, Value&& v) {
+  if (type_ == ColumnType::kString && v.is_string()) {
+    strings_[rid] = std::move(const_cast<std::string&>(v.as_string()));
+    SetValid(rid, true);
+    return;
+  }
+  Set(rid, v);
+}
+
+void Column::SetNull(RowId rid) {
+  if (type_ == ColumnType::kString && !strings_[rid].empty()) {
+    std::string().swap(strings_[rid]);  // release heap storage
+  }
+  SetValid(rid, false);
+}
+
+Value Column::Get(RowId rid) const {
+  if (IsNull(rid)) return Value::Null();
+  switch (type_) {
+    case ColumnType::kBool:
+      return Value(bools_[rid] != 0);
+    case ColumnType::kInt:
+      return Value(ints_[rid]);
+    case ColumnType::kDouble:
+      return Value(doubles_[rid]);
+    case ColumnType::kString:
+      return Value(strings_[rid]);
+  }
+  return Value::Null();
+}
+
+size_t Column::ApproxBytes() const {
+  size_t bytes = valid_.capacity() * sizeof(uint64_t);
+  bytes += bools_.capacity() * sizeof(uint8_t);
+  bytes += ints_.capacity() * sizeof(int64_t);
+  bytes += doubles_.capacity() * sizeof(double);
+  bytes += strings_.capacity() * sizeof(std::string);
+  for (const std::string& s : strings_) bytes += s.capacity();
+  return bytes;
+}
+
+// ---------------------------------------------------------------------
+// Indexes
+// ---------------------------------------------------------------------
 
 void Index::Erase(const Row& key, RowId rid) {
   auto [begin, end] = map_.equal_range(key);
@@ -30,9 +122,6 @@ size_t Index::ApproxBytes() const {
   return bytes;
 }
 
-namespace {
-
-// Encoded width of one value in a compact page layout.
 size_t EncodedValueBytes(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
@@ -48,18 +137,11 @@ size_t EncodedValueBytes(const Value& v) {
   return 8;
 }
 
-size_t EncodedRowBytes(const Row& row) {
-  size_t bytes = 4;  // row header / slot pointer
-  for (const Value& v : row) bytes += EncodedValueBytes(v);
-  return bytes;
-}
-
-}  // namespace
-
 void OrderedIndex::Erase(const Value& key, RowId rid) {
   auto [begin, end] = map_.equal_range(key);
   for (auto it = begin; it != end; ++it) {
     if (it->second == rid) {
+      key_bytes_ -= EncodedValueBytes(it->first);
       map_.erase(it);
       return;
     }
@@ -89,6 +171,112 @@ size_t ApproxRowBytes(const Row& row) {
     if (v.is_string()) bytes += v.as_string().capacity();
   }
   return bytes;
+}
+
+// ---------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.columns.size());
+  for (const ColumnDef& c : schema_.columns) columns_.emplace_back(c.type);
+  stats_.resize(schema_.columns.size());
+}
+
+Row Table::GetRow(RowId rid) const {
+  Row row;
+  AppendRow(rid, &row);
+  return row;
+}
+
+void Table::AppendRow(RowId rid, Row* out) const {
+  out->reserve(out->size() + columns_.size());
+  for (const Column& col : columns_) out->push_back(col.Get(rid));
+}
+
+void Table::MaterializeRow(RowId rid, Row* out) const {
+  out->clear();
+  AppendRow(rid, out);
+}
+
+Table::ColumnStats Table::GetColumnStats(size_t column) const {
+  StatsState& state = stats_[column];
+  if (state.minmax_stale) {
+    state.min = Value::Null();
+    state.max = Value::Null();
+    const Column& col = columns_[column];
+    for (RowId rid = 0; rid < slot_count_; ++rid) {
+      if (!live_[rid] || col.IsNull(rid)) continue;
+      Value v = col.Get(rid);
+      if (state.min.is_null() || v < state.min) state.min = v;
+      if (state.max.is_null() || v > state.max) state.max = std::move(v);
+    }
+    state.minmax_stale = false;
+  }
+  ColumnStats out;
+  out.row_count = live_count_;
+  out.null_count = state.null_count;
+  out.min = state.min;
+  out.max = state.max;
+  return out;
+}
+
+void Table::PublishColumnStats() const {
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    ColumnStats stats = GetColumnStats(c);
+    const std::string prefix =
+        "sql.colstats." + schema_.name + "." + schema_.columns[c].name;
+    registry.GetGauge(prefix + ".rows")
+        ->Set(static_cast<int64_t>(stats.row_count));
+    registry.GetGauge(prefix + ".nulls")
+        ->Set(static_cast<int64_t>(stats.null_count));
+  }
+}
+
+void Table::EnsureSlots(size_t n) {
+  if (n <= slot_count_) return;
+  for (Column& col : columns_) col.EnsureSize(n);
+  live_.resize(n, false);
+  slot_count_ = n;
+}
+
+void Table::StoreRow(RowId rid, Row&& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].SetMove(rid, std::move(row[c]));
+  }
+}
+
+void Table::ClearSlot(RowId rid) {
+  for (Column& col : columns_) col.SetNull(rid);
+}
+
+void Table::StatsOnInsert(const Row& row) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    StatsState& state = stats_[c];
+    if (row[c].is_null()) {
+      ++state.null_count;
+      continue;
+    }
+    if (state.minmax_stale) continue;  // will be rescanned anyway
+    if (state.min.is_null() || row[c] < state.min) state.min = row[c];
+    if (state.max.is_null() || row[c] > state.max) state.max = row[c];
+  }
+}
+
+void Table::StatsOnErase(const Row& row) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    StatsState& state = stats_[c];
+    if (row[c].is_null()) {
+      --state.null_count;
+      continue;
+    }
+    // Removing an extreme value may tighten min/max; recompute lazily.
+    if (!state.minmax_stale &&
+        (row[c] == state.min || row[c] == state.max)) {
+      state.minmax_stale = true;
+    }
+  }
 }
 
 Result<RowId> Table::Insert(Row row) {
@@ -137,15 +325,15 @@ Result<RowId> Table::Insert(Row row) {
   if (!free_slots_.empty()) {
     rid = free_slots_.back();
     free_slots_.pop_back();
-    rows_[rid] = std::move(row);
-    live_[rid] = true;
   } else {
-    rid = rows_.size();
-    rows_.push_back(std::move(row));
-    live_.push_back(true);
+    rid = slot_count_;
+    EnsureSlots(slot_count_ + 1);
   }
+  live_[rid] = true;
   ++live_count_;
-  IndexInsert(rows_[rid], rid);
+  IndexInsert(row, rid);
+  StatsOnInsert(row);
+  StoreRow(rid, std::move(row));
   return rid;
 }
 
@@ -154,9 +342,10 @@ Result<Row> Table::Delete(RowId rid) {
     return Status::NotFound("row " + std::to_string(rid) + " of " +
                             schema_.name + " is not live");
   }
-  Row image = std::move(rows_[rid]);
+  Row image = GetRow(rid);
   IndexErase(image, rid);
-  rows_[rid] = Row();
+  StatsOnErase(image);
+  ClearSlot(rid);
   live_[rid] = false;
   free_slots_.push_back(rid);
   --live_count_;
@@ -171,19 +360,17 @@ Result<Row> Table::Update(RowId rid, Row new_row) {
   if (new_row.size() != schema_.columns.size()) {
     return Status::InvalidArgument("update arity mismatch on " + schema_.name);
   }
-  Row before = rows_[rid];
+  Row before = GetRow(rid);
   IndexErase(before, rid);
-  rows_[rid] = std::move(new_row);
-  IndexInsert(rows_[rid], rid);
+  StatsOnErase(before);
+  IndexInsert(new_row, rid);
+  StatsOnInsert(new_row);
+  StoreRow(rid, std::move(new_row));
   return before;
 }
 
 void Table::RestoreSlot(RowId rid, Row row) {
-  if (rid >= rows_.size()) {
-    rows_.resize(rid + 1);
-    live_.resize(rid + 1, false);
-  }
-  rows_[rid] = std::move(row);
+  EnsureSlots(rid + 1);
   if (!live_[rid]) {
     live_[rid] = true;
     ++live_count_;
@@ -191,13 +378,17 @@ void Table::RestoreSlot(RowId rid, Row row) {
         std::remove(free_slots_.begin(), free_slots_.end(), rid),
         free_slots_.end());
   }
-  IndexInsert(rows_[rid], rid);
+  IndexInsert(row, rid);
+  StatsOnInsert(row);
+  StoreRow(rid, std::move(row));
 }
 
 void Table::EraseSlot(RowId rid) {
   if (!IsLive(rid)) return;
-  IndexErase(rows_[rid], rid);
-  rows_[rid] = Row();
+  Row image = GetRow(rid);
+  IndexErase(image, rid);
+  StatsOnErase(image);
+  ClearSlot(rid);
   live_[rid] = false;
   free_slots_.push_back(rid);
   --live_count_;
@@ -219,9 +410,11 @@ Status Table::CreateIndex(const std::string& name,
     column_indexes.push_back(*idx);
   }
   auto index = std::make_unique<Index>(name, column_indexes, unique);
-  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+  for (RowId rid = 0; rid < slot_count_; ++rid) {
     if (!live_[rid]) continue;
-    Row key = index->KeyFor(rows_[rid]);
+    Row key;
+    key.reserve(column_indexes.size());
+    for (size_t c : column_indexes) key.push_back(columns_[c].Get(rid));
     if (unique && index->Contains(key)) {
       return Status::ConstraintViolation(
           "cannot create unique index " + name + " on " + schema_.name +
@@ -267,9 +460,9 @@ Status Table::CreateOrderedIndex(const std::string& name,
                             schema_.name);
   }
   auto index = std::make_unique<OrderedIndex>(name, *idx);
-  for (RowId rid = 0; rid < rows_.size(); ++rid) {
+  for (RowId rid = 0; rid < slot_count_; ++rid) {
     if (!live_[rid]) continue;
-    index->Insert(rows_[rid][*idx], rid);
+    index->Insert(columns_[*idx].Get(rid), rid);
   }
   ordered_indexes_.push_back(std::move(index));
   return Status::OK();
@@ -298,9 +491,9 @@ void Table::IndexErase(const Row& row, RowId rid) {
 
 size_t Table::ApproxBytes() const {
   size_t bytes = 128;
-  for (RowId rid = 0; rid < rows_.size(); ++rid) {
-    if (live_[rid]) bytes += ApproxRowBytes(rows_[rid]);
-  }
+  for (const Column& col : columns_) bytes += col.ApproxBytes();
+  bytes += live_.capacity() / 8;
+  bytes += free_slots_.capacity() * sizeof(RowId);
   for (const auto& index : indexes_) bytes += index->ApproxBytes();
   for (const auto& index : ordered_indexes_) bytes += index->ApproxBytes();
   return bytes;
@@ -308,16 +501,40 @@ size_t Table::ApproxBytes() const {
 
 size_t Table::ApproxDiskBytes() const {
   size_t bytes = 256;  // catalog entry + page directory
-  for (RowId rid = 0; rid < rows_.size(); ++rid) {
-    if (live_[rid]) bytes += EncodedRowBytes(rows_[rid]);
+  // Columnar pages: per column a packed null bitmap over the live rows
+  // plus the encoded value run (NULL cells contribute only their bitmap
+  // bit; fixed-width types their width; strings length + a 2-byte size).
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    bytes += 16;                       // column header
+    bytes += (live_count_ + 7) / 8;    // null bitmap
+    const Column& col = columns_[c];
+    switch (col.type()) {
+      case ColumnType::kBool:
+      case ColumnType::kInt:
+      case ColumnType::kDouble: {
+        size_t width = col.type() == ColumnType::kBool ? 1 : 8;
+        size_t non_null = 0;
+        for (RowId rid = 0; rid < slot_count_; ++rid) {
+          if (live_[rid] && !col.IsNull(rid)) ++non_null;
+        }
+        bytes += non_null * width;
+        break;
+      }
+      case ColumnType::kString:
+        for (RowId rid = 0; rid < slot_count_; ++rid) {
+          if (!live_[rid] || col.IsNull(rid)) continue;
+          bytes += col.strings()[rid].size() + 2;
+        }
+        break;
+    }
   }
   for (const auto& index : indexes_) {
     // One B-tree leaf entry per row: key widths + a row pointer.
-    for (RowId rid = 0; rid < rows_.size(); ++rid) {
+    for (RowId rid = 0; rid < slot_count_; ++rid) {
       if (!live_[rid]) continue;
       bytes += 10;
       for (size_t c : index->column_indexes()) {
-        bytes += EncodedValueBytes(rows_[rid][c]);
+        bytes += EncodedValueBytes(columns_[c].Get(rid));
       }
     }
   }

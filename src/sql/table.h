@@ -1,7 +1,10 @@
 // Copyright (c) 2026 The db2graph-repro Authors.
 //
-// Slot-based in-memory row store with hash indexes. Row slots are stable
-// across deletes (a free list recycles them), so index postings stay valid.
+// Column-oriented in-memory store with hash indexes. Each table holds one
+// typed vector per column (int64/double/string/bool) plus a validity
+// bitmap; rows exist only as slot numbers. Slots are stable across deletes
+// (a free list recycles them), so index postings stay valid across the
+// columnar layout exactly as they did for the row store.
 
 #ifndef DB2GRAPH_SQL_TABLE_H_
 #define DB2GRAPH_SQL_TABLE_H_
@@ -21,6 +24,69 @@ namespace db2graph::sql {
 
 /// Stable row identifier within a table (slot number).
 using RowId = uint64_t;
+
+/// Encoded width of one value in a compact page layout (disk accounting
+/// and ordered-index key-width bookkeeping).
+size_t EncodedValueBytes(const Value& v);
+
+/// One column of a table: a typed vector indexed by slot number plus a
+/// validity bitmap (bit set = non-NULL). Only the vector matching the
+/// declared type is populated — Table::Insert coerces or rejects values,
+/// so a column never holds mixed types. Dead slots read as NULL.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  ValueType value_type() const { return ColumnValueType(type_); }
+  size_t size() const { return size_; }
+
+  /// Grows to `n` slots, new slots NULL. Never shrinks.
+  void EnsureSize(size_t n);
+
+  bool IsNull(RowId rid) const {
+    return ((valid_[rid >> 6] >> (rid & 63)) & 1) == 0;
+  }
+
+  /// Stores a value into a slot. `v` must be NULL or match value_type()
+  /// (the table layer enforces coercion before it gets here).
+  void Set(RowId rid, const Value& v);
+  void SetMove(RowId rid, Value&& v);
+  /// Clears a slot back to NULL, releasing string storage.
+  void SetNull(RowId rid);
+
+  /// Materializes one cell as a Value.
+  Value Get(RowId rid) const;
+
+  // Raw typed access for the vectorized kernels. Only the array matching
+  // value_type() is meaningful; validity() has one bit per slot.
+  const int64_t* ints() const { return ints_.data(); }
+  const double* doubles() const { return doubles_.data(); }
+  const uint8_t* bools() const { return bools_.data(); }
+  const std::string* strings() const { return strings_.data(); }
+  const uint64_t* validity() const { return valid_.data(); }
+
+  /// Approximate heap footprint of this column's vectors.
+  size_t ApproxBytes() const;
+
+ private:
+  void SetValid(RowId rid, bool valid) {
+    uint64_t mask = uint64_t{1} << (rid & 63);
+    if (valid) {
+      valid_[rid >> 6] |= mask;
+    } else {
+      valid_[rid >> 6] &= ~mask;
+    }
+  }
+
+  ColumnType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+  std::vector<uint64_t> valid_;  // validity bitmap, 64 slots per word
+};
 
 /// A hash index over one or more columns of a table.
 class Index {
@@ -73,7 +139,10 @@ class OrderedIndex {
   const std::string& name() const { return name_; }
   size_t column_index() const { return column_index_; }
 
-  void Insert(const Value& key, RowId rid) { map_.emplace(key, rid); }
+  void Insert(const Value& key, RowId rid) {
+    key_bytes_ += EncodedValueBytes(key);
+    map_.emplace(key, rid);
+  }
   void Erase(const Value& key, RowId rid);
 
   /// Row ids with key in [lo, hi] (either bound optional; exclusive when
@@ -82,18 +151,31 @@ class OrderedIndex {
                    bool hi_exclusive, std::vector<RowId>* out) const;
 
   size_t entry_count() const { return map_.size(); }
-  size_t ApproxBytes() const { return 64 + map_.size() * 48; }
+
+  /// Sum of encoded key widths over all entries (maintained on
+  /// Insert/Erase rather than estimated).
+  size_t key_bytes() const { return key_bytes_; }
+
+  /// Approximate memory footprint: per-node red-black overhead (three
+  /// pointers + color word) and the payload pair, plus the actual key
+  /// widths accumulated above.
+  size_t ApproxBytes() const {
+    return 64 +
+           map_.size() * (4 * sizeof(void*) + sizeof(std::pair<Value, RowId>)) +
+           key_bytes_;
+  }
 
  private:
   std::string name_;
   size_t column_index_;
+  size_t key_bytes_ = 0;
   std::multimap<Value, RowId> map_;
 };
 
-/// A base table: schema + slotted rows + its indexes.
+/// A base table: schema + typed column vectors + its indexes.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema);
 
   const TableSchema& schema() const { return schema_; }
 
@@ -102,9 +184,39 @@ class Table {
 
   /// Upper bound of slot numbers; iterate [0, slot_count()) and check
   /// IsLive().
-  size_t slot_count() const { return rows_.size(); }
+  size_t slot_count() const { return slot_count_; }
   bool IsLive(RowId rid) const { return rid < live_.size() && live_[rid]; }
-  const Row& GetRow(RowId rid) const { return rows_[rid]; }
+
+  /// Materializes one row from the column vectors. Returns by value —
+  /// there is no contiguous row in storage to reference.
+  Row GetRow(RowId rid) const;
+  /// Appends the row's values to `out` (join/row-adapter hot path: avoids
+  /// an intermediate Row).
+  void AppendRow(RowId rid, Row* out) const;
+  /// Materializes into a caller-owned scratch row, reusing its capacity.
+  void MaterializeRow(RowId rid, Row* out) const;
+  /// One cell, materialized.
+  Value ValueAt(RowId rid, size_t column) const {
+    return columns_[column].Get(rid);
+  }
+  /// Typed column access for the vectorized kernels.
+  const Column& column(size_t index) const { return columns_[index]; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Per-column statistics maintained incrementally by the write path.
+  /// min/max are NULL when the column has no non-NULL live values. The
+  /// counts are always exact; min/max may require a lazy rescan after a
+  /// delete/update removed an extreme value (handled inside the accessor).
+  struct ColumnStats {
+    uint64_t row_count = 0;   // live rows
+    uint64_t null_count = 0;  // NULL cells among live rows
+    Value min;
+    Value max;
+  };
+  ColumnStats GetColumnStats(size_t column) const;
+  /// Publishes rows/nulls gauges for every column to the global
+  /// MetricsRegistry as "sql.colstats.<table>.<column>.{rows,nulls}".
+  void PublishColumnStats() const;
 
   /// Appends a row (recycling a free slot when available). The row must
   /// already match the schema arity. Index maintenance included. Uniqueness
@@ -143,23 +255,38 @@ class Table {
     return indexes_;
   }
 
-  /// Approximate in-memory footprint in bytes (rows + indexes).
+  /// Approximate in-memory footprint in bytes (column vectors + indexes).
   size_t ApproxBytes() const;
 
-  /// Approximate size of a compact on-disk page layout (encoded value
-  /// widths + row headers + index entries). Drives the paper's Table 3
-  /// "Disk Usage" comparison against the graph stores' formats.
+  /// Approximate size of a compact on-disk page layout (per-column value
+  /// runs + packed null bitmaps + index entries). Drives the paper's
+  /// Table 3 "Disk Usage" comparison against the graph stores' formats.
   size_t ApproxDiskBytes() const;
 
  private:
+  // Incremental statistics bookkeeping, one per column.
+  struct StatsState {
+    uint64_t null_count = 0;
+    Value min;
+    Value max;
+    bool minmax_stale = false;
+  };
+
   void IndexInsert(const Row& row, RowId rid);
   void IndexErase(const Row& row, RowId rid);
+  void StatsOnInsert(const Row& row);
+  void StatsOnErase(const Row& row);
+  void EnsureSlots(size_t n);
+  void StoreRow(RowId rid, Row&& row);
+  void ClearSlot(RowId rid);
 
   TableSchema schema_;
-  std::vector<Row> rows_;
+  std::vector<Column> columns_;
   std::vector<bool> live_;
   std::vector<RowId> free_slots_;
   size_t live_count_ = 0;
+  size_t slot_count_ = 0;
+  mutable std::vector<StatsState> stats_;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
 };

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "sql/database.h"
+#include "sql/table.h"
 
 namespace db2graph::sql {
 namespace {
@@ -411,6 +413,204 @@ TEST_F(SqlEngineTest, MultiRowInsertAndQuotedIdentifiers) {
       db_.Execute("INSERT INTO Mixed VALUES (1), (2), (3)").ok());
   ResultSet rs = Query("SELECT COUNT(*) FROM Mixed");
   EXPECT_EQ(rs.rows[0][0], Value(int64_t{3}));
+}
+
+// ------------------------------------------------------------------
+// Columnar storage + vectorized execution
+// ------------------------------------------------------------------
+
+// Every statement must produce identical results on the vectorized and
+// the scalar path, including over NULL-heavy columns (kernels must drop
+// NULL cells exactly where three-valued logic does, and aggregates must
+// skip them exactly like AggState does).
+TEST_F(SqlEngineTest, VectorizedAndScalarAgreeOnNullHeavyColumns) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Nully (id BIGINT, score DOUBLE, tag VARCHAR(10));
+      INSERT INTO Nully VALUES
+        (1, 1.5, 'a'), (2, NULL, NULL), (NULL, 2.5, 'b'),
+        (4, NULL, 'a'), (5, 7.25, NULL), (NULL, NULL, NULL);
+    )sql")
+                  .ok());
+  const char* const kQueries[] = {
+      "SELECT * FROM Nully",
+      "SELECT id, tag FROM Nully",
+      "SELECT * FROM Nully WHERE id > 1",
+      "SELECT * FROM Nully WHERE score >= 2.5",
+      "SELECT * FROM Nully WHERE tag = 'a'",
+      "SELECT * FROM Nully WHERE id <> 4",
+      "SELECT * FROM Nully WHERE 2 < id",
+      "SELECT * FROM Nully WHERE id > 0.5",
+      "SELECT * FROM Nully WHERE id = 'a'",
+      "SELECT * FROM Nully WHERE id IS NULL",
+      "SELECT * FROM Nully WHERE tag IS NOT NULL",
+      "SELECT * FROM Nully WHERE id > 1 AND tag = 'a'",
+      "SELECT * FROM Nully WHERE id + 1 > 2",  // scalar-fallback kernel
+      "SELECT COUNT(*), COUNT(id), COUNT(score) FROM Nully",
+      "SELECT SUM(id), AVG(score), MIN(id), MAX(score) FROM Nully",
+      "SELECT MIN(tag), MAX(tag), SUM(score) FROM Nully",
+      "SELECT tag, COUNT(*) FROM Nully GROUP BY tag",
+      "SELECT tag, SUM(id), MIN(score) FROM Nully GROUP BY tag",
+      "SELECT DISTINCT tag FROM Nully",
+  };
+  for (const char* q : kQueries) {
+    db_.set_vectorized_execution(true);
+    Result<ResultSet> vectorized = db_.Execute(q);
+    db_.set_vectorized_execution(false);
+    Result<ResultSet> scalar = db_.Execute(q);
+    db_.set_vectorized_execution(true);
+    ASSERT_TRUE(vectorized.ok()) << q << ": " << vectorized.status().ToString();
+    ASSERT_TRUE(scalar.ok()) << q << ": " << scalar.status().ToString();
+    EXPECT_EQ(vectorized->columns, scalar->columns) << q;
+    EXPECT_EQ(vectorized->rows, scalar->rows) << q;
+  }
+}
+
+TEST_F(SqlEngineTest, ExecModeAttributesVectorizedAndScalarOperators) {
+  // Full scan + column projection: pure vectorized.
+  ResultSet rs = Query("SELECT name FROM Patient");
+  EXPECT_STREQ(rs.exec.ExecMode(), "vectorized");
+  EXPECT_EQ(rs.exec.vectorized_rows, 3u);
+  EXPECT_EQ(rs.exec.scalar_fallback_rows, 0u);
+
+  // Computed select item: the column scan feeds the scalar projection.
+  rs = Query("SELECT patientID + 1 FROM Patient");
+  EXPECT_STREQ(rs.exec.ExecMode(), "mixed");
+
+  // Index probes stay on the scalar join machinery.
+  rs = Query("SELECT name FROM Patient WHERE patientID = 2");
+  EXPECT_STREQ(rs.exec.ExecMode(), "scalar");
+  EXPECT_EQ(rs.exec.index_probes, 1u);
+
+  // A predicate without a kernel runs the scalar evaluator inside the
+  // vectorized filter, visible as scalar_fallback_rows.
+  rs = Query("SELECT name FROM Patient WHERE patientID + 0 = 2");
+  EXPECT_STREQ(rs.exec.ExecMode(), "vectorized");
+  EXPECT_EQ(rs.exec.scalar_fallback_rows, 3u);
+
+  // The toggle forces everything back onto the row operators.
+  db_.set_vectorized_execution(false);
+  rs = Query("SELECT name FROM Patient");
+  EXPECT_STREQ(rs.exec.ExecMode(), "scalar");
+  EXPECT_EQ(rs.exec.vectorized_rows, 0u);
+  db_.set_vectorized_execution(true);
+}
+
+// Deletes leave a recyclable slot; re-inserts reuse it without growing
+// the column vectors, and both execution modes keep dead slots invisible.
+TEST_F(SqlEngineTest, DeletedSlotsAreRecycledAndStayInvisible) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Slots (id BIGINT PRIMARY KEY, v VARCHAR(10));
+      INSERT INTO Slots VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd');
+    )sql")
+                  .ok());
+  Table* table = db_.GetTable("Slots");
+  ASSERT_NE(table, nullptr);
+  const size_t slots = table->slot_count();
+  ASSERT_TRUE(db_.Execute("DELETE FROM Slots WHERE id = 2 OR id = 3").ok());
+  EXPECT_EQ(table->row_count(), 2u);
+  EXPECT_EQ(table->slot_count(), slots);
+  for (bool vectorized : {true, false}) {
+    db_.set_vectorized_execution(vectorized);
+    EXPECT_EQ(Query("SELECT COUNT(*) FROM Slots").rows[0][0],
+              Value(int64_t{2}));
+  }
+  db_.set_vectorized_execution(true);
+  ASSERT_TRUE(db_.Execute("INSERT INTO Slots VALUES (5, 'e'), (6, 'f')").ok());
+  EXPECT_EQ(table->slot_count(), slots);  // free slots recycled, no growth
+  EXPECT_EQ(table->row_count(), 4u);
+  // The primary-key index probes the recycled slots correctly.
+  ResultSet rs = Query("SELECT v FROM Slots WHERE id = 6");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("f"));
+  EXPECT_EQ(rs.exec.index_probes, 1u);
+}
+
+// Index postings hold stable slot numbers, so in-place column rewrites
+// (UPDATE of an unrelated column) must not invalidate them.
+TEST_F(SqlEngineTest, IndexPostingsSurviveColumnRewrites) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE INDEX idx_sub ON Patient (subscriptionID)").ok());
+  ASSERT_TRUE(
+      db_.Execute("UPDATE Patient SET address = 'moved' WHERE patientID = 2")
+          .ok());
+  ResultSet rs =
+      Query("SELECT name, address FROM Patient WHERE subscriptionID = 102");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Bob"));
+  EXPECT_EQ(rs.rows[0][1], Value("moved"));
+  EXPECT_EQ(rs.exec.index_probes, 1u);
+  // Rewriting the indexed column itself moves the posting.
+  ASSERT_TRUE(
+      db_.Execute(
+             "UPDATE Patient SET subscriptionID = 202 WHERE patientID = 2")
+          .ok());
+  EXPECT_TRUE(
+      Query("SELECT name FROM Patient WHERE subscriptionID = 102")
+          .rows.empty());
+  rs = Query("SELECT name FROM Patient WHERE subscriptionID = 202");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value("Bob"));
+}
+
+TEST_F(SqlEngineTest, ColumnStatsTrackCountsAndMinMax) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Stats (id BIGINT, score DOUBLE);
+      INSERT INTO Stats VALUES (1, 2.5), (2, NULL), (7, 9.5), (4, 0.5);
+    )sql")
+                  .ok());
+  const Table* table = db_.GetTable("Stats");
+  ASSERT_NE(table, nullptr);
+  Table::ColumnStats id_stats = table->GetColumnStats(0);
+  EXPECT_EQ(id_stats.row_count, 4u);
+  EXPECT_EQ(id_stats.null_count, 0u);
+  EXPECT_EQ(id_stats.min, Value(int64_t{1}));
+  EXPECT_EQ(id_stats.max, Value(int64_t{7}));
+  Table::ColumnStats score_stats = table->GetColumnStats(1);
+  EXPECT_EQ(score_stats.null_count, 1u);
+  EXPECT_EQ(score_stats.min, Value(0.5));
+  EXPECT_EQ(score_stats.max, Value(9.5));
+  // Deleting the extreme value forces the lazy min/max rescan.
+  ASSERT_TRUE(db_.Execute("DELETE FROM Stats WHERE id = 7").ok());
+  id_stats = table->GetColumnStats(0);
+  EXPECT_EQ(id_stats.row_count, 3u);
+  EXPECT_EQ(id_stats.max, Value(int64_t{4}));
+  EXPECT_EQ(table->GetColumnStats(1).max, Value(2.5));
+  // The write path published per-column gauges to the global registry.
+  metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("sql.colstats.Stats.id.rows")->Value(), 3);
+  EXPECT_EQ(registry.GetGauge("sql.colstats.Stats.score.nulls")->Value(), 1);
+}
+
+// OrderedIndex::ApproxBytes is driven by actual encoded key widths, not a
+// per-entry constant: wider keys cost more bytes, and erases give the
+// bytes back.
+TEST_F(SqlEngineTest, OrderedIndexBytesTrackActualKeyWidths) {
+  ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Keys (id BIGINT, sk VARCHAR(8), lk VARCHAR(64));
+      CREATE ORDERED INDEX oi_short ON Keys (sk);
+      CREATE ORDERED INDEX oi_long ON Keys (lk);
+      INSERT INTO Keys VALUES
+        (1, 'a', 'aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa'),
+        (2, 'b', 'bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb');
+    )sql")
+                  .ok());
+  const Table* table = db_.GetTable("Keys");
+  ASSERT_NE(table, nullptr);
+  const TableSchema& schema = table->schema();
+  const OrderedIndex* short_index =
+      table->FindOrderedIndexOn(*schema.ColumnIndex("sk"));
+  const OrderedIndex* long_index =
+      table->FindOrderedIndexOn(*schema.ColumnIndex("lk"));
+  ASSERT_NE(short_index, nullptr);
+  ASSERT_NE(long_index, nullptr);
+  // Encoded string keys are length + 2.
+  EXPECT_EQ(short_index->key_bytes(), 2u * (1 + 2));
+  EXPECT_EQ(long_index->key_bytes(), 2u * (32 + 2));
+  EXPECT_GT(long_index->ApproxBytes(), short_index->ApproxBytes());
+  size_t before = long_index->ApproxBytes();
+  ASSERT_TRUE(db_.Execute("DELETE FROM Keys WHERE id = 2").ok());
+  EXPECT_EQ(long_index->key_bytes(), 32u + 2);
+  EXPECT_LT(long_index->ApproxBytes(), before);
 }
 
 }  // namespace

@@ -59,10 +59,12 @@ class StreamingEquivalenceTest : public ::testing::Test {
     ASSERT_TRUE(linkbench::LoadIntoPartitionedDatabase(&db_, dataset_).ok());
   }
 
-  std::unique_ptr<Db2Graph> Open(bool streaming, size_t block_rows) {
+  std::unique_ptr<Db2Graph> Open(bool streaming, size_t block_rows,
+                                 bool vectorized = true) {
     Db2Graph::Options options;
     options.runtime.streaming_execution = streaming;
     options.runtime.streaming_block_rows = block_rows;
+    options.runtime.vectorized_execution = vectorized;
     Result<std::unique_ptr<Db2Graph>> graph = Db2Graph::Open(
         &db_, linkbench::MakePartitionedOverlay(/*prefixed_ids=*/false),
         options);
@@ -128,6 +130,46 @@ TEST_F(StreamingEquivalenceTest, AllBlockSizesMatchMaterialized) {
       ASSERT_NE(streaming, nullptr);
       EXPECT_EQ(expected, RunOrdered(streaming.get(), q))
           << q << " at block size " << block;
+    }
+  }
+}
+
+// The vectorized SQL path must be invisible above the RowStream seam:
+// every block size produces identical ordered results whether the scans
+// underneath run columnar kernels or the scalar operator tree.
+TEST_F(StreamingEquivalenceTest, BlockSizesMatchUnderVectorizedAndScalar) {
+  const char* const kQueries[] = {
+      "g.V()",
+      "g.V().limit(7)",
+      "g.V().range(3, 11)",
+      "g.V().hasLabel('vt1')",
+      "g.V().has('version', 3).limit(4)",
+      "g.V().values('time').limit(9)",
+      "g.V().out('et1')",
+      "g.V().out().in().limit(4)",
+      "g.V().both().count()",
+      "g.E().limit(6)",
+      "g.V().values('time').order().tail(3)",
+      "g.V().groupCount()",
+      "g.V().where(outE('et1').count().is(gte(1))).limit(4)",
+  };
+  const size_t kBlockSizes[] = {1, 7, 1024};
+  for (bool vectorized : {false, true}) {
+    // Open() pushes the vectorized toggle onto the shared database, so
+    // the baseline and its streaming counterparts are grouped per mode.
+    std::unique_ptr<Db2Graph> materialized =
+        Open(/*streaming=*/false, 256, vectorized);
+    ASSERT_NE(materialized, nullptr);
+    for (const char* q : kQueries) {
+      std::vector<std::string> expected = RunOrdered(materialized.get(), q);
+      for (size_t block : kBlockSizes) {
+        std::unique_ptr<Db2Graph> streaming =
+            Open(/*streaming=*/true, block, vectorized);
+        ASSERT_NE(streaming, nullptr);
+        EXPECT_EQ(expected, RunOrdered(streaming.get(), q))
+            << q << " at block size " << block
+            << (vectorized ? " (vectorized)" : " (scalar)");
+      }
     }
   }
 }
