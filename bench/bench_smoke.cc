@@ -30,6 +30,13 @@
 //     bookkeeping) it must stay within a loose overhead floor. Results
 //     land in BENCH_streaming.json.
 //
+//  5. Monitoring is affordable when armed: the same SQL mix runs with all
+//     observability instrumentation off (query log disabled, no
+//     profiling) and fully on (query log recording + per-operator
+//     EXPLAIN ANALYZE profiling on every statement), and the instrumented
+//     throughput must stay at or above 0.9x uninstrumented. Results land
+//     in BENCH_observability.json.
+//
 // All comparisons interleave their modes across rounds and take each
 // mode's best round to damp scheduler noise on small CI machines.
 
@@ -42,6 +49,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_log.h"
 #include "common/trace.h"
 #include "core/db2graph.h"
 #include "sql/database.h"
@@ -507,6 +515,70 @@ int main() {
     std::fprintf(stderr, "FAIL: vectorized throughput %.0f q/s below "
                          "scalar %.0f q/s\n",
                  vectorized_best, scalar_best);
+    return 1;
+  }
+
+  // ---- Monitoring overhead: armed instrumentation must stay cheap. ----
+  //
+  // Same column-store mix, instrumentation off vs fully on (query-log
+  // recording plus per-operator profiling of every SELECT). The profiled
+  // mode pays two clock reads per operator block plus one ring push per
+  // statement; the floor catches that turning into anything worse.
+  constexpr double kObsFloor = 0.90;
+  db2graph::QueryLog& qlog = db2graph::QueryLog::Global();
+  const bool qlog_was_enabled = qlog.enabled();
+  auto set_instrumentation = [&](bool on) {
+    qlog.SetEnabled(on);
+    vec_db.set_profile_execution(on);
+  };
+  // Warm both modes.
+  set_instrumentation(false);
+  RunSqlMixSlice(&vec_db, 5, 0);
+  set_instrumentation(true);
+  RunSqlMixSlice(&vec_db, 5, 0);
+
+  double plain_best = 0;
+  double instrumented_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double plain_secs = 0;
+    double inst_secs = 0;
+    for (int slice = 0; slice < kVecSlices; ++slice) {
+      int base = slice * kVecSliceQueries;
+      set_instrumentation(false);
+      plain_secs += RunSqlMixSlice(&vec_db, kVecSliceQueries, base);
+      set_instrumentation(true);
+      inst_secs += RunSqlMixSlice(&vec_db, kVecSliceQueries, base);
+    }
+    if (kVecQueries / plain_secs > plain_best)
+      plain_best = kVecQueries / plain_secs;
+    if (kVecQueries / inst_secs > instrumented_best)
+      instrumented_best = kVecQueries / inst_secs;
+  }
+  vec_db.set_profile_execution(false);
+  qlog.SetEnabled(qlog_was_enabled);
+
+  double obs_ratio = instrumented_best / plain_best;
+  std::printf("bench_observability: plain=%.0f q/s instrumented=%.0f q/s "
+              "ratio=%.2f (floor %.2f)\n",
+              plain_best, instrumented_best, obs_ratio, kObsFloor);
+
+  {
+    std::ofstream json("BENCH_observability.json");
+    json << "{\n"
+         << "  \"table_rows\": 100000,\n"
+         << "  \"mix_queries\": " << kVecQueries << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"plain_qps\": " << plain_best << ",\n"
+         << "  \"instrumented_qps\": " << instrumented_best << ",\n"
+         << "  \"ratio\": " << obs_ratio << ",\n"
+         << "  \"floor\": " << kObsFloor << "\n"
+         << "}\n";
+  }
+
+  if (obs_ratio < kObsFloor) {
+    std::fprintf(stderr, "FAIL: instrumented/plain throughput ratio %.2f "
+                         "below floor %.2f\n",
+                 obs_ratio, kObsFloor);
     return 1;
   }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -70,27 +71,75 @@ void Json::Set(const std::string& key, Json v) {
 
 namespace {
 
+// Length (2..4) of the UTF-8 sequence starting at s[i], or 0 when the
+// bytes there are not a well-formed sequence (bad lead byte, truncated,
+// or continuation bytes missing).
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  unsigned char c = static_cast<unsigned char>(s[i]);
+  size_t len;
+  if ((c & 0xE0) == 0xC0) {
+    len = 2;
+  } else if ((c & 0xF0) == 0xE0) {
+    len = 3;
+  } else if ((c & 0xF8) == 0xF0) {
+    len = 4;
+  } else {
+    return 0;  // continuation byte or invalid lead (0x80..0xBF, 0xF8..)
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    if ((static_cast<unsigned char>(s[i + k]) & 0xC0) != 0x80) return 0;
+  }
+  return len;
+}
+
 void EscapeTo(const std::string& s, std::string* out) {
   out->push_back('"');
-  for (char c : s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"':
         *out += "\\\"";
-        break;
+        continue;
       case '\\':
         *out += "\\\\";
-        break;
+        continue;
       case '\n':
         *out += "\\n";
-        break;
+        continue;
       case '\t':
         *out += "\\t";
-        break;
+        continue;
       case '\r':
         *out += "\\r";
-        break;
+        continue;
+      case '\b':
+        *out += "\\b";
+        continue;
+      case '\f':
+        *out += "\\f";
+        continue;
       default:
-        out->push_back(c);
+        break;
+    }
+    if (c < 0x20) {
+      // Remaining control characters have no shorthand escape.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else if (c < 0x80) {
+      out->push_back(static_cast<char>(c));
+    } else {
+      // Raw query scripts flow verbatim into trace/query-log JSON, so
+      // arbitrary bytes reach here: pass well-formed UTF-8 through and
+      // replace anything else with U+FFFD to keep the document valid.
+      size_t len = Utf8SequenceLength(s, i);
+      if (len == 0) {
+        *out += "\\ufffd";
+      } else {
+        out->append(s, i, len);
+        i += len - 1;
+      }
     }
   }
   out->push_back('"');
@@ -242,6 +291,44 @@ class JsonParser {
     return Status::OK();
   }
 
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t cp = 0;
+    for (int k = 0; k < 4; ++k) {
+      char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') {
+        cp |= static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        cp |= static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        cp |= static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    *out = cp;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     while (pos_ < text_.size()) {
@@ -275,6 +362,28 @@ class JsonParser {
           case 'f':
             out->push_back('\f');
             break;
+          case 'u': {
+            uint32_t cp = 0;
+            DB2G_RETURN_NOT_OK(ParseHex4(&cp));
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a low surrogate escape must follow.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              DB2G_RETURN_NOT_OK(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired low surrogate in \\u escape");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
           default:
             return Error(std::string("unsupported escape '\\") + e + "'");
         }

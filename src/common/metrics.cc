@@ -92,6 +92,85 @@ std::string MetricsRegistry::RenderText() const {
   return out;
 }
 
+namespace {
+
+// Maps a registry name onto the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*; out-of-charset bytes (dots, dashes, UTF-8
+// continuation bytes) collapse to '_', and a leading digit is prefixed.
+std::string SanitizePrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(c->load()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + std::to_string(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string p = SanitizePrometheusName(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "{quantile=\"0.5\"} " + std::to_string(h->Percentile(0.50)) +
+           "\n";
+    out += p + "{quantile=\"0.95\"} " + std::to_string(h->Percentile(0.95)) +
+           "\n";
+    out += p + "{quantile=\"0.99\"} " + std::to_string(h->Percentile(0.99)) +
+           "\n";
+    out += p + "_sum " + std::to_string(h->Sum()) + "\n";
+    out += p + "_count " + std::to_string(h->Count()) + "\n";
+  }
+  return out;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Sample s;
+    s.name = name;
+    s.kind = "counter";
+    s.value = static_cast<int64_t>(c->load());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Sample s;
+    s.name = name;
+    s.kind = "gauge";
+    s.value = g->Value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Sample s;
+    s.name = name;
+    s.kind = "histogram";
+    s.value = static_cast<int64_t>(h->Count());
+    s.sum = h->Sum();
+    s.p50 = h->Percentile(0.50);
+    s.p95 = h->Percentile(0.95);
+    s.p99 = h->Percentile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 Json MetricsRegistry::RenderJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Json counters = Json::Object();

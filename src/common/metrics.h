@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 
@@ -113,6 +114,26 @@ class MetricsRegistry {
   std::string RenderText() const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
   Json RenderJson() const;
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as single samples, histograms as summaries (quantile-labeled
+  /// samples plus _count/_sum). Metric names are sanitized to the
+  /// Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*) — every other byte
+  /// (the registry uses dots, e.g. "plan_cache.hits") becomes '_'.
+  std::string RenderPrometheus() const;
+
+  /// Point-in-time copy of one metric, as surfaced by Snapshot() and the
+  /// sysmon.metrics virtual table. For histograms `value` is the count.
+  struct Sample {
+    std::string name;
+    std::string kind;  // "counter" | "gauge" | "histogram"
+    int64_t value = 0;
+    uint64_t sum = 0;  // histograms only
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+  /// Every registered metric, name-ordered within each kind.
+  std::vector<Sample> Snapshot() const;
 
  private:
   mutable std::mutex mutex_;

@@ -1,0 +1,42 @@
+#include "common/query_log.h"
+
+namespace db2graph {
+
+QueryLog::QueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* instance = new QueryLog();
+  return *instance;
+}
+
+size_t QueryLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void QueryLog::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void QueryLog::Record(Entry entry) {
+  if (!enabled()) return;
+  entry.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<QueryLog::Entry> QueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace db2graph

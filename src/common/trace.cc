@@ -48,8 +48,10 @@ int QueryTrace::BeginStep(std::string step, std::string detail,
   span.step = std::move(step);
   span.detail = std::move(detail);
   span.in_count = in_count;
+  span.start_micros = clock_->NowMicros();
+  span.tid = TraceTid();
   spans_.push_back(std::move(span));
-  span_starts_.push_back(clock_->NowMicros());
+  span_starts_.push_back(spans_.back().start_micros);
   span_paused_.push_back(false);
   open_.push_back(spans_.back().index);
   return spans_.back().index;
@@ -106,6 +108,11 @@ void QueryTrace::AddRewrite(std::string strategy, std::string before,
 }
 
 void QueryTrace::RecordSql(SqlTraceRecord record) {
+  if (record.tid == 0) record.tid = TraceTid();
+  if (record.start_micros == 0) {
+    uint64_t now = clock_->NowMicros();
+    record.start_micros = now > record.micros ? now - record.micros : 0;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (StepTraceSpan* span = InnermostOpenLocked()) {
     span->statements.push_back(std::move(record));
@@ -324,11 +331,76 @@ Json QueryTrace::ToJson() const {
   return out;
 }
 
+Json QueryTrace::ToChromeTrace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json events = Json::Array();
+  auto complete_event = [](const std::string& name, const std::string& cat,
+                           uint64_t ts, uint64_t dur, int tid, Json args) {
+    Json e = Json::Object();
+    e.Set("name", Json::Str(name));
+    e.Set("cat", Json::Str(cat));
+    e.Set("ph", Json::Str("X"));
+    e.Set("ts", Json::Number(static_cast<double>(ts)));
+    e.Set("dur", Json::Number(static_cast<double>(dur)));
+    e.Set("pid", Json::Number(1));
+    e.Set("tid", Json::Number(tid));
+    e.Set("args", std::move(args));
+    return e;
+  };
+  for (const StepTraceSpan& span : spans_) {
+    Json args = Json::Object();
+    args.Set("detail", Json::Str(span.detail));
+    args.Set("in", Json::Number(static_cast<double>(span.in_count)));
+    args.Set("out", Json::Number(static_cast<double>(span.out_count)));
+    if (span.blocks > 0) {
+      args.Set("blocks", Json::Number(static_cast<double>(span.blocks)));
+    }
+    if (span.fanout_tasks > 0) {
+      args.Set("fanout_tasks",
+               Json::Number(static_cast<double>(span.fanout_tasks)));
+    }
+    events.Append(complete_event("step:" + span.step, "step",
+                                 span.start_micros, span.micros, span.tid,
+                                 std::move(args)));
+    for (const SqlTraceRecord& rec : span.statements) {
+      Json sql_args = Json::Object();
+      sql_args.Set("sql", Json::Str(rec.sql));
+      sql_args.Set("access_path", Json::Str(rec.access_path));
+      sql_args.Set("rows_scanned",
+                   Json::Number(static_cast<double>(rec.rows_scanned)));
+      sql_args.Set("rows_returned",
+                   Json::Number(static_cast<double>(rec.rows_returned)));
+      std::string name =
+          rec.table.empty() ? std::string("sql") : "sql:" + rec.table;
+      events.Append(complete_event(name, "sql", rec.start_micros, rec.micros,
+                                   rec.tid, std::move(sql_args)));
+    }
+  }
+  Json out = Json::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", Json::Str("ms"));
+  if (!script_.empty()) {
+    Json meta = Json::Object();
+    meta.Set("script", Json::Str(script_));
+    if (!plan_source_.empty()) meta.Set("plan", Json::Str(plan_source_));
+    meta.Set("total_micros",
+             Json::Number(static_cast<double>(total_micros_)));
+    out.Set("metadata", std::move(meta));
+  }
+  return out;
+}
+
 namespace {
 thread_local QueryTrace* g_current_trace = nullptr;
 }  // namespace
 
 QueryTrace* CurrentTrace() { return g_current_trace; }
+
+int TraceTid() {
+  static std::atomic<int> next_tid{1};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
 
 ScopedTrace::ScopedTrace(QueryTrace* trace) : previous_(g_current_trace) {
   g_current_trace = trace;
@@ -336,7 +408,8 @@ ScopedTrace::ScopedTrace(QueryTrace* trace) : previous_(g_current_trace) {
 
 ScopedTrace::~ScopedTrace() { g_current_trace = previous_; }
 
-SlowQueryLog::SlowQueryLog() {
+SlowQueryLog::SlowQueryLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
   const char* env = std::getenv("DB2G_SLOW_QUERY_MS");
   if (env != nullptr) {
     threshold_ms_.store(std::atoll(env), std::memory_order_relaxed);
@@ -348,9 +421,20 @@ SlowQueryLog& SlowQueryLog::Global() {
   return *instance;
 }
 
+size_t SlowQueryLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void SlowQueryLog::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
 void SlowQueryLog::Record(Entry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= kCapacity) entries_.pop_front();
+  while (entries_.size() >= capacity_) entries_.pop_front();
   entries_.push_back(std::move(entry));
 }
 

@@ -42,6 +42,13 @@ class TraceClock {
 struct SqlTraceRecord {
   std::string table;
   std::string sql;  // parameters substituted
+  /// Wall stamp (trace-clock micros) when the statement started; filled by
+  /// RecordSql as now-minus-micros when the recorder left it 0. Feeds the
+  /// Chrome-trace exporter's event timeline.
+  uint64_t start_micros = 0;
+  /// Small per-thread integer identifying the recording thread (fan-out
+  /// workers show as separate Chrome-trace rows); 0 = stamped by RecordSql.
+  int tid = 0;
   /// Chosen access path: "index", "range", "scan", "mixed", "none" at
   /// runtime; "index probe" / "full scan" / "full scan+filter" predictions
   /// from EXPLAIN.
@@ -75,6 +82,11 @@ struct StepTraceSpan {
   int depth = 0;  // nesting depth (repeat bodies, sub-traversals)
   std::string step;    // step kind name
   std::string detail;  // Step::ToString()
+  /// Wall stamp (trace-clock micros) of BeginStep — unlike the per-window
+  /// start the timing machinery keeps, this never moves on Resume.
+  uint64_t start_micros = 0;
+  /// TraceTid() of the thread that opened the span.
+  int tid = 0;
   uint64_t in_count = 0;
   uint64_t out_count = 0;
   /// Active (non-paused) time only; a streaming step accumulates across
@@ -169,6 +181,13 @@ class QueryTrace {
   /// Machine-readable rendering: {"script", "total_micros", "strategies",
   /// "steps": [...]}.
   Json ToJson() const;
+  /// chrome://tracing / Perfetto JSON (Trace Event Format): one complete
+  /// ("X") event per step span and per SQL statement, laid out on the
+  /// recording thread's row — fan-out workers and barrier drains render as
+  /// a flamegraph. A streamed span's dur is its active micros, so paused
+  /// windows are collapsed out of the bar. Dump with .Dump(0) and load the
+  /// file directly in the tracing UI.
+  Json ToChromeTrace() const;
 
  private:
   StepTraceSpan* InnermostOpenLocked();
@@ -188,6 +207,10 @@ class QueryTrace {
 /// The trace installed on this thread; nullptr when the current query is
 /// untraced (the common case).
 QueryTrace* CurrentTrace();
+
+/// Small, stable integer identifying the calling thread (1, 2, 3, ... in
+/// first-use order) — friendlier than std::thread::id for trace output.
+int TraceTid();
 
 /// RAII installer; saves and restores the previous thread-local trace, so
 /// fan-out workers (and nested graphQuery interpreters) compose.
@@ -219,7 +242,9 @@ class SlowQueryLog {
     std::string trace_json;
   };
 
-  static constexpr size_t kCapacity = 64;
+  static constexpr size_t kDefaultCapacity = 64;
+
+  explicit SlowQueryLog(size_t capacity = kDefaultCapacity);
 
   static SlowQueryLog& Global();
 
@@ -230,15 +255,18 @@ class SlowQueryLog {
     threshold_ms_.store(ms, std::memory_order_relaxed);
   }
 
+  size_t capacity() const;
+  /// Resizes the ring (clamped to >= 1); shrinking drops oldest entries.
+  void SetCapacity(size_t capacity);
+
   void Record(Entry entry);
   std::vector<Entry> Entries() const;
   void Clear();
 
  private:
-  SlowQueryLog();
-
   std::atomic<int64_t> threshold_ms_{0};
   mutable std::mutex mutex_;
+  size_t capacity_;
   std::deque<Entry> entries_;
 };
 

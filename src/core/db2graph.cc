@@ -1,8 +1,11 @@
 #include "core/db2graph.h"
 
+#include "common/query_log.h"
 #include "common/strings.h"
 #include "overlay/auto_overlay.h"
 #include "overlay/topology.h"
+#include "sql/table.h"
+#include "sql/virtual_table.h"
 
 namespace db2graph::core {
 
@@ -24,7 +27,33 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
   graph->dialect_ = std::make_unique<SqlDialect>(db);
   graph->provider_ = std::make_unique<Db2GraphProvider>(
       graph->dialect_.get(), std::move(*topology), options.runtime);
-  graph->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_entries);
+  graph->plan_cache_ = std::make_shared<PlanCache>(options.plan_cache_entries);
+  // sysmon.plan_cache: the core layer owns the plan cache, so it (not the
+  // SQL layer) contributes this SYSMON table. The fill holds a weak_ptr —
+  // a graph closed before its database simply renders an empty table.
+  {
+    sql::VirtualTableDef def;
+    def.schema.name = "sysmon.plan_cache";
+    def.schema.columns = {{"hits", sql::ColumnType::kInt},
+                          {"misses", sql::ColumnType::kInt},
+                          {"invalidations", sql::ColumnType::kInt},
+                          {"evictions", sql::ColumnType::kInt},
+                          {"entries", sql::ColumnType::kInt}};
+    std::weak_ptr<PlanCache> cache = graph->plan_cache_;
+    def.fill = [cache](sql::Table* out) -> Status {
+      std::shared_ptr<PlanCache> locked = cache.lock();
+      if (locked == nullptr) return Status::OK();
+      PlanCache::Counts c = locked->Snapshot();
+      return out
+          ->Insert({static_cast<int64_t>(c.hits),
+                    static_cast<int64_t>(c.misses),
+                    static_cast<int64_t>(c.invalidations),
+                    static_cast<int64_t>(c.evictions),
+                    static_cast<int64_t>(locked->size())})
+          .status();
+    };
+    db->RegisterVirtualTable(std::move(def));
+  }
   // Strategy toggles change what a script compiles to, so they join the
   // cache key (the cache is per-graph, but Options could someday be
   // per-execution; cheap insurance).
@@ -117,6 +146,33 @@ const std::vector<Value>* FindBinding(const ExecOptions& options,
   return nullptr;
 }
 
+// Files one sysmon.query_log entry for a Gremlin execution. With a trace,
+// row totals come from the statements the query issued; untraced, the
+// traverser count stands in for rows_emitted.
+void RecordGremlinQueryLog(const CompiledPlan& plan, bool plan_cached,
+                           const Result<std::vector<Traverser>>& out,
+                           uint64_t micros, const QueryTrace* trace) {
+  QueryLog& log = QueryLog::Global();
+  if (!log.enabled()) return;
+  QueryLog::Entry entry;
+  entry.layer = "gremlin";
+  entry.script = plan.script_text;
+  entry.plan_source = plan_cached ? "cached" : "compiled";
+  entry.micros = micros;
+  if (trace != nullptr) {
+    QueryTrace::RowTotals totals = trace->SqlRowTotals();
+    entry.rows_scanned = totals.rows_scanned;
+    entry.rows_emitted = totals.rows_emitted;
+  } else if (out.ok()) {
+    entry.rows_emitted = out->size();
+  }
+  if (!out.ok()) {
+    entry.error = true;
+    entry.error_message = out.status().message();
+  }
+  log.Record(std::move(entry));
+}
+
 }  // namespace
 
 Status Db2Graph::ValidateBindings(const CompiledPlan& plan,
@@ -192,8 +248,18 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
       options.trace != nullptr || plan->has_profile || slow_ms > 0;
   if (!traced) {
     // Untraced hot path: no QueryTrace exists, so every record site below
-    // is a thread-local null check and nothing more.
-    return interpreter.RunScript(plan->script, env);
+    // is a thread-local null check and nothing more. The query log adds
+    // one relaxed atomic read, and when enabled two clock reads plus a
+    // guarded deque push.
+    if (!QueryLog::Global().enabled()) {
+      return interpreter.RunScript(plan->script, env);
+    }
+    uint64_t begin = trace_clock_->NowMicros();
+    Result<std::vector<Traverser>> out =
+        interpreter.RunScript(plan->script, env);
+    RecordGremlinQueryLog(*plan, plan_cached, out,
+                          trace_clock_->NowMicros() - begin, nullptr);
+    return out;
   }
 
   QueryTrace local_trace(trace_clock_);
@@ -223,6 +289,7 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     entry.trace_json = trace->ToJson().Dump(2);
     SlowQueryLog::Global().Record(std::move(entry));
   }
+  RecordGremlinQueryLog(*plan, plan_cached, out, elapsed, trace);
   if (!out.ok()) return out.status();
   if (plan->has_profile) {
     std::vector<Traverser> result;

@@ -209,7 +209,9 @@ class Db2Graph {
   TraceClock* trace_clock_ = TraceClock::Default();
   std::unique_ptr<SqlDialect> dialect_;
   std::unique_ptr<Db2GraphProvider> provider_;
-  std::unique_ptr<PlanCache> plan_cache_;
+  // shared_ptr: sysmon.plan_cache (registered on the database at Open)
+  // holds a weak_ptr so the virtual table survives graph teardown.
+  std::shared_ptr<PlanCache> plan_cache_;
   /// Options part of the cache key (strategy toggles change the plan).
   std::string plan_key_prefix_;
 };

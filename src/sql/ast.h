@@ -70,6 +70,13 @@ struct SelectStmt {
   /// own FROM scope, so execution can skip per-call cloning and binding.
   /// Invalidated (not tracked) by DDL on the referenced tables.
   bool prebound = false;
+  /// EXPLAIN SELECT ...: compile (and for analyze, run) the statement but
+  /// return the operator tree as a one-column "plan" result instead of
+  /// the query's rows.
+  bool explain = false;
+  /// EXPLAIN ANALYZE: execute fully with per-operator instrumentation so
+  /// the rendered plan carries actual blocks/rows/micros.
+  bool analyze = false;
   bool distinct = false;
   std::vector<SelectItem> items;
   std::vector<TableRef> from;  // comma-list = cross join

@@ -2,10 +2,13 @@
 
 #include <unordered_map>
 
+#include "common/query_log.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "sql/executor.h"
 #include "sql/expr.h"
 #include "sql/parser.h"
+#include "sql/sysmon.h"
 
 namespace db2graph::sql {
 
@@ -53,9 +56,87 @@ bool IsReadOnly(const Statement& stmt) {
   return stmt.kind == StatementKind::kSelect;
 }
 
+// Compact script label for sysmon.query_log entries. ExecuteStatement only
+// sees the parsed AST (prepared statements never carry their text), so the
+// label is synthesized: statement kind plus the relations it touches.
+std::string DescribeStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      std::string s = stmt.select->explain
+                          ? (stmt.select->analyze ? "EXPLAIN ANALYZE SELECT"
+                                                  : "EXPLAIN SELECT")
+                          : "SELECT";
+      for (size_t i = 0; i < stmt.select->from.size(); ++i) {
+        const TableRef& ref = stmt.select->from[i];
+        s += i == 0 ? " FROM " : ", ";
+        switch (ref.kind) {
+          case TableRef::Kind::kTable:
+            s += ref.table;
+            break;
+          case TableRef::Kind::kTableFunction:
+            s += "TABLE(" + ref.function_name + ")";
+            break;
+          case TableRef::Kind::kSubquery:
+            s += "(subquery)";
+            break;
+        }
+      }
+      return s;
+    }
+    case StatementKind::kInsert:
+      return "INSERT INTO " + stmt.insert->table;
+    case StatementKind::kUpdate:
+      return "UPDATE " + stmt.update->table;
+    case StatementKind::kDelete:
+      return "DELETE FROM " + stmt.del->table;
+    case StatementKind::kCreateTable:
+      return "CREATE TABLE " + stmt.create_table->schema.name;
+    case StatementKind::kCreateIndex:
+      return "CREATE INDEX " + stmt.create_index->index_name;
+    case StatementKind::kCreateView:
+      return "CREATE VIEW " + stmt.create_view->name;
+    case StatementKind::kDropTable:
+      return "DROP " + stmt.drop_table->table;
+    case StatementKind::kGrant:
+    case StatementKind::kRevoke:
+      return stmt.grant->is_revoke ? "REVOKE" : "GRANT";
+    case StatementKind::kBegin:
+      return "BEGIN";
+    case StatementKind::kCommit:
+      return "COMMIT";
+    case StatementKind::kRollback:
+      return "ROLLBACK";
+  }
+  return "UNKNOWN";
+}
+
+// Files one sysmon.query_log entry for a finished statement.
+void RecordQueryLog(const Statement& stmt, const Result<ResultSet>& result,
+                    uint64_t micros) {
+  QueryLog::Entry entry;
+  entry.layer = "sql";
+  entry.script = DescribeStatement(stmt);
+  entry.micros = micros;
+  if (result.ok()) {
+    entry.exec_mode = result->exec.ExecMode();
+    entry.access_path = result->exec.AccessPath();
+    entry.rows_scanned = result->exec.rows_scanned;
+    entry.rows_emitted = result->rows.empty() && result->affected > 0
+                             ? static_cast<uint64_t>(result->affected)
+                             : result->exec.rows_emitted;
+    if (!result->exec.op_profiles.empty()) {
+      entry.plan = RenderPlanTree(result->exec.op_profiles, /*analyzed=*/true);
+    }
+  } else {
+    entry.error = true;
+    entry.error_message = result.status().message();
+  }
+  QueryLog::Global().Record(std::move(entry));
+}
+
 }  // namespace
 
-Database::Database() = default;
+Database::Database() { RegisterSysmonTables(this); }
 Database::~Database() = default;
 
 // ---------------------------------------------------------------------
@@ -195,10 +276,15 @@ Result<PreparedStatement> Database::Prepare(const std::string& sql) {
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                                              const std::vector<Value>& params) {
+  const bool log = QueryLog::Global().enabled();
   if (IsReadOnly(stmt)) {
     ReadLock lock(this, &mutex_);
     Executor executor(this, &params);
-    return executor.Select(*stmt.select);
+    if (!log) return executor.Select(*stmt.select);
+    uint64_t start = TraceClock::Default()->NowMicros();
+    Result<ResultSet> result = executor.Select(*stmt.select);
+    RecordQueryLog(stmt, result, TraceClock::Default()->NowMicros() - start);
+    return result;
   }
   WriteLock lock(&mutex_);
   // Bumped under the exclusive lock: readers that observe the new epoch are
@@ -207,7 +293,11 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   // data with the post-write epoch.)
   write_epoch_.fetch_add(1, std::memory_order_acq_rel);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  return ExecuteLocked(stmt, params);
+  if (!log) return ExecuteLocked(stmt, params);
+  uint64_t start = TraceClock::Default()->NowMicros();
+  Result<ResultSet> result = ExecuteLocked(stmt, params);
+  RecordQueryLog(stmt, result, TraceClock::Default()->NowMicros() - start);
+  return result;
 }
 
 bool Database::ReadLockHeldByThisThread() const {
@@ -630,6 +720,8 @@ const TableSchema* Database::GetSchema(const std::string& name) const {
   if (it != tables_.end()) return &it->second->schema();
   auto vit = views_.find(CatalogKey(name));
   if (vit != views_.end()) return &vit->second.derived_schema;
+  auto vtit = virtual_tables_.find(CatalogKey(name));
+  if (vtit != virtual_tables_.end()) return &vtit->second.schema;
   return nullptr;
 }
 
@@ -661,6 +753,28 @@ const Database::TableFunction* Database::FindTableFunction(
     const std::string& name) const {
   auto it = table_functions_.find(CatalogKey(name));
   return it != table_functions_.end() ? &it->second : nullptr;
+}
+
+void Database::RegisterVirtualTable(VirtualTableDef def) {
+  WriteLock lock(&mutex_);
+  virtual_tables_[CatalogKey(def.schema.name)] = std::move(def);
+}
+
+const VirtualTableDef* Database::FindVirtualTable(
+    const std::string& name) const {
+  auto it = virtual_tables_.find(CatalogKey(name));
+  return it != virtual_tables_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> Database::VirtualTableNames() const {
+  ReadLock lock(this, &mutex_);
+  std::vector<std::string> names;
+  for (const auto& [key, def] : virtual_tables_) {
+    (void)key;
+    names.push_back(def.schema.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 size_t Database::ApproxBytes() const {

@@ -27,6 +27,7 @@
 #include "sql/result_set.h"
 #include "sql/row_source.h"
 #include "sql/table.h"
+#include "sql/virtual_table.h"
 
 namespace db2graph::sql {
 
@@ -196,6 +197,17 @@ class Database {
   void RegisterTableFunction(const std::string& name, TableFunction fn);
   const TableFunction* FindTableFunction(const std::string& name) const;
 
+  // -- virtual tables -----------------------------------------------------
+  /// Registers a read-only virtual table (the sysmon.* monitoring catalog
+  /// plugs in here). def.schema.name is the full catalog name, typically
+  /// schema-qualified ("sysmon.query_log"); a scan materializes a fresh
+  /// snapshot through def.fill and runs it through the ordinary operators.
+  /// Re-registering a name replaces the definition.
+  void RegisterVirtualTable(VirtualTableDef def);
+  /// nullptr when absent; the pointer stays valid until re-registration.
+  const VirtualTableDef* FindVirtualTable(const std::string& name) const;
+  std::vector<std::string> VirtualTableNames() const;
+
   // -- bookkeeping --------------------------------------------------------
   /// Approximate in-memory bytes across all tables and indexes.
   size_t ApproxBytes() const;
@@ -214,6 +226,17 @@ class Database {
   }
   bool vectorized_execution() const {
     return vectorized_execution_.load(std::memory_order_relaxed);
+  }
+
+  /// Toggles always-on per-operator profiling (off by default): when set,
+  /// every SELECT runs with EXPLAIN ANALYZE instrumentation and fills
+  /// ExecInfo::op_profiles, so traces, .profile(), and sysmon.query_log
+  /// carry annotated plans for ordinary statements too.
+  void set_profile_execution(bool on) {
+    profile_execution_.store(on, std::memory_order_relaxed);
+  }
+  bool profile_execution() const {
+    return profile_execution_.load(std::memory_order_relaxed);
   }
 
   /// True while a BEGIN..COMMIT/ROLLBACK transaction is open.
@@ -305,6 +328,7 @@ class Database {
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, ViewDef> views_;
   std::unordered_map<std::string, TableFunction> table_functions_;
+  std::unordered_map<std::string, VirtualTableDef> virtual_tables_;
   bool in_transaction_ = false;
   std::vector<UndoRecord> undo_log_;
   ExecStats stats_;
@@ -312,6 +336,7 @@ class Database {
   std::atomic<uint64_t> ddl_version_{0};
   std::atomic<uint64_t> write_epoch_{0};
   std::atomic<bool> vectorized_execution_{true};
+  std::atomic<bool> profile_execution_{false};
   bool access_control_ = false;
   std::string current_user_;  // "" = superuser
   struct Privilege {

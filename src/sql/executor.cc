@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "common/trace.h"
 #include "sql/database.h"
 #include "sql/expr.h"
 #include "sql/table.h"
@@ -67,6 +68,17 @@ Result<Executor::Relation> Executor::ResolveRef(const TableRef& ref) {
       if (Table* table = db_->GetTable(ref.table)) {
         rel.table = table;
         rel.columns = table->schema().ColumnNames();
+        return rel;
+      }
+      if (const VirtualTableDef* vt = db_->FindVirtualTable(ref.table)) {
+        // Materialize a point-in-time snapshot. The relation owns it, so
+        // downstream operators treat it exactly like a base table (index-
+        // free, so scans — including the vectorized path — apply).
+        Result<std::shared_ptr<Table>> snapshot = MaterializeVirtualTable(*vt);
+        if (!snapshot.ok()) return snapshot.status();
+        rel.owned = std::move(*snapshot);
+        rel.table = rel.owned.get();
+        rel.columns = rel.owned->schema().ColumnNames();
         return rel;
       }
       if (db_->IsView(ref.table)) {
@@ -244,6 +256,11 @@ struct PlanContext {
   size_t block_rows = kDefaultBlockRows;
   ExecInfo exec;
   Status error = Status::OK();
+  /// EXPLAIN [ANALYZE] / Database::profile_execution: each operator gets a
+  /// wrapper that records into one node here. deque: the wrappers hold
+  /// stable pointers while compilation keeps appending. Leaf-first order.
+  bool profiled = false;
+  std::deque<OpProfile> profiles;
 };
 
 class Op {
@@ -1558,6 +1575,62 @@ class ColumnAggregateOp : public Op {
   bool closed_ = false;
 };
 
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE instrumentation
+// ---------------------------------------------------------------------
+//
+// Timing wrappers inserted around every operator when the statement runs
+// profiled. micros are inclusive (each wrapper times its child's Next,
+// which pulls the whole subtree); rows_in is derived after execution from
+// the chain order, so the wrappers only count their own output.
+
+class ProfiledOp : public Op {
+ public:
+  ProfiledOp(PlanContext* ctx, std::unique_ptr<Op> child, OpProfile* prof)
+      : Op(ctx), child_(std::move(child)), prof_(prof) {}
+
+  bool Next(RowBlock* out) override {
+    uint64_t t0 = TraceClock::Default()->NowMicros();
+    bool ok = child_->Next(out);
+    prof_->micros += TraceClock::Default()->NowMicros() - t0;
+    if (ok) {
+      prof_->blocks += 1;
+      prof_->rows_out += out->rows.size();
+    }
+    return ok;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Op> child_;
+  OpProfile* prof_;
+};
+
+class ProfiledColOp : public ColOp {
+ public:
+  ProfiledColOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
+                OpProfile* prof)
+      : ColOp(ctx), child_(std::move(child)), prof_(prof) {}
+
+  bool Next(ColumnBlock* out) override {
+    uint64_t t0 = TraceClock::Default()->NowMicros();
+    bool ok = child_->Next(out);
+    prof_->micros += TraceClock::Default()->NowMicros() - t0;
+    if (ok) {
+      prof_->blocks += 1;
+      prof_->rows_out += out->sel.size();
+    }
+    return ok;
+  }
+
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<ColOp> child_;
+  OpProfile* prof_;
+};
+
 }  // namespace exec_ops
 
 namespace {
@@ -1664,8 +1737,21 @@ struct SelectPlan::State {
   std::vector<std::unique_ptr<Expr>> owned;  // bound expression clones
   std::vector<std::string> columns;
   std::unique_ptr<exec_ops::Op> root;
+  // Virtual-table snapshots: operators keep raw `const Table*` pointers
+  // (same as base tables), so the plan owns the backing storage.
+  std::vector<std::shared_ptr<Table>> pinned;
   ExecInfo flushed;  // portion already mirrored into Database::stats()
   bool closed = false;
+
+  // Copies the live profile nodes into ExecInfo, deriving rows_in from
+  // the linear chain (each operator consumes the previous one's output).
+  void FinalizeProfiles() {
+    if (ctx.profiles.empty()) return;
+    ctx.exec.op_profiles.assign(ctx.profiles.begin(), ctx.profiles.end());
+    for (size_t i = 1; i < ctx.exec.op_profiles.size(); ++i) {
+      ctx.exec.op_profiles[i].rows_in = ctx.exec.op_profiles[i - 1].rows_out;
+    }
+  }
 
   void FlushStats() {
     ExecStats& stats = ctx.db->stats();
@@ -1716,6 +1802,7 @@ void SelectPlan::Close() {
   if (s == nullptr || s->closed) return;
   s->closed = true;
   s->root->Close();
+  s->FinalizeProfiles();
   s->FlushStats();
 }
 
@@ -1728,6 +1815,7 @@ Result<ResultSet> SelectPlan::Drain() {
     for (Row& row : block.rows) result.rows.push_back(std::move(row));
   }
   if (!state_->ctx.error.ok()) return state_->ctx.error;
+  state_->FinalizeProfiles();
   result.exec = state_->ctx.exec;
   return result;
 }
@@ -1750,6 +1838,33 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
   state->ctx.params = params_;
   state->ctx.block_rows = std::max<size_t>(block_rows, 1);
 
+  // EXPLAIN needs the operator chain recorded even without execution;
+  // ANALYZE and the database-wide toggle additionally time each Next().
+  const bool profiled =
+      stmt.explain || stmt.analyze || db_->profile_execution();
+  state->ctx.profiled = profiled;
+  auto prof = [&](std::unique_ptr<exec_ops::Op> op, const char* name,
+                  std::string detail) -> std::unique_ptr<exec_ops::Op> {
+    if (!profiled) return op;
+    OpProfile node;
+    node.name = name;
+    node.detail = std::move(detail);
+    state->ctx.profiles.push_back(std::move(node));
+    return std::make_unique<exec_ops::ProfiledOp>(
+        &state->ctx, std::move(op), &state->ctx.profiles.back());
+  };
+  auto prof_col = [&](std::unique_ptr<exec_ops::ColOp> op, const char* name,
+                      std::string detail)
+      -> std::unique_ptr<exec_ops::ColOp> {
+    if (!profiled) return op;
+    OpProfile node;
+    node.name = name;
+    node.detail = std::move(detail);
+    state->ctx.profiles.push_back(std::move(node));
+    return std::make_unique<exec_ops::ProfiledColOp>(
+        &state->ctx, std::move(op), &state->ctx.profiles.back());
+  };
+
   // 1. Resolve all FROM-clause relations, in order.
   struct StageInput {
     PlanRelation relation;
@@ -1766,6 +1881,7 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     plan_rel.columns = std::move(rel->columns);
     plan_rel.table = rel->table;
     plan_rel.rows = std::move(rel->rows);
+    if (rel->owned) state->pinned.push_back(std::move(rel->owned));
     stages.push_back({std::move(plan_rel), on, left});
     return Status::OK();
   };
@@ -2044,24 +2160,43 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     if (k == 0 && stages.size() == 1 && !cfg.left &&
         stage.relation.table != nullptr && cfg.index == nullptr &&
         cfg.range_index == nullptr && db_->vectorized_execution()) {
-      col_source = std::make_unique<exec_ops::ColumnScanOp>(
-          &state->ctx, stage.relation.table);
+      col_source = prof_col(std::make_unique<exec_ops::ColumnScanOp>(
+                                &state->ctx, stage.relation.table),
+                            "ColumnScan", stage.relation.alias);
       if (!cfg.preds.empty()) {
-        col_source = std::make_unique<exec_ops::ColumnFilterOp>(
-            &state->ctx, std::move(col_source), cfg.preds);
+        size_t npreds = cfg.preds.size();
+        col_source = prof_col(
+            std::make_unique<exec_ops::ColumnFilterOp>(
+                &state->ctx, std::move(col_source), cfg.preds),
+            "ColumnFilter", std::to_string(npreds) + " conjunct(s)");
       }
       continue;
     }
 
+    std::string stage_detail = stage.relation.alias;
+    if (cfg.index != nullptr) {
+      stage_detail += " index probe";
+    } else if (cfg.range_index != nullptr) {
+      stage_detail += " range scan";
+    } else if (cfg.has_hash) {
+      stage_detail += " hash candidate";
+    } else if (stage.relation.table != nullptr) {
+      stage_detail += " scan";
+    } else {
+      stage_detail += " materialized";
+    }
     cfg.relation = std::move(stage.relation);
-    source = std::make_unique<JoinStageOp>(&state->ctx, std::move(source),
-                                           std::move(cfg));
+    source = prof(std::make_unique<JoinStageOp>(&state->ctx,
+                                                std::move(source),
+                                                std::move(cfg)),
+                  k == 0 ? "Scan" : "Join", std::move(stage_detail));
   }
 
   // 4. Residual WHERE (needed with LEFT JOINs; idempotent otherwise).
   if (where != nullptr && (any_left || no_from)) {
-    source = std::make_unique<exec_ops::FilterOp>(&state->ctx,
-                                                  std::move(source), where);
+    source = prof(std::make_unique<exec_ops::FilterOp>(
+                      &state->ctx, std::move(source), where),
+                  "Filter", where->ToString());
   }
 
   // 5. Projection / aggregation.
@@ -2139,20 +2274,26 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     if (col_source != nullptr) {
       exec_ops::ColumnAggregateOp::Config vagg;
       if (LowerVectorizedAggregate(agg, proj, stmt, &vagg)) {
-        source = std::make_unique<exec_ops::ColumnAggregateOp>(
-            &state->ctx, std::move(col_source), std::move(vagg));
+        const char* vdetail = vagg.simple ? "simple" : "grouped";
+        source = prof(std::make_unique<exec_ops::ColumnAggregateOp>(
+                          &state->ctx, std::move(col_source),
+                          std::move(vagg)),
+                      "ColumnAggregate", vdetail);
         lowered = true;
       } else {
         // Aggregate shape without a vectorized lowering: materialize rows
         // and keep the scalar barrier ("mixed" mode in profile()).
-        source = std::make_unique<exec_ops::ColumnToRowOp>(
-            &state->ctx, std::move(col_source));
+        source = prof(std::make_unique<exec_ops::ColumnToRowOp>(
+                          &state->ctx, std::move(col_source)),
+                      "ColumnToRow", "");
       }
     }
     if (!lowered) {
+      const char* adetail = agg.simple ? "simple" : "grouped";
       agg.proj = std::move(proj);
-      source = std::make_unique<exec_ops::AggregateOp>(
-          &state->ctx, std::move(source), std::move(agg));
+      source = prof(std::make_unique<exec_ops::AggregateOp>(
+                        &state->ctx, std::move(source), std::move(agg)),
+                    "Aggregate", adetail);
     }
   } else {
     // Plain projection, with optional ORDER BY over source rows.
@@ -2185,35 +2326,46 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     std::vector<size_t> out_cols;
     if (col_source != nullptr && order_exprs.empty() &&
         LowerVectorizedProjection(proj, &out_cols)) {
-      source = std::make_unique<exec_ops::ColumnProjectOp>(
-          &state->ctx, std::move(col_source), std::move(out_cols));
+      size_t ncols = out_cols.size();
+      source = prof(std::make_unique<exec_ops::ColumnProjectOp>(
+                        &state->ctx, std::move(col_source),
+                        std::move(out_cols)),
+                    "ColumnProject", "cols=" + std::to_string(ncols));
       lowered = true;
     } else if (col_source != nullptr) {
       // Computed select items or ORDER BY: materialize rows and keep the
       // scalar projection/sort ("mixed" mode in profile()).
-      source = std::make_unique<exec_ops::ColumnToRowOp>(
-          &state->ctx, std::move(col_source));
+      source = prof(std::make_unique<exec_ops::ColumnToRowOp>(
+                        &state->ctx, std::move(col_source)),
+                    "ColumnToRow", "");
     }
     if (!lowered) {
+      size_t nitems = proj.item_exprs.size();
       if (!order_exprs.empty()) {
-        source = std::make_unique<exec_ops::SortProjectOp>(
-            &state->ctx, std::move(source), std::move(proj),
-            std::move(order_exprs), std::move(order_desc));
+        size_t nkeys = order_exprs.size();
+        source = prof(std::make_unique<exec_ops::SortProjectOp>(
+                          &state->ctx, std::move(source), std::move(proj),
+                          std::move(order_exprs), std::move(order_desc)),
+                      "SortProject", "keys=" + std::to_string(nkeys));
       } else {
-        source = std::make_unique<exec_ops::ProjectOp>(
-            &state->ctx, std::move(source), std::move(proj));
+        source = prof(std::make_unique<exec_ops::ProjectOp>(
+                          &state->ctx, std::move(source), std::move(proj)),
+                      "Project", "cols=" + std::to_string(nitems));
       }
     }
   }
 
   // 6. DISTINCT, LIMIT.
   if (stmt.distinct) {
-    source = std::make_unique<exec_ops::DistinctOp>(&state->ctx,
-                                                    std::move(source));
+    source = prof(std::make_unique<exec_ops::DistinctOp>(&state->ctx,
+                                                         std::move(source)),
+                  "Distinct", "");
   }
   if (stmt.limit >= 0) {
-    source = std::make_unique<exec_ops::LimitOp>(
-        &state->ctx, std::move(source), static_cast<uint64_t>(stmt.limit));
+    source = prof(std::make_unique<exec_ops::LimitOp>(
+                      &state->ctx, std::move(source),
+                      static_cast<uint64_t>(stmt.limit)),
+                  "Limit", std::to_string(stmt.limit));
   }
 
   state->root = std::move(source);
@@ -2223,7 +2375,31 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
 Result<ResultSet> Executor::Select(const SelectStmt& stmt) {
   Result<std::unique_ptr<SelectPlan>> plan = Compile(stmt);
   if (!plan.ok()) return plan.status();
-  return (*plan)->Drain();
+  if (!stmt.explain) return (*plan)->Drain();
+
+  // EXPLAIN [ANALYZE]: return the rendered operator tree, one row per
+  // line, instead of the query's rows. ANALYZE runs the query first so
+  // the nodes carry actual blocks/rows/micros; plain EXPLAIN only
+  // compiles, leaving the counters zero (and unrendered).
+  ResultSet out;
+  out.columns = {"plan"};
+  if (stmt.analyze) {
+    Result<ResultSet> executed = (*plan)->Drain();
+    if (!executed.ok()) return executed.status();
+    out.exec = executed->exec;
+  } else {
+    (*plan)->Close();
+    out.exec = (*plan)->exec();
+  }
+  std::string tree = RenderPlanTree(out.exec.op_profiles, stmt.analyze);
+  size_t start = 0;
+  while (start < tree.size()) {
+    size_t end = tree.find('\n', start);
+    if (end == std::string::npos) end = tree.size();
+    out.rows.push_back({Value(tree.substr(start, end - start))});
+    start = end + 1;
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------

@@ -91,6 +91,10 @@ class Executor {
     std::vector<std::string> columns;
     const class Table* table = nullptr;  // base table access path
     std::vector<Row> rows;               // materialized otherwise
+    /// Set for virtual tables: the snapshot Table `table` points into.
+    /// The plan pins it so scans (row or vectorized) can keep raw
+    /// pointers; base tables are owned by the catalog and leave it null.
+    std::shared_ptr<class Table> owned;
     bool materialized() const { return table == nullptr; }
   };
 

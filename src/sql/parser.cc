@@ -30,6 +30,15 @@ class Parser {
       auto select = std::make_shared<SelectStmt>();
       DB2G_RETURN_NOT_OK(ParseSelect(select.get()));
       stmt->select = std::move(select);
+    } else if (ConsumeKeyword("EXPLAIN")) {
+      bool analyze = ConsumeKeyword("ANALYZE");
+      DB2G_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+      stmt->kind = StatementKind::kSelect;
+      auto select = std::make_shared<SelectStmt>();
+      select->explain = true;
+      select->analyze = analyze;
+      DB2G_RETURN_NOT_OK(ParseSelect(select.get()));
+      stmt->select = std::move(select);
     } else if (IsKeyword("GRANT") || IsKeyword("REVOKE")) {
       DB2G_RETURN_NOT_OK(ParseGrant(stmt.get()));
     } else if (ConsumeKeyword("BEGIN") || ConsumeKeyword("START")) {
@@ -484,6 +493,14 @@ class Parser {
     out->kind = TableRef::Kind::kTable;
     DB2G_RETURN_NOT_OK(ExpectIdentifier(&out->table));
     out->alias = out->table;
+    if (ConsumeOperator(".")) {
+      // Qualified name (schema.table, e.g. sysmon.query_log): the catalog
+      // key is the full dotted name; the default alias is the bare part.
+      std::string member;
+      DB2G_RETURN_NOT_OK(ExpectIdentifier(&member));
+      out->table += "." + member;
+      out->alias = std::move(member);
+    }
     if (ConsumeKeyword("AS")) {
       DB2G_RETURN_NOT_OK(ExpectIdentifier(&out->alias));
     } else if (Peek().type == TokenType::kIdentifier &&

@@ -7,6 +7,24 @@
 
 namespace db2graph::sql {
 
+std::string RenderPlanTree(const std::vector<OpProfile>& ops, bool analyzed) {
+  std::ostringstream os;
+  for (size_t i = ops.size(); i-- > 0;) {
+    const OpProfile& op = ops[i];
+    size_t depth = ops.size() - 1 - i;
+    os << std::string(depth * 2, ' ') << op.name;
+    if (!op.detail.empty()) os << " [" << op.detail << "]";
+    if (analyzed) {
+      os << " (actual";
+      if (op.rows_in > 0) os << " rows_in=" << op.rows_in;
+      os << " rows=" << op.rows_out << " blocks=" << op.blocks
+         << " time=" << op.micros << "us)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 const char* ExecInfo::AccessPath() const {
   int kinds = (index_probes > 0 ? 1 : 0) + (range_scans > 0 ? 1 : 0) +
               (full_scans > 0 ? 1 : 0);

@@ -11,6 +11,24 @@
 
 namespace db2graph::sql {
 
+/// Runtime profile of one operator in a SELECT plan, collected when the
+/// statement runs under EXPLAIN ANALYZE (or database-wide profiling).
+/// Profiles are stored leaf-first, mirroring the bottom-up construction
+/// of the linear operator chain; RenderPlanTree() prints the root on top.
+struct OpProfile {
+  std::string name;    // operator kind ("Seed", "Filter", "ColumnScan", ...)
+  std::string detail;  // operator-specific annotation (table, predicate...)
+  uint64_t blocks = 0;   // blocks the operator produced
+  uint64_t rows_in = 0;  // rows pulled from the operator below (0 at leaf)
+  uint64_t rows_out = 0;
+  uint64_t micros = 0;  // inclusive: covers this operator and everything below
+};
+
+/// Renders a leaf-first operator chain as an indented tree, root on top.
+/// With `analyzed` true each line carries actual blocks/rows/micros;
+/// otherwise only the operator names and details are shown (plain EXPLAIN).
+std::string RenderPlanTree(const std::vector<OpProfile>& ops, bool analyzed);
+
 /// Per-statement access-path attribution, filled by the executor for
 /// SELECTs. Unlike the database-wide ExecStats atomics, these belong to
 /// exactly one statement, so a traced query can attribute its own access
@@ -39,6 +57,10 @@ struct ExecInfo {
   /// Rows a vectorized filter had to materialize and hand to the scalar
   /// expression evaluator (predicate shapes without kernels).
   uint64_t scalar_fallback_rows = 0;
+
+  /// Per-operator runtime profiles (leaf-first), populated only when the
+  /// statement ran under EXPLAIN ANALYZE or Database::set_profile_execution.
+  std::vector<OpProfile> op_profiles;
 
   /// Dominant access path label: "index", "range", "scan", "mixed", or
   /// "none" (no table touched, e.g. SELECT over a materialized relation).

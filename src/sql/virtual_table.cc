@@ -1,0 +1,14 @@
+#include "sql/virtual_table.h"
+
+namespace db2graph::sql {
+
+Result<std::shared_ptr<Table>> MaterializeVirtualTable(
+    const VirtualTableDef& def) {
+  auto table = std::make_shared<Table>(def.schema);
+  if (def.fill) {
+    DB2G_RETURN_NOT_OK(def.fill(table.get()));
+  }
+  return table;
+}
+
+}  // namespace db2graph::sql

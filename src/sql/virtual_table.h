@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Read-only virtual tables: catalog entries whose rows are materialized
+// on demand from a snapshot callback instead of stored pages. This is the
+// mechanism behind the sysmon.* monitoring catalog (Db2's MON_GET_* table
+// functions, recast as plain relations): a scan of sysmon.query_log
+// materializes a point-in-time Table from the process-wide query log and
+// runs it through the ordinary scan/filter/project operators — row or
+// vectorized — so monitoring data composes with joins, aggregation, the
+// graph overlay, everything a base table supports.
+
+#ifndef DB2GRAPH_SQL_VIRTUAL_TABLE_H_
+#define DB2GRAPH_SQL_VIRTUAL_TABLE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "sql/schema.h"
+#include "sql/table.h"
+
+namespace db2graph::sql {
+
+/// Definition of one virtual table. `schema.name` is the full catalog
+/// name (conventionally schema-qualified, e.g. "sysmon.query_log"); the
+/// fill callback appends the current snapshot's rows to an empty Table
+/// built from that schema.
+struct VirtualTableDef {
+  TableSchema schema;
+  /// Appends the snapshot rows. Called under the database's shared (read)
+  /// lock, so the callback must not execute statements against the same
+  /// database or take its locks — read from engine-global state (rings,
+  /// registries, counters) or the tables the caller already pinned.
+  std::function<Status(Table* out)> fill;
+};
+
+/// Materializes a fresh snapshot Table for `def`. The returned table is
+/// owned by the caller (the executor pins it in the plan state so both
+/// row-at-a-time and vectorized scans can hold raw pointers into it).
+Result<std::shared_ptr<Table>> MaterializeVirtualTable(
+    const VirtualTableDef& def);
+
+}  // namespace db2graph::sql
+
+#endif  // DB2GRAPH_SQL_VIRTUAL_TABLE_H_

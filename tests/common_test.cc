@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/value.h"
@@ -172,6 +173,99 @@ TEST(JsonTest, NegativeAndExponentNumbers) {
   EXPECT_EQ(doc->items()[0].as_int(), -5);
   EXPECT_DOUBLE_EQ(doc->items()[1].as_number(), 1500.0);
   EXPECT_DOUBLE_EQ(doc->items()[2].as_number(), -0.25);
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  // Raw control bytes (a SQL script with tabs/newlines, a stray 0x01)
+  // must come out as \uXXXX escapes, never as raw bytes.
+  Json s = Json::Str(std::string("a\tb\nc\x01") + '\x1f');
+  std::string dumped = s.Dump(0);
+  EXPECT_EQ(dumped, "\"a\\tb\\nc\\u0001\\u001f\"");
+  // And the escaped form parses back to the original bytes.
+  Result<Json> round = Json::Parse(dumped);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->as_string(), s.as_string());
+}
+
+TEST(JsonTest, DumpReplacesInvalidUtf8) {
+  // A lone 0xFF (invalid UTF-8 anywhere) and a truncated multibyte
+  // sequence become U+FFFD so the output stays valid JSON/UTF-8.
+  Json bad = Json::Str(std::string("ok\xff") + "\xe2\x82");
+  std::string dumped = bad.Dump(0);
+  EXPECT_EQ(dumped.find('\xff'), std::string::npos);
+  Result<Json> round = Json::Parse(dumped);
+  ASSERT_TRUE(round.ok());
+  EXPECT_NE(round->as_string().find("\xef\xbf\xbd"), std::string::npos);
+}
+
+TEST(JsonTest, DumpPassesValidMultibyteUtf8Through) {
+  Json s = Json::Str("caf\xc3\xa9 \xe2\x82\xac");  // café €
+  std::string dumped = s.Dump(0);
+  EXPECT_EQ(dumped, "\"caf\xc3\xa9 \xe2\x82\xac\"");
+}
+
+TEST(JsonTest, ParsesUnicodeEscapesAndSurrogatePairs) {
+  Result<Json> doc = Json::Parse(R"({"s": "Aé€😀"})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // A, é (2 bytes), € (3 bytes), 😀 (4 bytes via surrogate pair).
+  EXPECT_EQ(doc->Find("s")->as_string(),
+            "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+  // Unpaired surrogates are malformed.
+  EXPECT_FALSE(Json::Parse(R"("\ud83d")").ok());
+  EXPECT_FALSE(Json::Parse(R"("\uZZZZ")").ok());
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsTest, RenderPrometheusExposesAllKinds) {
+  metrics::MetricsRegistry registry;
+  registry.GetCounter("requests.total")->fetch_add(42);
+  registry.GetGauge("queue.depth")->Set(-3);
+  registry.GetHistogram("latency.micros")->Observe(7);
+  registry.GetHistogram("latency.micros")->Observe(9);
+
+  std::string out = registry.RenderPrometheus();
+  // Dots are outside the Prometheus charset and collapse to '_'.
+  EXPECT_NE(out.find("# TYPE requests_total counter\nrequests_total 42\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE queue_depth gauge\nqueue_depth -3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE latency_micros summary"), std::string::npos);
+  EXPECT_NE(out.find("latency_micros{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(out.find("latency_micros{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("latency_micros_sum 16\n"), std::string::npos);
+  EXPECT_NE(out.find("latency_micros_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusNamesSanitizedToCharset) {
+  metrics::MetricsRegistry registry;
+  registry.GetCounter("1weird name\xc3\xa9!")->fetch_add(1);
+  std::string out = registry.RenderPrometheus();
+  // Leading digit gets a '_' prefix; every other foreign byte maps to '_'.
+  EXPECT_NE(out.find("_1weird_name___ 1\n"), std::string::npos) << out;
+}
+
+TEST(MetricsTest, RegistrySnapshotCoversEveryMetric) {
+  metrics::MetricsRegistry registry;
+  registry.GetCounter("c")->fetch_add(5);
+  registry.GetGauge("g")->Set(6);
+  registry.GetHistogram("h")->Observe(200);
+  std::vector<metrics::MetricsRegistry::Sample> samples =
+      registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  bool saw_histogram = false;
+  for (const auto& s : samples) {
+    if (s.kind == "histogram") {
+      saw_histogram = true;
+      EXPECT_EQ(s.name, "h");
+      EXPECT_EQ(s.value, 1);  // count
+      EXPECT_EQ(s.sum, 200u);
+      EXPECT_GE(s.p99, 200u);
+    }
+  }
+  EXPECT_TRUE(saw_histogram);
 }
 
 }  // namespace

@@ -163,6 +163,102 @@ TEST(QueryTraceTest, RecordsOutsideOpenSpansAreDropped) {
   EXPECT_TRUE(trace.Spans().empty());
 }
 
+TEST(QueryTraceTest, ChromeTraceExportsCompleteEvents) {
+  FakeClock clock(10);
+  QueryTrace trace(&clock);
+  trace.SetScript("g.V(1).out()");
+  trace.SetPlanSource("compiled");
+  int outer = trace.BeginStep("GraphStep", "V(1)", 1);
+  SqlTraceRecord record;
+  record.table = "Person";
+  record.sql = "SELECT * FROM \"Person\"";
+  record.access_path = "index";
+  record.micros = 5;
+  trace.RecordSql(record);
+  trace.EndStep(outer, 1);
+  trace.Finish(100);
+
+  Json chrome = trace.ToChromeTrace();
+  const Json* events = chrome.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // One step span, one SQL statement.
+  ASSERT_GE(events->items().size(), 2u);
+  const Json* meta = chrome.Find("metadata");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->Find("script")->as_string(), "g.V(1).out()");
+  EXPECT_EQ(meta->Find("plan")->as_string(), "compiled");
+  EXPECT_EQ(meta->Find("total_micros")->as_int(), 100);
+  bool saw_step = false, saw_sql = false;
+  for (const Json& ev : events->items()) {
+    const Json* ph = ev.Find("ph");
+    if (ph == nullptr || ph->as_string() != "X") continue;
+    const std::string& name = ev.Find("name")->as_string();
+    // Complete events carry timestamps and durations in micros.
+    EXPECT_NE(ev.Find("ts"), nullptr);
+    EXPECT_NE(ev.Find("dur"), nullptr);
+    EXPECT_NE(ev.Find("tid"), nullptr);
+    if (name.find("GraphStep") != std::string::npos) saw_step = true;
+    if (name.find("SELECT") != std::string::npos ||
+        name.find("Person") != std::string::npos) {
+      saw_sql = true;
+    }
+  }
+  EXPECT_TRUE(saw_step);
+  EXPECT_TRUE(saw_sql);
+  // Round-trips through the JSON parser (loadable by chrome://tracing).
+  Result<Json> reparsed = Json::Parse(chrome.Dump(0));
+  EXPECT_TRUE(reparsed.ok());
+}
+
+TEST(SlowQueryLogTest, RingWrapsAtCapacityDroppingOldest) {
+  SlowQueryLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    SlowQueryLog::Entry e;
+    e.script = "q" + std::to_string(i);
+    e.elapsed_micros = static_cast<uint64_t>(i);
+    log.Record(std::move(e));
+  }
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);  // oldest two (q0, q1) dropped
+  EXPECT_EQ(entries[0].script, "q2");
+  EXPECT_EQ(entries[2].script, "q4");
+}
+
+TEST(SlowQueryLogTest, SetCapacityShrinksAndGrows) {
+  SlowQueryLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    SlowQueryLog::Entry e;
+    e.script = "q" + std::to_string(i);
+    log.Record(std::move(e));
+  }
+  log.SetCapacity(2);  // shrink drops the oldest entries
+  EXPECT_EQ(log.capacity(), 2u);
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].script, "q2");
+  EXPECT_EQ(entries[1].script, "q3");
+
+  log.SetCapacity(0);  // clamped to >= 1
+  EXPECT_EQ(log.capacity(), 1u);
+  EXPECT_EQ(log.Entries().size(), 1u);
+}
+
+TEST(SlowQueryLogTest, ThresholdAndClear) {
+  SlowQueryLog log(8);
+  EXPECT_EQ(log.threshold_ms(), 0);
+  log.SetThresholdMs(25);
+  EXPECT_EQ(log.threshold_ms(), 25);
+  SlowQueryLog::Entry e;
+  e.script = "slow";
+  log.Record(std::move(e));
+  EXPECT_EQ(log.Entries().size(), 1u);
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  EXPECT_EQ(log.threshold_ms(), 25);  // Clear drops entries, not config
+  log.SetThresholdMs(0);
+}
+
 // ----------------------------------------------------------------------
 // Explain / profile() end-to-end (the acceptance traversal)
 // ----------------------------------------------------------------------
