@@ -37,6 +37,12 @@
 //     throughput must stay at or above 0.9x uninstrumented. Results land
 //     in BENCH_observability.json.
 //
+//  6. Governance is near-free: the streaming limit mix runs ungoverned
+//     and then governed with generous limits (deadline, row and memory
+//     budgets all far from tripping — every block-boundary check, charge
+//     and release actually executes), and governed throughput must stay
+//     at or above 0.95x ungoverned. Results land in BENCH_governor.json.
+//
 // All comparisons interleave their modes across rounds and take each
 // mode's best round to damp scheduler noise on small CI machines.
 
@@ -258,6 +264,25 @@ double RunMixSlice(Db2Graph* graph, std::string (*mix)(int), int queries,
     Result<std::vector<Traverser>> out = graph->Execute(mix(base + k));
     if (!out.ok()) {
       std::fprintf(stderr, "streaming bench query failed: %s\n",
+                   out.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+// Same, with every execution governed by the given options.
+double RunGovernedMixSlice(Db2Graph* graph, const db2graph::core::ExecOptions&
+                               options,
+                           std::string (*mix)(int), int queries, int base) {
+  auto start = std::chrono::steady_clock::now();
+  for (int k = 0; k < queries; ++k) {
+    Result<std::vector<Traverser>> out =
+        graph->Execute(mix(base + k), options);
+    if (!out.ok()) {
+      std::fprintf(stderr, "governed bench query failed: %s\n",
                    out.status().ToString().c_str());
       std::exit(2);
     }
@@ -711,6 +736,56 @@ int main() {
     std::fprintf(stderr, "FAIL: streaming full-scan throughput ratio %.2f "
                          "below floor %.2f\n",
                  scan_ratio, kFullScanFloor);
+    return 1;
+  }
+
+  // ---- Governor overhead: governed-but-not-tripping must be free. ----
+  //
+  // Generous limits put a live QueryContext on every execution, so each
+  // block boundary pays the real deadline / budget checks and the memory
+  // accounting charges and releases — the worst honest case for a query
+  // that never violates anything.
+  db2graph::core::ExecOptions governed_options;
+  governed_options.timeout_ms = 600000;
+  governed_options.max_result_rows = 100000000;
+  governed_options.max_memory_bytes = int64_t{16} << 30;
+  double ungoverned_best = 0;
+  double governed_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double u = 0;
+    double g = 0;
+    for (int slice = 0; slice < kStreamSlices; ++slice) {
+      int base = slice * kStreamSliceQueries;
+      u += RunMixSlice(streaming->get(), LimitMixQuery, kStreamSliceQueries,
+                       base);
+      g += RunGovernedMixSlice(streaming->get(), governed_options,
+                               LimitMixQuery, kStreamSliceQueries, base);
+    }
+    if (kStreamQueries / u > ungoverned_best)
+      ungoverned_best = kStreamQueries / u;
+    if (kStreamQueries / g > governed_best) governed_best = kStreamQueries / g;
+  }
+  double governor_ratio = governed_best / ungoverned_best;
+  std::printf(
+      "bench_governor: ungoverned=%.0f q/s governed=%.0f q/s ratio=%.2f\n",
+      ungoverned_best, governed_best, governor_ratio);
+
+  {
+    std::ofstream json("BENCH_governor.json");
+    json << "{\n"
+         << "  \"queries\": " << kStreamQueries << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"ungoverned_qps\": " << ungoverned_best << ",\n"
+         << "  \"governed_qps\": " << governed_best << ",\n"
+         << "  \"governed_ratio\": " << governor_ratio << "\n"
+         << "}\n";
+  }
+
+  constexpr double kGovernorFloor = 0.95;
+  if (governor_ratio < kGovernorFloor) {
+    std::fprintf(stderr, "FAIL: governed throughput ratio %.2f below "
+                         "floor %.2f\n",
+                 governor_ratio, kGovernorFloor);
     return 1;
   }
   return 0;

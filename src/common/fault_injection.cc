@@ -1,0 +1,86 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace db2graph::fault {
+
+FailPointConfig ErrorFault(StatusCode code, std::string message) {
+  FailPointConfig config;
+  config.mode = FailPointConfig::Mode::kError;
+  config.code = code;
+  config.message = std::move(message);
+  return config;
+}
+
+FailPointConfig SleepFault(int64_t sleep_ms) {
+  FailPointConfig config;
+  config.mode = FailPointConfig::Mode::kSleep;
+  config.sleep_ms = sleep_ms;
+  return config;
+}
+
+FailPointConfig AllocFailure(std::string message) {
+  return ErrorFault(StatusCode::kResourceExhausted, std::move(message));
+}
+
+FailPointRegistry& FailPointRegistry::Global() {
+  static FailPointRegistry* instance = new FailPointRegistry();
+  return *instance;
+}
+
+void FailPointRegistry::Enable(const std::string& name,
+                               FailPointConfig config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Armed armed;
+  armed.config = std::move(config);
+  armed_[name] = std::move(armed);
+}
+
+void FailPointRegistry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(name);
+}
+
+void FailPointRegistry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.clear();
+}
+
+Status FailPointRegistry::Hit(const std::string& name) {
+  int64_t sleep_ms = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = armed_.find(name);
+    if (it == armed_.end()) return Status::OK();
+    Armed& armed = it->second;
+    ++armed.hits;
+    if (armed.config.skip > 0) {
+      --armed.config.skip;
+      return Status::OK();
+    }
+    if (armed.config.hits_remaining == 0) return Status::OK();
+    if (armed.config.hits_remaining > 0) --armed.config.hits_remaining;
+    if (armed.config.mode == FailPointConfig::Mode::kSleep) {
+      sleep_ms = armed.config.sleep_ms;
+    } else {
+      injected = Status(armed.config.code, armed.config.message);
+    }
+  }
+  // Sleep outside the lock so a slow block never serializes other
+  // failpoints (or other threads crossing this one).
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return injected;
+}
+
+uint64_t FailPointRegistry::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = armed_.find(name);
+  return it == armed_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace db2graph::fault

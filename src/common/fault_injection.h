@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The db2graph-repro Authors.
+//
+// Deterministic fault injection for the workload-governor tests: named
+// failpoints compiled into the provider, the SQL executor, and the
+// Gremlin service when the DB2GRAPH_FAULT_INJECTION CMake option is ON.
+// A test enables a failpoint by name with a config (forced error, slow
+// block, simulated allocation failure) and the next execution that
+// crosses the site observes it — proving the cancellation / unwind paths
+// without relying on timing.
+//
+// In normal builds the DB2G_FAILPOINT* macros expand to nothing, so the
+// hot paths carry zero overhead and the registry is never consulted.
+
+#ifndef DB2GRAPH_COMMON_FAULT_INJECTION_H_
+#define DB2GRAPH_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace db2graph::fault {
+
+struct FailPointConfig {
+  enum class Mode {
+    kError,  // Hit() returns the configured status
+    kSleep,  // Hit() sleeps sleep_ms, then returns OK (a slow block)
+  };
+  Mode mode = Mode::kError;
+  StatusCode code = StatusCode::kInternal;
+  std::string message = "injected fault";
+  int64_t sleep_ms = 0;
+  /// Fire at most this many times, then auto-disarm; -1 = every hit.
+  int64_t hits_remaining = -1;
+  /// Let the first `skip` crossings pass before firing.
+  int64_t skip = 0;
+};
+
+/// Convenience constructors for the common shapes.
+FailPointConfig ErrorFault(StatusCode code, std::string message);
+FailPointConfig SleepFault(int64_t sleep_ms);
+FailPointConfig AllocFailure(std::string message);
+
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Global();
+
+  void Enable(const std::string& name, FailPointConfig config);
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  /// Called by the DB2G_FAILPOINT macros at each crossing. Returns OK
+  /// when the failpoint is not armed (or is skipping / exhausted).
+  Status Hit(const std::string& name);
+
+  /// Crossings of `name` since it was last Enable()d (armed ones only).
+  uint64_t HitCount(const std::string& name) const;
+
+ private:
+  struct Armed {
+    FailPointConfig config;
+    uint64_t hits = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Armed> armed_;
+};
+
+}  // namespace db2graph::fault
+
+// The site macros. DB2G_FAILPOINT returns a non-OK injected status out of
+// the enclosing function; DB2G_FAILPOINT_STATUS assigns it to an lvalue
+// for sites that unwind through a status variable instead of returning.
+#if defined(DB2GRAPH_FAULT_INJECTION)
+#define DB2G_FAILPOINT(name)                                            \
+  do {                                                                  \
+    ::db2graph::Status _fp_status =                                     \
+        ::db2graph::fault::FailPointRegistry::Global().Hit(name);       \
+    if (!_fp_status.ok()) return _fp_status;                            \
+  } while (0)
+#define DB2G_FAILPOINT_STATUS(name, status_lvalue)                      \
+  do {                                                                  \
+    ::db2graph::Status _fp_status =                                     \
+        ::db2graph::fault::FailPointRegistry::Global().Hit(name);       \
+    if (!_fp_status.ok()) (status_lvalue) = _fp_status;                 \
+  } while (0)
+#else
+#define DB2G_FAILPOINT(name) \
+  do {                       \
+  } while (0)
+#define DB2G_FAILPOINT_STATUS(name, status_lvalue) \
+  do {                                             \
+  } while (0)
+#endif
+
+#endif  // DB2GRAPH_COMMON_FAULT_INJECTION_H_

@@ -40,6 +40,11 @@ class QueryLog {
     uint64_t micros = 0;
     bool error = false;
     std::string error_message;
+    /// How the execution ended: "ok", "error", "timeout", "cancelled",
+    /// "overloaded", or "resource_exhausted" (governor terminations get
+    /// their own labels so runaway-query kills are distinguishable from
+    /// plain failures). See governor::TerminationReason.
+    std::string reason = "ok";
     /// EXPLAIN ANALYZE rendering when the statement ran profiled.
     std::string plan;
   };

@@ -21,9 +21,13 @@ enum class StatusCode {
   kNotFound,         // missing table, column, property, vertex...
   kAlreadyExists,    // duplicate table, constraint violation on create
   kConstraintViolation,
-  kUnsupported,      // outside the implemented subset
-  kUnavailable,      // service shutting down / not accepting work
+  kUnsupported,        // outside the implemented subset
+  kUnavailable,        // service shutting down / not accepting work
   kInternal,
+  kTimeout,            // query deadline expired (workload governor)
+  kCancelled,          // cooperative cancellation (KillQuery, shutdown)
+  kResourceExhausted,  // memory / result-row budget exceeded
+  kOverloaded,         // admission control shed the request; retry later
 };
 
 /// Outcome of an operation that produces no value.
@@ -55,6 +59,18 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Timeout(std::string m) {
+    return Status(StatusCode::kTimeout, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +99,14 @@ class Status {
         return "Unavailable";
       case StatusCode::kInternal:
         return "Internal";
+      case StatusCode::kTimeout:
+        return "Timeout";
+      case StatusCode::kCancelled:
+        return "Cancelled";
+      case StatusCode::kResourceExhausted:
+        return "ResourceExhausted";
+      case StatusCode::kOverloaded:
+        return "Overloaded";
     }
     return "?";
   }

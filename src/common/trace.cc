@@ -34,6 +34,16 @@ std::string QueryTrace::plan_source() const {
   return plan_source_;
 }
 
+void QueryTrace::SetTermination(std::string reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  termination_ = std::move(reason);
+}
+
+std::string QueryTrace::termination() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return termination_;
+}
+
 StepTraceSpan* QueryTrace::InnermostOpenLocked() {
   if (open_.empty()) return nullptr;
   return &spans_[open_.back()];
@@ -195,6 +205,9 @@ std::string QueryTrace::RenderText() const {
   std::string out;
   if (!script_.empty()) out += "query: " + script_ + "\n";
   if (!plan_source_.empty()) out += "plan: " + plan_source_ + "\n";
+  if (!termination_.empty() && termination_ != "ok") {
+    out += "termination: " + termination_ + "\n";
+  }
   if (!rewrites_.empty()) {
     out += "strategies:\n";
     for (const StrategyRewrite& r : rewrites_) {
@@ -266,6 +279,9 @@ Json QueryTrace::ToJson() const {
   Json out = Json::Object();
   out.Set("script", Json::Str(script_));
   if (!plan_source_.empty()) out.Set("plan", Json::Str(plan_source_));
+  if (!termination_.empty()) {
+    out.Set("termination", Json::Str(termination_));
+  }
   out.Set("total_micros", Json::Number(static_cast<double>(total_micros_)));
   Json strategies = Json::Array();
   for (const StrategyRewrite& r : rewrites_) {

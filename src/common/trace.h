@@ -122,6 +122,13 @@ class QueryTrace {
   void SetPlanSource(std::string source);
   std::string plan_source() const;
 
+  /// How the execution ended ("ok", "timeout", "cancelled", ...; see
+  /// governor::TerminationReason). Rendered as the `termination:` line of
+  /// RenderText() and the "termination" field of ToJson() — a truncated
+  /// trace is unambiguous about why it stops where it does.
+  void SetTermination(std::string reason);
+  std::string termination() const;
+
   /// Opens a step span (interpreter thread only); returns its id for
   /// EndStep. Spans nest: records arriving from lower layers attach to the
   /// most recently opened, still-open span.
@@ -196,6 +203,7 @@ class QueryTrace {
   mutable std::mutex mutex_;
   std::string script_;
   std::string plan_source_;
+  std::string termination_;
   uint64_t total_micros_ = 0;
   std::vector<StrategyRewrite> rewrites_;
   std::deque<StepTraceSpan> spans_;       // deque: stable element addresses
@@ -240,6 +248,9 @@ class SlowQueryLog {
     uint64_t rows_scanned = 0;
     uint64_t rows_emitted = 0;
     std::string trace_json;
+    /// Termination reason ("ok", "timeout", ...); a slow query that was
+    /// in fact killed by the governor says so right in the log.
+    std::string reason = "ok";
   };
 
   static constexpr size_t kDefaultCapacity = 64;

@@ -2,6 +2,7 @@
 
 #include "common/query_log.h"
 #include "common/strings.h"
+#include "common/workload_governor.h"
 #include "overlay/auto_overlay.h"
 #include "overlay/topology.h"
 #include "sql/table.h"
@@ -170,6 +171,7 @@ void RecordGremlinQueryLog(const CompiledPlan& plan, bool plan_cached,
     entry.error = true;
     entry.error_message = out.status().message();
   }
+  entry.reason = governor::TerminationReason(out.status());
   log.Record(std::move(entry));
 }
 
@@ -241,6 +243,21 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     env = &local_env;
   }
 
+  // Workload governance: any effective limit (per-call or inherited
+  // process default) or a live cancel token puts the execution under a
+  // QueryContext — registered for sysmon.active_queries / KillQuery and
+  // installed thread-locally for the duration, so every layer's block-
+  // boundary checks observe it. Ungoverned queries allocate nothing and
+  // every downstream CheckCurrent() stays a thread-local null test.
+  governor::GovernorLimits limits = governor::ResolveLimits(
+      options.timeout_ms, options.max_result_rows, options.max_memory_bytes);
+  std::shared_ptr<governor::QueryContext> query_ctx;
+  if (limits.any() || options.cancel_token.valid()) {
+    query_ctx = std::make_shared<governor::QueryContext>(
+        plan->script_text, limits, options.cancel_token);
+  }
+  governor::ScopedActiveQuery governed(query_ctx);
+
   gremlin::Interpreter interpreter(provider_.get(),
                                    InterpreterOptions(options_.runtime));
   const int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
@@ -252,11 +269,15 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     // one relaxed atomic read, and when enabled two clock reads plus a
     // guarded deque push.
     if (!QueryLog::Global().enabled()) {
-      return interpreter.RunScript(plan->script, env);
+      Result<std::vector<Traverser>> out =
+          interpreter.RunScript(plan->script, env);
+      governor::CountTermination(out.status());
+      return out;
     }
     uint64_t begin = trace_clock_->NowMicros();
     Result<std::vector<Traverser>> out =
         interpreter.RunScript(plan->script, env);
+    governor::CountTermination(out.status());
     RecordGremlinQueryLog(*plan, plan_cached, out,
                           trace_clock_->NowMicros() - begin, nullptr);
     return out;
@@ -278,6 +299,8 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     return interpreter.RunScript(plan->script, env);
   }();
   uint64_t elapsed = trace->clock()->NowMicros() - start;
+  governor::CountTermination(out.status());
+  trace->SetTermination(governor::TerminationReason(out.status()));
   trace->Finish(elapsed);
   if (slow_ms > 0 && elapsed >= static_cast<uint64_t>(slow_ms) * 1000) {
     SlowQueryLog::Entry entry;
@@ -286,6 +309,7 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     QueryTrace::RowTotals totals = trace->SqlRowTotals();
     entry.rows_scanned = totals.rows_scanned;
     entry.rows_emitted = totals.rows_emitted;
+    entry.reason = governor::TerminationReason(out.status());
     entry.trace_json = trace->ToJson().Dump(2);
     SlowQueryLog::Global().Record(std::move(entry));
   }

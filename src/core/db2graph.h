@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/trace.h"
+#include "common/workload_governor.h"
 #include "core/graph_structure.h"
 #include "core/plan_cache.h"
 #include "core/sql_dialect.h"
@@ -52,6 +53,25 @@ struct ExecOptions {
   /// Consult/fill the compiled-plan cache. Disabled by benchmarks to
   /// measure the re-parsing text path.
   bool use_plan_cache = true;
+
+  // -- workload governor ---------------------------------------------------
+  // Each limit: 0 = inherit the process-wide default (Db2Graph::SetDefault*
+  // / DB2G_* env vars), negative = explicitly unlimited for this execution,
+  // positive = that value. A query over its deadline fails with kTimeout,
+  // over a budget with kResourceExhausted — both cooperatively, at the next
+  // block boundary in whichever layer is running.
+
+  /// Wall-clock deadline for the whole execution, in milliseconds.
+  int64_t timeout_ms = 0;
+  /// Cap on traversers materialized by any step (and rows accumulated by a
+  /// streaming segment).
+  int64_t max_result_rows = 0;
+  /// Approximate memory budget for intermediate state, in bytes.
+  int64_t max_memory_bytes = 0;
+  /// Cooperative cancellation handle: Cancel() makes the execution fail
+  /// with kCancelled at its next check. Default-constructed = detached
+  /// (never fires). GremlinService installs its shutdown token here.
+  governor::CancelToken cancel_token;
 };
 
 /// A handle to a compiled plan, cheap to copy and safe to execute from
@@ -161,6 +181,27 @@ class Db2Graph {
 
   /// Clock used for traced executions (tests inject a fake).
   void SetTraceClockForTesting(TraceClock* clock) { trace_clock_ = clock; }
+
+  // Process-wide governor defaults, applied to every execution whose
+  // ExecOptions leaves the corresponding limit at 0. Also seeded from the
+  // DB2G_QUERY_TIMEOUT_MS / DB2G_MAX_RESULT_ROWS / DB2G_MAX_MEMORY_BYTES
+  // environment variables at first use. 0 or negative disables.
+  static void SetDefaultTimeoutMs(int64_t ms) {
+    governor::GovernorDefaults::Global().SetTimeoutMs(ms);
+  }
+  static void SetDefaultMaxResultRows(int64_t rows) {
+    governor::GovernorDefaults::Global().SetMaxResultRows(rows);
+  }
+  static void SetDefaultMaxMemoryBytes(int64_t bytes) {
+    governor::GovernorDefaults::Global().SetMaxMemoryBytes(bytes);
+  }
+
+  /// Cancels the running query with this id (see sysmon.active_queries);
+  /// it fails with kCancelled at its next cooperative check. False = no
+  /// such query is active.
+  static bool KillQuery(uint64_t id, const std::string& reason = {}) {
+    return governor::ActiveQueryRegistry::Global().Kill(id, reason);
+  }
 
   /// Registers the `graphQuery` polymorphic table function on the
   /// database: TABLE (graphQuery('gremlin', '<script>')) AS t (cols...).

@@ -9,9 +9,11 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "common/workload_governor.h"
 
 namespace db2graph::core {
 
@@ -392,13 +394,16 @@ void Db2GraphProvider::ExecuteJobs(size_t n,
     stats_.parallel_batches.fetch_add(1, std::memory_order_relaxed);
     stats_.parallel_tasks.fetch_add(n, std::memory_order_relaxed);
     QueryTrace* trace = CurrentTrace();
-    if (trace != nullptr) {
-      // Pool workers have no thread-local trace; install this query's
-      // trace for the duration of each job so per-table SQL lands in the
-      // right trace (and never in a concurrent query's).
-      trace->AddFanout(1, n);
-      ThreadPool::Shared().RunBatch(n, [&fn, trace](size_t i) {
+    // Pool workers have no thread-local trace or governor context; install
+    // this query's for the duration of each job so per-table SQL lands in
+    // the right trace (never a concurrent query's) and deadline /
+    // cancellation checks inside the job observe the right budgets.
+    governor::QueryContext* qctx = governor::CurrentQueryContext();
+    if (trace != nullptr || qctx != nullptr) {
+      if (trace != nullptr) trace->AddFanout(1, n);
+      ThreadPool::Shared().RunBatch(n, [&fn, trace, qctx](size_t i) {
         ScopedTrace scoped(trace);
+        governor::ScopedQueryContext governed(qctx);
         fn(i);
       });
       return;
@@ -631,6 +636,11 @@ VertexPtr BuildVertexFromFetched(const ResolvedVertexTable& t, int table_index,
 Status FetchVertexTable(SqlDialect* dialect, const ResolvedVertexTable& t,
                         int table_index, const LookupSpec& spec,
                         const VertexPlan& plan, std::vector<VertexPtr>* out) {
+  // A cancelled / timed-out query skips the tables it has not fetched
+  // yet; with fan-out, workers past this check finish their one statement
+  // and the batch unwinds at the merge.
+  DB2G_RETURN_NOT_OK(governor::CheckCurrent());
+  DB2G_FAILPOINT("provider.fetch_vertex_table");
   const sql::TableSchema& schema = *t.schema;
   // The naive path fetches full rows (needed for client-side filtering);
   // the pushdown path fetches only the projected layout.
@@ -680,6 +690,7 @@ struct VertexJob {
 Result<std::unique_ptr<DialectRowStream>> OpenVertexTableStream(
     SqlDialect* dialect, const ResolvedVertexTable& t, const LookupSpec& spec,
     const VertexPlan& plan, FetchLayout* layout) {
+  DB2G_FAILPOINT("provider.open_vertex_stream");
   const sql::TableSchema& schema = *t.schema;
   std::vector<size_t> cols;
   if (plan.client_filter) {
@@ -813,6 +824,11 @@ class Db2VertexStream : public gremlin::VertexStream {
   // -- serial: lazy per-table SQL streams, opened in table order ----------
   bool NextSerial(std::vector<VertexPtr>* out, size_t max) {
     while (true) {
+      Status gst = governor::CheckCurrent();
+      if (!gst.ok()) {
+        status_ = std::move(gst);
+        return false;
+      }
       if (serial_stream_ == nullptr) {
         if (job_pos_ >= jobs_.size()) return false;
         Result<std::unique_ptr<DialectRowStream>> stream =
@@ -858,12 +874,18 @@ class Db2VertexStream : public gremlin::VertexStream {
     }
     QueryTrace* trace = CurrentTrace();
     if (trace != nullptr) trace->AddFanout(1, jobs_.size());
+    // Producers inherit the consumer's governor context so a deadline or
+    // kill observed mid-table stops the fetch from inside the producer,
+    // not only when the consumer gets around to calling Close().
+    governor::QueryContext* qctx = governor::CurrentQueryContext();
     // RunBatch blocks its caller until every task finished, which must not
     // be the consumer: a dedicated coordinator submits the batch and is
     // joined on Close(). The consumer only ever waits on queue pops.
-    coordinator_ = std::thread([this, trace] {
-      ThreadPool::Shared().RunBatch(jobs_.size(), [this, trace](size_t j) {
+    coordinator_ = std::thread([this, trace, qctx] {
+      ThreadPool::Shared().RunBatch(jobs_.size(),
+                                    [this, trace, qctx](size_t j) {
         ScopedTrace scoped(trace);
+        governor::ScopedQueryContext governed(qctx);
         ProduceTable(j);
       });
     });
@@ -886,9 +908,19 @@ class Db2VertexStream : public gremlin::VertexStream {
       queue.MarkDone(stream.status());
       return;
     }
+    governor::QueryContext* qctx = governor::CurrentQueryContext();
     Status final_status = Status::OK();
     sql::RowBlock block;
     while (!cancel_.load(std::memory_order_acquire)) {
+      // The governor check makes an expired deadline stop the fetch from
+      // inside the producer; the consumer's unwind (Close) still runs, but
+      // the SQL stream stops pulling rows immediately.
+      if (qctx != nullptr) {
+        final_status = qctx->Check();
+        if (!final_status.ok()) break;
+      }
+      DB2G_FAILPOINT_STATUS("provider.producer_block", final_status);
+      if (!final_status.ok()) break;
       block.capacity = sql::kDefaultBlockRows;
       if (!(*stream)->Next(&block)) {
         final_status = (*stream)->status();
@@ -904,7 +936,16 @@ class Db2VertexStream : public gremlin::VertexStream {
         }
         vertices.push_back(std::move(v));
       }
-      if (!vertices.empty() && !queue.Push(std::move(vertices))) break;
+      if (vertices.empty()) continue;
+      if (qctx != nullptr) {
+        // Blocks parked in the bounded queue count against the query's
+        // memory budget; the consumer releases the charge on pop. Charges
+        // stranded by cancellation die with the query context.
+        final_status = qctx->ChargeMemory(vertices.size() *
+                                          governor::kApproxVertexBytes);
+        if (!final_status.ok()) break;
+      }
+      if (!queue.Push(std::move(vertices))) break;
     }
     (*stream)->Close();
     queue.MarkDone(std::move(final_status));
@@ -934,6 +975,9 @@ class Db2VertexStream : public gremlin::VertexStream {
         }
         ++queue_pos_;  // table drained; move to the next in order
         continue;
+      }
+      if (governor::QueryContext* qctx = governor::CurrentQueryContext()) {
+        qctx->ReleaseMemory(block.size() * governor::kApproxVertexBytes);
       }
       pending_ = std::move(block);
       pending_pos_ = 0;
@@ -1447,6 +1491,8 @@ std::vector<size_t> EdgeFetchColumns(const ResolvedEdgeTable& t,
 Status FetchEdgeTable(SqlDialect* dialect, const ResolvedEdgeTable& t,
                       int table_index, const LookupSpec& spec,
                       const EdgePlan& plan, std::vector<EdgePtr>* out) {
+  DB2G_RETURN_NOT_OK(governor::CheckCurrent());
+  DB2G_FAILPOINT("provider.fetch_edge_table");
   const sql::TableSchema& schema = *t.schema;
   std::vector<size_t> cols;
   if (plan.client_filter) {

@@ -1,19 +1,39 @@
 #include "core/gremlin_service.h"
 
+#include "common/fault_injection.h"
 #include "common/trace.h"
+#include "common/workload_governor.h"
 
 namespace db2graph::core {
 
 GremlinService::GremlinService(Db2Graph* graph, int workers)
-    : graph_(graph) {
+    : GremlinService(graph, [workers] {
+        // The legacy constructor predates admission control; keep its
+        // queue unbounded so callers that batch-submit far ahead of the
+        // workers (load generators, tests) see no behavior change.
+        Options o;
+        o.workers = workers;
+        o.max_queue_depth = -1;
+        return o;
+      }()) {}
+
+GremlinService::GremlinService(Db2Graph* graph, const Options& options)
+    : graph_(graph),
+      options_(options),
+      shutdown_token_(governor::CancelToken::Make()) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_queue_depth == 0) {
+    max_queue_depth_ = static_cast<size_t>(options_.workers) * 4;
+  } else if (options_.max_queue_depth > 0) {
+    max_queue_depth_ = static_cast<size_t>(options_.max_queue_depth);
+  }  // negative: stays 0 = unbounded
   metrics::MetricsRegistry& registry = metrics::MetricsRegistry::Global();
   queue_depth_gauge_ = registry.GetGauge(kQueueDepthGauge);
   request_latency_ = registry.GetHistogram(kRequestLatencyHistogram);
   requests_total_ = registry.GetCounter(kRequestsCounter);
   sessions_opened_ = registry.GetCounter(kSessionsCounter);
-  if (workers < 1) workers = 1;
-  workers_.reserve(workers);
-  for (int i = 0; i < workers; ++i) {
+  workers_.reserve(options_.workers);
+  for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -28,12 +48,39 @@ void GremlinService::FailPendingLocked(Session* session) {
   session->pending.clear();
 }
 
+bool GremlinService::KillQuery(uint64_t id, const std::string& reason) {
+  return governor::ActiveQueryRegistry::Global().Kill(
+      id, reason.empty() ? "killed via GremlinService" : reason);
+}
+
+bool GremlinService::ShedLocked(Request* request) {
+  if (max_queue_depth_ == 0 ||
+      queue_.size() + pending_count_ < max_queue_depth_) {
+    return false;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  metrics::MetricsRegistry::Global()
+      .GetCounter(governor::kShedCounter)
+      ->fetch_add(1);
+  request->promise.set_value(Status::Overloaded(
+      "service overloaded: " +
+      std::to_string(queue_.size() + pending_count_) +
+      " requests already queued (bound " +
+      std::to_string(max_queue_depth_) + "); retry after current load "
+      "drains"));
+  return true;
+}
+
 void GremlinService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return;  // already shut down
     stopping_ = true;
   }
+  // In-flight queries observe the shared token at their next block
+  // boundary and unwind with kCancelled — shutdown waits for cooperative
+  // exits, not for full traversals to run their course.
+  shutdown_token_.Cancel("service shutting down");
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
@@ -68,6 +115,7 @@ std::future<GremlinService::Response> GremlinService::Submit(
       request.promise.set_value(Status::Unavailable("service shut down"));
       return future;
     }
+    if (ShedLocked(&request)) return future;
     queue_.push_back(std::move(request));
     queue_depth_gauge_->Set(
         static_cast<int64_t>(queue_.size() + pending_count_));
@@ -96,6 +144,7 @@ std::future<GremlinService::Response> GremlinService::SubmitSession(
       request.promise.set_value(Status::Unavailable("service shut down"));
       return future;
     }
+    if (ShedLocked(&request)) return future;
     std::shared_ptr<Session>& session = sessions_[session_id];
     if (session == nullptr) {
       session = std::make_shared<Session>();
@@ -158,7 +207,17 @@ void GremlinService::WorkerLoop() {
     if (request.session != nullptr) {
       options.session_env = &request.session->env;
     }
-    Response response = graph_->Execute(request.script, options);
+    // Governance: the service's default limits plus the shared shutdown
+    // token, so Shutdown() cancels this execution cooperatively.
+    options.timeout_ms = options_.timeout_ms;
+    options.max_result_rows = options_.max_result_rows;
+    options.max_memory_bytes = options_.max_memory_bytes;
+    options.cancel_token = shutdown_token_;
+    Status injected = Status::OK();
+    DB2G_FAILPOINT_STATUS("service.before_execute", injected);
+    Response response = injected.ok()
+                            ? graph_->Execute(request.script, options)
+                            : Response(injected);
     request_latency_->Observe(TraceClock::Default()->NowMicros() - start);
 
     if (request.session != nullptr) {

@@ -23,6 +23,15 @@
 // per-request latency in a registry histogram, and request/session counts
 // in registry counters (names below), so a process exporter sees them
 // alongside every other subsystem.
+//
+// Admission control (the workload governor's front door): the wait queue
+// is bounded. A submit that would push the backlog past max_queue_depth
+// is shed immediately — the future fails with kOverloaded (and a
+// retry-after hint in the message) instead of parking an unbounded
+// backlog, and governor.shed counts it. Options can also impose default
+// per-request limits (deadline, row and memory budgets); Shutdown()
+// fires a shared cancel token so in-flight queries stop cooperatively
+// instead of being waited out.
 
 #ifndef DB2GRAPH_CORE_GREMLIN_SERVICE_H_
 #define DB2GRAPH_CORE_GREMLIN_SERVICE_H_
@@ -58,9 +67,25 @@ class GremlinService {
   static constexpr const char* kSessionsCounter =
       "gremlin_service.sessions_opened";
 
+  struct Options {
+    /// Executor threads — the service's max concurrency.
+    int workers = 4;
+    /// Bound on accepted-but-not-executing requests (worker queue plus
+    /// parked session requests). A submit past the bound is shed with
+    /// kOverloaded. 0 = 4x workers; negative = unbounded (pre-governor
+    /// behavior).
+    int max_queue_depth = 0;
+    /// Default governor limits stamped on every request's ExecOptions
+    /// (same 0 = inherit process default / negative = unlimited contract).
+    int64_t timeout_ms = 0;
+    int64_t max_result_rows = 0;
+    int64_t max_memory_bytes = 0;
+  };
+
   /// Starts `workers` executor threads over `graph` (not owned; must
   /// outlive the service).
   GremlinService(Db2Graph* graph, int workers);
+  GremlinService(Db2Graph* graph, const Options& options);
   ~GremlinService();
 
   GremlinService(const GremlinService&) = delete;
@@ -88,10 +113,20 @@ class GremlinService {
   /// awaiting their turn fail with Status::Unavailable.
   void CloseSession(const std::string& session_id);
 
-  /// Stops accepting requests, drains the workers, and fails anything
-  /// still queued with Status::Unavailable. Idempotent; the destructor
-  /// calls it.
+  /// Stops accepting requests, cancels in-flight queries through the
+  /// shared governor token (they fail with kCancelled at their next
+  /// cooperative check instead of running to completion), drains the
+  /// workers, and fails anything still queued with Status::Unavailable.
+  /// Idempotent; the destructor calls it.
   void Shutdown();
+
+  /// Cancels the running query with this id (sysmon.active_queries shows
+  /// ids); it fails with kCancelled at its next cooperative check. False
+  /// = no such query is active.
+  bool KillQuery(uint64_t id, const std::string& reason = {});
+
+  /// Requests shed with kOverloaded by the admission gate.
+  uint64_t shed() const { return shed_.load(); }
 
   /// Requests executed so far.
   uint64_t completed() const { return completed_.load(); }
@@ -128,9 +163,18 @@ class GremlinService {
 
   void WorkerLoop();
   void FailPendingLocked(Session* session);
+  /// Admission gate, called under mutex_. True = the backlog is full and
+  /// the request must be shed.
+  bool ShedLocked(Request* request);
 
   Db2Graph* graph_;
+  Options options_;
+  size_t max_queue_depth_ = 0;  // 0 after resolution = unbounded
+  /// Fired by Shutdown(); stamped on every request's ExecOptions so
+  /// in-flight executions cancel cooperatively.
+  governor::CancelToken shutdown_token_;
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> shed_{0};
   metrics::Gauge* queue_depth_gauge_;
   metrics::Histogram* request_latency_;
   metrics::Counter* requests_total_;

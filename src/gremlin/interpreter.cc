@@ -4,8 +4,45 @@
 #include <map>
 
 #include "common/trace.h"
+#include "common/workload_governor.h"
 
 namespace db2graph::gremlin {
+
+namespace {
+
+// Tracks the workload-governor memory charge for one traverser stream:
+// Update() re-charges to the stream's current size (and enforces the
+// result-row budget), the destructor releases whatever is still charged.
+// A no-op when the execution is ungoverned.
+class StreamMemoryCharge {
+ public:
+  StreamMemoryCharge() : qc_(governor::CurrentQueryContext()) {}
+  ~StreamMemoryCharge() {
+    if (qc_ != nullptr && charged_ > 0) qc_->ReleaseMemory(charged_);
+  }
+  StreamMemoryCharge(const StreamMemoryCharge&) = delete;
+  StreamMemoryCharge& operator=(const StreamMemoryCharge&) = delete;
+
+  Status Update(size_t traversers) {
+    if (qc_ == nullptr) return Status::OK();
+    DB2G_RETURN_NOT_OK(qc_->CheckResultRows(traversers));
+    uint64_t bytes = traversers * governor::kApproxTraverserBytes;
+    if (bytes > charged_) {
+      Status st = qc_->ChargeMemory(bytes - charged_);
+      charged_ = bytes;
+      return st;
+    }
+    qc_->ReleaseMemory(charged_ - bytes);
+    charged_ = bytes;
+    return Status::OK();
+  }
+
+ private:
+  governor::QueryContext* qc_;
+  uint64_t charged_ = 0;
+};
+
+}  // namespace
 
 Traverser Traverser::OfVertex(VertexPtr v) {
   Traverser t;
@@ -323,6 +360,7 @@ Status Interpreter::Execute(const std::vector<Step>& steps,
   // output — one block at a time. Barrier steps run as a materialized
   // pass in between.
   QueryTrace* trace = CurrentTrace();
+  StreamMemoryCharge charge;
   std::vector<Traverser> stream = std::move(input);
   size_t pos = 0;
   while (pos < steps.size()) {
@@ -336,10 +374,14 @@ Status Interpreter::Execute(const std::vector<Step>& steps,
       DB2G_RETURN_NOT_OK(RunSegment(steps, pos, end, graph_source,
                                     std::move(stream), state, &next));
       stream = std::move(next);
+      DB2G_RETURN_NOT_OK(charge.Update(stream.size()));
       pos = end;
       continue;
     }
-    // Barrier (or aggregate GraphStep): one materialized pass.
+    // Barrier (or aggregate GraphStep): one materialized pass. The
+    // governor check runs before the drain so a query already past its
+    // deadline never starts one.
+    DB2G_RETURN_NOT_OK(governor::CheckCurrent());
     std::vector<Traverser> next;
     if (trace != nullptr) {
       int span = trace->BeginStep(StepKindName(step.kind), step.ToString(),
@@ -351,6 +393,7 @@ Status Interpreter::Execute(const std::vector<Step>& steps,
       DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
     }
     stream = std::move(next);
+    DB2G_RETURN_NOT_OK(charge.Update(stream.size()));
     ++pos;
   }
   *out = std::move(stream);
@@ -363,7 +406,11 @@ Status Interpreter::ExecuteMaterialized(const std::vector<Step>& steps,
                                         std::vector<Traverser>* out) {
   std::vector<Traverser> stream = std::move(input);
   QueryTrace* trace = CurrentTrace();
+  StreamMemoryCharge charge;
   for (const Step& step : steps) {
+    // Cooperative boundary between materialized steps: a deadline or
+    // cancellation observed here stops the plan before the next pass.
+    DB2G_RETURN_NOT_OK(governor::CheckCurrent());
     std::vector<Traverser> next;
     if (trace != nullptr) {
       int span = trace->BeginStep(StepKindName(step.kind), step.ToString(),
@@ -375,6 +422,7 @@ Status Interpreter::ExecuteMaterialized(const std::vector<Step>& steps,
       DB2G_RETURN_NOT_OK(ApplyStep(step, std::move(stream), state, &next));
     }
     stream = std::move(next);
+    DB2G_RETURN_NOT_OK(charge.Update(stream.size()));
   }
   *out = std::move(stream);
   return Status::OK();
@@ -482,7 +530,22 @@ Status Interpreter::RunSegment(const std::vector<Step>& steps, size_t begin,
   uint64_t source_rows = 0;
   Status status;
   std::vector<Traverser> block;
+  // The segment's pull cursor is the interpreter's block boundary: one
+  // governor check per block keeps a governed full scan interruptible
+  // within a block's worth of work. `out` accumulation is charged against
+  // the memory budget here (and released on exit — the caller re-charges
+  // for whatever stream it keeps) so a no-barrier full drain cannot grow
+  // past the budget unnoticed.
+  governor::QueryContext* governor_ctx = governor::CurrentQueryContext();
+  uint64_t governor_charged = 0;
   while (!saturated()) {
+    if (governor_ctx != nullptr) {
+      Status gst = governor_ctx->Check();
+      if (!gst.ok()) {
+        status = std::move(gst);
+        break;
+      }
+    }
     // Ask the source for no more than the leading limit/range still
     // accepts: with the usual strategy-rewritten shape (filters folded
     // into the GraphStep spec, limit directly after it) the final pull
@@ -555,7 +618,23 @@ Status Interpreter::RunSegment(const std::vector<Step>& steps, size_t begin,
       block = std::move(next);
     }
     if (!status.ok()) break;
+    if (governor_ctx != nullptr && !block.empty()) {
+      governor_ctx->AddRowsProduced(block.size());
+      Status gst = governor_ctx->CheckResultRows(out->size() + block.size());
+      if (gst.ok()) {
+        uint64_t bytes = block.size() * governor::kApproxTraverserBytes;
+        governor_charged += bytes;
+        gst = governor_ctx->ChargeMemory(bytes);
+      }
+      if (!gst.ok()) {
+        status = std::move(gst);
+        break;
+      }
+    }
     for (Traverser& t : block) out->push_back(std::move(t));
+  }
+  if (governor_ctx != nullptr && governor_charged > 0) {
+    governor_ctx->ReleaseMemory(governor_charged);
   }
 
   // Close before the spans end so early-termination cancellation is

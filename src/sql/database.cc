@@ -5,6 +5,7 @@
 #include "common/query_log.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/workload_governor.h"
 #include "sql/executor.h"
 #include "sql/expr.h"
 #include "sql/parser.h"
@@ -131,6 +132,7 @@ void RecordQueryLog(const Statement& stmt, const Result<ResultSet>& result,
     entry.error = true;
     entry.error_message = result.status().message();
   }
+  entry.reason = governor::TerminationReason(result.status());
   QueryLog::Global().Record(std::move(entry));
 }
 

@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/workload_governor.h"
 #include "sql/database.h"
 #include "sql/expr.h"
 #include "sql/table.h"
@@ -263,6 +265,23 @@ struct PlanContext {
   std::deque<OpProfile> profiles;
 };
 
+// Cooperative workload-governor check, called by the block-producing
+// operators (the join/scan stages both operator trees pull through) at
+// each block boundary. A deadline / cancellation / budget violation lands
+// in the plan's error slot exactly like an operator failure, so the
+// existing unwind path — every upstream Next() observes the error and
+// stops — carries it to the root. Ungoverned executions pay one
+// thread-local read.
+bool GovernorOk(PlanContext* ctx) {
+  if (!ctx->error.ok()) return false;
+  Status st = governor::CheckCurrent();
+  if (!st.ok()) {
+    ctx->error = std::move(st);
+    return false;
+  }
+  return true;
+}
+
 class Op {
  public:
   explicit Op(PlanContext* ctx) : ctx_(ctx) {}
@@ -333,6 +352,9 @@ class JoinStageOp : public Op {
   bool Next(RowBlock* out) override {
     out->Clear();
     if (closed_) return false;
+    if (!GovernorOk(ctx_)) return false;
+    DB2G_FAILPOINT_STATUS("sql.executor.block", ctx_->error);
+    if (!ctx_->error.ok()) return false;
     pull_cap_ = std::min(ctx_->block_rows, std::max<size_t>(out->capacity, 1));
     EnsureDecided();
     while (out->rows.size() < out->capacity) {
@@ -691,6 +713,12 @@ class SortProjectOp : public Op {
     closed_ = true;
     child_->Close();
     sorted_.clear();
+    if (charged_bytes_ > 0) {
+      if (governor::QueryContext* qc = governor::CurrentQueryContext()) {
+        qc->ReleaseMemory(charged_bytes_);
+      }
+      charged_bytes_ = 0;
+    }
   }
 
  private:
@@ -699,11 +727,28 @@ class SortProjectOp : public Op {
     Row sort_keys;
   };
 
+  /// Approximate retained bytes of one buffered (projected + keyed) row.
+  static constexpr uint64_t kApproxSortedRowBytes = 128;
+
   void Drain() {
     drained_ = true;
+    governor::QueryContext* qc = governor::CurrentQueryContext();
     RowBlock block;
     block.capacity = ctx_->block_rows;
     while (child_->Next(&block)) {
+      if (qc != nullptr) {
+        // The sort buffer is the one place the SQL layer materializes an
+        // unbounded input; charge it against the query's memory budget
+        // block by block so a runaway ORDER BY trips before the buffer
+        // does the damage the budget exists to prevent.
+        uint64_t bytes = block.rows.size() * kApproxSortedRowBytes;
+        charged_bytes_ += bytes;
+        Status st = qc->ChargeMemory(bytes);
+        if (!st.ok()) {
+          ctx_->error = std::move(st);
+          return;
+        }
+      }
       for (const Row& row : block.rows) {
         Projected p;
         p.out = proj_.Apply(row, ctx_->params);
@@ -728,6 +773,7 @@ class SortProjectOp : public Op {
   std::vector<const Expr*> order_exprs_;
   std::vector<bool> descending_;
   std::vector<Projected> sorted_;
+  uint64_t charged_bytes_ = 0;
   bool drained_ = false;
   size_t pos_ = 0;
   bool closed_ = false;
@@ -1029,6 +1075,9 @@ class ColumnScanOp : public ColOp {
     out->Clear();
     out->table = table_;
     if (closed_) return false;
+    if (!GovernorOk(ctx_)) return false;
+    DB2G_FAILPOINT_STATUS("sql.executor.block", ctx_->error);
+    if (!ctx_->error.ok()) return false;
     if (!started_) {
       started_ = true;
       ctx_->exec.full_scans += 1;
@@ -1787,6 +1836,14 @@ bool SelectPlan::Next(RowBlock* out) {
   State* s = state_.get();
   if (s->closed || !s->ctx.error.ok()) return false;
   if (out->capacity == 0) out->capacity = s->ctx.block_rows;
+  // Simulated block-allocation failure: the fault harness proves the plan
+  // unwinds (Close() reaches every operator, stats flush) when memory for
+  // the next block cannot be had.
+  DB2G_FAILPOINT_STATUS("sql.executor.alloc", s->ctx.error);
+  if (!s->ctx.error.ok()) {
+    s->FlushStats();
+    return false;
+  }
   bool ok = s->root->Next(out);
   if (!s->ctx.error.ok()) {
     s->FlushStats();

@@ -1,12 +1,14 @@
 #include "sql/sysmon.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/query_log.h"
 #include "common/trace.h"
+#include "common/workload_governor.h"
 #include "sql/database.h"
 #include "sql/schema.h"
 #include "sql/table.h"
@@ -46,6 +48,7 @@ VirtualTableDef QueryLogTable() {
                        Col("micros", ColumnType::kInt),
                        Col("error", ColumnType::kBool),
                        Col("error_message", ColumnType::kString),
+                       Col("reason", ColumnType::kString),
                        Col("plan", ColumnType::kString)});
   def.fill = [](Table* out) -> Status {
     for (const QueryLog::Entry& e : QueryLog::Global().Entries()) {
@@ -53,7 +56,7 @@ VirtualTableDef QueryLogTable() {
           out->Insert({U64(e.id), e.layer, e.script, e.plan_source,
                        e.exec_mode, e.access_path, U64(e.rows_scanned),
                        U64(e.rows_emitted), U64(e.micros), e.error,
-                       e.error_message, e.plan})
+                       e.error_message, e.reason, e.plan})
               .status());
     }
     return Status::OK();
@@ -91,13 +94,46 @@ VirtualTableDef SlowQueriesTable() {
                        Col("elapsed_micros", ColumnType::kInt),
                        Col("rows_scanned", ColumnType::kInt),
                        Col("rows_emitted", ColumnType::kInt),
+                       Col("reason", ColumnType::kString),
                        Col("trace_json", ColumnType::kString)});
   def.fill = [](Table* out) -> Status {
     for (const SlowQueryLog::Entry& e : SlowQueryLog::Global().Entries()) {
       DB2G_RETURN_NOT_OK(out->Insert({e.script, U64(e.elapsed_micros),
                                       U64(e.rows_scanned),
-                                      U64(e.rows_emitted), e.trace_json})
+                                      U64(e.rows_emitted), e.reason,
+                                      e.trace_json})
                              .status());
+    }
+    return Status::OK();
+  };
+  return def;
+}
+
+// The workload governor's live view: one row per governed query currently
+// executing, with its elapsed time, progress, and budgets — the id column
+// is what GremlinService::KillQuery takes.
+VirtualTableDef ActiveQueriesTable() {
+  VirtualTableDef def;
+  def.schema = Schema("sysmon.active_queries",
+                      {Col("id", ColumnType::kInt),
+                       Col("script", ColumnType::kString),
+                       Col("elapsed_micros", ColumnType::kInt),
+                       Col("rows_produced", ColumnType::kInt),
+                       Col("timeout_ms", ColumnType::kInt),
+                       Col("max_result_rows", ColumnType::kInt),
+                       Col("max_memory_bytes", ColumnType::kInt),
+                       Col("memory_used", ColumnType::kInt)});
+  def.fill = [](Table* out) -> Status {
+    for (const std::shared_ptr<governor::QueryContext>& q :
+         governor::ActiveQueryRegistry::Global().Snapshot()) {
+      DB2G_RETURN_NOT_OK(
+          out->Insert({U64(q->id()), q->script(), U64(q->elapsed_micros()),
+                       U64(q->rows_produced()),
+                       Value(q->limits().timeout_ms),
+                       Value(q->limits().max_result_rows),
+                       Value(q->limits().max_memory_bytes),
+                       U64(q->memory_used())})
+              .status());
     }
     return Status::OK();
   };
@@ -144,6 +180,7 @@ void RegisterSysmonTables(Database* db) {
   db->RegisterVirtualTable(QueryLogTable());
   db->RegisterVirtualTable(MetricsTable());
   db->RegisterVirtualTable(SlowQueriesTable());
+  db->RegisterVirtualTable(ActiveQueriesTable());
   db->RegisterVirtualTable(ColumnStatsTable(db));
 }
 
