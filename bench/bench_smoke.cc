@@ -43,6 +43,16 @@
 //     and release actually executes), and governed throughput must stay
 //     at or above 0.95x ungoverned. Results land in BENCH_governor.json.
 //
+//  7. Morsel-driven parallelism pays where cores exist and costs nothing
+//     where they don't: the full-scan aggregate SQL mix and a Gremlin
+//     groupCount ablation run serial, at dop 1, and at dop 4.
+//     Unconditionally, dop-1 (identical serial operators behind the
+//     ExecConfig resolution) must stay at or above 0.95x serial. The
+//     dop-4 >= 1.8x dop-1 floor is enforced only when the machine
+//     actually has >= 4 hardware threads — on smaller CI boxes the ratios
+//     are still measured and reported (with the core count) in
+//     BENCH_parallel.json, just not gated.
+//
 // All comparisons interleave their modes across rounds and take each
 // mode's best round to damp scheduler noise on small CI machines.
 
@@ -52,6 +62,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.h"
@@ -493,9 +504,9 @@ int main() {
   constexpr int kVecSlices = 4;
   constexpr int kVecSliceQueries = kVecQueries / kVecSlices;
   // Warm both modes once.
-  vec_db.set_vectorized_execution(true);
+  vec_db.SetExecConfig(vec_db.exec_config().vectorized(true));
   RunSqlMixSlice(&vec_db, 5, 0);
-  vec_db.set_vectorized_execution(false);
+  vec_db.SetExecConfig(vec_db.exec_config().vectorized(false));
   RunSqlMixSlice(&vec_db, 5, 0);
 
   double vectorized_best = 0;
@@ -505,16 +516,16 @@ int main() {
     double s_secs = 0;
     for (int slice = 0; slice < kVecSlices; ++slice) {
       int base = slice * kVecSliceQueries;
-      vec_db.set_vectorized_execution(true);
+      vec_db.SetExecConfig(vec_db.exec_config().vectorized(true));
       v_secs += RunSqlMixSlice(&vec_db, kVecSliceQueries, base);
-      vec_db.set_vectorized_execution(false);
+      vec_db.SetExecConfig(vec_db.exec_config().vectorized(false));
       s_secs += RunSqlMixSlice(&vec_db, kVecSliceQueries, base);
     }
     if (kVecQueries / v_secs > vectorized_best)
       vectorized_best = kVecQueries / v_secs;
     if (kVecQueries / s_secs > scalar_best) scalar_best = kVecQueries / s_secs;
   }
-  vec_db.set_vectorized_execution(true);
+  vec_db.SetExecConfig(vec_db.exec_config().vectorized(true));
 
   double vec_speedup = vectorized_best / scalar_best;
   std::printf("bench_vectorized: vectorized=%.0f q/s scalar=%.0f q/s "
@@ -554,7 +565,7 @@ int main() {
   const bool qlog_was_enabled = qlog.enabled();
   auto set_instrumentation = [&](bool on) {
     qlog.SetEnabled(on);
-    vec_db.set_profile_execution(on);
+    vec_db.SetExecConfig(vec_db.exec_config().profile(on));
   };
   // Warm both modes.
   set_instrumentation(false);
@@ -579,7 +590,7 @@ int main() {
     if (kVecQueries / inst_secs > instrumented_best)
       instrumented_best = kVecQueries / inst_secs;
   }
-  vec_db.set_profile_execution(false);
+  vec_db.SetExecConfig(vec_db.exec_config().profile(false));
   qlog.SetEnabled(qlog_was_enabled);
 
   double obs_ratio = instrumented_best / plain_best;
@@ -630,7 +641,7 @@ int main() {
   // The pre-streaming baseline: materialized interpretation and no LIMIT
   // pushdown (both arrived with the streaming pipeline).
   Db2Graph::Options mat_options;
-  mat_options.runtime.streaming_execution = false;
+  mat_options.exec = db2graph::ExecConfig().streaming(false);
   mat_options.strategies.limit_pushdown = false;
   Result<std::unique_ptr<Db2Graph>> materialized = Db2Graph::Open(
       &stream_db,
@@ -786,6 +797,139 @@ int main() {
     std::fprintf(stderr, "FAIL: governed throughput ratio %.2f below "
                          "floor %.2f\n",
                  governor_ratio, kGovernorFloor);
+    return 1;
+  }
+
+  // ---- Parallel-vs-serial: morsels must pay on real cores. ----
+  //
+  // SQL side: the same full-scan aggregate mix the vectorized contract
+  // uses, re-run under the session ExecConfig at dop 1 and dop 4 (the
+  // parallel scan/aggregate operators engage at dop > 1). Gremlin side: a
+  // groupCount barrier ablation over the 20k-vertex streaming dataset,
+  // with the dop carried per-execution through ExecOptions::config.
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  auto run_sql_at = [&](const db2graph::ExecConfig& cfg, int queries,
+                        int base) {
+    vec_db.SetExecConfig(cfg);
+    return RunSqlMixSlice(&vec_db, queries, base);
+  };
+  const db2graph::ExecConfig serial_cfg;  // nothing set: resolves to dop 1
+  const db2graph::ExecConfig dop1_cfg = serial_cfg.parallelism(1);
+  const db2graph::ExecConfig dop4_cfg = serial_cfg.parallelism(4);
+  // Warm each mode once.
+  run_sql_at(serial_cfg, 5, 0);
+  run_sql_at(dop1_cfg, 5, 0);
+  run_sql_at(dop4_cfg, 5, 0);
+
+  double par_serial_best = 0;
+  double par_dop1_best = 0;
+  double par_dop4_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double serial_secs = 0;
+    double dop1_secs = 0;
+    double dop4_secs = 0;
+    for (int slice = 0; slice < kVecSlices; ++slice) {
+      int base = slice * kVecSliceQueries;
+      serial_secs += run_sql_at(serial_cfg, kVecSliceQueries, base);
+      dop1_secs += run_sql_at(dop1_cfg, kVecSliceQueries, base);
+      dop4_secs += run_sql_at(dop4_cfg, kVecSliceQueries, base);
+    }
+    if (kVecQueries / serial_secs > par_serial_best)
+      par_serial_best = kVecQueries / serial_secs;
+    if (kVecQueries / dop1_secs > par_dop1_best)
+      par_dop1_best = kVecQueries / dop1_secs;
+    if (kVecQueries / dop4_secs > par_dop4_best)
+      par_dop4_best = kVecQueries / dop4_secs;
+  }
+  vec_db.SetExecConfig(serial_cfg);
+
+  // Gremlin groupCount ablation: barrier drains split into per-worker
+  // chunks at dop > 1; serial and parallel must agree on results (the
+  // equivalence suite asserts that — here only throughput is measured).
+  constexpr int kGroupCountQueries = 30;
+  auto run_groupcount_at = [&](int dop) {
+    ExecOptions opts;
+    opts.config = db2graph::ExecConfig().parallelism(dop);
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kGroupCountQueries; ++i) {
+      const std::string q = i % 2 == 0
+                                ? "g.V().label().groupCount()"
+                                : "g.V().values('version').groupCount()";
+      Result<std::vector<Traverser>> out =
+          streaming->get()->Execute(q, opts);
+      if (!out.ok()) {
+        std::fprintf(stderr, "groupCount bench query failed: %s\n",
+                     out.status().ToString().c_str());
+        std::exit(2);
+      }
+    }
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return kGroupCountQueries / elapsed.count();
+  };
+  run_groupcount_at(1);  // warm
+  run_groupcount_at(4);
+  double gc_dop1_best = 0;
+  double gc_dop4_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double g1 = run_groupcount_at(1);
+    double g4 = run_groupcount_at(4);
+    if (g1 > gc_dop1_best) gc_dop1_best = g1;
+    if (g4 > gc_dop4_best) gc_dop4_best = g4;
+  }
+
+  double dop1_ratio = par_dop1_best / par_serial_best;
+  double dop4_speedup = par_dop4_best / par_dop1_best;
+  double gc_speedup = gc_dop4_best / gc_dop1_best;
+  constexpr double kDop1Floor = 0.95;
+  constexpr double kDop4Floor = 1.8;
+  const bool dop4_gated = cores >= 4;
+  std::printf(
+      "bench_parallel: cores=%u sql serial=%.0f q/s dop1=%.0f q/s "
+      "dop4=%.0f q/s dop1/serial=%.2f dop4/dop1=%.2fx (floor %.2fx, %s); "
+      "gremlin groupCount dop1=%.0f q/s dop4=%.0f q/s speedup=%.2fx\n",
+      cores, par_serial_best, par_dop1_best, par_dop4_best, dop1_ratio,
+      dop4_speedup, kDop4Floor,
+      dop4_gated ? "enforced" : "not enforced: fewer than 4 cores",
+      gc_dop1_best, gc_dop4_best, gc_speedup);
+
+  {
+    std::ofstream json("BENCH_parallel.json");
+    json << "{\n"
+         << "  \"cores\": " << cores << ",\n"
+         << "  \"mix_queries\": " << kVecQueries << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"sql_serial_qps\": " << par_serial_best << ",\n"
+         << "  \"sql_dop1_qps\": " << par_dop1_best << ",\n"
+         << "  \"sql_dop4_qps\": " << par_dop4_best << ",\n"
+         << "  \"sql_dop1_over_serial\": " << dop1_ratio << ",\n"
+         << "  \"sql_dop4_over_dop1\": " << dop4_speedup << ",\n"
+         << "  \"gremlin_groupcount_dop1_qps\": " << gc_dop1_best << ",\n"
+         << "  \"gremlin_groupcount_dop4_qps\": " << gc_dop4_best << ",\n"
+         << "  \"gremlin_groupcount_speedup\": " << gc_speedup << ",\n"
+         << "  \"dop1_floor\": " << kDop1Floor << ",\n"
+         << "  \"dop4_floor\": " << kDop4Floor << ",\n"
+         << "  \"dop4_floor_enforced\": "
+         << (dop4_gated ? "true" : "false") << "\n"
+         << "}\n";
+  }
+
+  // Floors. dop 1 resolves to the identical serial operator tree — the
+  // only added cost is ExecConfig resolution per statement — so it must
+  // stay within 0.95x of serial everywhere. The dop-4 scaling floor only
+  // means something when the hardware can actually run 4 workers at once;
+  // on smaller machines the measured ratio is reported, not enforced.
+  if (dop1_ratio < kDop1Floor) {
+    std::fprintf(stderr, "FAIL: dop-1 throughput ratio %.2f below "
+                         "floor %.2f\n",
+                 dop1_ratio, kDop1Floor);
+    return 1;
+  }
+  if (dop4_gated && dop4_speedup < kDop4Floor) {
+    std::fprintf(stderr, "FAIL: dop-4/dop-1 speedup %.2fx below floor "
+                         "%.2fx on a %u-core machine\n",
+                 dop4_speedup, kDop4Floor, cores);
     return 1;
   }
   return 0;

@@ -37,6 +37,10 @@ class QueryLog {
     std::string access_path;
     uint64_t rows_scanned = 0;
     uint64_t rows_emitted = 0;
+    /// Intra-query parallelism: resolved degree of parallelism and number
+    /// of morsels dispatched (ExecInfo::dop/morsels; 1/0 = serial).
+    uint64_t dop = 1;
+    uint64_t morsels = 0;
     uint64_t micros = 0;
     bool error = false;
     std::string error_message;

@@ -1,5 +1,6 @@
 #include "core/db2graph.h"
 
+#include "common/exec_config.h"
 #include "common/query_log.h"
 #include "common/strings.h"
 #include "common/workload_governor.h"
@@ -20,9 +21,35 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
     Options options) {
   Result<overlay::Topology> topology = overlay::Topology::Build(*db, config);
   if (!topology.ok()) return topology.status();
-  // The SQL layer cannot see RuntimeOptions, so the vectorized-execution
-  // knob is pushed down onto the database itself.
-  db->set_vectorized_execution(options.runtime.vectorized_execution);
+  // Session execution config: Options::exec, with the deprecated
+  // RuntimeOptions execution flags folded in underneath (only when they
+  // were changed from their defaults, and only for fields exec leaves
+  // unset — the new API wins on conflict). Installed on the database so
+  // SQL issued through any path resolves the same session layer.
+  {
+    ExecConfig session;
+    const RuntimeOptions defaults;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+    if (options.runtime.vectorized_execution !=
+        defaults.vectorized_execution) {
+      session = session.vectorized(options.runtime.vectorized_execution);
+    }
+    if (options.runtime.streaming_execution !=
+        defaults.streaming_execution) {
+      session = session.streaming(options.runtime.streaming_execution);
+    }
+    if (options.runtime.streaming_block_rows !=
+        defaults.streaming_block_rows) {
+      session = session.block_rows(options.runtime.streaming_block_rows);
+    }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+    db->SetExecConfig(session.OverlaidBy(options.exec));
+  }
   std::unique_ptr<Db2Graph> graph(new Db2Graph(db, options));
   graph->ddl_version_at_open_ = db->ddl_version();
   graph->dialect_ = std::make_unique<SqlDialect>(db);
@@ -70,13 +97,14 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
 
 namespace {
 
-// The interpreter's execution knobs, derived from the graph's runtime
-// options so every execution path (Execute, ExecuteScript, graphQuery)
-// runs the same pipeline shape.
-gremlin::Interpreter::Options InterpreterOptions(const RuntimeOptions& r) {
+// The interpreter's execution knobs, derived from the resolved ExecConfig
+// so every execution path (Execute, graphQuery) runs the same pipeline
+// shape. Unset block_rows keeps the interpreter's own default.
+gremlin::Interpreter::Options InterpreterOptions(const ExecConfig& cfg) {
   gremlin::Interpreter::Options o;
-  o.streaming = r.streaming_execution;
-  o.block_size = r.streaming_block_rows;
+  o.streaming = cfg.streaming();
+  if (cfg.block_rows() > 0) o.block_size = cfg.block_rows();
+  o.parallelism = cfg.parallelism();
   return o;
 }
 
@@ -152,13 +180,15 @@ const std::vector<Value>* FindBinding(const ExecOptions& options,
 // traverser count stands in for rows_emitted.
 void RecordGremlinQueryLog(const CompiledPlan& plan, bool plan_cached,
                            const Result<std::vector<Traverser>>& out,
-                           uint64_t micros, const QueryTrace* trace) {
+                           uint64_t micros, const QueryTrace* trace,
+                           uint64_t dop) {
   QueryLog& log = QueryLog::Global();
   if (!log.enabled()) return;
   QueryLog::Entry entry;
   entry.layer = "gremlin";
   entry.script = plan.script_text;
   entry.plan_source = plan_cached ? "cached" : "compiled";
+  entry.dop = dop;
   entry.micros = micros;
   if (trace != nullptr) {
     QueryTrace::RowTotals totals = trace->SqlRowTotals();
@@ -243,14 +273,30 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     env = &local_env;
   }
 
+  // Per-query execution config: process defaults <- database session
+  // (Options::exec / SetExecConfig) <- this call's overrides. Installed
+  // thread-locally so every SQL statement this execution issues — provider
+  // lookups, graphQuery bodies — resolves the same dop / vectorized /
+  // block-size settings (Executor::Compile reads ExecConfig::Current()).
+  const ExecConfig exec_cfg = ExecConfig::ProcessDefault()
+                                  .OverlaidBy(db_->exec_config())
+                                  .OverlaidBy(options.config);
+  ScopedExecConfig scoped_exec(exec_cfg);
+
   // Workload governance: any effective limit (per-call or inherited
   // process default) or a live cancel token puts the execution under a
   // QueryContext — registered for sysmon.active_queries / KillQuery and
   // installed thread-locally for the duration, so every layer's block-
   // boundary checks observe it. Ungoverned queries allocate nothing and
   // every downstream CheckCurrent() stays a thread-local null test.
+  // Legacy per-call ExecOptions limits win when nonzero; otherwise the
+  // ExecConfig limits feed the same resolution chain.
   governor::GovernorLimits limits = governor::ResolveLimits(
-      options.timeout_ms, options.max_result_rows, options.max_memory_bytes);
+      options.timeout_ms != 0 ? options.timeout_ms : exec_cfg.timeout_ms(),
+      options.max_result_rows != 0 ? options.max_result_rows
+                                   : exec_cfg.max_result_rows(),
+      options.max_memory_bytes != 0 ? options.max_memory_bytes
+                                    : exec_cfg.max_memory_bytes());
   std::shared_ptr<governor::QueryContext> query_ctx;
   if (limits.any() || options.cancel_token.valid()) {
     query_ctx = std::make_shared<governor::QueryContext>(
@@ -259,7 +305,7 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
   governor::ScopedActiveQuery governed(query_ctx);
 
   gremlin::Interpreter interpreter(provider_.get(),
-                                   InterpreterOptions(options_.runtime));
+                                   InterpreterOptions(exec_cfg));
   const int64_t slow_ms = SlowQueryLog::Global().threshold_ms();
   const bool traced =
       options.trace != nullptr || plan->has_profile || slow_ms > 0;
@@ -279,7 +325,8 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
         interpreter.RunScript(plan->script, env);
     governor::CountTermination(out.status());
     RecordGremlinQueryLog(*plan, plan_cached, out,
-                          trace_clock_->NowMicros() - begin, nullptr);
+                          trace_clock_->NowMicros() - begin, nullptr,
+                          exec_cfg.parallelism());
     return out;
   }
 
@@ -313,7 +360,8 @@ Result<std::vector<Traverser>> Db2Graph::ExecutePlan(
     entry.trace_json = trace->ToJson().Dump(2);
     SlowQueryLog::Global().Record(std::move(entry));
   }
-  RecordGremlinQueryLog(*plan, plan_cached, out, elapsed, trace);
+  RecordGremlinQueryLog(*plan, plan_cached, out, elapsed, trace,
+                        exec_cfg.parallelism());
   if (!out.ok()) return out.status();
   if (plan->has_profile) {
     std::vector<Traverser> result;
@@ -343,26 +391,6 @@ Result<PreparedQuery> Db2Graph::Prepare(const std::string& script_text) {
       GetOrCompile(script_text, /*use_cache=*/true, &was_cached);
   if (!plan.ok()) return plan.status();
   return PreparedQuery(this, std::move(*plan));
-}
-
-Result<std::vector<Traverser>> Db2Graph::Run(const std::string& script_text,
-                                             gremlin::Environment* env) {
-  ExecOptions options;
-  options.session_env = env;
-  return Execute(script_text, options);
-}
-
-Result<std::vector<Traverser>> Db2Graph::ExecuteTraced(
-    const std::string& script_text, QueryTrace* trace) {
-  ExecOptions options;
-  options.trace = trace;
-  return Execute(script_text, options);
-}
-
-Result<std::vector<Traverser>> Db2Graph::ExecuteScript(const Script& script) {
-  gremlin::Interpreter interpreter(provider_.get(),
-                                   InterpreterOptions(options_.runtime));
-  return interpreter.RunScript(script);
 }
 
 Result<std::vector<Traverser>> PreparedQuery::Execute(
@@ -546,9 +574,12 @@ Status Db2Graph::RegisterGraphQueryFunction() {
         }
         // Run the plan directly (not ExecutePlan): a graphQuery inside a
         // traced outer query must keep recording into the caller's
-        // thread-local trace, not open one of its own.
+        // thread-local trace, not open one of its own. The exec config
+        // resolves through the database session plus any thread-local
+        // scope an outer execution installed.
         gremlin::Interpreter interpreter(
-            self->provider(), InterpreterOptions(self->options().runtime));
+            self->provider(),
+            InterpreterOptions(self->db()->ResolveExecConfig()));
         Result<std::vector<Traverser>> out = interpreter.RunScript(script);
         if (!out.ok()) return out.status();
         Result<std::vector<Row>> rows =

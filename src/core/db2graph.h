@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_config.h"
 #include "common/trace.h"
 #include "common/workload_governor.h"
 #include "core/graph_structure.h"
@@ -53,6 +54,13 @@ struct ExecOptions {
   /// Consult/fill the compiled-plan cache. Disabled by benchmarks to
   /// measure the re-parsing text path.
   bool use_plan_cache = true;
+  /// Per-call execution tuning, overlaid on the session config (set at
+  /// Open via Db2Graph::Options::exec / Database::SetExecConfig) which in
+  /// turn overlays ExecConfig::ProcessDefault(). Unset fields inherit.
+  /// The resolved config travels thread-locally (ScopedExecConfig) into
+  /// every SQL statement the execution issues, so `.parallelism(4)` here
+  /// parallelizes the scans deep inside the provider.
+  ExecConfig config;
 
   // -- workload governor ---------------------------------------------------
   // Each limit: 0 = inherit the process-wide default (Db2Graph::SetDefault*
@@ -115,6 +123,12 @@ class Db2Graph {
     StrategyOptions strategies;
     /// The Section 6.3 data-dependent runtime optimizations.
     RuntimeOptions runtime;
+    /// Session-level execution tuning, installed on the database at Open
+    /// (Database::SetExecConfig). Per-call ExecOptions::config overlays
+    /// it. Supersedes the deprecated RuntimeOptions streaming/vectorized
+    /// flags, which are folded in underneath when they were changed from
+    /// their defaults.
+    ExecConfig exec;
     /// Compiled-plan cache sizing (entries across all shards).
     size_t plan_cache_entries;
     // Member-init-list constructor rather than a default member
@@ -148,22 +162,6 @@ class Db2Graph {
   /// Compiles `script` once (through the plan cache) and returns a
   /// shareable handle for repeated execution with different bindings.
   Result<PreparedQuery> Prepare(const std::string& script);
-
-  /// Deprecated: use Execute(script, {.session_env = env}).
-  [[deprecated("use Execute(script, ExecOptions)")]]
-  Result<std::vector<gremlin::Traverser>> Run(const std::string& script,
-                                              gremlin::Environment* env);
-
-  /// Deprecated: use Execute(script, {.trace = trace}).
-  [[deprecated("use Execute(script, ExecOptions)")]]
-  Result<std::vector<gremlin::Traverser>> ExecuteTraced(
-      const std::string& script, QueryTrace* trace);
-
-  /// Deprecated: prefer Prepare()/Execute(); runs an already-parsed
-  /// script with strategies applied to a copy.
-  [[deprecated("use Prepare()/Execute(script, ExecOptions)")]]
-  Result<std::vector<gremlin::Traverser>> ExecuteScript(
-      const gremlin::Script& script);
 
   /// Compiles a script without executing (plan inspection / tests).
   Result<gremlin::Script> Compile(const std::string& script) const;

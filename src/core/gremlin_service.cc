@@ -6,16 +6,11 @@
 
 namespace db2graph::core {
 
+// The deprecated constructor predates admission control; WithWorkers
+// keeps its queue unbounded so callers that batch-submit far ahead of
+// the workers (load generators, tests) see no behavior change.
 GremlinService::GremlinService(Db2Graph* graph, int workers)
-    : GremlinService(graph, [workers] {
-        // The legacy constructor predates admission control; keep its
-        // queue unbounded so callers that batch-submit far ahead of the
-        // workers (load generators, tests) see no behavior change.
-        Options o;
-        o.workers = workers;
-        o.max_queue_depth = -1;
-        return o;
-      }()) {}
+    : GremlinService(graph, Options::WithWorkers(workers)) {}
 
 GremlinService::GremlinService(Db2Graph* graph, const Options& options)
     : graph_(graph),
@@ -213,6 +208,9 @@ void GremlinService::WorkerLoop() {
     options.max_result_rows = options_.max_result_rows;
     options.max_memory_bytes = options_.max_memory_bytes;
     options.cancel_token = shutdown_token_;
+    // Execution tuning: the service-level ExecConfig overlays the graph's
+    // session config per request (e.g. intra-query parallelism).
+    options.config = options_.exec;
     Status injected = Status::OK();
     DB2G_FAILPOINT_STATUS("service.before_execute", injected);
     Response response = injected.ok()

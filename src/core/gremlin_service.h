@@ -80,12 +80,30 @@ class GremlinService {
     int64_t timeout_ms = 0;
     int64_t max_result_rows = 0;
     int64_t max_memory_bytes = 0;
+    /// Execution tuning stamped on every request's ExecOptions::config
+    /// (e.g. ExecConfig().parallelism(4) gives each request intra-query
+    /// parallel scans on top of the service's inter-query worker pool).
+    /// Unset fields inherit session / process defaults as usual.
+    ExecConfig exec;
+
+    /// Legacy shape of the deprecated (graph, workers) constructor: n
+    /// workers, unbounded queue.
+    static Options WithWorkers(int n) {
+      Options o;
+      o.workers = n;
+      o.max_queue_depth = -1;
+      return o;
+    }
   };
 
-  /// Starts `workers` executor threads over `graph` (not owned; must
-  /// outlive the service).
-  GremlinService(Db2Graph* graph, int workers);
+  /// Starts `options.workers` executor threads over `graph` (not owned;
+  /// must outlive the service).
   GremlinService(Db2Graph* graph, const Options& options);
+  [[deprecated(
+      "use GremlinService(graph, GremlinService::Options::WithWorkers(n)) "
+      "— Options also carries queue bounds, governor limits, and "
+      "ExecConfig")]]
+  GremlinService(Db2Graph* graph, int workers);
   ~GremlinService();
 
   GremlinService(const GremlinService&) = delete;

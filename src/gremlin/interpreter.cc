@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "common/workload_governor.h"
 
@@ -1153,11 +1154,34 @@ Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
         }
         return t.DedupKey();
       };
-      std::stable_sort(input.begin(), input.end(),
-                       [&](const Traverser& a, const Traverser& b) {
-                         int c = sort_key(a).Compare(sort_key(b));
-                         return step.descending ? c > 0 : c < 0;
-                       });
+      auto less = [&](const Traverser& a, const Traverser& b) {
+        int c = sort_key(a).Compare(sort_key(b));
+        return step.descending ? c > 0 : c < 0;
+      };
+      size_t chunks = BarrierChunks(input.size());
+      if (chunks < 2) {
+        std::stable_sort(input.begin(), input.end(), less);
+      } else {
+        // Parallel barrier drain: stable-sort contiguous chunks on pool
+        // workers, then stable-merge adjacent chunks left to right — the
+        // result is elementwise identical to one global stable_sort.
+        const size_t per = (input.size() + chunks - 1) / chunks;
+        std::vector<size_t> bounds;
+        for (size_t c = 0; c < chunks; ++c) {
+          bounds.push_back(std::min(input.size(), c * per));
+        }
+        bounds.push_back(input.size());
+        governor::QueryContext* qc = governor::CurrentQueryContext();
+        ThreadPool::Shared().RunBatch(chunks, [&](size_t c) {
+          governor::ScopedQueryContext governed(qc);
+          std::stable_sort(input.begin() + bounds[c],
+                           input.begin() + bounds[c + 1], less);
+        });
+        for (size_t c = 1; c < chunks; ++c) {
+          std::inplace_merge(input.begin(), input.begin() + bounds[c],
+                             input.begin() + bounds[c + 1], less);
+        }
+      }
       *out = std::move(input);
       return Status::OK();
     }
@@ -1309,8 +1333,30 @@ Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
       // Barrier: multiplicity per value/element id, emitted as one list of
       // alternating [key, count, key, count, ...] sorted by key.
       std::map<Value, int64_t> counts;
-      for (const Traverser& t : input) {
-        ++counts[t.DedupKey()];
+      size_t chunks = BarrierChunks(input.size());
+      if (chunks < 2) {
+        for (const Traverser& t : input) {
+          ++counts[t.DedupKey()];
+        }
+      } else {
+        // Parallel barrier drain: per-worker partial maps over contiguous
+        // chunks, merged in chunk order. Counts are additive and the
+        // output map is key-sorted, so the result is identical to serial.
+        std::vector<std::map<Value, int64_t>> partials(chunks);
+        const size_t per = (input.size() + chunks - 1) / chunks;
+        governor::QueryContext* qc = governor::CurrentQueryContext();
+        ThreadPool::Shared().RunBatch(chunks, [&](size_t c) {
+          governor::ScopedQueryContext governed(qc);
+          size_t lo = c * per;
+          size_t hi = std::min(input.size(), lo + per);
+          std::map<Value, int64_t>& local = partials[c];
+          for (size_t i = lo; i < hi; ++i) {
+            ++local[input[i].DedupKey()];
+          }
+        });
+        for (std::map<Value, int64_t>& partial : partials) {
+          for (auto& [key, count] : partial) counts[key] += count;
+        }
       }
       std::vector<Value> flattened;
       flattened.reserve(counts.size() * 2);

@@ -8,6 +8,7 @@
 #ifndef DB2GRAPH_GREMLIN_INTERPRETER_H_
 #define DB2GRAPH_GREMLIN_INTERPRETER_H_
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -68,6 +69,11 @@ class Interpreter {
     /// Traversers per block in streaming segments; also the block size
     /// requested from provider element streams.
     size_t block_size = 256;
+    /// Degree of intra-query parallelism for barrier drains: order() and
+    /// groupCount() over large inputs split into per-worker chunks whose
+    /// partial states merge in chunk order (deterministic, identical
+    /// results). 1 = serial. Resolved from ExecConfig by the graph layer.
+    int parallelism = 1;
   };
 
   explicit Interpreter(GraphProvider* provider) : provider_(provider) {}
@@ -120,6 +126,18 @@ class Interpreter {
                          std::vector<Traverser>* out);
   Status ApplyEdgeVertexStep(const Step& step, std::vector<Traverser> input,
                              std::vector<Traverser>* out);
+
+  /// Number of chunks a barrier drain over n traversers splits into: 1
+  /// (serial) unless options_.parallelism > 1 and the input is large
+  /// enough that chunking beats the pool dispatch overhead; each chunk
+  /// keeps at least kParallelBarrierMinInput/2 traversers.
+  size_t BarrierChunks(size_t n) const {
+    if (options_.parallelism <= 1 || n < kParallelBarrierMinInput) return 1;
+    size_t max_chunks = n / (kParallelBarrierMinInput / 2);
+    return std::min<size_t>(static_cast<size_t>(options_.parallelism),
+                            max_chunks);
+  }
+  static constexpr size_t kParallelBarrierMinInput = 256;
 
   Result<std::vector<Value>> ResolveIds(const std::vector<GremlinArg>& args,
                                         const ExecState& state) const;

@@ -121,6 +121,8 @@ void RecordQueryLog(const Statement& stmt, const Result<ResultSet>& result,
   if (result.ok()) {
     entry.exec_mode = result->exec.ExecMode();
     entry.access_path = result->exec.AccessPath();
+    entry.dop = result->exec.dop;
+    entry.morsels = result->exec.morsels;
     entry.rows_scanned = result->exec.rows_scanned;
     entry.rows_emitted = result->rows.empty() && result->affected > 0
                              ? static_cast<uint64_t>(result->affected)
@@ -305,6 +307,31 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
 bool Database::ReadLockHeldByThisThread() const {
   auto it = tls_read_depth.find(this);
   return it != tls_read_depth.end() && it->second > 0;
+}
+
+void Database::SetExecConfig(const ExecConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(exec_config_mutex_);
+    session_exec_config_ = config;
+  }
+  // Mirror the resolved monitoring-visible fields into the lock-free
+  // atomics (resolved through the process default so an env-seeded
+  // DB2G_VECTORIZED=0 shows even when the session leaves it unset).
+  ExecConfig resolved = ExecConfig::ProcessDefault().OverlaidBy(config);
+  vectorized_execution_.store(resolved.vectorized(),
+                              std::memory_order_relaxed);
+  profile_execution_.store(resolved.profile(), std::memory_order_relaxed);
+}
+
+ExecConfig Database::exec_config() const {
+  std::lock_guard<std::mutex> lock(exec_config_mutex_);
+  return session_exec_config_;
+}
+
+ExecConfig Database::ResolveExecConfig() const {
+  return ExecConfig::ProcessDefault()
+      .OverlaidBy(exec_config())
+      .OverlaidBy(ExecConfig::Current());
 }
 
 void Database::SetCurrentUser(std::string user) {

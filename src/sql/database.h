@@ -16,11 +16,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/exec_config.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "sql/ast.h"
@@ -216,24 +218,37 @@ class Database {
   ExecStats& stats() { return stats_; }
   const ExecStats& stats() const { return stats_; }
 
-  /// Toggles the column-at-a-time execution path (on by default).
-  /// Eligible single-table full scans then run as ColumnScan ->
-  /// ColumnFilter kernels with late materialization; when off — or for
-  /// plan shapes without a vectorized lowering — everything runs on the
-  /// classic row-at-a-time operators. Results are identical either way.
+  // -- execution configuration --------------------------------------------
+  /// The session layer of the ExecConfig resolution chain: fields the
+  /// session config leaves unset fall through to ExecConfig::ProcessDefault()
+  /// and from there to the engine defaults; a thread-local per-query
+  /// override (ScopedExecConfig) wins over both. Replaces the old
+  /// set_vectorized_execution / set_profile_execution toggles and adds
+  /// .parallelism(n) for morsel-driven scans, sharded hash-join builds,
+  /// and parallel sort drains.
+  void SetExecConfig(const ExecConfig& config);
+  ExecConfig exec_config() const;
+  /// The effective config for a statement starting now on this thread:
+  /// process defaults <- session config <- ExecConfig::Current().
+  ExecConfig ResolveExecConfig() const;
+
+  [[deprecated(
+      "use SetExecConfig(exec_config().vectorized(on)) — ExecConfig is the "
+      "single execution-tuning surface")]]
   void set_vectorized_execution(bool on) {
-    vectorized_execution_.store(on, std::memory_order_relaxed);
+    SetExecConfig(exec_config().vectorized(on));
   }
+  /// Resolved vectorized-execution state of the session layer (kept for
+  /// monitoring readers; the executor resolves per-query instead).
   bool vectorized_execution() const {
     return vectorized_execution_.load(std::memory_order_relaxed);
   }
 
-  /// Toggles always-on per-operator profiling (off by default): when set,
-  /// every SELECT runs with EXPLAIN ANALYZE instrumentation and fills
-  /// ExecInfo::op_profiles, so traces, .profile(), and sysmon.query_log
-  /// carry annotated plans for ordinary statements too.
+  [[deprecated(
+      "use SetExecConfig(exec_config().profile(on)) — ExecConfig is the "
+      "single execution-tuning surface")]]
   void set_profile_execution(bool on) {
-    profile_execution_.store(on, std::memory_order_relaxed);
+    SetExecConfig(exec_config().profile(on));
   }
   bool profile_execution() const {
     return profile_execution_.load(std::memory_order_relaxed);
@@ -335,6 +350,10 @@ class Database {
 
   std::atomic<uint64_t> ddl_version_{0};
   std::atomic<uint64_t> write_epoch_{0};
+  /// Session-layer ExecConfig plus lock-free mirrors of its resolved
+  /// vectorized/profile fields for monitoring readers.
+  mutable std::mutex exec_config_mutex_;
+  ExecConfig session_exec_config_;
   std::atomic<bool> vectorized_execution_{true};
   std::atomic<bool> profile_execution_{false};
   bool access_control_ = false;

@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/exec_config.h"
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "common/workload_governor.h"
 #include "sql/database.h"
@@ -201,6 +203,24 @@ struct AggState {
     if (op == "MAX") return max;
     return Value::Null();
   }
+
+  // Folds in a partial state produced by a parallel morsel worker.
+  // COUNT/MIN/MAX and integer sums are exact under any merge order;
+  // double sums reassociate, so the barrier merges partials in morsel
+  // order — run-to-run deterministic for a fixed dop, though the low bits
+  // may differ from the serial left-to-right sum.
+  void Merge(const AggState& other) {
+    count += other.count;
+    sum += other.sum;
+    isum += other.isum;
+    sum_is_int = sum_is_int && other.sum_is_int;
+    if (!other.min.is_null() && (min.is_null() || other.min < min)) {
+      min = other.min;
+    }
+    if (!other.max.is_null() && (max.is_null() || other.max > max)) {
+      max = other.max;
+    }
+  }
 };
 
 // Evaluates an expression in which aggregate nodes have precomputed values.
@@ -256,6 +276,10 @@ struct PlanContext {
   Database* db = nullptr;
   const std::vector<Value>* params = nullptr;
   size_t block_rows = kDefaultBlockRows;
+  /// Resolved ExecConfig degree of parallelism: >1 lets eligible
+  /// operators (parallel scan/aggregate, sharded hash-join build,
+  /// parallel sort) dispatch morsels to the shared pool.
+  int dop = 1;
   ExecInfo exec;
   Status error = Status::OK();
   /// EXPLAIN [ANALYZE] / Database::profile_execution: each operator gets a
@@ -385,6 +409,7 @@ class JoinStageOp : public Op {
     closed_ = true;
     child_->Close();
     hash_table_.clear();
+    shards_.clear();
     outer_buffer_.clear();
     rids_.clear();
   }
@@ -413,6 +438,12 @@ class JoinStageOp : public Op {
     if (outer_buffer_.size() < 2) return;
     hash_mode_ = true;
     const PlanRelation& rel = cfg_.relation;
+    size_t build_slots =
+        rel.materialized() ? rel.rows.size() : rel.table->slot_count();
+    if (ctx_->dop > 1 && build_slots >= kParallelBuildMinSlots) {
+      BuildSharded(build_slots);
+      return;
+    }
     if (rel.materialized()) {
       for (size_t r = 0; r < rel.rows.size(); ++r) {
         hash_table_.emplace(rel.rows[r][cfg_.hash_column], r);
@@ -423,6 +454,83 @@ class JoinStageOp : public Op {
         hash_table_.emplace(rel.table->ValueAt(rid, cfg_.hash_column), rid);
       }
     }
+  }
+
+  // ClickHouse ConcurrentHashJoin-style sharded build. Phase 1 scatters
+  // (key, slot) pairs into per-(morsel, shard) buckets — shard =
+  // ValueHash(key) % shard_count — with one pool task per morsel. Phase 2
+  // builds each shard's multimap from its buckets in morsel order, one
+  // pool task per shard, no locks: a shard is owned by exactly one task.
+  // Equal keys land in one shard and are inserted in ascending-slot order
+  // (morsel order == slot order), i.e. the same insertion sequence the
+  // serial loop produces, so probes see identical match order. Probes are
+  // lock-free reads: shard = ValueHash(probe key) % shard_count.
+  void BuildSharded(size_t build_slots) {
+    const PlanRelation& rel = cfg_.relation;
+    const size_t shard_count = static_cast<size_t>(ctx_->dop);
+    const size_t morsel_slots = kBuildMorselSlots;
+    const size_t morsel_count = (build_slots + morsel_slots - 1) / morsel_slots;
+    struct BuildPair {
+      Value key;
+      size_t slot;
+    };
+    // buckets[morsel][shard] -> pairs scattered while that morsel was
+    // scanned. Workers are capped at dop: each task owns a contiguous
+    // morsel range but still fills per-morsel buckets, which is what lets
+    // phase 2 replay insertions in morsel (== slot) order.
+    std::vector<std::vector<std::vector<BuildPair>>> buckets(morsel_count);
+    std::vector<Status> morsel_status(morsel_count, Status::OK());
+    const size_t task_count = std::min(shard_count, morsel_count);
+    const size_t morsels_per_task = (morsel_count + task_count - 1) / task_count;
+    governor::QueryContext* qc = governor::CurrentQueryContext();
+    ThreadPool::Shared().RunBatch(task_count, [&](size_t t) {
+      governor::ScopedQueryContext governed(qc);
+      size_t m_lo = t * morsels_per_task;
+      size_t m_hi = std::min(morsel_count, m_lo + morsels_per_task);
+      for (size_t m = m_lo; m < m_hi; ++m) {
+        Status st = governor::CheckCurrent();
+        if (!st.ok()) {
+          morsel_status[m] = std::move(st);
+          return;
+        }
+        std::vector<std::vector<BuildPair>>& local = buckets[m];
+        local.resize(shard_count);
+        size_t lo = m * morsel_slots;
+        size_t hi = std::min(build_slots, lo + morsel_slots);
+        if (rel.materialized()) {
+          for (size_t r = lo; r < hi; ++r) {
+            const Value& key = rel.rows[r][cfg_.hash_column];
+            local[ValueHash{}(key) % shard_count].push_back({key, r});
+          }
+        } else {
+          for (RowId rid = lo; rid < hi; ++rid) {
+            if (!rel.table->IsLive(rid)) continue;
+            Value key = rel.table->ValueAt(rid, cfg_.hash_column);
+            size_t shard = ValueHash{}(key) % shard_count;
+            local[shard].push_back({std::move(key), rid});
+          }
+        }
+      }
+    });
+    for (size_t m = 0; m < morsel_count; ++m) {
+      if (!morsel_status[m].ok()) {
+        if (ctx_->error.ok()) ctx_->error = std::move(morsel_status[m]);
+        return;
+      }
+    }
+    shards_.resize(shard_count);
+    ThreadPool::Shared().RunBatch(shard_count, [&](size_t s) {
+      governor::ScopedQueryContext governed(qc);
+      for (size_t m = 0; m < morsel_count; ++m) {
+        if (buckets[m].empty()) continue;  // governor stopped this morsel
+        for (BuildPair& pair : buckets[m][s]) {
+          shards_[s].emplace(std::move(pair.key), pair.slot);
+        }
+      }
+    });
+    sharded_ = true;
+    ctx_->exec.dop = std::max<uint64_t>(ctx_->exec.dop, shard_count);
+    ctx_->exec.morsels += morsel_count + shard_count;
   }
 
   bool FetchNextOuter() {
@@ -473,7 +581,9 @@ class JoinStageOp : public Op {
     if (hash_mode_) {
       cursor_ = CursorKind::kHash;
       Value key = EvalExpr(*cfg_.hash_key, outer_, ctx_->params);
-      auto range = hash_table_.equal_range(key);
+      const auto& table =
+          sharded_ ? shards_[ValueHash{}(key) % shards_.size()] : hash_table_;
+      auto range = table.equal_range(key);
       hash_it_ = range.first;
       hash_end_ = range.second;
       ctx_->exec.index_probes += 1;
@@ -574,9 +684,18 @@ class JoinStageOp : public Op {
   std::unique_ptr<Op> child_;
   StageConfig cfg_;
 
+  // Build sides below this many slots build serially: the scatter/build
+  // round-trips through the pool would dominate.
+  static constexpr size_t kParallelBuildMinSlots = 256;
+  static constexpr size_t kBuildMorselSlots = 4096;
+
   bool decided_ = false;
   bool hash_mode_ = false;
   std::unordered_multimap<Value, size_t, ValueHash> hash_table_;
+  /// Sharded build (dop > 1): shard s holds every key with
+  /// ValueHash(key) % shards_.size() == s. Empty when serial.
+  std::vector<std::unordered_multimap<Value, size_t, ValueHash>> shards_;
+  bool sharded_ = false;
 
   RowBlock child_block_;
   std::deque<Row> outer_buffer_;
@@ -758,15 +877,50 @@ class SortProjectOp : public Op {
         sorted_.push_back(std::move(p));
       }
     }
-    std::stable_sort(sorted_.begin(), sorted_.end(),
-                     [&](const Projected& a, const Projected& b) {
-                       for (size_t i = 0; i < order_exprs_.size(); ++i) {
-                         int c = a.sort_keys[i].Compare(b.sort_keys[i]);
-                         if (c != 0) return descending_[i] ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
+    auto less = [&](const Projected& a, const Projected& b) {
+      for (size_t i = 0; i < order_exprs_.size(); ++i) {
+        int c = a.sort_keys[i].Compare(b.sort_keys[i]);
+        if (c != 0) return descending_[i] ? c > 0 : c < 0;
+      }
+      return false;
+    };
+    if (ctx_->dop > 1 && sorted_.size() >= kParallelSortMinRows) {
+      ParallelStableSort(less);
+    } else {
+      std::stable_sort(sorted_.begin(), sorted_.end(), less);
+    }
   }
+
+  // Chunked parallel sort with a deterministic merge: split the buffer
+  // into dop contiguous chunks, stable-sort each on a pool worker, then
+  // stable-merge adjacent chunks left to right. A stable merge of
+  // stable-sorted chunks of a contiguous split is elementwise identical
+  // to one global stable_sort, so the parallel path cannot reorder ties.
+  template <typename Less>
+  void ParallelStableSort(const Less& less) {
+    const size_t chunks = std::min<size_t>(ctx_->dop, sorted_.size());
+    std::vector<size_t> bounds;  // chunk boundaries, ascending
+    bounds.push_back(0);
+    const size_t per = (sorted_.size() + chunks - 1) / chunks;
+    for (size_t c = 1; c < chunks; ++c) {
+      bounds.push_back(std::min(sorted_.size(), c * per));
+    }
+    bounds.push_back(sorted_.size());
+    governor::QueryContext* qc = governor::CurrentQueryContext();
+    ThreadPool::Shared().RunBatch(chunks, [&](size_t c) {
+      governor::ScopedQueryContext governed(qc);
+      std::stable_sort(sorted_.begin() + bounds[c],
+                       sorted_.begin() + bounds[c + 1], less);
+    });
+    for (size_t c = 1; c < chunks; ++c) {
+      std::inplace_merge(sorted_.begin(), sorted_.begin() + bounds[c],
+                         sorted_.begin() + bounds[c + 1], less);
+    }
+    ctx_->exec.dop = std::max<uint64_t>(ctx_->exec.dop, chunks);
+    ctx_->exec.morsels += chunks;
+  }
+
+  static constexpr size_t kParallelSortMinRows = 1024;
 
   std::unique_ptr<Op> child_;
   Projection proj_;
@@ -1196,16 +1350,16 @@ inline FilterKernel CompileFilterKernel(const Expr* conjunct) {
   return k;
 }
 
-// Applies compiled kernels to each block, narrowing the selection vector
-// in place. Kernelized conjuncts run before fallbacks so the expensive
-// per-row path sees as few rows as possible (AND conjuncts are
-// side-effect free, so reordering preserves the result set).
-class ColumnFilterOp : public ColOp {
+// Compiled WHERE conjuncts, shared by the serial ColumnFilterOp and the
+// parallel scan workers. Compile() orders kernelized conjuncts before
+// scalar fallbacks (AND conjuncts are side-effect free, so reordering
+// preserves the result set); MaterializeConstants() evaluates compare
+// constants once on the coordinating thread, after which the set is
+// read-only and Apply() is safe to call from concurrent workers — each
+// brings its own scratch row for the fallback path.
+class KernelSet {
  public:
-  ColumnFilterOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
-                 const std::vector<const Expr*>& conjuncts)
-      : ColOp(ctx), child_(std::move(child)) {
-    ctx_->exec.vectorized_ops += 1;
+  void Compile(const std::vector<const Expr*>& conjuncts) {
     std::vector<FilterKernel> fallbacks;
     for (const Expr* conjunct : conjuncts) {
       FilterKernel k = CompileFilterKernel(conjunct);
@@ -1218,45 +1372,46 @@ class ColumnFilterOp : public ColOp {
     kernels_.insert(kernels_.end(), fallbacks.begin(), fallbacks.end());
   }
 
-  bool Next(ColumnBlock* out) override {
-    if (closed_) {
-      out->Clear();
-      return false;
-    }
-    while (child_->Next(out)) {
-      for (const FilterKernel& k : kernels_) {
-        if (out->sel.empty()) break;
-        Apply(k, out);
+  bool empty() const { return kernels_.empty(); }
+
+  void MaterializeConstants(const std::vector<Value>* params) {
+    Row empty;
+    for (const FilterKernel& k : kernels_) {
+      if (k.kind == FilterKernel::Kind::kCompare) {
+        constants_.emplace(k.const_expr,
+                           EvalExpr(*k.const_expr, empty, params));
       }
-      if (!out->sel.empty()) return true;
     }
-    out->Clear();
-    return false;
   }
 
-  void Close() override {
-    closed_ = true;
-    child_->Close();
+  /// Narrows `sel` in place through every kernel; returns how many rows
+  /// the scalar fallback had to materialize (scalar_fallback_rows).
+  uint64_t Apply(const Table* table, std::vector<uint64_t>* sel,
+                 const std::vector<Value>* params, Row* scratch) const {
+    uint64_t fallback_rows = 0;
+    for (const FilterKernel& k : kernels_) {
+      if (sel->empty()) break;
+      switch (k.kind) {
+        case FilterKernel::Kind::kCompare:
+          ApplyCompare(k, table, sel);
+          break;
+        case FilterKernel::Kind::kIsNull:
+          ApplyIsNull(k, table, sel);
+          break;
+        case FilterKernel::Kind::kFallback:
+          fallback_rows += sel->size();
+          ApplyFallback(k, table, sel, params, scratch);
+          break;
+      }
+    }
+    return fallback_rows;
   }
 
  private:
-  void Apply(const FilterKernel& k, ColumnBlock* block) {
-    switch (k.kind) {
-      case FilterKernel::Kind::kCompare:
-        ApplyCompare(k, block);
-        return;
-      case FilterKernel::Kind::kIsNull:
-        ApplyIsNull(k, block);
-        return;
-      case FilterKernel::Kind::kFallback:
-        ApplyFallback(k, block);
-        return;
-    }
-  }
-
-  void ApplyIsNull(const FilterKernel& k, ColumnBlock* block) {
-    const Column& col = block->table->column(k.col);
-    auto& sel = block->sel;
+  static void ApplyIsNull(const FilterKernel& k, const Table* table,
+                          std::vector<uint64_t>* sel_in) {
+    const Column& col = table->column(k.col);
+    auto& sel = *sel_in;
     size_t w = 0;
     for (uint64_t rid : sel) {
       if (col.IsNull(rid) != k.negated) sel[w++] = rid;
@@ -1267,14 +1422,15 @@ class ColumnFilterOp : public ColOp {
   // Fused compare + select. NULL cells never match (the scalar evaluator
   // returns NULL for comparisons with a NULL operand, and filters treat
   // NULL as false); a NULL constant rejects the whole block.
-  void ApplyCompare(const FilterKernel& k, ColumnBlock* block) {
-    const Value& constant = ConstantFor(k);
-    auto& sel = block->sel;
+  void ApplyCompare(const FilterKernel& k, const Table* table,
+                    std::vector<uint64_t>* sel_in) const {
+    const Value& constant = constants_.at(k.const_expr);
+    auto& sel = *sel_in;
     if (constant.is_null()) {
       sel.clear();
       return;
     }
-    const Column& col = block->table->column(k.col);
+    const Column& col = table->column(k.col);
     size_t w = 0;
     switch (col.value_type()) {
       case ValueType::kInt:
@@ -1355,34 +1511,191 @@ class ColumnFilterOp : public ColOp {
     sel.resize(w);
   }
 
-  void ApplyFallback(const FilterKernel& k, ColumnBlock* block) {
-    auto& sel = block->sel;
-    ctx_->exec.scalar_fallback_rows += sel.size();
+  static void ApplyFallback(const FilterKernel& k, const Table* table,
+                            std::vector<uint64_t>* sel_in,
+                            const std::vector<Value>* params, Row* scratch) {
+    auto& sel = *sel_in;
     size_t w = 0;
     for (uint64_t rid : sel) {
-      block->table->MaterializeRow(rid, &scratch_);
-      Value v = EvalExpr(*k.expr, scratch_, ctx_->params);
+      table->MaterializeRow(rid, scratch);
+      Value v = EvalExpr(*k.expr, *scratch, params);
       if (!v.is_null() && v.Truthy()) sel[w++] = rid;
     }
     sel.resize(w);
   }
 
-  const Value& ConstantFor(const FilterKernel& k) {
-    auto it = constants_.find(k.const_expr);
-    if (it == constants_.end()) {
-      Row empty;
-      it = constants_
-               .emplace(k.const_expr,
-                        EvalExpr(*k.const_expr, empty, ctx_->params))
-               .first;
-    }
-    return it->second;
-  }
-
-  std::unique_ptr<ColOp> child_;
   std::vector<FilterKernel> kernels_;
   std::unordered_map<const Expr*, Value> constants_;
+};
+
+// Applies compiled kernels to each block, narrowing the selection vector
+// in place.
+class ColumnFilterOp : public ColOp {
+ public:
+  ColumnFilterOp(PlanContext* ctx, std::unique_ptr<ColOp> child,
+                 const std::vector<const Expr*>& conjuncts)
+      : ColOp(ctx), child_(std::move(child)) {
+    ctx_->exec.vectorized_ops += 1;
+    kernels_.Compile(conjuncts);
+    kernels_.MaterializeConstants(ctx->params);
+  }
+
+  bool Next(ColumnBlock* out) override {
+    if (closed_) {
+      out->Clear();
+      return false;
+    }
+    while (child_->Next(out)) {
+      ctx_->exec.scalar_fallback_rows +=
+          kernels_.Apply(out->table, &out->sel, ctx_->params, &scratch_);
+      if (!out->sel.empty()) return true;
+    }
+    out->Clear();
+    return false;
+  }
+
+  void Close() override {
+    closed_ = true;
+    child_->Close();
+  }
+
+ private:
+  std::unique_ptr<ColOp> child_;
+  KernelSet kernels_;
   Row scratch_;
+  bool closed_ = false;
+};
+
+// Morsel-driven parallel scan with fused filtering: the table's slot
+// space splits into fixed-size morsels; each round dispatches up to dop
+// morsels to the shared pool, every worker enumerating the live slots of
+// its range and narrowing them through the shared read-only KernelSet
+// (private scratch row each). Worker outputs concatenate in morsel index
+// order, so downstream operators see the identical ascending-slot
+// selection a serial ColumnScan -> ColumnFilter chain emits. Each worker
+// installs the query's governor context and checks it per morsel, so
+// deadlines, cancellation, and budgets observe mid-scan; the first
+// failing morsel (in morsel order) becomes the plan error.
+class ParallelColumnScanOp : public ColOp {
+ public:
+  ParallelColumnScanOp(PlanContext* ctx, const Table* table,
+                       const std::vector<const Expr*>& conjuncts, int dop,
+                       OpProfile* profile)
+      : ColOp(ctx),
+        table_(table),
+        dop_(dop < 1 ? 1 : dop),
+        profile_(profile) {
+    ctx_->exec.vectorized_ops += 1;
+    kernels_.Compile(conjuncts);
+    kernels_.MaterializeConstants(ctx->params);
+  }
+
+  bool Next(ColumnBlock* out) override {
+    out->Clear();
+    out->table = table_;
+    if (closed_) return false;
+    if (!GovernorOk(ctx_)) return false;
+    DB2G_FAILPOINT_STATUS("sql.executor.block", ctx_->error);
+    if (!ctx_->error.ok()) return false;
+    if (!started_) Start();
+    size_t cap = std::max<size_t>(out->capacity, 1);
+    while (out->sel.size() < cap) {
+      if (pos_ >= ready_.size()) {
+        if (next_morsel_ >= morsel_count_) break;
+        RunRound();
+        if (!ctx_->error.ok()) return false;
+        continue;
+      }
+      size_t take = std::min(cap - out->sel.size(), ready_.size() - pos_);
+      out->sel.insert(out->sel.end(), ready_.begin() + pos_,
+                      ready_.begin() + pos_ + take);
+      pos_ += take;
+    }
+    return !out->sel.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    ready_.clear();
+  }
+
+ private:
+  void Start() {
+    started_ = true;
+    uint64_t slots = table_->slot_count();
+    // Aim for ~4 morsels per worker (work stealing evens out skew from
+    // dead-slot gaps and selective filters) within fixed bounds.
+    morsel_slots_ = slots / (static_cast<uint64_t>(dop_) * 4);
+    if (morsel_slots_ < kMinMorselSlots) morsel_slots_ = kMinMorselSlots;
+    if (morsel_slots_ > kMaxMorselSlots) morsel_slots_ = kMaxMorselSlots;
+    morsel_count_ = (slots + morsel_slots_ - 1) / morsel_slots_;
+    ctx_->exec.full_scans += 1;
+    ctx_->exec.dop = std::max<uint64_t>(ctx_->exec.dop,
+                                        static_cast<uint64_t>(dop_));
+    ctx_->exec.morsels += morsel_count_;
+    if (profile_ != nullptr) {
+      profile_->detail += " morsels=" + std::to_string(morsel_count_);
+    }
+  }
+
+  // One round: up to dop_ morsels in parallel, outputs merged in morsel
+  // order into ready_.
+  void RunRound() {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(dop_, morsel_count_ - next_morsel_));
+    uint64_t base = next_morsel_;
+    next_morsel_ += n;
+    struct MorselOut {
+      std::vector<uint64_t> sel;
+      uint64_t live = 0;
+      uint64_t fallback = 0;
+      Status status = Status::OK();
+    };
+    std::vector<MorselOut> outs(n);
+    governor::QueryContext* qc = governor::CurrentQueryContext();
+    ThreadPool::Shared().RunBatch(n, [&](size_t i) {
+      governor::ScopedQueryContext governed(qc);
+      MorselOut& mo = outs[i];
+      mo.status = governor::CheckCurrent();
+      if (!mo.status.ok()) return;
+      uint64_t lo = (base + i) * morsel_slots_;
+      uint64_t hi =
+          std::min<uint64_t>(table_->slot_count(), lo + morsel_slots_);
+      mo.sel.reserve(hi - lo);
+      for (uint64_t rid = lo; rid < hi; ++rid) {
+        if (table_->IsLive(rid)) mo.sel.push_back(rid);
+      }
+      mo.live = mo.sel.size();
+      Row scratch;
+      mo.fallback = kernels_.Apply(table_, &mo.sel, ctx_->params, &scratch);
+    });
+    ready_.clear();
+    pos_ = 0;
+    for (MorselOut& mo : outs) {
+      if (!mo.status.ok()) {
+        if (ctx_->error.ok()) ctx_->error = std::move(mo.status);
+        return;
+      }
+      ctx_->exec.rows_scanned += mo.live;
+      ctx_->exec.vectorized_rows += mo.live;
+      ctx_->exec.scalar_fallback_rows += mo.fallback;
+      ready_.insert(ready_.end(), mo.sel.begin(), mo.sel.end());
+    }
+  }
+
+  static constexpr uint64_t kMinMorselSlots = 256;
+  static constexpr uint64_t kMaxMorselSlots = 8192;
+
+  const Table* table_;
+  int dop_;
+  OpProfile* profile_;
+  KernelSet kernels_;
+  std::vector<uint64_t> ready_;
+  size_t pos_ = 0;
+  uint64_t morsel_slots_ = kMaxMorselSlots;
+  uint64_t morsel_count_ = 0;
+  uint64_t next_morsel_ = 0;
+  bool started_ = false;
   bool closed_ = false;
 };
 
@@ -1487,6 +1800,103 @@ class ColumnAggregateOp : public Op {
     ctx_->exec.vectorized_ops += 1;
   }
 
+  // Typed accumulation of one aggregate over one selection. Mirrors
+  // AggState::Accumulate exactly (including elementwise double-sum
+  // rounding, so AVG matches the scalar path bit for bit); min/max are
+  // only tracked when the op needs them. Static and side-effect free on
+  // shared state, so parallel morsel workers reuse it on partial states.
+  static void AccumulateColumn(const Table* table,
+                               const std::vector<uint64_t>& sel, int arg_col,
+                               const std::string& op, AggState* st) {
+    if (arg_col < 0) {
+      st->count += static_cast<int64_t>(sel.size());  // COUNT(*)
+      return;
+    }
+    const Column& col = table->column(arg_col);
+    bool want_minmax = op == "MIN" || op == "MAX";
+    switch (col.value_type()) {
+      case ValueType::kInt: {
+        const int64_t* data = col.ints();
+        for (uint64_t rid : sel) {
+          if (col.IsNull(rid)) continue;
+          int64_t x = data[rid];
+          ++st->count;
+          st->isum += x;
+          st->sum += static_cast<double>(x);
+          if (want_minmax) {
+            if (st->min.is_null() || x < st->min.as_int()) st->min = Value(x);
+            if (st->max.is_null() || x > st->max.as_int()) st->max = Value(x);
+          }
+        }
+        return;
+      }
+      case ValueType::kDouble: {
+        const double* data = col.doubles();
+        for (uint64_t rid : sel) {
+          if (col.IsNull(rid)) continue;
+          double x = data[rid];
+          ++st->count;
+          st->sum += x;
+          st->sum_is_int = false;
+          if (want_minmax) {
+            if (st->min.is_null() || x < st->min.as_double()) {
+              st->min = Value(x);
+            }
+            if (st->max.is_null() || x > st->max.as_double()) {
+              st->max = Value(x);
+            }
+          }
+        }
+        return;
+      }
+      default:
+        for (uint64_t rid : sel) {
+          if (!col.IsNull(rid)) st->Accumulate(col.Get(rid));
+        }
+        return;
+    }
+  }
+
+  // Grouped accumulation of one selection into a (group key -> states)
+  // map; shared with the parallel aggregate's per-worker partial maps.
+  static void AccumulateGrouped(const Table* table,
+                                const std::vector<uint64_t>& sel,
+                                const Config& cfg,
+                                std::map<Row, std::vector<AggState>>* groups) {
+    for (uint64_t rid : sel) {
+      Row key;
+      key.reserve(cfg.group_cols.size());
+      for (size_t c : cfg.group_cols) {
+        key.push_back(table->column(c).Get(rid));
+      }
+      std::vector<AggState>& states = (*groups)[key];
+      if (states.empty()) states.resize(cfg.ops.size());
+      for (size_t a = 0; a < states.size(); ++a) {
+        int ci = cfg.arg_cols[a];
+        if (ci < 0) {
+          ++states[a].count;  // COUNT(*)
+        } else {
+          states[a].Accumulate(table->column(ci).Get(rid));
+        }
+      }
+    }
+  }
+
+  // Renders one group's output row per the select-item layout.
+  static Row FinishGroup(const Config& cfg, const Row& key,
+                         const std::vector<AggState>& states) {
+    Row out;
+    out.reserve(cfg.items.size());
+    for (const Config::Item& item : cfg.items) {
+      if (item.is_group) {
+        out.push_back(key[item.index]);
+      } else {
+        out.push_back(states[item.index].Finish(cfg.ops[item.index]));
+      }
+    }
+    return out;
+  }
+
   bool Next(RowBlock* out) override {
     out->Clear();
     if (closed_) return false;
@@ -1514,8 +1924,8 @@ class ColumnAggregateOp : public Op {
       std::vector<AggState> states(cfg_.ops.size());
       while (child_->Next(&block)) {
         for (size_t a = 0; a < states.size(); ++a) {
-          AccumulateColumn(block, cfg_.arg_cols[a], cfg_.ops[a],
-                           &states[a]);
+          AccumulateColumn(block.table, block.sel, cfg_.arg_cols[a],
+                           cfg_.ops[a], &states[a]);
         }
       }
       Row out;
@@ -1528,96 +1938,175 @@ class ColumnAggregateOp : public Op {
     }
 
     while (child_->Next(&block)) {
-      for (uint64_t rid : block.sel) {
-        Row key;
-        key.reserve(cfg_.group_cols.size());
-        for (size_t c : cfg_.group_cols) {
-          key.push_back(block.table->column(c).Get(rid));
-        }
-        std::vector<AggState>& states = groups_[key];
-        if (states.empty()) states.resize(cfg_.ops.size());
-        for (size_t a = 0; a < states.size(); ++a) {
-          int ci = cfg_.arg_cols[a];
-          if (ci < 0) {
-            ++states[a].count;  // COUNT(*)
-          } else {
-            states[a].Accumulate(block.table->column(ci).Get(rid));
-          }
-        }
-      }
+      AccumulateGrouped(block.table, block.sel, cfg_, &groups_);
     }
     for (auto& [key, states] : groups_) {
-      Row out;
-      out.reserve(cfg_.items.size());
-      for (const Config::Item& item : cfg_.items) {
-        if (item.is_group) {
-          out.push_back(key[item.index]);
-        } else {
-          out.push_back(states[item.index].Finish(cfg_.ops[item.index]));
-        }
-      }
-      output_.push_back(std::move(out));
-    }
-  }
-
-  // Typed accumulation of one aggregate over one block. Mirrors
-  // AggState::Accumulate exactly (including elementwise double-sum
-  // rounding, so AVG matches the scalar path bit for bit); min/max are
-  // only tracked when the op needs them.
-  void AccumulateColumn(const ColumnBlock& block, int arg_col,
-                        const std::string& op, AggState* st) {
-    if (arg_col < 0) {
-      st->count += static_cast<int64_t>(block.sel.size());  // COUNT(*)
-      return;
-    }
-    const Column& col = block.table->column(arg_col);
-    bool want_minmax = op == "MIN" || op == "MAX";
-    switch (col.value_type()) {
-      case ValueType::kInt: {
-        const int64_t* data = col.ints();
-        for (uint64_t rid : block.sel) {
-          if (col.IsNull(rid)) continue;
-          int64_t x = data[rid];
-          ++st->count;
-          st->isum += x;
-          st->sum += static_cast<double>(x);
-          if (want_minmax) {
-            if (st->min.is_null() || x < st->min.as_int()) st->min = Value(x);
-            if (st->max.is_null() || x > st->max.as_int()) st->max = Value(x);
-          }
-        }
-        return;
-      }
-      case ValueType::kDouble: {
-        const double* data = col.doubles();
-        for (uint64_t rid : block.sel) {
-          if (col.IsNull(rid)) continue;
-          double x = data[rid];
-          ++st->count;
-          st->sum += x;
-          st->sum_is_int = false;
-          if (want_minmax) {
-            if (st->min.is_null() || x < st->min.as_double()) {
-              st->min = Value(x);
-            }
-            if (st->max.is_null() || x > st->max.as_double()) {
-              st->max = Value(x);
-            }
-          }
-        }
-        return;
-      }
-      default:
-        for (uint64_t rid : block.sel) {
-          if (!col.IsNull(rid)) st->Accumulate(col.Get(rid));
-        }
-        return;
+      output_.push_back(FinishGroup(cfg_, key, states));
     }
   }
 
   std::unique_ptr<ColOp> child_;
   Config cfg_;
   std::map<Row, std::vector<AggState>> groups_;  // deterministic output
+  std::vector<Row> output_;
+  bool finished_ = false;
+  size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+// Fused parallel scan + filter + aggregate: the full-scan aggregate is
+// the one shape where the barrier already owns the whole input, so the
+// morsel workers skip the block protocol entirely — each task scans a
+// contiguous range of morsels, narrows them through the shared KernelSet,
+// and accumulates into a private partial state (vector<AggState> for the
+// simple shape, an ordered group map for GROUP BY). The barrier merges
+// partials in task order: COUNT/MIN/MAX and integer sums merge exactly;
+// double sums reassociate deterministically for a fixed dop. Grouped
+// output stays key-sorted (std::map) and therefore identical to serial.
+class ParallelColumnAggregateOp : public Op {
+ public:
+  using Config = ColumnAggregateOp::Config;
+
+  ParallelColumnAggregateOp(PlanContext* ctx, const Table* table,
+                            const std::vector<const Expr*>& conjuncts,
+                            Config cfg, int dop, OpProfile* profile)
+      : Op(ctx),
+        table_(table),
+        cfg_(std::move(cfg)),
+        dop_(dop < 1 ? 1 : dop),
+        profile_(profile) {
+    ctx_->exec.vectorized_ops += 1;
+    kernels_.Compile(conjuncts);
+    kernels_.MaterializeConstants(ctx->params);
+  }
+
+  bool Next(RowBlock* out) override {
+    out->Clear();
+    if (closed_) return false;
+    if (!GovernorOk(ctx_)) return false;
+    DB2G_FAILPOINT_STATUS("sql.executor.block", ctx_->error);
+    if (!ctx_->error.ok()) return false;
+    if (!finished_) {
+      DrainAndFinish();
+      if (!ctx_->error.ok()) return false;
+    }
+    while (pos_ < output_.size() && out->rows.size() < out->capacity) {
+      out->rows.push_back(std::move(output_[pos_]));
+      ++pos_;
+    }
+    return !out->rows.empty();
+  }
+
+  void Close() override {
+    closed_ = true;
+    output_.clear();
+  }
+
+ private:
+  struct Partial {
+    std::vector<AggState> states;            // simple shape
+    std::map<Row, std::vector<AggState>> groups;  // grouped shape
+    uint64_t live = 0;
+    uint64_t fallback = 0;
+    Status status = Status::OK();
+  };
+
+  void DrainAndFinish() {
+    finished_ = true;
+    const uint64_t slots = table_->slot_count();
+    uint64_t morsel_slots = slots / (static_cast<uint64_t>(dop_) * 4);
+    if (morsel_slots < kMinMorselSlots) morsel_slots = kMinMorselSlots;
+    if (morsel_slots > kMaxMorselSlots) morsel_slots = kMaxMorselSlots;
+    const uint64_t morsel_count = (slots + morsel_slots - 1) / morsel_slots;
+    const size_t task_count =
+        static_cast<size_t>(std::min<uint64_t>(dop_, morsel_count));
+    const uint64_t per_task = (morsel_count + task_count - 1) / task_count;
+    std::vector<Partial> partials(task_count);
+    governor::QueryContext* qc = governor::CurrentQueryContext();
+    ThreadPool::Shared().RunBatch(task_count, [&](size_t t) {
+      governor::ScopedQueryContext governed(qc);
+      Partial& p = partials[t];
+      if (cfg_.simple) p.states.resize(cfg_.ops.size());
+      Row scratch;
+      std::vector<uint64_t> sel;
+      uint64_t m_lo = t * per_task;
+      uint64_t m_hi = std::min<uint64_t>(morsel_count, m_lo + per_task);
+      for (uint64_t m = m_lo; m < m_hi; ++m) {
+        p.status = governor::CheckCurrent();
+        if (!p.status.ok()) return;
+        uint64_t lo = m * morsel_slots;
+        uint64_t hi = std::min<uint64_t>(slots, lo + morsel_slots);
+        sel.clear();
+        for (uint64_t rid = lo; rid < hi; ++rid) {
+          if (table_->IsLive(rid)) sel.push_back(rid);
+        }
+        p.live += sel.size();
+        p.fallback += kernels_.Apply(table_, &sel, ctx_->params, &scratch);
+        if (cfg_.simple) {
+          for (size_t a = 0; a < p.states.size(); ++a) {
+            ColumnAggregateOp::AccumulateColumn(table_, sel, cfg_.arg_cols[a],
+                                                cfg_.ops[a], &p.states[a]);
+          }
+        } else {
+          ColumnAggregateOp::AccumulateGrouped(table_, sel, cfg_, &p.groups);
+        }
+      }
+    });
+    ctx_->exec.full_scans += 1;
+    ctx_->exec.dop = std::max<uint64_t>(ctx_->exec.dop,
+                                        static_cast<uint64_t>(dop_));
+    ctx_->exec.morsels += morsel_count;
+    if (profile_ != nullptr) {
+      profile_->detail += " morsels=" + std::to_string(morsel_count);
+    }
+    // Merge in task order (== morsel order, tasks own contiguous ranges).
+    std::vector<AggState> states(cfg_.ops.size());
+    std::map<Row, std::vector<AggState>> groups;
+    for (Partial& p : partials) {
+      if (!p.status.ok()) {
+        if (ctx_->error.ok()) ctx_->error = std::move(p.status);
+        return;
+      }
+      ctx_->exec.rows_scanned += p.live;
+      ctx_->exec.vectorized_rows += p.live;
+      ctx_->exec.scalar_fallback_rows += p.fallback;
+      if (cfg_.simple) {
+        for (size_t a = 0; a < states.size(); ++a) {
+          states[a].Merge(p.states[a]);
+        }
+      } else {
+        for (auto& [key, partial_states] : p.groups) {
+          std::vector<AggState>& merged = groups[key];
+          if (merged.empty()) merged.resize(cfg_.ops.size());
+          for (size_t a = 0; a < merged.size(); ++a) {
+            merged[a].Merge(partial_states[a]);
+          }
+        }
+      }
+    }
+    if (cfg_.simple) {
+      Row out;
+      out.reserve(states.size());
+      for (size_t a = 0; a < states.size(); ++a) {
+        out.push_back(states[a].Finish(cfg_.ops[a]));
+      }
+      output_.push_back(std::move(out));
+      return;
+    }
+    for (auto& [key, group_states] : groups) {
+      output_.push_back(ColumnAggregateOp::FinishGroup(cfg_, key,
+                                                       group_states));
+    }
+  }
+
+  static constexpr uint64_t kMinMorselSlots = 256;
+  static constexpr uint64_t kMaxMorselSlots = 8192;
+
+  const Table* table_;
+  Config cfg_;
+  int dop_;
+  OpProfile* profile_;
+  KernelSet kernels_;
   std::vector<Row> output_;
   bool finished_ = false;
   size_t pos_ = 0;
@@ -1895,10 +2384,21 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
   state->ctx.params = params_;
   state->ctx.block_rows = std::max<size_t>(block_rows, 1);
 
+  // Resolve the statement's effective ExecConfig: process defaults <-
+  // session config <- thread-local per-query override (ScopedExecConfig).
+  const ExecConfig exec_cfg = db_->ResolveExecConfig();
+  const int dop = exec_cfg.parallelism();
+  state->ctx.dop = dop;
+  if (exec_cfg.block_rows() > 0 && block_rows == kDefaultBlockRows) {
+    // A config block size applies only when the caller did not ask for a
+    // specific one (streaming pulls pass their own).
+    state->ctx.block_rows = std::max<size_t>(exec_cfg.block_rows(), 1);
+  }
+
   // EXPLAIN needs the operator chain recorded even without execution;
-  // ANALYZE and the database-wide toggle additionally time each Next().
+  // ANALYZE and the config's profile flag additionally time each Next().
   const bool profiled =
-      stmt.explain || stmt.analyze || db_->profile_execution();
+      stmt.explain || stmt.analyze || exec_cfg.profile();
   state->ctx.profiled = profiled;
   auto prof = [&](std::unique_ptr<exec_ops::Op> op, const char* name,
                   std::string detail) -> std::unique_ptr<exec_ops::Op> {
@@ -2002,6 +2502,47 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
   std::unique_ptr<Op> source =
       std::make_unique<exec_ops::SeedOp>(&state->ctx);
   std::unique_ptr<exec_ops::ColOp> col_source;
+  // Column-section pieces, recorded by the vectorized gate below and
+  // lowered lazily in step 5: at dop > 1 the scan (and, for eligible
+  // aggregates, the whole scan+filter+aggregate pipeline) fuses into a
+  // parallel operator instead of the serial ColumnScan -> ColumnFilter
+  // chain.
+  const Table* col_table = nullptr;
+  std::vector<const Expr*> col_preds;
+  std::string col_alias;
+  auto build_col_source = [&]() -> std::unique_ptr<exec_ops::ColOp> {
+    if (dop > 1) {
+      std::unique_ptr<exec_ops::ColOp> op;
+      if (profiled) {
+        OpProfile node;
+        node.name = "ParallelColumnScan";
+        node.detail = col_alias + " dop=" + std::to_string(dop);
+        if (!col_preds.empty()) {
+          node.detail += " " + std::to_string(col_preds.size()) +
+                         " conjunct(s)";
+        }
+        state->ctx.profiles.push_back(std::move(node));
+        OpProfile* prof_node = &state->ctx.profiles.back();
+        op = std::make_unique<exec_ops::ParallelColumnScanOp>(
+            &state->ctx, col_table, col_preds, dop, prof_node);
+        return std::make_unique<exec_ops::ProfiledColOp>(
+            &state->ctx, std::move(op), prof_node);
+      }
+      return std::make_unique<exec_ops::ParallelColumnScanOp>(
+          &state->ctx, col_table, col_preds, dop, nullptr);
+    }
+    std::unique_ptr<exec_ops::ColOp> op =
+        prof_col(std::make_unique<exec_ops::ColumnScanOp>(&state->ctx,
+                                                          col_table),
+                 "ColumnScan", col_alias);
+    if (!col_preds.empty()) {
+      size_t npreds = col_preds.size();
+      op = prof_col(std::make_unique<exec_ops::ColumnFilterOp>(
+                        &state->ctx, std::move(op), col_preds),
+                    "ColumnFilter", std::to_string(npreds) + " conjunct(s)");
+    }
+    return op;
+  };
   Scope partial_scope;
   bool no_from = stages.empty();
 
@@ -2216,17 +2757,10 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     // column-at-a-time, with the WHERE conjuncts compiled to kernels.
     if (k == 0 && stages.size() == 1 && !cfg.left &&
         stage.relation.table != nullptr && cfg.index == nullptr &&
-        cfg.range_index == nullptr && db_->vectorized_execution()) {
-      col_source = prof_col(std::make_unique<exec_ops::ColumnScanOp>(
-                                &state->ctx, stage.relation.table),
-                            "ColumnScan", stage.relation.alias);
-      if (!cfg.preds.empty()) {
-        size_t npreds = cfg.preds.size();
-        col_source = prof_col(
-            std::make_unique<exec_ops::ColumnFilterOp>(
-                &state->ctx, std::move(col_source), cfg.preds),
-            "ColumnFilter", std::to_string(npreds) + " conjunct(s)");
-      }
+        cfg.range_index == nullptr && exec_cfg.vectorized()) {
+      col_table = stage.relation.table;
+      col_preds = cfg.preds;
+      col_alias = stage.relation.alias;
       continue;
     }
 
@@ -2328,20 +2862,45 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
       agg.columns = &state->columns;
     }
     bool lowered = false;
-    if (col_source != nullptr) {
+    if (col_table != nullptr) {
       exec_ops::ColumnAggregateOp::Config vagg;
       if (LowerVectorizedAggregate(agg, proj, stmt, &vagg)) {
         const char* vdetail = vagg.simple ? "simple" : "grouped";
-        source = prof(std::make_unique<exec_ops::ColumnAggregateOp>(
-                          &state->ctx, std::move(col_source),
-                          std::move(vagg)),
-                      "ColumnAggregate", vdetail);
+        if (dop > 1) {
+          // Fused parallel scan+filter+aggregate: the barrier owns the
+          // whole input, so the morsel workers aggregate directly into
+          // per-worker partial states merged in morsel order.
+          std::string pdetail =
+              std::string(vdetail) + " dop=" + std::to_string(dop);
+          if (profiled) {
+            OpProfile node;
+            node.name = "ParallelColumnAggregate";
+            node.detail = std::move(pdetail);
+            state->ctx.profiles.push_back(std::move(node));
+            OpProfile* prof_node = &state->ctx.profiles.back();
+            std::unique_ptr<exec_ops::Op> op =
+                std::make_unique<exec_ops::ParallelColumnAggregateOp>(
+                    &state->ctx, col_table, col_preds, std::move(vagg), dop,
+                    prof_node);
+            source = std::make_unique<exec_ops::ProfiledOp>(
+                &state->ctx, std::move(op), prof_node);
+          } else {
+            source = std::make_unique<exec_ops::ParallelColumnAggregateOp>(
+                &state->ctx, col_table, col_preds, std::move(vagg), dop,
+                nullptr);
+          }
+        } else {
+          source = prof(std::make_unique<exec_ops::ColumnAggregateOp>(
+                            &state->ctx, build_col_source(),
+                            std::move(vagg)),
+                        "ColumnAggregate", vdetail);
+        }
         lowered = true;
       } else {
         // Aggregate shape without a vectorized lowering: materialize rows
         // and keep the scalar barrier ("mixed" mode in profile()).
         source = prof(std::make_unique<exec_ops::ColumnToRowOp>(
-                          &state->ctx, std::move(col_source)),
+                          &state->ctx, build_col_source()),
                       "ColumnToRow", "");
       }
     }
@@ -2381,6 +2940,7 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
     }
     bool lowered = false;
     std::vector<size_t> out_cols;
+    if (col_table != nullptr) col_source = build_col_source();
     if (col_source != nullptr && order_exprs.empty() &&
         LowerVectorizedProjection(proj, &out_cols)) {
       size_t ncols = out_cols.size();

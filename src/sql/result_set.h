@@ -58,8 +58,16 @@ struct ExecInfo {
   /// expression evaluator (predicate shapes without kernels).
   uint64_t scalar_fallback_rows = 0;
 
+  /// Intra-query parallelism attribution: the degree of parallelism the
+  /// statement resolved (ExecConfig), and the number of morsels — slot
+  /// ranges or build partitions — actually dispatched to pool workers.
+  /// A serial plan reports dop 1 / morsels 0 even when the config asked
+  /// for more (e.g. no operator in the plan was eligible).
+  uint64_t dop = 1;
+  uint64_t morsels = 0;
+
   /// Per-operator runtime profiles (leaf-first), populated only when the
-  /// statement ran under EXPLAIN ANALYZE or Database::set_profile_execution.
+  /// statement ran under EXPLAIN ANALYZE or with ExecConfig profiling.
   std::vector<OpProfile> op_profiles;
 
   /// Dominant access path label: "index", "range", "scan", "mixed", or

@@ -45,6 +45,8 @@ VirtualTableDef QueryLogTable() {
                        Col("access_path", ColumnType::kString),
                        Col("rows_scanned", ColumnType::kInt),
                        Col("rows_emitted", ColumnType::kInt),
+                       Col("dop", ColumnType::kInt),
+                       Col("morsels", ColumnType::kInt),
                        Col("micros", ColumnType::kInt),
                        Col("error", ColumnType::kBool),
                        Col("error_message", ColumnType::kString),
@@ -55,7 +57,8 @@ VirtualTableDef QueryLogTable() {
       DB2G_RETURN_NOT_OK(
           out->Insert({U64(e.id), e.layer, e.script, e.plan_source,
                        e.exec_mode, e.access_path, U64(e.rows_scanned),
-                       U64(e.rows_emitted), U64(e.micros), e.error,
+                       U64(e.rows_emitted), U64(e.dop), U64(e.morsels),
+                       U64(e.micros), e.error,
                        e.error_message, e.reason, e.plan})
               .status());
     }

@@ -79,7 +79,8 @@ TEST_F(ConcurrencyStressTest, FanOutAndCacheCountersFire) {
 }
 
 TEST_F(ConcurrencyStressTest, ConcurrentSubmitsReturnCorrectResults) {
-  GremlinService service(graph_.get(), 8);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(8));
   auto& stats = graph_->provider()->stats();
   stats.Reset();
 

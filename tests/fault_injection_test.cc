@@ -139,7 +139,8 @@ TEST_F(FaultInjectionTest, SlowProducerBlockTripsDeadline) {
 }
 
 TEST_F(FaultInjectionTest, ServiceExecuteFaultFailsRequestOnly) {
-  GremlinService service(graph_.get(), /*workers=*/2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   FailPointRegistry::Global().Enable(
       "service.before_execute",
       fault::ErrorFault(StatusCode::kInternal, "injected dispatch fault"));

@@ -38,7 +38,8 @@ class GremlinServiceTest : public ::testing::Test {
 };
 
 TEST_F(GremlinServiceTest, SessionlessRequestsExecute) {
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   auto f1 = service.Submit("g.V().count()");
   auto f2 = service.Submit("g.E().count()");
   auto r1 = f1.get();
@@ -51,14 +52,16 @@ TEST_F(GremlinServiceTest, SessionlessRequestsExecute) {
 }
 
 TEST_F(GremlinServiceTest, ParseErrorsReturnAsStatuses) {
-  GremlinService service(graph_.get(), 1);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(1));
   auto result = service.Submit("g.V().noSuchStep()").get();
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
 }
 
 TEST_F(GremlinServiceTest, SessionsKeepVariablesAcrossRequests) {
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   // First request binds a variable; the second uses it.
   auto r1 = service.SubmitSession("s1", "friends = g.V(1).out('e').id()")
                 .get();
@@ -71,7 +74,8 @@ TEST_F(GremlinServiceTest, SessionsKeepVariablesAcrossRequests) {
 }
 
 TEST_F(GremlinServiceTest, SessionsAreIsolated) {
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   (void)service.SubmitSession("a", "x = g.V(1).id()").get();
   auto other = service.SubmitSession("b", "g.V(x).count()").get();
   ASSERT_FALSE(other.ok());  // 'x' is not bound in session b
@@ -79,14 +83,16 @@ TEST_F(GremlinServiceTest, SessionsAreIsolated) {
 }
 
 TEST_F(GremlinServiceTest, SessionlessHasNoBindings) {
-  GremlinService service(graph_.get(), 1);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(1));
   (void)service.SubmitSession("a", "x = g.V(1).id()").get();
   auto result = service.Submit("g.V(x).count()").get();
   EXPECT_FALSE(result.ok());
 }
 
 TEST_F(GremlinServiceTest, CloseSessionDropsBindings) {
-  GremlinService service(graph_.get(), 1);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(1));
   (void)service.SubmitSession("a", "x = g.V(1).id()").get();
   service.CloseSession("a");
   auto result = service.SubmitSession("a", "g.V(x).count()").get();
@@ -94,7 +100,8 @@ TEST_F(GremlinServiceTest, CloseSessionDropsBindings) {
 }
 
 TEST_F(GremlinServiceTest, ManyConcurrentClients) {
-  GremlinService service(graph_.get(), 4);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(4));
   std::vector<std::future<GremlinService::Response>> futures;
   for (int i = 0; i < 200; ++i) {
     futures.push_back(
@@ -109,7 +116,8 @@ TEST_F(GremlinServiceTest, ManyConcurrentClients) {
 }
 
 TEST_F(GremlinServiceTest, ShutdownWithPendingWorkIsClean) {
-  auto service = std::make_unique<GremlinService>(graph_.get(), 1);
+  auto service = std::make_unique<GremlinService>(
+      graph_.get(), GremlinService::Options::WithWorkers(1));
   std::vector<std::future<GremlinService::Response>> futures;
   for (int i = 0; i < 20; ++i) {
     futures.push_back(service->Submit("g.V().count()"));
@@ -121,7 +129,8 @@ TEST_F(GremlinServiceTest, ShutdownWithPendingWorkIsClean) {
 }
 
 TEST_F(GremlinServiceTest, SessionlessRequestsCarryBindings) {
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   auto out = service
                  .Submit("g.V(vid).values('score')",
                          {{"vid", {Value(int64_t{2})}}})
@@ -132,7 +141,8 @@ TEST_F(GremlinServiceTest, SessionlessRequestsCarryBindings) {
 }
 
 TEST_F(GremlinServiceTest, SessionBindingsPersistLikeAssignments) {
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   auto first = service
                    .SubmitSession("s", "g.V(vid).out('e').count()",
                                   {{"vid", {Value(int64_t{1})}}})
@@ -150,7 +160,8 @@ TEST_F(GremlinServiceTest, SessionRequestsExecuteInSubmissionOrder) {
   // Fire a burst of assignments into one session without waiting between
   // them; serialization in submission order means the last assignment
   // wins, whatever worker executed each request.
-  GremlinService service(graph_.get(), 4);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(4));
   std::vector<std::future<GremlinService::Response>> futures;
   for (int i = 1; i <= 3; ++i) {
     for (int round = 0; round < 10; ++round) {
@@ -169,7 +180,8 @@ TEST_F(GremlinServiceTest, OneSlowSessionDoesNotPinEveryWorker) {
   // A burst on one session may occupy at most one worker at a time; with
   // two workers, interleaved sessionless requests and a second session
   // must all complete even while session "hog" has a deep backlog.
-  GremlinService service(graph_.get(), 2);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(2));
   std::vector<std::future<GremlinService::Response>> hog;
   for (int i = 0; i < 50; ++i) {
     hog.push_back(service.SubmitSession("hog", "g.V().count()"));
@@ -189,7 +201,8 @@ TEST_F(GremlinServiceTest, CloseSessionFailsRequestsAwaitingTheirTurn) {
   // With a single worker and a queue full of sessionless work, sessioned
   // requests past the first sit on the session's pending queue; closing
   // the session fails them with Unavailable.
-  GremlinService service(graph_.get(), 1);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(1));
   std::vector<std::future<GremlinService::Response>> filler;
   for (int i = 0; i < 30; ++i) {
     filler.push_back(service.Submit("g.V().count()"));
@@ -209,6 +222,35 @@ TEST_F(GremlinServiceTest, CloseSessionFailsRequestsAwaitingTheirTurn) {
       EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
     }
   }
+}
+
+// Shim coverage: the deprecated (graph, workers) constructor must keep
+// its historical shape — n workers, unbounded queue — until callers
+// finish migrating to Options::WithWorkers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(GremlinServiceTest, DeprecatedWorkerCountConstructorStillServes) {
+  GremlinService service(graph_.get(), 2);
+  std::vector<std::future<GremlinService::Response>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(service.Submit("g.V().count()"));
+  }
+  for (auto& f : futures) {
+    auto out = f.get();
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  }
+  EXPECT_EQ(service.shed(), 0u) << "legacy constructor queue is unbounded";
+}
+#pragma GCC diagnostic pop
+
+TEST_F(GremlinServiceTest, ServiceExecConfigAppliesToEveryRequest) {
+  GremlinService::Options options = GremlinService::Options::WithWorkers(2);
+  options.exec = ExecConfig().parallelism(4);
+  GremlinService service(graph_.get(), options);
+  auto out = service.Submit("g.V().count()").get();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value, Value(int64_t{3}));
 }
 
 }  // namespace

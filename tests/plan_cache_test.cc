@@ -295,31 +295,36 @@ TEST_F(PlanCacheTest, AutoGraphAcceptsBindings) {
 }
 
 // ----------------------------------------------------------------------
-// Deprecated wrappers still function
+// ExecOptions covers everything the removed wrappers did
 // ----------------------------------------------------------------------
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(PlanCacheTest, DeprecatedWrappersRouteThroughTheUnifiedPath) {
+TEST_F(PlanCacheTest, ExecOptionsCoverTheRemovedWrapperPaths) {
+  // Session environment (the old Run(script, env)).
   gremlin::Environment env;
-  auto assigned = graph_->Run("ids = g.V(1).out('e').id()", &env);
+  ExecOptions session_options;
+  session_options.session_env = &env;
+  auto assigned =
+      graph_->Execute("ids = g.V(1).out('e').id()", session_options);
   ASSERT_TRUE(assigned.ok());
   ASSERT_EQ(env.count("ids"), 1u);
   EXPECT_EQ(env["ids"].size(), 2u);
 
+  // Caller-supplied trace (the old ExecuteTraced).
   QueryTrace trace;
-  auto traced = graph_->ExecuteTraced("g.V(1)", &trace);
+  ExecOptions traced_options;
+  traced_options.trace = &trace;
+  auto traced = graph_->Execute("g.V(1)", traced_options);
   ASSERT_TRUE(traced.ok());
   EXPECT_FALSE(trace.Spans().empty());
   EXPECT_FALSE(trace.plan_source().empty());
 
-  Result<gremlin::Script> compiled = graph_->Compile("g.V(1).id()");
-  ASSERT_TRUE(compiled.ok());
-  auto direct = graph_->ExecuteScript(*compiled);
+  // Compile-once execution (the old Compile + ExecuteScript).
+  Result<PreparedQuery> prepared = graph_->Prepare("g.V(1).id()");
+  ASSERT_TRUE(prepared.ok());
+  auto direct = prepared->Execute();
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(direct->size(), 1u);
 }
-#pragma GCC diagnostic pop
 
 // ----------------------------------------------------------------------
 // Concurrency (TSan target)

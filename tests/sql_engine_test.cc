@@ -453,11 +453,11 @@ TEST_F(SqlEngineTest, VectorizedAndScalarAgreeOnNullHeavyColumns) {
       "SELECT DISTINCT tag FROM Nully",
   };
   for (const char* q : kQueries) {
-    db_.set_vectorized_execution(true);
+    db_.SetExecConfig(db_.exec_config().vectorized(true));
     Result<ResultSet> vectorized = db_.Execute(q);
-    db_.set_vectorized_execution(false);
+    db_.SetExecConfig(db_.exec_config().vectorized(false));
     Result<ResultSet> scalar = db_.Execute(q);
-    db_.set_vectorized_execution(true);
+    db_.SetExecConfig(db_.exec_config().vectorized(true));
     ASSERT_TRUE(vectorized.ok()) << q << ": " << vectorized.status().ToString();
     ASSERT_TRUE(scalar.ok()) << q << ": " << scalar.status().ToString();
     EXPECT_EQ(vectorized->columns, scalar->columns) << q;
@@ -488,12 +488,35 @@ TEST_F(SqlEngineTest, ExecModeAttributesVectorizedAndScalarOperators) {
   EXPECT_EQ(rs.exec.scalar_fallback_rows, 3u);
 
   // The toggle forces everything back onto the row operators.
-  db_.set_vectorized_execution(false);
+  db_.SetExecConfig(db_.exec_config().vectorized(false));
   rs = Query("SELECT name FROM Patient");
   EXPECT_STREQ(rs.exec.ExecMode(), "scalar");
   EXPECT_EQ(rs.exec.vectorized_rows, 0u);
-  db_.set_vectorized_execution(true);
+  db_.SetExecConfig(db_.exec_config().vectorized(true));
 }
+
+// Shim coverage: the deprecated per-flag setters must keep routing
+// through the session ExecConfig until callers finish migrating.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(SqlEngineTest, DeprecatedExecutionTogglesRouteThroughExecConfig) {
+  db_.set_vectorized_execution(false);
+  EXPECT_FALSE(db_.ResolveExecConfig().vectorized());
+  EXPECT_FALSE(db_.vectorized_execution());
+  ResultSet rs = Query("SELECT name FROM Patient");
+  EXPECT_STREQ(rs.exec.ExecMode(), "scalar");
+
+  db_.set_vectorized_execution(true);
+  EXPECT_TRUE(db_.ResolveExecConfig().vectorized());
+
+  db_.set_profile_execution(true);
+  EXPECT_TRUE(db_.ResolveExecConfig().profile());
+  rs = Query("SELECT name FROM Patient");
+  EXPECT_FALSE(rs.exec.op_profiles.empty());
+  db_.set_profile_execution(false);
+  EXPECT_FALSE(db_.ResolveExecConfig().profile());
+}
+#pragma GCC diagnostic pop
 
 // Deletes leave a recyclable slot; re-inserts reuse it without growing
 // the column vectors, and both execution modes keep dead slots invisible.
@@ -510,11 +533,11 @@ TEST_F(SqlEngineTest, DeletedSlotsAreRecycledAndStayInvisible) {
   EXPECT_EQ(table->row_count(), 2u);
   EXPECT_EQ(table->slot_count(), slots);
   for (bool vectorized : {true, false}) {
-    db_.set_vectorized_execution(vectorized);
+    db_.SetExecConfig(db_.exec_config().vectorized(vectorized));
     EXPECT_EQ(Query("SELECT COUNT(*) FROM Slots").rows[0][0],
               Value(int64_t{2}));
   }
-  db_.set_vectorized_execution(true);
+  db_.SetExecConfig(db_.exec_config().vectorized(true));
   ASSERT_TRUE(db_.Execute("INSERT INTO Slots VALUES (5, 'e'), (6, 'f')").ok());
   EXPECT_EQ(table->slot_count(), slots);  // free slots recycled, no growth
   EXPECT_EQ(table->row_count(), 4u);

@@ -62,9 +62,10 @@ class StreamingEquivalenceTest : public ::testing::Test {
   std::unique_ptr<Db2Graph> Open(bool streaming, size_t block_rows,
                                  bool vectorized = true) {
     Db2Graph::Options options;
-    options.runtime.streaming_execution = streaming;
-    options.runtime.streaming_block_rows = block_rows;
-    options.runtime.vectorized_execution = vectorized;
+    options.exec = ExecConfig()
+                       .streaming(streaming)
+                       .block_rows(block_rows)
+                       .vectorized(vectorized);
     Result<std::unique_ptr<Db2Graph>> graph = Db2Graph::Open(
         &db_, linkbench::MakePartitionedOverlay(/*prefixed_ids=*/false),
         options);
@@ -193,7 +194,7 @@ TEST(StreamingScanBudgetTest, LimitShortCircuitsSingleTableScan) {
   // pushdown (both were introduced together; pushdown alone would bound
   // the baseline's scan through the SQL-side LimitOp).
   Db2Graph::Options mat_options;
-  mat_options.runtime.streaming_execution = false;
+  mat_options.exec = ExecConfig().streaming(false);
   mat_options.strategies.limit_pushdown = false;
   Result<std::unique_ptr<Db2Graph>> materialized =
       Db2Graph::Open(&db, linkbench::MakeOverlay(), mat_options);

@@ -99,7 +99,7 @@ TEST_F(SysmonTest, VirtualTablesComposeLikeRelations) {
 }
 
 TEST_F(SysmonTest, QueryLogScansVectorized) {
-  db_.set_vectorized_execution(true);
+  db_.SetExecConfig(db_.exec_config().vectorized(true));
   Run("SELECT * FROM items");
   Result<ResultSet> rs = db_.Execute(
       "SELECT script FROM sysmon.query_log WHERE layer = 'sql'");
@@ -199,7 +199,7 @@ TEST_F(SysmonTest, ExplainRendersOperatorTreeWithoutExecuting) {
 }
 
 TEST_F(SysmonTest, ExplainAnalyzeActualsMatchExecInfoScalar) {
-  db_.set_vectorized_execution(false);
+  db_.SetExecConfig(db_.exec_config().vectorized(false));
   ResultSet rs = Run("EXPLAIN ANALYZE SELECT name FROM items");
   const std::vector<OpProfile>& ops = rs.exec.op_profiles;
   ASSERT_EQ(ops.size(), 2u);  // Scan -> Project (leaf-first)
@@ -219,7 +219,7 @@ TEST_F(SysmonTest, ExplainAnalyzeActualsMatchExecInfoScalar) {
 }
 
 TEST_F(SysmonTest, ExplainAnalyzeActualsMatchExecInfoVectorized) {
-  db_.set_vectorized_execution(true);
+  db_.SetExecConfig(db_.exec_config().vectorized(true));
   ResultSet rs = Run("EXPLAIN ANALYZE SELECT name FROM items "
                      "WHERE price > 15");
   const std::vector<OpProfile>& ops = rs.exec.op_profiles;
@@ -250,12 +250,12 @@ TEST_F(SysmonTest, ExplainAnalyzeEntersQueryLogWithPlan) {
 }
 
 TEST_F(SysmonTest, ProfileExecutionInstrumentsEverySelect) {
-  db_.set_profile_execution(true);
+  db_.SetExecConfig(db_.exec_config().profile(true));
   Result<ResultSet> rs = db_.Execute("SELECT name FROM items");
   ASSERT_TRUE(rs.ok());
   EXPECT_FALSE(rs->exec.op_profiles.empty());
   EXPECT_EQ(rs->exec.op_profiles.back().rows_out, rs->exec.rows_emitted);
-  db_.set_profile_execution(false);
+  db_.SetExecConfig(db_.exec_config().profile(false));
 
   // The profiled run's plan landed in the query log.
   ResultSet log = Run(

@@ -595,7 +595,8 @@ TEST_F(PartitionedTraceTest, ProviderStatsSnapshotAndReset) {
 // ----------------------------------------------------------------------
 
 TEST_F(PartitionedTraceTest, ServiceExposesQueueDepthAndRejectsAfterShutdown) {
-  auto service = std::make_unique<GremlinService>(graph_.get(), 2);
+  auto service = std::make_unique<GremlinService>(
+      graph_.get(), GremlinService::Options::WithWorkers(2));
   EXPECT_EQ(service->queue_depth(), 0u);
 
   std::future<GremlinService::Response> ok_future =
@@ -629,7 +630,8 @@ TEST_F(PartitionedTraceTest, ServiceExposesQueueDepthAndRejectsAfterShutdown) {
 }
 
 TEST_F(PartitionedTraceTest, ServiceRunsProfileTerminals) {
-  GremlinService service(graph_.get(), 1);
+  GremlinService service(graph_.get(),
+                         GremlinService::Options::WithWorkers(1));
   GremlinService::Response response =
       service.Submit("g.V(19).profile()").get();
   ASSERT_TRUE(response.ok()) << response.status().ToString();
