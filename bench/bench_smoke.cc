@@ -53,6 +53,16 @@
 //     are still measured and reported (with the core count) in
 //     BENCH_parallel.json, just not gated.
 //
+//  8. Multi-hop collapse pays on the traversal it exists for: a 3-hop
+//     LinkBench-style expansion runs through two graphs over the same
+//     database — one with the cost-based collapse enabled (optimizer
+//     default) and one forced step-at-a-time — and the collapsed N-way
+//     join must be at least as fast. The collapsed graph is additionally
+//     required to have actually chosen and executed collapsed plans with
+//     zero runtime fallbacks, so the comparison can never silently
+//     degenerate into measuring the same path twice. Results land in
+//     BENCH_multihop.json.
+//
 // All comparisons interleave their modes across rounds and take each
 // mode's best round to damp scheduler noise on small CI machines.
 
@@ -282,6 +292,18 @@ double RunMixSlice(Db2Graph* graph, std::string (*mix)(int), int queries,
   std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   return elapsed.count();
+}
+
+// ---- Multi-hop collapse ablation workload. ----
+
+// Three-hop friend-of-friend-of-friend expansions from a small seed set,
+// the LinkBench traversal shape the join collapse exists for. The leading
+// predicate keeps the whole hop chain adjacent through strategy rewrites,
+// so the optimizer sees all three hops; rotating the seed value exercises
+// ten distinct cached plans per mode.
+std::string HopMixQuery(int i) {
+  return "g.V().has('val', eq(" + std::to_string(i % 10) +
+         ")).out('link').out('link').out('link').count()";
 }
 
 // Same, with every execution governed by the given options.
@@ -930,6 +952,146 @@ int main() {
     std::fprintf(stderr, "FAIL: dop-4/dop-1 speedup %.2fx below floor "
                          "%.2fx on a %u-core machine\n",
                  dop4_speedup, kDop4Floor, cores);
+    return 1;
+  }
+
+  // ---- Multi-hop collapse: one N-way join must beat three round trips. --
+  //
+  // A dedicated graph with the schema shape collapse legality requires: a
+  // PRIMARY KEY on the vertex id and indexes on both edge endpoints. Each
+  // node carries three out-edges, so a 3-hop expansion touches 27 paths
+  // per seed — enough join work per query for the SQL round-trip count to
+  // be the measured difference.
+  constexpr int kHopNodes = 1000;
+  db2graph::sql::Database hop_db;
+  if (!hop_db.ExecuteScript(
+                 "CREATE TABLE node (id BIGINT PRIMARY KEY, val BIGINT);"
+                 "CREATE TABLE link (src BIGINT, dst BIGINT);"
+                 "CREATE INDEX idx_link_src ON link (src);"
+                 "CREATE INDEX idx_link_dst ON link (dst);")
+           .ok()) {
+    std::fprintf(stderr, "multihop bench setup failed\n");
+    return 2;
+  }
+  {
+    db2graph::sql::Table* node = hop_db.GetTable("node");
+    db2graph::sql::Table* link = hop_db.GetTable("link");
+    for (int i = 1; i <= kHopNodes; ++i) {
+      db2graph::Row row;
+      row.push_back(Value(int64_t{i}));
+      row.push_back(Value(int64_t{i % 97}));
+      bool ok = node->Insert(std::move(row)).ok();
+      for (int mul : {1, 3, 7}) {
+        db2graph::Row edge;
+        edge.push_back(Value(int64_t{i}));
+        edge.push_back(Value(int64_t{(i * mul) % kHopNodes + 1}));
+        ok = ok && link->Insert(std::move(edge)).ok();
+      }
+      if (!ok) {
+        std::fprintf(stderr, "multihop bench load failed\n");
+        return 2;
+      }
+    }
+  }
+  const char* hop_overlay = R"json({
+    "v_tables": [{"table_name": "node", "id": "id", "fix_label": true,
+                  "label": "'node'", "properties": ["val"]}],
+    "e_tables": [{"table_name": "link", "src_v_table": "node",
+                  "src_v": "src", "dst_v_table": "node", "dst_v": "dst",
+                  "implicit_edge_id": true, "fix_label": true,
+                  "label": "'link'"}]
+  })json";
+  Result<std::unique_ptr<Db2Graph>> collapsed =
+      Db2Graph::Open(&hop_db, hop_overlay);
+  Db2Graph::Options stepwise_options;
+  stepwise_options.optimizer.multi_hop_collapse = false;
+  Result<std::unique_ptr<Db2Graph>> stepwise =
+      Db2Graph::Open(&hop_db, hop_overlay, stepwise_options);
+  if (!collapsed.ok() || !stepwise.ok()) {
+    std::fprintf(stderr, "multihop bench open failed\n");
+    return 2;
+  }
+
+  constexpr int kHopQueries = 240;
+  constexpr int kHopSlices = 4;
+  constexpr int kHopSliceQueries = kHopQueries / kHopSlices;
+  // Warm both modes (compiles all ten plan shapes per graph).
+  RunMixSlice(collapsed->get(), HopMixQuery, 10, 0);
+  RunMixSlice(stepwise->get(), HopMixQuery, 10, 0);
+
+  // The ablation is only meaningful if the two modes genuinely diverge:
+  // the collapsed graph must have chosen collapsed plans and run them as
+  // joins (no runtime fallbacks), and the step-at-a-time graph — opened
+  // with the pass disabled — must never even have attempted one.
+  db2graph::core::OptimizerLog::Counters collapse_counters =
+      collapsed->get()->optimizer_log()->counters();
+  db2graph::core::OptimizerLog::Counters stepwise_counters =
+      stepwise->get()->optimizer_log()->counters();
+  if (collapse_counters.chosen == 0 || collapse_counters.executions == 0 ||
+      collapse_counters.fallbacks != 0 || stepwise_counters.attempted != 0) {
+    std::fprintf(stderr,
+                 "FAIL: multihop ablation not engaged (chosen=%llu "
+                 "executions=%llu fallbacks=%llu stepwise_attempted=%llu)\n",
+                 static_cast<unsigned long long>(collapse_counters.chosen),
+                 static_cast<unsigned long long>(collapse_counters.executions),
+                 static_cast<unsigned long long>(collapse_counters.fallbacks),
+                 static_cast<unsigned long long>(stepwise_counters.attempted));
+    return 1;
+  }
+
+  double collapsed_best = 0;
+  double stepwise_best = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    double c_secs = 0;
+    double s_secs = 0;
+    for (int slice = 0; slice < kHopSlices; ++slice) {
+      int base = slice * kHopSliceQueries;
+      c_secs += RunMixSlice(collapsed->get(), HopMixQuery,
+                            kHopSliceQueries, base);
+      s_secs += RunMixSlice(stepwise->get(), HopMixQuery,
+                            kHopSliceQueries, base);
+    }
+    if (kHopQueries / c_secs > collapsed_best)
+      collapsed_best = kHopQueries / c_secs;
+    if (kHopQueries / s_secs > stepwise_best)
+      stepwise_best = kHopQueries / s_secs;
+  }
+  collapse_counters = collapsed->get()->optimizer_log()->counters();
+
+  double hop_speedup = collapsed_best / stepwise_best;
+  std::printf(
+      "bench_multihop: collapsed=%.0f q/s step-at-a-time=%.0f q/s "
+      "speedup=%.2fx (chosen=%llu executions=%llu fallbacks=%llu)\n",
+      collapsed_best, stepwise_best, hop_speedup,
+      static_cast<unsigned long long>(collapse_counters.chosen),
+      static_cast<unsigned long long>(collapse_counters.executions),
+      static_cast<unsigned long long>(collapse_counters.fallbacks));
+
+  {
+    std::ofstream json("BENCH_multihop.json");
+    json << "{\n"
+         << "  \"nodes\": " << kHopNodes << ",\n"
+         << "  \"edges\": " << 3 * kHopNodes << ",\n"
+         << "  \"hops\": 3,\n"
+         << "  \"queries\": " << kHopQueries << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"collapsed_qps\": " << collapsed_best << ",\n"
+         << "  \"step_at_a_time_qps\": " << stepwise_best << ",\n"
+         << "  \"speedup\": " << hop_speedup << ",\n"
+         << "  \"collapse_chosen\": " << collapse_counters.chosen << ",\n"
+         << "  \"collapse_executions\": " << collapse_counters.executions
+         << ",\n"
+         << "  \"collapse_fallbacks\": " << collapse_counters.fallbacks << "\n"
+         << "}\n";
+  }
+
+  // Floor: the collapsed join must at least match step-at-a-time on its
+  // home traversal. In practice it wins (one SQL statement instead of one
+  // per hop); equality is the regression tripwire.
+  if (collapsed_best < stepwise_best) {
+    std::fprintf(stderr, "FAIL: collapsed multi-hop throughput %.0f q/s "
+                         "below step-at-a-time %.0f q/s\n",
+                 collapsed_best, stepwise_best);
     return 1;
   }
   return 0;

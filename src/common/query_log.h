@@ -41,6 +41,9 @@ class QueryLog {
     /// of morsels dispatched (ExecInfo::dop/morsels; 1/0 = serial).
     uint64_t dop = 1;
     uint64_t morsels = 0;
+    /// Hops the multi-hop optimizer collapsed into join steps (gremlin
+    /// layer only; 0 = step-at-a-time plan).
+    uint64_t collapsed_hops = 0;
     uint64_t micros = 0;
     bool error = false;
     std::string error_message;

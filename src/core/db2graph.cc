@@ -82,16 +82,53 @@ Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
     };
     db->RegisterVirtualTable(std::move(def));
   }
+  graph->optimizer_log_ = std::make_shared<OptimizerLog>();
+  // sysmon.optimizer: one row per recent collapse decision — what the
+  // optimizer attempted, whether it chose the join, why it bailed, and
+  // (once executed) actual rows next to the compile-time estimate.
+  {
+    sql::VirtualTableDef def;
+    def.schema.name = "sysmon.optimizer";
+    def.schema.columns = {{"id", sql::ColumnType::kInt},
+                          {"chain", sql::ColumnType::kString},
+                          {"chosen", sql::ColumnType::kBool},
+                          {"bail_reason", sql::ColumnType::kString},
+                          {"hops", sql::ColumnType::kInt},
+                          {"join_order", sql::ColumnType::kString},
+                          {"est_rows", sql::ColumnType::kInt},
+                          {"actual_rows", sql::ColumnType::kInt},
+                          {"executions", sql::ColumnType::kInt},
+                          {"fallbacks", sql::ColumnType::kInt}};
+    std::weak_ptr<OptimizerLog> log = graph->optimizer_log_;
+    def.fill = [log](sql::Table* out) -> Status {
+      std::shared_ptr<OptimizerLog> locked = log.lock();
+      if (locked == nullptr) return Status::OK();
+      for (const OptimizerLog::Decision& d : locked->Snapshot()) {
+        DB2G_RETURN_NOT_OK(
+            out->Insert({static_cast<int64_t>(d.id), d.chain, d.chosen,
+                         d.bail_reason, static_cast<int64_t>(d.hops),
+                         d.join_order, static_cast<int64_t>(d.est_rows),
+                         static_cast<int64_t>(d.actual_rows),
+                         static_cast<int64_t>(d.executions),
+                         static_cast<int64_t>(d.fallbacks)})
+                .status());
+      }
+      return Status::OK();
+    };
+    db->RegisterVirtualTable(std::move(def));
+  }
   // Strategy toggles change what a script compiles to, so they join the
   // cache key (the cache is per-graph, but Options could someday be
-  // per-execution; cheap insurance).
+  // per-execution; cheap insurance). The optimizer master switch joins
+  // them for the same reason.
   const StrategyOptions& s = options.strategies;
   graph->plan_key_prefix_ =
       std::string("s") + (s.predicate_pushdown ? '1' : '0') +
       (s.projection_pushdown ? '1' : '0') +
       (s.aggregate_pushdown ? '1' : '0') +
       (s.graphstep_vertexstep_mutation ? '1' : '0') +
-      (s.limit_pushdown ? '1' : '0') + '\x01';
+      (s.limit_pushdown ? '1' : '0') +
+      (options.optimizer.multi_hop_collapse ? '1' : '0') + '\x01';
   return graph;
 }
 
@@ -108,7 +145,42 @@ gremlin::Interpreter::Options InterpreterOptions(const ExecConfig& cfg) {
   return o;
 }
 
+// Total hops folded into MultiHopSteps anywhere in `steps` (the collapsed
+// steps' bodies hold the preserved fallback plan, so they don't count).
+uint64_t CountCollapsedHops(const std::vector<gremlin::Step>& steps) {
+  uint64_t hops = 0;
+  for (const gremlin::Step& step : steps) {
+    if (step.kind == StepKind::kMultiHop) {
+      if (step.multi_hop != nullptr) hops += step.multi_hop->hops.size();
+      continue;
+    }
+    hops += CountCollapsedHops(step.body);
+    for (const auto& branch : step.branches) {
+      hops += CountCollapsedHops(branch);
+    }
+  }
+  return hops;
+}
+
+uint64_t CountCollapsedHops(const Script& script) {
+  uint64_t hops = 0;
+  for (const gremlin::ScriptStatement& stmt : script.statements) {
+    hops += CountCollapsedHops(stmt.traversal.steps);
+  }
+  return hops;
+}
+
 }  // namespace
+
+OptimizerContext Db2Graph::MakeOptimizerContext() const {
+  OptimizerContext ctx;
+  ctx.topology = &provider_->topology();
+  ctx.db = db_;
+  ctx.runtime = &options_.runtime;
+  ctx.options = options_.optimizer;
+  ctx.log = optimizer_log_;
+  return ctx;
+}
 
 Result<std::unique_ptr<Db2Graph>> Db2Graph::Open(
     sql::Database* db, const std::string& config_json, Options options) {
@@ -122,6 +194,7 @@ Result<Script> Db2Graph::Compile(const std::string& script_text) const {
   Result<Script> script = gremlin::ParseGremlin(script_text);
   if (!script.ok()) return script.status();
   ApplyStrategies(&*script, options_.strategies);
+  CollapseMultiHops(&*script, MakeOptimizerContext());
   return script;
 }
 
@@ -130,12 +203,28 @@ Result<std::shared_ptr<const CompiledPlan>> Db2Graph::GetOrCompile(
   // The catalog version is read before compiling: DDL racing the compile
   // makes the plan stale (conservatively), never silently current.
   uint64_t ddl_version = db_->ddl_version();
+  // Like the catalog version, the stats epoch is read before compiling so
+  // racing mutations make a stats-sensitive plan stale, never silently
+  // current.
+  uint64_t stats_epoch = db_->stats_epoch();
   const std::string key = plan_key_prefix_ + script_text;
   if (use_cache) {
     if (std::shared_ptr<const CompiledPlan> hit =
             plan_cache_->Lookup(key, ddl_version)) {
-      *was_cached = true;
-      return hit;
+      // A plan whose shape the multi-hop optimizer decided from the live
+      // statistics expires once the stats epoch drifts far enough that
+      // the costing could choose differently; fall through to recompile
+      // (Insert below replaces the entry).
+      if (hit->stats_sensitive && stats_epoch > hit->stats_epoch &&
+          stats_epoch - hit->stats_epoch >
+              options_.optimizer.stats_drift_limit) {
+        metrics::MetricsRegistry::Global()
+            .GetCounter(PlanCache::kStaleStatsRecompilesCounter)
+            ->fetch_add(1);
+      } else {
+        *was_cached = true;
+        return hit;
+      }
     }
   }
   *was_cached = false;
@@ -156,6 +245,14 @@ Result<std::shared_ptr<const CompiledPlan>> Db2Graph::GetOrCompile(
     ApplyStrategies(&*script, options_.strategies);
     plan->rewrites = compile_trace.Rewrites();
   }
+  // The multi-hop collapse runs after the strategies (it consumes the
+  // pushed-down predicate/projection shapes they produce). A plan the
+  // pass examined at all is statistics-sensitive: its shape was decided
+  // from the live cardinalities/NDVs, so it expires on stats drift.
+  CollapseSummary collapse = CollapseMultiHops(&*script, MakeOptimizerContext());
+  plan->stats_epoch = stats_epoch;
+  plan->stats_sensitive = collapse.attempted > 0;
+  plan->collapsed_hops = CountCollapsedHops(*script);
   plan->script = std::move(*script);
   plan->binds = CollectBindSlots(plan->script);
   if (use_cache) plan_cache_->Insert(key, plan);
@@ -189,6 +286,7 @@ void RecordGremlinQueryLog(const CompiledPlan& plan, bool plan_cached,
   entry.script = plan.script_text;
   entry.plan_source = plan_cached ? "cached" : "compiled";
   entry.dop = dop;
+  entry.collapsed_hops = plan.collapsed_hops;
   entry.micros = micros;
   if (trace != nullptr) {
     QueryTrace::RowTotals totals = trace->SqlRowTotals();
@@ -491,8 +589,16 @@ Status ExplainSteps(const Db2GraphProvider* provider,
     } else if (step.kind == StepKind::kEdgeVertex) {
       st = provider->ExplainVertices(step.spec, &previews);
       if (st.ok()) AddPreviews(trace, previews);
+    } else if (step.kind == StepKind::kMultiHop &&
+               step.multi_hop != nullptr) {
+      st = provider->ExplainMultiHop(*step.multi_hop, &previews);
+      if (st.ok()) AddPreviews(trace, previews);
     }
-    if (st.ok() && !step.body.empty()) {
+    // A MultiHopStep's body is the preserved step-at-a-time fallback, not
+    // the plan execution is expected to take — its per-hop SQL would
+    // double-count against the join preview above.
+    if (st.ok() && !step.body.empty() &&
+        step.kind != StepKind::kMultiHop) {
       st = ExplainSteps(provider, step.body, trace);
     }
     for (const auto& branch : step.branches) {

@@ -24,6 +24,7 @@
 #include "common/trace.h"
 #include "common/workload_governor.h"
 #include "core/graph_structure.h"
+#include "core/optimizer.h"
 #include "core/plan_cache.h"
 #include "core/sql_dialect.h"
 #include "core/strategies.h"
@@ -123,6 +124,8 @@ class Db2Graph {
     StrategyOptions strategies;
     /// The Section 6.3 data-dependent runtime optimizations.
     RuntimeOptions runtime;
+    /// The cost-based multi-hop join collapse (core/optimizer.h).
+    OptimizerOptions optimizer;
     /// Session-level execution tuning, installed on the database at Open
     /// (Database::SetExecConfig). Per-call ExecOptions::config overlays
     /// it. Supersedes the deprecated RuntimeOptions streaming/vectorized
@@ -219,6 +222,10 @@ class Db2Graph {
   sql::Database* db() { return db_; }
   const Options& options() const { return options_; }
   PlanCache* plan_cache() { return plan_cache_.get(); }
+  /// Collapse-decision ring shared with the provider and sysmon.optimizer.
+  const std::shared_ptr<OptimizerLog>& optimizer_log() const {
+    return optimizer_log_;
+  }
 
  private:
   friend class PreparedQuery;
@@ -242,6 +249,9 @@ class Db2Graph {
   Status ValidateBindings(const CompiledPlan& plan,
                           const ExecOptions& options) const;
 
+  /// Context the multi-hop collapse pass compiles against.
+  OptimizerContext MakeOptimizerContext() const;
+
   sql::Database* db_;
   Options options_;
   uint64_t ddl_version_at_open_ = 0;
@@ -251,6 +261,8 @@ class Db2Graph {
   // shared_ptr: sysmon.plan_cache (registered on the database at Open)
   // holds a weak_ptr so the virtual table survives graph teardown.
   std::shared_ptr<PlanCache> plan_cache_;
+  // Same ownership story for sysmon.optimizer.
+  std::shared_ptr<OptimizerLog> optimizer_log_;
   /// Options part of the cache key (strategy toggles change the plan).
   std::string plan_key_prefix_;
 };

@@ -1,5 +1,8 @@
 #include "core/graph_structure.h"
 
+#include "core/graph_planning.h"
+#include "core/optimizer.h"
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -28,346 +31,6 @@ using gremlin::VertexPtr;
 using overlay::ResolvedEdgeTable;
 using overlay::ResolvedField;
 using overlay::ResolvedVertexTable;
-
-namespace {
-
-// ----------------------------------------------------------------------
-// SQL construction helpers
-// ----------------------------------------------------------------------
-
-// One SQL condition on a column.
-struct SqlCond {
-  std::string column;
-  std::string op;  // "=", "<>", "<", "<=", ">", ">=", "IN", "NOTNULL"
-  std::vector<Value> params;
-};
-
-// Conjunction of simple conditions plus OR-groups of conjunctions (used
-// for multi-column composite ids: (a=? AND b=?) OR (a=? AND b=?)).
-struct QueryConds {
-  std::vector<SqlCond> conjuncts;
-  std::vector<std::vector<std::vector<SqlCond>>> or_groups;
-};
-
-void RenderCond(const SqlCond& cond, std::string* sql,
-                std::vector<Value>* params) {
-  if (cond.op == "NOTNULL") {
-    *sql += "\"" + cond.column + "\" IS NOT NULL";
-    return;
-  }
-  if (cond.op == "IN") {
-    *sql += "\"" + cond.column + "\" IN (";
-    for (size_t i = 0; i < cond.params.size(); ++i) {
-      if (i > 0) *sql += ", ";
-      *sql += "?";
-      params->push_back(cond.params[i]);
-    }
-    *sql += ")";
-    return;
-  }
-  *sql += "\"" + cond.column + "\" " + cond.op + " ?";
-  params->push_back(cond.params[0]);
-}
-
-// Renders "SELECT <select> FROM <table> WHERE ... [LIMIT n]" with
-// parameters. A non-negative `limit` is the LookupSpec's per-table row
-// budget; rendering it lets the SQL executor's streaming scan stop after
-// `limit` matching rows instead of draining the table.
-std::string BuildSql(const std::string& table, const std::string& select,
-                     const QueryConds& conds, std::vector<Value>* params,
-                     int64_t limit = -1) {
-  std::string sql = "SELECT " + select + " FROM \"" + table + "\"";
-  std::vector<std::string> where_parts;
-  for (const SqlCond& cond : conds.conjuncts) {
-    std::string part;
-    RenderCond(cond, &part, params);
-    where_parts.push_back(std::move(part));
-  }
-  for (const auto& group : conds.or_groups) {
-    std::string part = "(";
-    for (size_t g = 0; g < group.size(); ++g) {
-      if (g > 0) part += " OR ";
-      part += "(";
-      for (size_t c = 0; c < group[g].size(); ++c) {
-        if (c > 0) part += " AND ";
-        RenderCond(group[g][c], &part, params);
-      }
-      part += ")";
-    }
-    part += ")";
-    where_parts.push_back(std::move(part));
-  }
-  if (!where_parts.empty()) {
-    sql += " WHERE " + Join(where_parts, " AND ");
-  }
-  if (limit >= 0) {
-    sql += " LIMIT " + std::to_string(limit);
-  }
-  return sql;
-}
-
-// Extracts the parameter values of `conds` in exactly the order
-// BuildSql/RenderCond would push them (NOTNULL contributes none, IN all of
-// its values, a scalar comparison its first) — so a cached SQL skeleton
-// can execute with fresh values and no string assembly.
-void CollectParams(const QueryConds& conds, std::vector<Value>* params) {
-  auto one = [params](const SqlCond& cond) {
-    if (cond.op == "NOTNULL") return;
-    if (cond.op == "IN") {
-      for (const Value& v : cond.params) params->push_back(v);
-      return;
-    }
-    params->push_back(cond.params[0]);
-  };
-  for (const SqlCond& cond : conds.conjuncts) one(cond);
-  for (const auto& group : conds.or_groups) {
-    for (const auto& conjunction : group) {
-      for (const SqlCond& cond : conjunction) one(cond);
-    }
-  }
-}
-
-// A key that uniquely determines the SQL text BuildSql would produce:
-// table, select list, the structure (columns, operators, IN arities) of
-// the conditions, and the LIMIT value — everything except the parameter
-// values. (LIMIT is part of the key, not a parameter: it is rendered as a
-// literal into the cached skeleton.)
-std::string ShapeKey(const std::string& table, const std::string& select,
-                     const QueryConds& conds, int64_t limit = -1) {
-  std::string key = table + "\x01" + select;
-  if (limit >= 0) {
-    key += "\x06";
-    key += std::to_string(limit);
-  }
-  auto one = [&key](const SqlCond& cond) {
-    key += "\x04";
-    key += cond.column;
-    key += "\x05";
-    key += cond.op;
-    if (cond.op == "IN") key += std::to_string(cond.params.size());
-  };
-  for (const SqlCond& cond : conds.conjuncts) {
-    key += "\x02";
-    one(cond);
-  }
-  for (const auto& group : conds.or_groups) {
-    key += "\x03";
-    for (const auto& conjunction : group) {
-      key += "\x02";
-      for (const SqlCond& cond : conjunction) one(cond);
-    }
-  }
-  return key;
-}
-
-const char* SqlOpFor(PropPredicate::Op op) {
-  switch (op) {
-    case PropPredicate::Op::kEq:
-      return "=";
-    case PropPredicate::Op::kNeq:
-      return "<>";
-    case PropPredicate::Op::kLt:
-      return "<";
-    case PropPredicate::Op::kLte:
-      return "<=";
-    case PropPredicate::Op::kGt:
-      return ">";
-    case PropPredicate::Op::kGte:
-      return ">=";
-    default:
-      return nullptr;  // within / without / exists handled separately
-  }
-}
-
-// ----------------------------------------------------------------------
-// Fetch layout: which schema columns a query selects, and where the
-// element's required fields and properties land in the fetched row.
-// ----------------------------------------------------------------------
-
-struct FetchLayout {
-  std::vector<size_t> schema_cols;  // schema column index per SELECT column
-  std::vector<size_t> positions_of_schema;  // schema idx -> fetched pos
-
-  size_t PosOf(size_t schema_col) const {
-    return positions_of_schema[schema_col];
-  }
-  bool Has(size_t schema_col) const {
-    return schema_col < positions_of_schema.size() &&
-           positions_of_schema[schema_col] != SIZE_MAX;
-  }
-};
-
-FetchLayout MakeLayout(const sql::TableSchema& schema,
-                       std::vector<size_t> cols) {
-  std::sort(cols.begin(), cols.end());
-  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  FetchLayout layout;
-  layout.schema_cols = cols;
-  layout.positions_of_schema.assign(schema.columns.size(), SIZE_MAX);
-  for (size_t i = 0; i < cols.size(); ++i) {
-    layout.positions_of_schema[cols[i]] = i;
-  }
-  return layout;
-}
-
-std::string SelectListFor(const sql::TableSchema& schema,
-                          const FetchLayout& layout) {
-  std::vector<std::string> names;
-  for (size_t c : layout.schema_cols) {
-    names.push_back("\"" + schema.columns[c].name + "\"");
-  }
-  return Join(names, ", ");
-}
-
-// Composes a ResolvedField value from a *fetched* row through the layout.
-Value ComposeField(const ResolvedField& field, const FetchLayout& layout,
-                   const Row& fetched) {
-  if (field.def.SingleColumn()) {
-    return fetched[layout.PosOf(field.column_indexes[0])];
-  }
-  std::string out;
-  size_t col = 0;
-  for (size_t i = 0; i < field.def.parts.size(); ++i) {
-    if (i > 0) out += kIdSeparator;
-    if (field.def.parts[i].is_constant) {
-      out += field.def.parts[i].text;
-    } else {
-      out += fetched[layout.PosOf(field.column_indexes[col++])].ToString();
-    }
-  }
-  return Value(std::move(out));
-}
-
-// Builds conditions constraining `field` to one of `ids`. Returns:
-//   kNoMatch  — no id can belong to this definition (table prunable),
-//   kExact    — conditions appended cover the constraint exactly,
-struct IdCondResult {
-  bool any_match = false;
-};
-
-// A decomposed id component can only match rows when its runtime type is
-// compatible with the column's declared type; a string id like
-// "patient::1" can never live in a BIGINT key column. This is what makes
-// prefixed (and otherwise type-distinct) ids pin down the exact table.
-bool TypeCompatible(const Value& v, sql::ColumnType column_type) {
-  if (v.is_null()) return false;
-  switch (column_type) {
-    case sql::ColumnType::kInt:
-    case sql::ColumnType::kDouble:
-      return v.is_numeric();
-    case sql::ColumnType::kString:
-      return v.is_string();
-    case sql::ColumnType::kBool:
-      return v.is_bool();
-  }
-  return true;
-}
-
-IdCondResult BuildIdConds(const ResolvedField& field,
-                          const sql::TableSchema& schema,
-                          const std::vector<Value>& ids, QueryConds* conds) {
-  IdCondResult result;
-  std::vector<std::vector<Value>> decomposed;
-  for (const Value& id : ids) {
-    if (auto values = field.Decompose(id)) {
-      bool compatible = true;
-      for (size_t i = 0; i < values->size(); ++i) {
-        compatible &= TypeCompatible(
-            (*values)[i],
-            schema.columns[field.column_indexes[i]].type);
-      }
-      if (compatible) decomposed.push_back(std::move(*values));
-    }
-  }
-  if (decomposed.empty()) return result;
-  result.any_match = true;
-  if (field.column_indexes.size() == 1) {
-    SqlCond cond;
-    cond.column = schema.columns[field.column_indexes[0]].name;
-    cond.op = "IN";
-    for (auto& values : decomposed) cond.params.push_back(values[0]);
-    conds->conjuncts.push_back(std::move(cond));
-    return result;
-  }
-  std::vector<std::vector<SqlCond>> group;
-  for (auto& values : decomposed) {
-    std::vector<SqlCond> conjunction;
-    for (size_t i = 0; i < field.column_indexes.size(); ++i) {
-      SqlCond cond;
-      cond.column = schema.columns[field.column_indexes[i]].name;
-      cond.op = "=";
-      cond.params.push_back(values[i]);
-      conjunction.push_back(std::move(cond));
-    }
-    group.push_back(std::move(conjunction));
-  }
-  conds->or_groups.push_back(std::move(group));
-  return result;
-}
-
-// Extends gremlin::MatchesSpec with edge endpoint checks, for the naive
-// (client-filter) execution paths.
-bool MatchesEdgeSpec(const Edge& e, const LookupSpec& spec) {
-  if (!gremlin::MatchesSpec(e, spec)) return false;
-  if (!spec.src_ids.empty() &&
-      std::find(spec.src_ids.begin(), spec.src_ids.end(), e.src_id) ==
-          spec.src_ids.end()) {
-    return false;
-  }
-  if (!spec.dst_ids.empty() &&
-      std::find(spec.dst_ids.begin(), spec.dst_ids.end(), e.dst_id) ==
-          spec.dst_ids.end()) {
-    return false;
-  }
-  return true;
-}
-
-// Splits an implicit edge id "srcParts::label::dstParts" against an edge
-// table's definitions; nullopt when it cannot belong to this table.
-struct ImplicitIdParts {
-  std::vector<Value> src_values;
-  std::string label;
-  std::vector<Value> dst_values;
-};
-
-std::optional<ImplicitIdParts> DecomposeImplicitEdgeId(
-    const ResolvedEdgeTable& table, const Value& id) {
-  if (!id.is_string()) return std::nullopt;
-  std::vector<std::string> parts = DecomposeId(id.as_string());
-  size_t s = table.src_v.def.parts.size();
-  size_t d = table.dst_v.def.parts.size();
-  if (parts.size() != s + 1 + d) return std::nullopt;
-  auto extract = [&](const overlay::FieldDef& def, size_t offset)
-      -> std::optional<std::vector<Value>> {
-    std::vector<Value> out;
-    for (size_t i = 0; i < def.parts.size(); ++i) {
-      const std::string& text = parts[offset + i];
-      if (def.parts[i].is_constant) {
-        if (text != def.parts[i].text) return std::nullopt;
-      } else {
-        char* end = nullptr;
-        long long n = std::strtoll(text.c_str(), &end, 10);
-        if (!text.empty() && end != nullptr && *end == '\0') {
-          out.emplace_back(static_cast<int64_t>(n));
-        } else {
-          out.emplace_back(text);
-        }
-      }
-    }
-    return out;
-  };
-  ImplicitIdParts result;
-  auto src = extract(table.src_v.def, 0);
-  if (!src) return std::nullopt;
-  result.src_values = std::move(*src);
-  result.label = parts[s];
-  auto dst = extract(table.dst_v.def, s + 1);
-  if (!dst) return std::nullopt;
-  result.dst_values = std::move(*dst);
-  return result;
-}
-
-}  // namespace
 
 // ----------------------------------------------------------------------
 
@@ -459,154 +122,6 @@ VertexPtr Db2GraphProvider::MaterializeVertex(int table_index,
 // ----------------------------------------------------------------------
 
 namespace {
-
-// Per-table vertex query planning shared by Vertices and the aggregates.
-struct VertexPlan {
-  bool skip = false;
-  bool client_filter = false;  // fetch everything, filter in the provider
-  QueryConds conds;
-  std::vector<std::string> predicate_columns;  // for the index advisor
-};
-
-VertexPlan PlanVertexTable(const ResolvedVertexTable& t,
-                           const LookupSpec& spec,
-                           const RuntimeOptions& options) {
-  VertexPlan plan;
-  const sql::TableSchema& schema = *t.schema;
-
-  // Fixed-label pruning (Section 6.3 "Using Label Values").
-  if (!spec.labels.empty()) {
-    if (t.conf.label.fixed) {
-      bool matches = std::find(spec.labels.begin(), spec.labels.end(),
-                               t.conf.label.value) != spec.labels.end();
-      if (!matches) {
-        if (options.label_pruning) {
-          plan.skip = true;
-          return plan;
-        }
-        plan.client_filter = true;
-      }
-    } else {
-      SqlCond cond;
-      cond.column = schema.columns[*t.label_column].name;
-      cond.op = "IN";
-      for (const std::string& l : spec.labels) cond.params.push_back(l);
-      plan.conds.conjuncts.push_back(cond);
-      plan.predicate_columns.push_back(cond.column);
-    }
-  }
-
-  // Prefixed-id pinning / composite-id decomposition.
-  if (!spec.ids.empty()) {
-    QueryConds id_conds;
-    IdCondResult r = BuildIdConds(t.id, schema, spec.ids, &id_conds);
-    if (!r.any_match) {
-      if (options.prefixed_id_pinning) {
-        plan.skip = true;
-        return plan;
-      }
-      plan.client_filter = true;
-    } else {
-      for (auto& c : id_conds.conjuncts) {
-        plan.predicate_columns.push_back(c.column);
-        plan.conds.conjuncts.push_back(std::move(c));
-      }
-      for (auto& g : id_conds.or_groups) {
-        if (!g.empty() && !g[0].empty()) {
-          for (const SqlCond& c : g[0]) {
-            plan.predicate_columns.push_back(c.column);
-          }
-        }
-        plan.conds.or_groups.push_back(std::move(g));
-      }
-    }
-  }
-
-  // Property predicates: pushdown + property-name pruning.
-  for (const PropPredicate& pred : spec.predicates) {
-    if (pred.key == gremlin::kIdKey || pred.key == gremlin::kLabelKey) {
-      plan.client_filter = true;  // rare; resolved after materialization
-      continue;
-    }
-    if (!t.HasProperty(pred.key)) {
-      if (options.property_pruning) {
-        plan.skip = true;  // no row of this table can have the property
-        return plan;
-      }
-      plan.client_filter = true;
-      continue;
-    }
-    // Locate the schema column behind the property.
-    size_t column = 0;
-    for (size_t i = 0; i < t.properties.size(); ++i) {
-      if (EqualsIgnoreCase(t.properties[i], pred.key)) {
-        column = t.property_columns[i];
-        break;
-      }
-    }
-    const std::string& column_name = schema.columns[column].name;
-    SqlCond cond;
-    cond.column = column_name;
-    if (pred.op == PropPredicate::Op::kExists) {
-      cond.op = "NOTNULL";
-    } else if (pred.op == PropPredicate::Op::kWithin) {
-      cond.op = "IN";
-      cond.params = pred.values;
-    } else if (pred.op == PropPredicate::Op::kWithout) {
-      plan.client_filter = true;  // NOT IN needs null care; keep client-side
-      continue;
-    } else {
-      const char* op = SqlOpFor(pred.op);
-      if (op == nullptr) {
-        plan.client_filter = true;
-        continue;
-      }
-      cond.op = op;
-      cond.params = pred.values;
-    }
-    plan.predicate_columns.push_back(column_name);
-    plan.conds.conjuncts.push_back(std::move(cond));
-  }
-
-  // Projection-based pruning: a traversal that only consumes projected
-  // properties gets nothing from a table having none of them.
-  if (spec.has_projection && !spec.projection.empty() &&
-      options.property_pruning) {
-    bool any = false;
-    for (const std::string& key : spec.projection) {
-      if (t.HasProperty(key)) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) {
-      plan.skip = true;
-      return plan;
-    }
-  }
-  return plan;
-}
-
-// Columns a vertex fetch needs under `spec` (projection-aware).
-std::vector<size_t> VertexFetchColumns(const ResolvedVertexTable& t,
-                                       const LookupSpec& spec) {
-  std::vector<size_t> cols = t.id.column_indexes;
-  if (t.label_column) cols.push_back(*t.label_column);
-  for (size_t i = 0; i < t.properties.size(); ++i) {
-    if (spec.has_projection) {
-      bool wanted = false;
-      for (const std::string& key : spec.projection) {
-        if (EqualsIgnoreCase(key, t.properties[i])) {
-          wanted = true;
-          break;
-        }
-      }
-      if (!wanted) continue;
-    }
-    cols.push_back(t.property_columns[i]);
-  }
-  return cols;
-}
 
 VertexPtr BuildVertexFromFetched(const ResolvedVertexTable& t, int table_index,
                                  const FetchLayout& layout, Row row) {
@@ -1268,224 +783,6 @@ Result<Value> Db2GraphProvider::AggregateVertices(const LookupSpec& spec) {
 
 namespace {
 
-struct EdgePlan {
-  bool skip = false;
-  bool client_filter = false;
-  QueryConds conds;
-  std::vector<std::string> predicate_columns;
-};
-
-EdgePlan PlanEdgeTable(const ResolvedEdgeTable& t, const LookupSpec& spec,
-                       const RuntimeOptions& options) {
-  EdgePlan plan;
-  const sql::TableSchema& schema = *t.schema;
-
-  // Fixed-label pruning.
-  if (!spec.labels.empty()) {
-    if (t.conf.label.fixed) {
-      bool matches = std::find(spec.labels.begin(), spec.labels.end(),
-                               t.conf.label.value) != spec.labels.end();
-      if (!matches) {
-        if (options.label_pruning) {
-          plan.skip = true;
-          return plan;
-        }
-        plan.client_filter = true;
-      }
-    } else {
-      SqlCond cond;
-      cond.column = schema.columns[*t.label_column].name;
-      cond.op = "IN";
-      for (const std::string& l : spec.labels) cond.params.push_back(l);
-      plan.predicate_columns.push_back(cond.column);
-      plan.conds.conjuncts.push_back(std::move(cond));
-    }
-  }
-
-  // Endpoint constraints via src/dst id decomposition.
-  auto endpoint = [&](const ResolvedField& field,
-                      const std::vector<Value>& ids) {
-    if (ids.empty() || plan.skip) return;
-    QueryConds conds;
-    IdCondResult r = BuildIdConds(field, schema, ids, &conds);
-    if (!r.any_match) {
-      if (options.prefixed_id_pinning) {
-        plan.skip = true;
-        return;
-      }
-      plan.client_filter = true;
-      return;
-    }
-    for (auto& c : conds.conjuncts) {
-      plan.predicate_columns.push_back(c.column);
-      plan.conds.conjuncts.push_back(std::move(c));
-    }
-    for (auto& g : conds.or_groups) {
-      if (!g.empty()) {
-        for (const SqlCond& c : g[0]) {
-          plan.predicate_columns.push_back(c.column);
-        }
-      }
-      plan.conds.or_groups.push_back(std::move(g));
-    }
-  };
-  endpoint(t.src_v, spec.src_ids);
-  if (plan.skip) return plan;
-  endpoint(t.dst_v, spec.dst_ids);
-  if (plan.skip) return plan;
-
-  // Edge-id constraints: explicit ids decompose like vertex ids; implicit
-  // ids decompose into src + label + dst conjunctive predicates.
-  if (!spec.ids.empty()) {
-    if (!t.conf.implicit_edge_id) {
-      QueryConds conds;
-      IdCondResult r = BuildIdConds(t.id, schema, spec.ids, &conds);
-      if (!r.any_match) {
-        if (options.prefixed_id_pinning) {
-          plan.skip = true;
-          return plan;
-        }
-        plan.client_filter = true;
-      } else {
-        for (auto& c : conds.conjuncts) {
-          plan.predicate_columns.push_back(c.column);
-          plan.conds.conjuncts.push_back(std::move(c));
-        }
-        for (auto& g : conds.or_groups) {
-          plan.conds.or_groups.push_back(std::move(g));
-        }
-      }
-    } else {
-      std::vector<std::vector<SqlCond>> group;
-      for (const Value& id : spec.ids) {
-        auto parts = DecomposeImplicitEdgeId(t, id);
-        if (!parts) continue;
-        if (t.conf.label.fixed && parts->label != t.conf.label.value) {
-          continue;  // label encoded in the id does not match this table
-        }
-        std::vector<SqlCond> conjunction;
-        for (size_t i = 0; i < t.src_v.column_indexes.size(); ++i) {
-          conjunction.push_back({schema.columns[t.src_v.column_indexes[i]].name,
-                                 "=",
-                                 {parts->src_values[i]}});
-        }
-        for (size_t i = 0; i < t.dst_v.column_indexes.size(); ++i) {
-          conjunction.push_back({schema.columns[t.dst_v.column_indexes[i]].name,
-                                 "=",
-                                 {parts->dst_values[i]}});
-        }
-        if (!t.conf.label.fixed) {
-          conjunction.push_back(
-              {schema.columns[*t.label_column].name, "=",
-               {Value(parts->label)}});
-        }
-        group.push_back(std::move(conjunction));
-      }
-      if (group.empty()) {
-        if (options.implicit_edge_id_decomposition) {
-          plan.skip = true;
-          return plan;
-        }
-        plan.client_filter = true;
-      } else {
-        if (!group[0].empty()) {
-          for (const SqlCond& c : group[0]) {
-            plan.predicate_columns.push_back(c.column);
-          }
-        }
-        plan.conds.or_groups.push_back(std::move(group));
-      }
-    }
-  }
-
-  // Property predicates.
-  for (const PropPredicate& pred : spec.predicates) {
-    if (pred.key == gremlin::kIdKey || pred.key == gremlin::kLabelKey) {
-      plan.client_filter = true;
-      continue;
-    }
-    if (!t.HasProperty(pred.key)) {
-      if (options.property_pruning) {
-        plan.skip = true;
-        return plan;
-      }
-      plan.client_filter = true;
-      continue;
-    }
-    size_t column = 0;
-    for (size_t i = 0; i < t.properties.size(); ++i) {
-      if (EqualsIgnoreCase(t.properties[i], pred.key)) {
-        column = t.property_columns[i];
-        break;
-      }
-    }
-    const std::string& column_name = schema.columns[column].name;
-    SqlCond cond;
-    cond.column = column_name;
-    if (pred.op == PropPredicate::Op::kExists) {
-      cond.op = "NOTNULL";
-    } else if (pred.op == PropPredicate::Op::kWithin) {
-      cond.op = "IN";
-      cond.params = pred.values;
-    } else if (pred.op == PropPredicate::Op::kWithout) {
-      plan.client_filter = true;
-      continue;
-    } else {
-      const char* op = SqlOpFor(pred.op);
-      if (op == nullptr) {
-        plan.client_filter = true;
-        continue;
-      }
-      cond.op = op;
-      cond.params = pred.values;
-    }
-    plan.predicate_columns.push_back(column_name);
-    plan.conds.conjuncts.push_back(std::move(cond));
-  }
-
-  if (spec.has_projection && !spec.projection.empty() &&
-      options.property_pruning) {
-    bool any = false;
-    for (const std::string& key : spec.projection) {
-      if (t.HasProperty(key)) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) {
-      plan.skip = true;
-      return plan;
-    }
-  }
-  return plan;
-}
-
-std::vector<size_t> EdgeFetchColumns(const ResolvedEdgeTable& t,
-                                     const LookupSpec& spec) {
-  std::vector<size_t> cols = t.src_v.column_indexes;
-  cols.insert(cols.end(), t.dst_v.column_indexes.begin(),
-              t.dst_v.column_indexes.end());
-  if (!t.conf.implicit_edge_id) {
-    cols.insert(cols.end(), t.id.column_indexes.begin(),
-                t.id.column_indexes.end());
-  }
-  if (t.label_column) cols.push_back(*t.label_column);
-  for (size_t i = 0; i < t.properties.size(); ++i) {
-    if (spec.has_projection) {
-      bool wanted = false;
-      for (const std::string& key : spec.projection) {
-        if (EqualsIgnoreCase(key, t.properties[i])) {
-          wanted = true;
-          break;
-        }
-      }
-      if (!wanted) continue;
-    }
-    cols.push_back(t.property_columns[i]);
-  }
-  return cols;
-}
-
 // One per-table edge fetch: the parallel fan-out unit for Edges /
 // AdjacentEdges. Same thread-safety contract as FetchVertexTable.
 Status FetchEdgeTable(SqlDialect* dialect, const ResolvedEdgeTable& t,
@@ -1960,36 +1257,354 @@ Status Db2GraphProvider::EdgeEndpoints(const std::vector<EdgePtr>& edges,
 }
 
 // ----------------------------------------------------------------------
-// Compile-time plan previews (Explain)
+// Multi-hop collapsed traversal
 // ----------------------------------------------------------------------
 
 namespace {
 
-// Predicts the access path the executor would pick for `conds` against
-// `table` from index availability: an equality/IN conjunct backed by an
-// index probes it, an ordered comparison backed by an index range-scans
-// it, anything else falls back to a table scan (with residual filtering
-// when conditions exist).
-std::string PredictAccessPath(const sql::Database* db,
-                              const std::string& table,
-                              const QueryConds& conds) {
-  const sql::Table* base = db->GetTable(table);
-  bool has_conds = !conds.conjuncts.empty() || !conds.or_groups.empty();
-  if (base != nullptr) {
-    for (const SqlCond& cond : conds.conjuncts) {
-      auto idx = base->schema().ColumnIndex(cond.column);
-      if (!idx || base->FindIndexOn({*idx}) == nullptr) continue;
-      if (cond.op == "=" || cond.op == "IN") return "index probe";
-      if (cond.op == "<" || cond.op == "<=" || cond.op == ">" ||
-          cond.op == ">=") {
-        return "range scan";
-      }
+void SetCondAlias(QueryConds* conds, const std::string& alias) {
+  for (SqlCond& c : conds->conjuncts) c.alias = alias;
+  for (auto& group : conds->or_groups) {
+    for (auto& alt : group) {
+      for (SqlCond& c : alt) c.alias = alias;
     }
   }
-  return has_conds ? "full scan+filter" : "full scan";
+}
+
+/// One table of a built multi-hop join, with everything emission needs:
+/// the stage's fetched-column layout and its column offset in the joined
+/// result row (stages are concatenated in SELECT order).
+struct ChainStageMeta {
+  FetchLayout layout;
+  size_t offset = 0;
+};
+
+/// A fully-rendered join plan for one (edge-table × vertex-table) chain.
+/// Stage order is e0, v1, e1, v2, ... — hop h contributes edge stage
+/// 2h and vertex stage 2h+1.
+struct JoinChainPlan {
+  std::vector<JoinStage> stages;
+  std::vector<ChainStageMeta> meta;
+  std::vector<std::vector<std::string>> patterns;  // per-stage pred columns
+  std::vector<const ResolvedEdgeTable*> edge_tables;     // per hop
+  std::vector<const ResolvedVertexTable*> vertex_tables; // per hop
+  std::vector<int> vertex_table_indexes;                 // per hop
+  std::string select;
+};
+
+/// Builds the collapsed N-way join for chain `chain` of the provider
+/// plan. `first_plan` is hop 1's edge plan — with the source-endpoint
+/// conditions for execution, without them for Explain. Any violation of
+/// the compile-time legality assumptions returns Unsupported so the
+/// caller can fall back to step-at-a-time execution.
+Status BuildJoinChainPlan(const overlay::Topology& topology,
+                          const RuntimeOptions& options,
+                          const gremlin::MultiHopSpec& spec,
+                          const MultiHopProviderPlan& plan, size_t chain,
+                          const EdgePlan& first_plan, JoinChainPlan* out) {
+  const size_t hops = spec.hops.size();
+  if (hops == 0 || plan.later_hops.size() + 1 != hops ||
+      chain >= plan.first_hop.size()) {
+    return Status::Unsupported("malformed multi-hop plan");
+  }
+  size_t offset = 0;
+  int prev_vt = -1;
+  for (size_t h = 0; h < hops; ++h) {
+    const MultiHopProviderPlan::HopTables& ht =
+        h == 0 ? plan.first_hop[chain] : plan.later_hops[h - 1];
+    if (ht.edge_table < 0 ||
+        static_cast<size_t>(ht.edge_table) >= topology.edge_tables().size() ||
+        ht.vertex_table < 0 ||
+        static_cast<size_t>(ht.vertex_table) >=
+            topology.vertex_tables().size()) {
+      return Status::Unsupported("multi-hop plan references unknown tables");
+    }
+    const ResolvedEdgeTable& et =
+        topology.edge_tables()[static_cast<size_t>(ht.edge_table)];
+    const ResolvedVertexTable& vt =
+        topology.vertex_tables()[static_cast<size_t>(ht.vertex_table)];
+    const gremlin::MultiHopHop& hop = spec.hops[h];
+    if (hop.direction == Direction::kBoth) {
+      return Status::Unsupported("multi-hop over both()");
+    }
+    const bool outward = hop.direction == Direction::kOut;
+    const ResolvedField& nearf = outward ? et.src_v : et.dst_v;
+    const ResolvedField& farf = outward ? et.dst_v : et.src_v;
+    if (!farf.def.SingleColumn() || !vt.id.def.SingleColumn()) {
+      return Status::Unsupported("composite multi-hop join field");
+    }
+    const std::string ealias = "e" + std::to_string(h);
+    const std::string valias = "v" + std::to_string(h + 1);
+
+    // Edge stage.
+    EdgePlan ep = h == 0 ? first_plan
+                         : PlanEdgeTable(et, hop.edge_spec, options);
+    if (ep.skip || ep.client_filter) {
+      return Status::Unsupported("multi-hop edge plan not pushable");
+    }
+    QueryConds econds = ep.conds;
+    if (h > 0) {
+      if (!nearf.def.SingleColumn() || prev_vt < 0) {
+        return Status::Unsupported("composite multi-hop join field");
+      }
+      const ResolvedVertexTable& pvt =
+          topology.vertex_tables()[static_cast<size_t>(prev_vt)];
+      if (!pvt.id.def.SingleColumn()) {
+        return Status::Unsupported("composite multi-hop join field");
+      }
+      SqlCond join;
+      join.column = et.schema->columns[nearf.column_indexes[0]].name;
+      join.op = "=";
+      join.ref_alias = "v" + std::to_string(h);
+      join.ref_column = pvt.schema->columns[pvt.id.column_indexes[0]].name;
+      econds.conjuncts.insert(
+          econds.conjuncts.begin() +
+              static_cast<ptrdiff_t>(
+                  JoinCondPosition(ep.conds, *et.schema, et.label_column)),
+          std::move(join));
+    }
+    SetCondAlias(&econds, ealias);
+    std::vector<size_t> ecols = nearf.column_indexes;
+    ecols.insert(ecols.end(), farf.column_indexes.begin(),
+                 farf.column_indexes.end());
+    if (et.label_column) ecols.push_back(*et.label_column);
+    if (hop.emit_edge_id && !et.conf.implicit_edge_id) {
+      ecols.insert(ecols.end(), et.id.column_indexes.begin(),
+                   et.id.column_indexes.end());
+    }
+    FetchLayout elayout = MakeLayout(*et.schema, std::move(ecols));
+    JoinStage estage;
+    estage.table = et.conf.table_name;
+    estage.alias = ealias;
+    estage.conds = std::move(econds);
+    out->stages.push_back(std::move(estage));
+    ChainStageMeta emeta;
+    emeta.layout = elayout;
+    emeta.offset = offset;
+    offset += elayout.schema_cols.size();
+    out->meta.push_back(std::move(emeta));
+    out->patterns.push_back(ep.predicate_columns);
+
+    // Vertex stage.
+    VertexPlan vp = PlanVertexTable(vt, hop.vertex_spec, options);
+    if (vp.skip || vp.client_filter) {
+      return Status::Unsupported("multi-hop vertex plan not pushable");
+    }
+    QueryConds vconds = vp.conds;
+    SqlCond vjoin;
+    vjoin.column = vt.schema->columns[vt.id.column_indexes[0]].name;
+    vjoin.op = "=";
+    vjoin.ref_alias = ealias;
+    vjoin.ref_column = et.schema->columns[farf.column_indexes[0]].name;
+    vconds.conjuncts.insert(
+        vconds.conjuncts.begin() +
+            static_cast<ptrdiff_t>(
+                JoinCondPosition(vp.conds, *vt.schema, vt.label_column)),
+        std::move(vjoin));
+    SetCondAlias(&vconds, valias);
+    std::vector<size_t> vcols = h + 1 == hops
+                                    ? VertexFetchColumns(vt, hop.vertex_spec)
+                                    : vt.id.column_indexes;
+    FetchLayout vlayout = MakeLayout(*vt.schema, std::move(vcols));
+    JoinStage vstage;
+    vstage.table = vt.conf.table_name;
+    vstage.alias = valias;
+    vstage.conds = std::move(vconds);
+    out->stages.push_back(std::move(vstage));
+    ChainStageMeta vmeta;
+    vmeta.layout = vlayout;
+    vmeta.offset = offset;
+    offset += vlayout.schema_cols.size();
+    out->meta.push_back(std::move(vmeta));
+    out->patterns.push_back(vp.predicate_columns);
+
+    out->edge_tables.push_back(&et);
+    out->vertex_tables.push_back(&vt);
+    out->vertex_table_indexes.push_back(ht.vertex_table);
+    prev_vt = ht.vertex_table;
+  }
+
+  std::vector<std::string> select_parts;
+  for (size_t s = 0; s < out->stages.size(); ++s) {
+    const sql::TableSchema& schema =
+        s % 2 == 0 ? *out->edge_tables[s / 2]->schema
+                   : *out->vertex_tables[s / 2]->schema;
+    for (size_t ci : out->meta[s].layout.schema_cols) {
+      select_parts.push_back("\"" + out->stages[s].alias + "\".\"" +
+                             schema.columns[ci].name + "\"");
+    }
+  }
+  out->select = Join(select_parts, ", ");
+  return Status::OK();
+}
+
+/// Sub-row of one stage in the joined result row.
+Row StageRow(const Row& row, const ChainStageMeta& meta) {
+  return Row(row.begin() + static_cast<ptrdiff_t>(meta.offset),
+             row.begin() + static_cast<ptrdiff_t>(meta.offset +
+                                                  meta.layout.schema_cols
+                                                      .size()));
+}
+
+/// The edge id FetchEdgeTable would assign for this edge row.
+Value ComposeEdgeId(const ResolvedEdgeTable& et, const FetchLayout& layout,
+                    const Row& erow) {
+  std::string label = et.conf.label.fixed
+                          ? et.conf.label.value
+                          : erow[layout.PosOf(*et.label_column)].ToString();
+  if (et.conf.implicit_edge_id) {
+    Value src = ComposeField(et.src_v, layout, erow);
+    Value dst = ComposeField(et.dst_v, layout, erow);
+    return Value(src.ToString() + kIdSeparator + label + kIdSeparator +
+                 dst.ToString());
+  }
+  return ComposeField(et.id, layout, erow);
 }
 
 }  // namespace
+
+Status Db2GraphProvider::MultiHopTraverse(const std::vector<VertexPtr>& sources,
+                                          const gremlin::MultiHopSpec& spec,
+                                          gremlin::MultiHopBuckets* out) {
+  auto plan = std::static_pointer_cast<const MultiHopProviderPlan>(
+      spec.provider_plan);
+  auto decline = [&](const char* why) {
+    if (plan != nullptr) {
+      if (auto log = plan->log.lock()) {
+        log->RecordExecution(plan->decision_id, 0, /*fell_back=*/true);
+      }
+    }
+    return Status::Unsupported(why);
+  };
+  if (plan == nullptr || spec.hops.empty() || plan->first_hop.empty() ||
+      plan->later_hops.size() + 1 != spec.hops.size() ||
+      !options_.endpoint_table_pruning) {
+    return decline("no executable multi-hop plan");
+  }
+  if (sources.empty()) return Status::OK();
+
+  // Hop 1 repeats the step-at-a-time endpoint handling exactly: the
+  // sources' ids become endpoint conditions and their source tables
+  // drive the same endpoint pruning AdjacentEdges would apply.
+  const gremlin::MultiHopHop& first = spec.hops[0];
+  LookupSpec espec = first.edge_spec;
+  std::vector<Value>& endpoint_ids =
+      first.direction == Direction::kOut ? espec.src_ids : espec.dst_ids;
+  endpoint_ids.reserve(sources.size());
+  for (const VertexPtr& v : sources) endpoint_ids.push_back(v->id);
+  std::unordered_set<std::string> source_tables;
+  for (const VertexPtr& v : sources) {
+    if (!v->source_table.empty()) source_tables.insert(v->source_table);
+  }
+
+  QueryTrace* trace = CurrentTrace();
+  uint64_t total = 0;
+  for (size_t ci = 0; ci < plan->first_hop.size(); ++ci) {
+    const MultiHopProviderPlan::HopTables& ht = plan->first_hop[ci];
+    if (ht.edge_table < 0 ||
+        static_cast<size_t>(ht.edge_table) >=
+            topology_.edge_tables().size()) {
+      return decline("multi-hop plan references unknown tables");
+    }
+    const ResolvedEdgeTable& et =
+        topology_.edge_tables()[static_cast<size_t>(ht.edge_table)];
+    if (!source_tables.empty()) {
+      int near = first.direction == Direction::kOut ? et.src_vertex_table
+                                                    : et.dst_vertex_table;
+      if (near >= 0 &&
+          source_tables.count(
+              topology_.vertex_tables()[static_cast<size_t>(near)]
+                  .conf.table_name) == 0) {
+        continue;  // no source can live in this chain's near table
+      }
+    }
+    EdgePlan ep = PlanEdgeTable(et, espec, options_);
+    if (ep.client_filter) return decline("multi-hop edge plan not pushable");
+    if (ep.skip) {
+      stats_.edge_tables_pruned.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) trace->AddTablePruned(et.conf.table_name);
+      continue;
+    }
+
+    JoinChainPlan cp;
+    Status built =
+        BuildJoinChainPlan(topology_, options_, spec, *plan, ci, ep, &cp);
+    if (built.code() == StatusCode::kUnsupported) {
+      return decline(built.message().c_str());
+    }
+    DB2G_RETURN_NOT_OK(built);
+
+    stats_.edge_tables_queried.fetch_add(1, std::memory_order_relaxed);
+    for (size_t s = 0; s < cp.stages.size(); ++s) {
+      if (trace != nullptr) trace->AddTableConsulted(cp.stages[s].table);
+      dialect_->RecordPattern(cp.stages[s].table, cp.patterns[s]);
+    }
+    std::vector<Value> params;
+    CollectJoinParams(cp.stages, &params);
+    Result<std::unique_ptr<DialectRowStream>> stream =
+        dialect_->QueryShapedStreaming(
+            JoinShapeKey(cp.stages, cp.select),
+            [&] {
+              std::vector<Value> ignored;
+              return BuildJoinSql(cp.stages, cp.select, &ignored);
+            },
+            params);
+    if (!stream.ok()) return stream.status();
+
+    const size_t hops = spec.hops.size();
+    const ResolvedField& near0 = first.direction == Direction::kOut
+                                     ? et.src_v
+                                     : et.dst_v;
+    sql::RowBlock block;
+    while ((*stream)->Next(&block)) {
+      Status governed = governor::CheckCurrent();
+      if (!governed.ok()) {
+        (*stream)->Close();
+        return governed;
+      }
+      for (Row& row : block.rows) {
+        Row e0row = StageRow(row, cp.meta[0]);
+        Value source_id = ComposeField(near0, cp.meta[0].layout, e0row);
+        gremlin::MultiHopEmission emission;
+        for (size_t h = 0; h < hops; ++h) {
+          const ChainStageMeta& emeta = cp.meta[2 * h];
+          const ChainStageMeta& vmeta = cp.meta[2 * h + 1];
+          const ResolvedEdgeTable& het = *cp.edge_tables[h];
+          const bool outward =
+              spec.hops[h].direction == Direction::kOut;
+          Row erow = h == 0 ? e0row : StageRow(row, emeta);
+          if (spec.hops[h].emit_edge_id) {
+            emission.path_ids.push_back(
+                ComposeEdgeId(het, emeta.layout, erow));
+          }
+          // The hop's vertex id enters the path as the edge row's far
+          // endpoint value — exactly the value step-at-a-time emission
+          // uses (the join guarantees it matches the vertex row's id).
+          const ResolvedField& farf = outward ? het.dst_v : het.src_v;
+          emission.path_ids.push_back(
+              ComposeField(farf, emeta.layout, erow));
+          if (h + 1 == hops) {
+            emission.vertex = BuildVertexFromFetched(
+                *cp.vertex_tables[h], cp.vertex_table_indexes[h],
+                vmeta.layout, StageRow(row, vmeta));
+          }
+        }
+        ++total;
+        (*out)[source_id].push_back(std::move(emission));
+      }
+    }
+    if (!(*stream)->status().ok()) return (*stream)->status();
+  }
+
+  if (auto log = plan->log.lock()) {
+    log->RecordExecution(plan->decision_id, total, /*fell_back=*/false);
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------------
+// Compile-time plan previews (Explain)
+// ----------------------------------------------------------------------
 
 Status Db2GraphProvider::ExplainVertices(const LookupSpec& spec,
                                          std::vector<SqlPreview>* out) const {
@@ -2058,6 +1673,50 @@ Status Db2GraphProvider::ExplainEdges(const LookupSpec& spec,
     preview.sql = SqlDialect::RenderSql(sql, params);
     preview.access_path =
         PredictAccessPath(dialect_->db(), t.conf.table_name, conds);
+    out->push_back(std::move(preview));
+  }
+  return Status::OK();
+}
+
+Status Db2GraphProvider::ExplainMultiHop(const gremlin::MultiHopSpec& spec,
+                                         std::vector<SqlPreview>* out) const {
+  auto plan = std::static_pointer_cast<const MultiHopProviderPlan>(
+      spec.provider_plan);
+  if (plan == nullptr || spec.hops.empty()) return Status::OK();
+  const gremlin::MultiHopHop& first = spec.hops[0];
+  for (size_t ci = 0; ci < plan->first_hop.size(); ++ci) {
+    const MultiHopProviderPlan::HopTables& ht = plan->first_hop[ci];
+    if (ht.edge_table < 0 ||
+        static_cast<size_t>(ht.edge_table) >=
+            topology_.edge_tables().size()) {
+      continue;
+    }
+    const ResolvedEdgeTable& et =
+        topology_.edge_tables()[static_cast<size_t>(ht.edge_table)];
+    SqlPreview preview;
+    EdgePlan ep = PlanEdgeTable(et, first.edge_spec, options_);
+    JoinChainPlan cp;
+    if (ep.skip || ep.client_filter ||
+        !BuildJoinChainPlan(topology_, options_, spec, *plan, ci, ep, &cp)
+             .ok()) {
+      preview.table = et.conf.table_name;
+      preview.pruned = true;
+      preview.access_path = "pruned";
+      out->push_back(std::move(preview));
+      continue;
+    }
+    std::vector<std::string> chain_tables;
+    chain_tables.reserve(cp.stages.size());
+    for (const JoinStage& stage : cp.stages) {
+      chain_tables.push_back(stage.table);
+    }
+    preview.table = Join(chain_tables, ">");
+    std::vector<Value> params;
+    std::string sql = BuildJoinSql(cp.stages, cp.select, &params);
+    preview.sql = SqlDialect::RenderSql(sql, params);
+    preview.access_path =
+        "multi-hop join (" + std::to_string(cp.stages.size()) + " stages)";
+    preview.estimated_rows = spec.est_rows;
     out->push_back(std::move(preview));
   }
   return Status::OK();

@@ -140,6 +140,18 @@ class Db2GraphProvider : public gremlin::GraphProvider {
   Result<Value> AggregateVertices(const gremlin::LookupSpec& spec) override;
   Result<Value> AggregateEdges(const gremlin::LookupSpec& spec) override;
 
+  /// Executes an optimizer-collapsed hop chain as one N-way join per
+  /// (edge-table × vertex-table) chain, in chain order, appending each
+  /// chain's emissions to the per-source buckets — which reproduces the
+  /// table-major per-source order of step-at-a-time execution. Returns
+  /// Unsupported (after logging a fallback against the plan's optimizer
+  /// decision) whenever a runtime condition breaks the compile-time
+  /// legality assumptions; the interpreter then re-runs the preserved
+  /// step-at-a-time body.
+  Status MultiHopTraverse(const std::vector<gremlin::VertexPtr>& sources,
+                          const gremlin::MultiHopSpec& spec,
+                          gremlin::MultiHopBuckets* out) override;
+
   const overlay::Topology& topology() const { return topology_; }
   const RuntimeOptions& options() const { return options_; }
   SqlDialect* dialect() const { return dialect_; }
@@ -220,6 +232,11 @@ class Db2GraphProvider : public gremlin::GraphProvider {
                          std::vector<SqlPreview>* out) const;
   Status ExplainEdges(const gremlin::LookupSpec& spec,
                       std::vector<SqlPreview>* out) const;
+  /// Preview of a collapsed multi-hop chain: one entry per table chain
+  /// with the rendered N-way join SQL (without the runtime source-id
+  /// conditions) and the optimizer's output-cardinality estimate.
+  Status ExplainMultiHop(const gremlin::MultiHopSpec& spec,
+                         std::vector<SqlPreview>* out) const;
 
  private:
   /// Edges() restricted to a subset of edge-table indexes (used by

@@ -43,6 +43,15 @@ struct CompiledPlan {
   /// Catalog version this plan was compiled under (stale when the
   /// database's ddl_version has moved past it).
   uint64_t ddl_version = 0;
+  /// Statistics epoch at compile time. Plans whose shape the multi-hop
+  /// optimizer decided from the live statistics (stats_sensitive) are
+  /// recompiled once the epoch drifts past OptimizerOptions::
+  /// stats_drift_limit — counted as plan_cache.stale_stats_recompiles.
+  uint64_t stats_epoch = 0;
+  bool stats_sensitive = false;
+  /// Total hops folded into MultiHopSteps (0 = fully step-at-a-time);
+  /// surfaced in sysmon.query_log.
+  uint64_t collapsed_hops = 0;
   /// Any statement carries a .profile() terminal.
   bool has_profile = false;
   /// Strategy rewrites recorded at compile time, replayed into the trace
@@ -81,6 +90,11 @@ class PlanCache {
   static constexpr const char* kInvalidationsCounter =
       "plan_cache.invalidations";
   static constexpr const char* kEvictionsCounter = "plan_cache.evictions";
+  /// Bumped by Db2Graph when a statistics-sensitive cache hit is thrown
+  /// away because the stats epoch drifted past the plan's compile-time
+  /// epoch (the cache itself has no stats visibility).
+  static constexpr const char* kStaleStatsRecompilesCounter =
+      "plan_cache.stale_stats_recompiles";
 
   explicit PlanCache(size_t capacity = 1024, size_t shards = 8);
 

@@ -14,10 +14,23 @@ namespace {
 std::string TableFromSql(const std::string& sql) {
   size_t from = sql.find(" FROM \"");
   if (from == std::string::npos) return "";
+  // Multi-hop join statements list several tables: FROM "A" AS e0, "B" AS
+  // v1, ... — label the trace record with the whole chain, '>'-joined.
+  std::string tables;
   size_t begin = from + 7;
-  size_t end = sql.find('"', begin);
-  if (end == std::string::npos) return "";
-  return sql.substr(begin, end - begin);
+  while (true) {
+    size_t end = sql.find('"', begin);
+    if (end == std::string::npos) return tables;
+    if (!tables.empty()) tables += '>';
+    tables += sql.substr(begin, end - begin);
+    size_t next = sql.find(", \"", end);
+    if (next == std::string::npos) return tables;
+    // Stop at the WHERE clause: a quoted column reference there would
+    // otherwise read as another table.
+    size_t where = sql.find(" WHERE ", end);
+    if (where != std::string::npos && where < next) return tables;
+    begin = next + 3;
+  }
 }
 
 }  // namespace

@@ -166,4 +166,9 @@ Result<Value> GraphProvider::AggregateEdges(const LookupSpec&) {
   return Status::Unsupported("no aggregate pushdown");
 }
 
+Status GraphProvider::MultiHopTraverse(const std::vector<VertexPtr>&,
+                                       const MultiHopSpec&, MultiHopBuckets*) {
+  return Status::Unsupported("no multi-hop pushdown");
+}
+
 }  // namespace db2graph::gremlin

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -131,6 +132,45 @@ struct LookupSpec {
   bool HasIdConstraint() const { return !ids.empty(); }
 };
 
+/// One collapsed hop of a multi-hop traversal: the adjacency direction,
+/// the pushdown hints for the hop's edges, and the lookup hints for the
+/// far-endpoint vertices. When emit_edge_id is set (an outE().inV()
+/// step pair), the traverser path records the edge id before the far
+/// vertex id; a plain out()/in() hop records only the vertex id.
+struct MultiHopHop {
+  Direction direction = Direction::kOut;
+  std::vector<std::string> edge_labels;
+  LookupSpec edge_spec;
+  LookupSpec vertex_spec;
+  bool emit_edge_id = false;
+};
+
+/// A chain of hops the cost-based optimizer collapsed into one provider
+/// call; the Db2 Graph provider renders it as a single N-way join per
+/// eligible table chain instead of one statement per hop.
+struct MultiHopSpec {
+  std::vector<MultiHopHop> hops;
+  uint64_t est_rows = 0;   // optimizer's output-cardinality estimate
+  std::string join_order;  // human-readable join order for Explain
+  /// Provider-private compiled join plan (table chains, layouts, shape
+  /// keys), attached by the optimizer and opaque to the interpreter.
+  std::shared_ptr<const void> provider_plan;
+};
+
+/// One multi-hop result from one source: the final vertex plus the ids
+/// the traverser path accumulates along the way, in hop order (the edge
+/// id first for emit_edge_id hops, then the hop's vertex id).
+struct MultiHopEmission {
+  VertexPtr vertex;
+  std::vector<Value> path_ids;
+};
+
+/// Multi-hop results bucketed by source-vertex id; the per-bucket order
+/// must equal the order step-at-a-time execution would emit for that
+/// source, so collapsed plans stay byte-identical with the fallback.
+using MultiHopBuckets =
+    std::unordered_map<Value, std::vector<MultiHopEmission>, ValueHash>;
+
 /// Pull cursor over a vertex lookup: the streaming counterpart of
 /// GraphProvider::Vertices. Blocks arrive in the same deterministic order
 /// the materialized call would produce, so a consumer that stops pulling
@@ -207,6 +247,14 @@ class GraphProvider {
   /// the interpreter aggregates client-side.
   virtual Result<Value> AggregateVertices(const LookupSpec& spec);
   virtual Result<Value> AggregateEdges(const LookupSpec& spec);
+
+  /// Collapsed multi-hop traversal: all hops of `spec` from each source
+  /// in one call (one N-way join statement per table chain in Db2 Graph).
+  /// Default is Unsupported — the interpreter then falls back to the
+  /// step-at-a-time plan kept alongside the MultiHopStep.
+  virtual Status MultiHopTraverse(const std::vector<VertexPtr>& sources,
+                                  const MultiHopSpec& spec,
+                                  MultiHopBuckets* out);
 
   /// Whether the provider benefits from the Db2 Graph provider strategies
   /// (predicate/projection/aggregate pushdown and step mutations).

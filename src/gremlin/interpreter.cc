@@ -99,6 +99,11 @@ bool IsStreamableStep(const Step& step) {
       // each edge by the queried endpoint alone and stream safely.
       return step.spec.agg == AggOp::kNone &&
              step.direction != Direction::kBoth;
+    case StepKind::kMultiHop:
+      // Same shape as streamable kVertex: per-block distinct sources, one
+      // provider call, per-traverser emission (the collapsed hops never
+      // carry an aggregate or a kBoth direction — the optimizer bails).
+      return true;
     case StepKind::kEdgeVertex:
     case StepKind::kHas:
     case StepKind::kValues:
@@ -946,6 +951,46 @@ Status Interpreter::ApplyVertexStep(const Step& step,
   return Status::OK();
 }
 
+Status Interpreter::ApplyMultiHopStep(const Step& step,
+                                      std::vector<Traverser> input,
+                                      ExecState* state,
+                                      std::vector<Traverser>* out) {
+  std::vector<VertexPtr> sources;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const Traverser& t : input) {
+    if (t.kind != Traverser::Kind::kVertex) {
+      return Status::InvalidArgument(
+          "Gremlin: multi-hop step applied to a non-vertex");
+    }
+    if (seen.insert(t.vertex->id).second) sources.push_back(t.vertex);
+  }
+  if (sources.empty()) return Status::OK();
+
+  if (step.multi_hop) {
+    MultiHopBuckets buckets;
+    Status st = provider_->MultiHopTraverse(sources, *step.multi_hop, &buckets);
+    if (st.ok()) {
+      for (const Traverser& t : input) {
+        auto it = buckets.find(t.vertex->id);
+        if (it == buckets.end()) continue;
+        for (const MultiHopEmission& e : it->second) {
+          Traverser child = Traverser::OfVertex(e.vertex);
+          child.path = t.path;
+          child.path.insert(child.path.end(), e.path_ids.begin(),
+                            e.path_ids.end());
+          out->push_back(std::move(child));
+        }
+      }
+      return st;
+    }
+    if (st.code() != StatusCode::kUnsupported) return st;
+  }
+  // The provider declined: run the preserved step-at-a-time plan. The
+  // collapsed steps are all block-safe transforms with no cross-pass
+  // state, so a per-block materialized pass matches exactly.
+  return ExecuteMaterialized(step.body, std::move(input), state, out);
+}
+
 Status Interpreter::ApplyEdgeVertexStep(const Step& step,
                                         std::vector<Traverser> input,
                                         std::vector<Traverser>* out) {
@@ -995,6 +1040,8 @@ Status Interpreter::ApplyStep(const Step& step, std::vector<Traverser> input,
       return ApplyVertexStep(step, std::move(input), out);
     case StepKind::kEdgeVertex:
       return ApplyEdgeVertexStep(step, std::move(input), out);
+    case StepKind::kMultiHop:
+      return ApplyMultiHopStep(step, std::move(input), state, out);
 
     case StepKind::kHas: {
       std::vector<Value> ids;

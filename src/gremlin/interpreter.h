@@ -126,6 +126,11 @@ class Interpreter {
                          std::vector<Traverser>* out);
   Status ApplyEdgeVertexStep(const Step& step, std::vector<Traverser> input,
                              std::vector<Traverser>* out);
+  /// Optimizer-collapsed hop chain: one MultiHopTraverse provider call for
+  /// the whole chain; falls back to the preserved step-at-a-time plan in
+  /// step.body when the provider returns Unsupported.
+  Status ApplyMultiHopStep(const Step& step, std::vector<Traverser> input,
+                           ExecState* state, std::vector<Traverser>* out);
 
   /// Number of chunks a barrier drain over n traversers splits into: 1
   /// (serial) unless options_.parallelism > 1 and the input is large

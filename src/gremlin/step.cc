@@ -56,6 +56,8 @@ const char* StepKindName(StepKind kind) {
       return "TailStep";
     case StepKind::kGroupCount:
       return "GroupCountStep";
+    case StepKind::kMultiHop:
+      return "MultiHopStep";
   }
   return "?";
 }
@@ -199,6 +201,20 @@ std::string Step::ToString() const {
     case StepKind::kCap:
       os << "(" << side_effect_key << ")";
       break;
+    case StepKind::kMultiHop: {
+      os << "(hops=" << (multi_hop ? multi_hop->hops.size() : 0);
+      if (multi_hop && !multi_hop->join_order.empty()) {
+        os << " join=" << multi_hop->join_order;
+      }
+      if (multi_hop) os << " est=" << multi_hop->est_rows;
+      os << " body=[";
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (i > 0) os << ".";
+        os << body[i].ToString();
+      }
+      os << "])";
+      break;
+    }
     default:
       break;
   }

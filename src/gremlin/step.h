@@ -46,6 +46,7 @@ enum class StepKind {
   kSimplePath,  // simplePath() — drop traversers that revisit an element
   kTail,        // tail(n) — last n traversers
   kGroupCount,  // groupCount() — barrier: value -> multiplicity
+  kMultiHop,    // optimizer-collapsed hop chain (N-way join); a GSA step
 };
 
 /// Returns a printable step name.
@@ -110,11 +111,16 @@ struct Step {
   // kStore / kCap ----------------------------------------------------------
   std::string side_effect_key;
 
+  // kMultiHop ---------------------------------------------------------------
+  /// The collapsed hop chain. The replaced step-at-a-time steps live in
+  /// `body` so the interpreter can fall back when the provider declines.
+  std::shared_ptr<const MultiHopSpec> multi_hop;
+
   /// True for steps that access the graph structure API (the paper's GSA
   /// steps, Section 6.1): these are the steps that turn into SQL.
   bool IsGsa() const {
     return kind == StepKind::kGraph || kind == StepKind::kVertex ||
-           kind == StepKind::kEdgeVertex;
+           kind == StepKind::kEdgeVertex || kind == StepKind::kMultiHop;
   }
 
   /// Human-readable rendering for plan diagnostics and strategy tests.

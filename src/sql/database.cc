@@ -304,6 +304,31 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   return result;
 }
 
+uint64_t Database::stats_epoch() const {
+  ReadLock lock(this, &mutex_);
+  uint64_t epoch = 0;
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    epoch += table->stats_version();
+  }
+  return epoch;
+}
+
+bool Database::SnapshotTableStats(const std::string& name,
+                                  TableStats* out) const {
+  ReadLock lock(this, &mutex_);
+  auto it = tables_.find(CatalogKey(name));
+  if (it == tables_.end()) return false;
+  const Table& table = *it->second;
+  out->row_count = table.row_count();
+  out->columns.clear();
+  out->columns.reserve(table.column_count());
+  for (size_t c = 0; c < table.column_count(); ++c) {
+    out->columns.push_back(table.GetColumnStats(c));
+  }
+  return true;
+}
+
 bool Database::ReadLockHeldByThisThread() const {
   auto it = tls_read_depth.find(this);
   return it != tls_read_depth.end() && it->second > 0;

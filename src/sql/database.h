@@ -275,6 +275,23 @@ class Database {
     return write_epoch_.load(std::memory_order_acquire);
   }
 
+  /// Sum of Table::stats_version() over all base tables: a cheap,
+  /// monotonically non-decreasing fingerprint of the catalog statistics.
+  /// Plans whose shape depended on statistics (the graph layer's multi-hop
+  /// collapse) record the epoch they were compiled under and recompile
+  /// when drift exceeds their threshold.
+  uint64_t stats_epoch() const;
+
+  /// Point-in-time statistics snapshot of one base table: live row count
+  /// plus per-column stats (null counts, min/max, NDV), taken under the
+  /// shared lock (re-entrant if the caller already holds it). Returns
+  /// false when the table is absent or is a view.
+  struct TableStats {
+    uint64_t row_count = 0;
+    std::vector<Table::ColumnStats> columns;
+  };
+  bool SnapshotTableStats(const std::string& name, TableStats* out) const;
+
   /// True when the calling thread currently holds this database's shared
   /// (read) lock — i.e. we are inside a SELECT, e.g. evaluating a
   /// graphQuery table function. Used by the graph layer to suppress

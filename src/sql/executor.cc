@@ -2621,34 +2621,18 @@ Result<std::unique_ptr<SelectPlan>> Executor::Compile(const SelectStmt& stmt,
           candidates.push_back(std::move(term));
         }
       }
-      // Prefer a multi-column index exactly covered by equality terms, then
-      // any single-column index on one term.
-      std::vector<size_t> eq_columns;
+      // Index preference (multi-column exact cover, then first
+      // single-column candidate) lives in ChooseProbeIndex, shared with
+      // the graph layer's multi-hop collapse legality check.
+      std::vector<ProbeCandidate> shapes;
+      shapes.reserve(candidates.size());
       for (const ProbeTerm& term : candidates) {
-        if (term.values.size() == 1) eq_columns.push_back(term.column_index);
+        shapes.push_back({term.column_index, term.values.size()});
       }
-      if (!eq_columns.empty()) {
-        cfg.index = table->FindIndexOn(eq_columns);
-        if (cfg.index != nullptr) {
-          for (size_t col : cfg.index->column_indexes()) {
-            for (const ProbeTerm& term : candidates) {
-              if (term.values.size() == 1 && term.column_index == col) {
-                cfg.probe_terms.push_back(term);
-                break;
-              }
-            }
-          }
-        }
-      }
-      if (cfg.index == nullptr) {
-        for (const ProbeTerm& term : candidates) {
-          const Index* single = table->FindIndexOn({term.column_index});
-          if (single != nullptr) {
-            cfg.index = single;
-            cfg.probe_terms.push_back(term);
-            break;
-          }
-        }
+      ProbeChoice choice = ChooseProbeIndex(*table, shapes);
+      cfg.index = choice.index;
+      for (size_t i : choice.term_indexes) {
+        cfg.probe_terms.push_back(candidates[i]);
       }
     }
 

@@ -47,6 +47,7 @@ VirtualTableDef QueryLogTable() {
                        Col("rows_emitted", ColumnType::kInt),
                        Col("dop", ColumnType::kInt),
                        Col("morsels", ColumnType::kInt),
+                       Col("collapsed_hops", ColumnType::kInt),
                        Col("micros", ColumnType::kInt),
                        Col("error", ColumnType::kBool),
                        Col("error_message", ColumnType::kString),
@@ -58,7 +59,7 @@ VirtualTableDef QueryLogTable() {
           out->Insert({U64(e.id), e.layer, e.script, e.plan_source,
                        e.exec_mode, e.access_path, U64(e.rows_scanned),
                        U64(e.rows_emitted), U64(e.dop), U64(e.morsels),
-                       U64(e.micros), e.error,
+                       U64(e.collapsed_hops), U64(e.micros), e.error,
                        e.error_message, e.reason, e.plan})
               .status());
     }
@@ -151,6 +152,7 @@ VirtualTableDef ColumnStatsTable(Database* db) {
                        Col("type", ColumnType::kString),
                        Col("rows", ColumnType::kInt),
                        Col("nulls", ColumnType::kInt),
+                       Col("ndv", ColumnType::kInt),
                        Col("min", ColumnType::kString),
                        Col("max", ColumnType::kString)});
   // The fill runs under the database read lock (scans always do); the
@@ -168,7 +170,7 @@ VirtualTableDef ColumnStatsTable(Database* db) {
             out->Insert({name, schema.columns[c].name,
                          ColumnTypeName(schema.columns[c].type),
                          U64(stats.row_count), U64(stats.null_count),
-                         std::move(min), std::move(max)})
+                         U64(stats.ndv), std::move(min), std::move(max)})
                 .status());
       }
     }

@@ -199,7 +199,77 @@ void Table::MaterializeRow(RowId rid, Row* out) const {
   AppendRow(rid, out);
 }
 
+namespace {
+
+// Size of the k-minimum-values NDV sketch. 256 hashes keep the estimate
+// within ~6% (1/sqrt(k)) at a few KiB per column.
+constexpr size_t kKmvSize = 256;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashValue64(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return SplitMix64(v.as_bool() ? 1 : 2);
+    case ValueType::kInt:
+      return SplitMix64(static_cast<uint64_t>(v.as_int()));
+    case ValueType::kDouble: {
+      double d = v.as_double();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return SplitMix64(bits);
+    }
+    case ValueType::kString: {
+      uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+      for (unsigned char c : v.as_string()) {
+        h = (h ^ c) * 0x100000001b3ULL;
+      }
+      return SplitMix64(h);
+    }
+  }
+  return 0;
+}
+
+// Estimates the distinct count from a KMV sketch: exact while the sketch
+// never overflowed, (k-1)/kth_smallest_fraction once it did.
+uint64_t EstimateNdv(const std::vector<uint64_t>& kmv, bool saturated) {
+  if (kmv.empty()) return 0;
+  if (!saturated) return kmv.size();
+  double kth = static_cast<double>(kmv.back());
+  if (kth <= 0.0) return kmv.size();
+  double est = (static_cast<double>(kmv.size()) - 1.0) *
+               (18446744073709551616.0 /* 2^64 */ / kth);
+  return est < 1.0 ? 1 : static_cast<uint64_t>(est);
+}
+
+}  // namespace
+
+void Table::SketchAdd(StatsState* state, const Value& v) {
+  uint64_t h = HashValue64(v);
+  std::vector<uint64_t>& kmv = state->kmv;
+  auto it = std::lower_bound(kmv.begin(), kmv.end(), h);
+  if (it != kmv.end() && *it == h) return;  // already present
+  if (kmv.size() < kKmvSize) {
+    kmv.insert(it, h);
+    return;
+  }
+  if (h < kmv.back()) {
+    kmv.insert(it, h);
+    kmv.pop_back();
+  }
+  state->kmv_saturated = true;
+}
+
 Table::ColumnStats Table::GetColumnStats(size_t column) const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
   StatsState& state = stats_[column];
   if (state.minmax_stale) {
     state.min = Value::Null();
@@ -213,9 +283,20 @@ Table::ColumnStats Table::GetColumnStats(size_t column) const {
     }
     state.minmax_stale = false;
   }
+  if (state.ndv_stale) {
+    state.kmv.clear();
+    state.kmv_saturated = false;
+    const Column& col = columns_[column];
+    for (RowId rid = 0; rid < slot_count_; ++rid) {
+      if (!live_[rid] || col.IsNull(rid)) continue;
+      SketchAdd(&state, col.Get(rid));
+    }
+    state.ndv_stale = false;
+  }
   ColumnStats out;
   out.row_count = live_count_;
   out.null_count = state.null_count;
+  out.ndv = EstimateNdv(state.kmv, state.kmv_saturated);
   out.min = state.min;
   out.max = state.max;
   return out;
@@ -231,6 +312,7 @@ void Table::PublishColumnStats() const {
         ->Set(static_cast<int64_t>(stats.row_count));
     registry.GetGauge(prefix + ".nulls")
         ->Set(static_cast<int64_t>(stats.null_count));
+    registry.GetGauge(prefix + ".ndv")->Set(static_cast<int64_t>(stats.ndv));
   }
 }
 
@@ -252,12 +334,14 @@ void Table::ClearSlot(RowId rid) {
 }
 
 void Table::StatsOnInsert(const Row& row) {
+  stats_version_.fetch_add(1, std::memory_order_relaxed);
   for (size_t c = 0; c < row.size(); ++c) {
     StatsState& state = stats_[c];
     if (row[c].is_null()) {
       ++state.null_count;
       continue;
     }
+    if (!state.ndv_stale) SketchAdd(&state, row[c]);
     if (state.minmax_stale) continue;  // will be rescanned anyway
     if (state.min.is_null() || row[c] < state.min) state.min = row[c];
     if (state.max.is_null() || row[c] > state.max) state.max = row[c];
@@ -265,13 +349,16 @@ void Table::StatsOnInsert(const Row& row) {
 }
 
 void Table::StatsOnErase(const Row& row) {
+  stats_version_.fetch_add(1, std::memory_order_relaxed);
   for (size_t c = 0; c < row.size(); ++c) {
     StatsState& state = stats_[c];
     if (row[c].is_null()) {
       --state.null_count;
       continue;
     }
-    // Removing an extreme value may tighten min/max; recompute lazily.
+    // Removing a value may drop a distinct count or tighten min/max;
+    // recompute both lazily at the next stats read.
+    state.ndv_stale = true;
     if (!state.minmax_stale &&
         (row[c] == state.min || row[c] == state.max)) {
       state.minmax_stale = true;
@@ -539,6 +626,39 @@ size_t Table::ApproxDiskBytes() const {
     }
   }
   return bytes;
+}
+
+ProbeChoice ChooseProbeIndex(const Table& table,
+                             const std::vector<ProbeCandidate>& candidates) {
+  ProbeChoice choice;
+  std::vector<size_t> eq_columns;
+  for (const ProbeCandidate& cand : candidates) {
+    if (cand.value_count == 1) eq_columns.push_back(cand.column_index);
+  }
+  if (!eq_columns.empty()) {
+    choice.index = table.FindIndexOn(eq_columns);
+    if (choice.index != nullptr) {
+      for (size_t col : choice.index->column_indexes()) {
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i].value_count == 1 &&
+              candidates[i].column_index == col) {
+            choice.term_indexes.push_back(i);
+            break;
+          }
+        }
+      }
+      return choice;
+    }
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Index* single = table.FindIndexOn({candidates[i].column_index});
+    if (single != nullptr) {
+      choice.index = single;
+      choice.term_indexes.push_back(i);
+      return choice;
+    }
+  }
+  return choice;
 }
 
 }  // namespace db2graph::sql

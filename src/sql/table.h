@@ -9,9 +9,11 @@
 #ifndef DB2GRAPH_SQL_TABLE_H_
 #define DB2GRAPH_SQL_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -205,18 +207,27 @@ class Table {
 
   /// Per-column statistics maintained incrementally by the write path.
   /// min/max are NULL when the column has no non-NULL live values. The
-  /// counts are always exact; min/max may require a lazy rescan after a
-  /// delete/update removed an extreme value (handled inside the accessor).
+  /// counts are always exact; min/max and ndv may require a lazy rescan
+  /// after a delete/update invalidated them (handled inside the accessor,
+  /// which is safe to call from concurrent readers).
   struct ColumnStats {
     uint64_t row_count = 0;   // live rows
     uint64_t null_count = 0;  // NULL cells among live rows
+    uint64_t ndv = 0;         // approximate distinct non-NULL values (KMV)
     Value min;
     Value max;
   };
   ColumnStats GetColumnStats(size_t column) const;
-  /// Publishes rows/nulls gauges for every column to the global
-  /// MetricsRegistry as "sql.colstats.<table>.<column>.{rows,nulls}".
+  /// Publishes rows/nulls/ndv gauges for every column to the global
+  /// MetricsRegistry as "sql.colstats.<table>.<column>.{rows,nulls,ndv}".
   void PublishColumnStats() const;
+
+  /// Monotonic counter bumped on every statistics-affecting write
+  /// (insert/delete/update/undo). Database::stats_epoch() sums these so
+  /// the optimizer can detect stats drift without comparing snapshots.
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_relaxed);
+  }
 
   /// Appends a row (recycling a free slot when available). The row must
   /// already match the schema arity. Index maintenance included. Uniqueness
@@ -264,18 +275,25 @@ class Table {
   size_t ApproxDiskBytes() const;
 
  private:
-  // Incremental statistics bookkeeping, one per column.
+  // Incremental statistics bookkeeping, one per column. The NDV sketch is
+  // a k-minimum-values summary over 64-bit value hashes: insert-only (an
+  // insert adds its hash; a delete flips ndv_stale and the next stats read
+  // rebuilds from the live rows, mirroring the minmax_stale protocol).
   struct StatsState {
     uint64_t null_count = 0;
     Value min;
     Value max;
     bool minmax_stale = false;
+    std::vector<uint64_t> kmv;  // sorted k smallest distinct hashes
+    bool kmv_saturated = false;  // true once a hash was dropped from kmv
+    bool ndv_stale = false;
   };
 
   void IndexInsert(const Row& row, RowId rid);
   void IndexErase(const Row& row, RowId rid);
   void StatsOnInsert(const Row& row);
   void StatsOnErase(const Row& row);
+  static void SketchAdd(StatsState* state, const Value& v);
   void EnsureSlots(size_t n);
   void StoreRow(RowId rid, Row&& row);
   void ClearSlot(RowId rid);
@@ -287,12 +305,41 @@ class Table {
   size_t live_count_ = 0;
   size_t slot_count_ = 0;
   mutable std::vector<StatsState> stats_;
+  /// Serializes the lazy stats rebuild inside GetColumnStats: concurrent
+  /// readers (both holding the database read lock) may otherwise race on
+  /// the mutable StatsState. Writers are already exclusive via the
+  /// database lock, so they skip this mutex.
+  mutable std::mutex stats_mutex_;
+  std::atomic<uint64_t> stats_version_{0};
   std::vector<std::unique_ptr<Index>> indexes_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
 };
 
 /// Approximate in-memory size of one row's payload.
 size_t ApproxRowBytes(const Row& row);
+
+/// One equality/IN probe term extracted from a statement's conjuncts, in
+/// conjunct order: `column = <outer value>` has value_count 1, a
+/// `column IN (...)` lists its arity.
+struct ProbeCandidate {
+  size_t column_index = 0;
+  size_t value_count = 1;
+};
+
+/// The index the executor will probe for a set of candidates (and which
+/// candidates feed it, as positions into the input vector, in index column
+/// order). Preference order: a multi-column hash index exactly covered by
+/// the single-value equality terms, else the first candidate in conjunct
+/// order backed by a single-column index. Shared between the join-stage
+/// planner in the executor and the graph layer's multi-hop optimizer, so
+/// a collapse decision made at compile time predicts the runtime access
+/// path exactly.
+struct ProbeChoice {
+  const Index* index = nullptr;
+  std::vector<size_t> term_indexes;
+};
+ProbeChoice ChooseProbeIndex(const Table& table,
+                             const std::vector<ProbeCandidate>& candidates);
 
 }  // namespace db2graph::sql
 
